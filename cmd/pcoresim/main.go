@@ -1,0 +1,125 @@
+// Command pcoresim runs a named workload directly on the simulated
+// pCore slave kernel (no pTest patterns), printing the scheduler trace
+// summary and final kernel state — a bring-up tool for the substrate.
+//
+// Usage:
+//
+//	pcoresim -workload quicksort -tasks 16
+//	pcoresim -workload philosophers -tasks 3 -rounds 100
+//	pcoresim -workload inversion -max-steps 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/app"
+	"repro/internal/bridge"
+	"repro/internal/clock"
+	"repro/internal/committee"
+	"repro/internal/detector"
+	"repro/internal/master"
+	"repro/internal/pcore"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "quicksort", "quicksort | unbounded-quicksort | philosophers | ordered-philosophers | prodcons | inversion | spin")
+		tasks    = flag.Int("tasks", 3, "number of logical tasks to create")
+		rounds   = flag.Int("rounds", 100, "philosopher eating rounds")
+		items    = flag.Int("items", 10, "producer/consumer items")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		maxSteps = flag.Int("max-steps", 5_000_000, "co-simulation step budget")
+		gcLeak   = flag.Int("gc-leak-every", 0, "arm the GC leak fault (leak every n-th collected block)")
+		quantum  = flag.Int("quantum", 0, "slave scheduler quantum in cycles (0 = default)")
+		verbose  = flag.Bool("v", false, "print every kernel event")
+		timeline = flag.Bool("timeline", false, "print per-task swimlanes after the run")
+	)
+	flag.Parse()
+
+	var factory committee.Factory
+	switch *workload {
+	case "quicksort":
+		factory = app.QuicksortFactory(*seed)
+	case "unbounded-quicksort":
+		factory = app.UnboundedQuicksortFactory()
+	case "philosophers":
+		factory, _ = app.Philosophers(*tasks, *rounds, false)
+	case "ordered-philosophers":
+		factory, _ = app.Philosophers(*tasks, *rounds, true)
+	case "prodcons":
+		factory = app.ProducerConsumer(*items)
+	case "inversion":
+		factory = app.PriorityInversion(100000)
+	case "spin":
+		factory = app.SpinFactory()
+	default:
+		fmt.Fprintf(os.Stderr, "pcoresim: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	kcfg := pcore.Config{Faults: pcore.FaultPlan{GCLeakEvery: *gcLeak}}
+	if *quantum > 0 {
+		kcfg.Quantum = clock.Cycles(*quantum)
+	}
+	plat, err := platform.New(platform.Config{Factory: factory, Kernel: kcfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcoresim:", err)
+		os.Exit(1)
+	}
+	defer plat.Shutdown()
+
+	var rec *trace.Recorder
+	if *timeline {
+		rec = trace.NewRecorder(0)
+		rec.Attach(plat)
+	} else if *verbose {
+		plat.Slave.OnEvent(func(e pcore.Event) {
+			fmt.Printf("  [%8d] task=%-2d %-8s %s %s\n", e.At, e.Task, e.Kind, e.Service, e.Detail)
+		})
+	}
+
+	plat.Master.Spawn("starter", func(ctx *master.Ctx) {
+		for logical := uint32(0); logical < uint32(*tasks); logical++ {
+			rep, err := plat.Client.Call(ctx, bridge.CodeTC, logical, 0xffffffff)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcoresim: TC %d: %v\n", logical, err)
+				return
+			}
+			if rep.Status != bridge.StatusOK {
+				fmt.Fprintf(os.Stderr, "pcoresim: TC %d: %v\n", logical, rep.Status)
+				return
+			}
+		}
+	})
+
+	det := detector.New(plat, nil, detector.Options{})
+	report := det.Run(*maxSteps)
+
+	snap := plat.Slave.Snapshot()
+	fmt.Printf("workload:   %s (%d tasks)\n", *workload, *tasks)
+	fmt.Printf("virtual t:  %d cycles over %d steps\n", plat.Now(), plat.Steps())
+	fmt.Printf("ctx switch: %d\n", snap.CtxSwitches)
+	calls, cycles := plat.Slave.ServiceStats()
+	for _, svc := range pcore.TableIServices() {
+		if calls[svc] > 0 {
+			fmt.Printf("  %-4s calls=%-5d cycles=%d\n", svc, calls[svc], cycles[svc])
+		}
+	}
+	for _, ts := range snap.Tasks {
+		fmt.Printf("  task %-2d %-14s state=%-10s prio=%-2d progress=%d\n",
+			ts.ID, ts.Name, ts.State, ts.Prio, ts.Progress)
+	}
+	if rec != nil {
+		fmt.Println("timeline (R running, r ready, B blocked, S suspended, T done, X fault):")
+		_ = rec.RenderLanes(os.Stdout, 72)
+	}
+	if report != nil {
+		fmt.Println("DETECTED:", report)
+		os.Exit(1)
+	}
+	fmt.Println("clean finish")
+}

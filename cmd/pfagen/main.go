@@ -1,0 +1,149 @@
+// Command pfagen compiles a service regular expression and a probability
+// distribution into a PFA, then emits Graphviz DOT, generated test
+// patterns, or analysis figures.
+//
+// Usage:
+//
+//	pfagen -pcore -dot                             # Figure 5 as DOT
+//	pfagen -re '(a c* d) | b' -pd '^:a=0.6,^:b=0.4,a:c=0.3,a:d=0.7,c:c=0.3,c:d=0.7' -n 5 -s 12
+//	pfagen -pcore -analyze                         # stationary/entropy/frequencies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/nfa"
+	"repro/internal/pfa"
+	"repro/internal/stats"
+)
+
+func parsePD(spec string) (pfa.Distribution, error) {
+	d := pfa.Distribution{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		colon := strings.Index(item, ":")
+		eq := strings.LastIndex(item, "=")
+		if colon < 0 || eq < colon {
+			return nil, fmt.Errorf("bad PD entry %q (want from:symbol=prob)", item)
+		}
+		from := item[:colon]
+		sym := item[colon+1 : eq]
+		p, err := strconv.ParseFloat(item[eq+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad probability in %q: %v", item, err)
+		}
+		if d[from] == nil {
+			d[from] = map[string]float64{}
+		}
+		d[from][sym] = p
+	}
+	return d, nil
+}
+
+func main() {
+	var (
+		re      = flag.String("re", "", "service regular expression")
+		pdSpec  = flag.String("pd", "", "probability distribution: from:symbol=prob,... ('^' = start)")
+		pcore   = flag.Bool("pcore", false, "use the paper's pCore expression (2) and Figure 5 distribution")
+		fig3    = flag.Bool("fig3", false, "use the paper's Figure 3 automaton")
+		uniform = flag.Bool("uniform", false, "use a uniform distribution over legal transitions")
+		dot     = flag.Bool("dot", false, "emit Graphviz DOT")
+		analyze = flag.Bool("analyze", false, "print stationary distribution, entropy rate and expected frequencies")
+		n       = flag.Int("n", 0, "number of test patterns to generate")
+		s       = flag.Int("s", 8, "pattern size")
+		seed    = flag.Uint64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	expr := *re
+	var d pfa.Distribution
+	switch {
+	case *pcore:
+		expr = pfa.PCoreRE
+		d = pfa.PCoreDistribution()
+	case *fig3:
+		expr = pfa.Figure3RE
+		d = pfa.Figure3Distribution()
+	}
+	if expr == "" {
+		fmt.Fprintln(os.Stderr, "pfagen: provide -re, -pcore or -fig3")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *pdSpec != "" {
+		var err error
+		d, err = parsePD(*pdSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfagen:", err)
+			os.Exit(1)
+		}
+	}
+	if *uniform {
+		d = nil
+	}
+
+	machine, err := pfa.FromRegex(expr, d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfagen:", err)
+		os.Exit(1)
+	}
+
+	did := false
+	if *dot {
+		fmt.Print(machine.Dot("pfa"))
+		did = true
+	}
+	if *analyze {
+		fmt.Printf("states: %d  transitions: %d  alphabet: %v\n",
+			machine.NumStates(), machine.NumTransitions(), machine.Alphabet())
+		if pi, err := machine.StationaryDistribution(0, 0); err == nil {
+			fmt.Println("stationary state distribution:")
+			for q := 0; q < machine.NumStates(); q++ {
+				if v, ok := pi[nfa.StateID(q)]; ok {
+					label := machine.Label(nfa.StateID(q))
+					if label == "" {
+						label = "start"
+					}
+					fmt.Printf("  %-6s %.4f\n", label, v)
+				}
+			}
+		}
+		if h, err := machine.EntropyRate(); err == nil {
+			fmt.Printf("entropy rate: %.4f bits/symbol\n", h)
+		}
+		freq := machine.ExpectedSymbolFreq(64)
+		syms := make([]string, 0, len(freq))
+		for sym := range freq {
+			syms = append(syms, sym)
+		}
+		sort.Strings(syms)
+		fmt.Println("expected symbol frequencies (64 steps):")
+		for _, sym := range syms {
+			fmt.Printf("  %-6s %.4f\n", sym, freq[sym])
+		}
+		did = true
+	}
+	if *n > 0 {
+		rng := stats.New(*seed)
+		pats, err := machine.GenerateSet(rng, *n, *s, pfa.DefaultGenOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfagen:", err)
+			os.Exit(1)
+		}
+		for i, p := range pats {
+			fmt.Printf("T[%d] = %s\n", i+1, strings.Join(p.Symbols, " "))
+		}
+		did = true
+	}
+	if !did {
+		fmt.Print(machine.Dot("pfa"))
+	}
+}

@@ -1,0 +1,256 @@
+// Command ptest runs the full adaptive testing tool against the
+// simulated OMAP-like platform: Algorithm 1 with configuration
+// (RE, n, s, op), a slave workload, optional fault injection, and the
+// bug detector. It is the reproduction's equivalent of running pTest on
+// the board.
+//
+// Usage:
+//
+//	ptest -pcore -n 16 -s 24 -workload quicksort -gc-leak-every 2
+//	ptest -re 'TC (TS TR)+ TD$' -pd '^:TC=1,TC:TS=1,TS:TR=1,TR:TS=1,TR:TD=0' \
+//	      -n 3 -s 41 -op cyclic -workload philosophers -quantum 1073741824 -gap 100
+//	ptest -pcore -n 4 -s 12 -trials 20 -keep-going
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/clock"
+	"repro/internal/committee"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/pcore"
+	"repro/internal/pfa"
+	"repro/internal/replay"
+)
+
+func parsePD(spec string) (pfa.Distribution, error) {
+	d := pfa.Distribution{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		colon := strings.Index(item, ":")
+		eq := strings.LastIndex(item, "=")
+		if colon < 0 || eq < colon {
+			return nil, fmt.Errorf("bad PD entry %q (want from:symbol=prob)", item)
+		}
+		p, err := strconv.ParseFloat(item[eq+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad probability in %q: %v", item, err)
+		}
+		from, sym := item[:colon], item[colon+1:eq]
+		if d[from] == nil {
+			d[from] = map[string]float64{}
+		}
+		d[from][sym] = p
+	}
+	return d, nil
+}
+
+func main() {
+	var (
+		re        = flag.String("re", "", "service regular expression")
+		pdSpec    = flag.String("pd", "", "probability distribution: from:symbol=prob,... ('^' = start)")
+		usePcore  = flag.Bool("pcore", false, "use the paper's expression (2) + Figure 5 distribution")
+		n         = flag.Int("n", 4, "number of test patterns (logical tasks)")
+		s         = flag.Int("s", 12, "pattern size")
+		opName    = flag.String("op", "roundrobin", "merge op: roundrobin|random|cyclic|priority|sequential")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		trials    = flag.Int("trials", 1, "campaign trials (seed increments per trial)")
+		keepGoing = flag.Bool("keep-going", false, "do not stop the campaign at the first bug")
+		dedup     = flag.Bool("dedup", false, "discard replicated patterns before merging")
+		gap       = flag.Int("gap", 0, "inter-command gap in cycles (stress density)")
+		workload  = flag.String("workload", "spin", "spin | quicksort | philosophers | ordered-philosophers | prodcons | inversion")
+		rounds    = flag.Int("rounds", 100000, "philosopher eating rounds")
+		quantum   = flag.Int("quantum", 0, "slave quantum in cycles")
+		gcLeak    = flag.Int("gc-leak-every", 0, "arm the GC leak fault")
+		dropTR    = flag.Int("drop-resume-every", 0, "arm the lost-wakeup fault")
+		misprio   = flag.Int("misplace-prio-every", 0, "arm the priority-misplacement fault")
+		dumpJ     = flag.Bool("dump-journal", false, "print the Definition 2 record journal of the failing run")
+		saveRepro = flag.String("save-repro", "", "write a reproduction file for the first failing run")
+		replayF   = flag.String("replay", "", "re-execute a reproduction file instead of generating patterns")
+	)
+	flag.Parse()
+
+	if *replayF != "" {
+		runReplay(*replayF, *rounds)
+		return
+	}
+
+	expr, pd := *re, pfa.Distribution(nil)
+	if *usePcore {
+		expr, pd = pfa.PCoreRE, pfa.PCoreDistribution()
+	}
+	if expr == "" {
+		fmt.Fprintln(os.Stderr, "ptest: provide -re or -pcore")
+		os.Exit(2)
+	}
+	if *pdSpec != "" {
+		var err error
+		pd, err = parsePD(*pdSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ptest:", err)
+			os.Exit(1)
+		}
+	}
+	op, err := pattern.ParseOp(*opName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptest:", err)
+		os.Exit(1)
+	}
+
+	var factory committee.Factory
+	switch *workload {
+	case "spin":
+		factory = app.SpinFactory()
+	case "quicksort":
+		factory = app.QuicksortFactory(*seed)
+	case "philosophers":
+		factory, _ = app.Philosophers(max(*n, 2), *rounds, false)
+	case "ordered-philosophers":
+		factory, _ = app.Philosophers(max(*n, 2), *rounds, true)
+	case "prodcons":
+		factory = app.ProducerConsumer(10)
+	case "inversion":
+		factory = app.PriorityInversion(100000)
+	default:
+		fmt.Fprintf(os.Stderr, "ptest: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	kcfg := pcore.Config{
+		Faults: pcore.FaultPlan{
+			GCLeakEvery:           *gcLeak,
+			DropResumeEvery:       *dropTR,
+			MisplacePriorityEvery: *misprio,
+		},
+	}
+	if *quantum > 0 {
+		kcfg.Quantum = clock.Cycles(*quantum)
+	}
+
+	base := core.Config{
+		RE: expr, PD: pd,
+		N: *n, S: *s, Op: op, Seed: *seed,
+		Dedup: *dedup, CommandGap: *gap,
+		Kernel:  kcfg,
+		Factory: factory,
+	}
+
+	res, err := core.RunCampaign(core.CampaignConfig{
+		Base: base, Trials: *trials, KeepGoing: *keepGoing,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptest:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("pTest: RE=%q n=%d s=%d op=%s trials=%d\n", expr, *n, *s, op, res.Trials)
+	fmt.Printf("commands issued: %d   virtual time: %d cycles\n", res.TotalCommands, res.TotalDuration)
+	for i, out := range res.Outcomes {
+		verdict := "clean"
+		if out.Bug != nil {
+			verdict = out.Bug.String()
+		} else if !out.Finished {
+			verdict = "incomplete (step budget)"
+		}
+		fmt.Printf("  trial %2d seed=%-4d cmds=%-5d cov=%.2f/%.2f  %s\n",
+			i+1, out.Seed, out.CommandsIssued,
+			out.Coverage.Services, out.Coverage.Transitions, verdict)
+	}
+	if len(res.Bugs) > 0 {
+		fmt.Printf("FAILURES: %d of %d trials (first at trial %d)\n",
+			len(res.Bugs), res.Trials, res.FirstBugTrial)
+		if *dumpJ {
+			fmt.Println("--- reproduction journal of first failure ---")
+			fmt.Print(res.Bugs[0].Journal)
+		}
+		if *saveRepro != "" {
+			// Locate the failing outcome and its effective config.
+			for i, out := range res.Outcomes {
+				if out.Bug == nil {
+					continue
+				}
+				cfg := base
+				cfg.Seed = base.Seed + uint64(i)
+				f := replay.FromOutcome(cfg, out, *workload, *seed)
+				file, err := os.Create(*saveRepro)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ptest:", err)
+					break
+				}
+				err = f.Save(file)
+				_ = file.Close()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ptest:", err)
+					break
+				}
+				fmt.Printf("reproduction written to %s\n", *saveRepro)
+				break
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Println("no failures detected")
+}
+
+// runReplay re-executes a saved reproduction file.
+func runReplay(path string, rounds int) {
+	file, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptest:", err)
+		os.Exit(1)
+	}
+	f, err := replay.Load(file)
+	_ = file.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptest:", err)
+		os.Exit(1)
+	}
+	var factory committee.Factory
+	switch f.Workload {
+	case "spin":
+		factory = app.SpinFactory()
+	case "quicksort":
+		factory = app.QuicksortFactory(f.WorkloadSeed)
+	case "philosophers":
+		factory, _ = app.Philosophers(max(f.Sources, 2), rounds, false)
+	case "ordered-philosophers":
+		factory, _ = app.Philosophers(max(f.Sources, 2), rounds, true)
+	case "prodcons":
+		factory = app.ProducerConsumer(10)
+	case "inversion":
+		factory = app.PriorityInversion(100000)
+	default:
+		fmt.Fprintf(os.Stderr, "ptest: reproduction references unknown workload %q\n", f.Workload)
+		os.Exit(1)
+	}
+	fmt.Printf("replaying %s: %d commands, workload %s\n", path, len(f.Entries), f.Workload)
+	if f.BugSummary != "" {
+		fmt.Printf("originally detected: %s\n", f.BugSummary)
+	}
+	out, err := f.Run(factory)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptest:", err)
+		os.Exit(1)
+	}
+	if out.Bug != nil {
+		fmt.Println("reproduced:", out.Bug)
+		os.Exit(1)
+	}
+	fmt.Println("replay finished clean (bug did not reproduce)")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+// Jpegremote runs the workload the paper's introduction motivates the
+// master-slave model with (its reference [2]: heterogeneous
+// multiprocessor JPEG): master feeders stream 8×8 image blocks to DSP
+// encoder tasks over the shared-memory data rings; each slave task runs
+// the DCT → quantize → run-length pipeline and streams the code back;
+// the master decodes and verifies every block. The second half repeats
+// the run under pTest suspend/resume stress to show the encoder's
+// streaming state survives arbitrary task perturbation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/app"
+	"repro/internal/bridge"
+	"repro/internal/master"
+	"repro/internal/platform"
+)
+
+func run(name string, stress bool) {
+	p, err := platform.New(platform.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Shutdown()
+	const tasks, blocks = 4, 8
+	j, err := app.NewJPEGRemote(p, tasks, blocks, 16, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if stress {
+		p.Master.Spawn("stress", func(ctx *master.Ctx) {
+			for round := 0; round < 12; round++ {
+				for logical := uint32(0); logical < tasks; logical++ {
+					rep, err := p.Client.Call(ctx, bridge.CodeTS, logical, 0xffffffff)
+					if err != nil {
+						return
+					}
+					ctx.Compute(700)
+					if rep.Status == bridge.StatusOK {
+						if _, err := p.Client.Call(ctx, bridge.CodeTR, logical, 0xffffffff); err != nil {
+							return
+						}
+					}
+					ctx.Compute(700)
+				}
+			}
+		})
+	}
+	p.RunUntilQuiescent(50_000_000)
+	fmt.Printf("=== %s ===\n", name)
+	fmt.Printf("blocks verified: %d/%d   failed: %d   max pixel error: %d\n",
+		j.Verified, tasks*blocks, j.Failed, j.MaxError)
+	fmt.Printf("virtual time: %d cycles over %d steps\n", p.Now(), p.Steps())
+	calls, _ := p.Slave.ServiceStats()
+	fmt.Printf("services: TC=%d TS=%d TR=%d\n", calls["TC"], calls["TS"], calls["TR"])
+}
+
+func main() {
+	run("plain encode", false)
+	run("encode under suspend/resume stress", true)
+}

@@ -1,0 +1,50 @@
+// Stress16 reproduces the paper's first case study: pTest keeps sixteen
+// active quicksort tasks (each sorting 128 two-byte integers on a
+// 512-byte stack) under continuous create/delete churn. With the
+// garbage-collection fault armed the slave kernel crashes — "the crash
+// of pCore that was caused by the failure of garbage collection" — and
+// the bug detector captures it with its reproduction journal; without
+// the fault the identical stress finishes clean.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ptest"
+)
+
+func run(name string, faults ptest.FaultPlan) {
+	res, err := ptest.RunCampaign(ptest.CampaignConfig{
+		Base: ptest.Config{
+			RE:      ptest.PCoreRE,
+			PD:      ptest.PCoreDistribution(),
+			N:       16, // the paper's sixteen concurrent tasks
+			S:       24,
+			Op:      ptest.OpRoundRobin,
+			Seed:    1,
+			Factory: ptest.QuicksortFactory(99),
+			Kernel:  ptest.KernelConfig{GCEvery: 4, Faults: faults},
+		},
+		Trials: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s ===\n", name)
+	fmt.Printf("trials: %d, commands: %d, clean finishes: %d\n",
+		res.Trials, res.TotalCommands, res.CleanFinishes)
+	if len(res.Bugs) == 0 {
+		fmt.Println("no failures detected")
+		return
+	}
+	fmt.Printf("first failure at trial %d:\n  %s\n", res.FirstBugTrial, res.Bugs[0])
+	if f := res.Bugs[0].Fault; f != nil {
+		fmt.Printf("  kernel fault: %s (%s)\n", f.Reason, f.Detail)
+	}
+}
+
+func main() {
+	run("healthy kernel", ptest.FaultPlan{})
+	run("GC leak fault armed", ptest.FaultPlan{GCLeakEvery: 2})
+}

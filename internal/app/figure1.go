@@ -1,0 +1,159 @@
+package app
+
+import (
+	"repro/internal/bridge"
+	"repro/internal/committee"
+	"repro/internal/master"
+	"repro/internal/pcore"
+	"repro/internal/platform"
+)
+
+// Figure1 reproduces the paper's Figure 1 verbatim: slave processes S1
+// and S2 spin on shared-memory flags x and y while master processes M1
+// and M2 resume them remotely.
+//
+//	Process S1:  a: x = 1          Process S2:  f: y = 1
+//	             b: while (y = 1)               g: while (x = 1)
+//	             c:     yield();                h:     yield();
+//	             d: x <- 0;                     i: y <- 0;
+//	             e: end;                        j: end;
+//	Process M1: remote_cmd(Resume, S1)   Process M2: remote_cmd(Resume, S2)
+//
+// In the good order (L f g K i j a b d e) both processes finish; if both
+// set their flags before either checks (K a L f g h b c g h ...) the
+// system spins in states b/c/g/h forever and d, e, i, j are unreachable.
+// forceBug=true pins the failing order by making M2's resume wait until
+// S1 has set x; forceBug=false releases S2 first, which yields the good
+// order deterministically.
+//
+// Both slave processes idle behind a shared-memory gate until they have
+// been created AND suspended, reproducing "both S1 and S2 are suspended
+// in the slave system" without racing task startup against the suspend
+// command. Figure1 returns the addresses of x and y so callers can
+// inspect the shared flags afterwards.
+func Figure1(p *platform.Platform, forceBug bool) (xAddr, yAddr uint32, err error) {
+	xReg, err := p.SoC.SRAM.Alloc("fig1-x", 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	yReg, err := p.SoC.SRAM.Alloc("fig1-y", 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	gateReg, err := p.SoC.SRAM.Alloc("fig1-gate", 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	doneReg, err := p.SoC.SRAM.Alloc("fig1-s2done", 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	xAddr, yAddr = xReg.Base, yReg.Base
+	gateAddr, s2doneAddr := gateReg.Base, doneReg.Base
+	sram := p.SoC.SRAM
+
+	waitGate := func(c *pcore.Ctx) {
+		for {
+			g, _ := sram.Read32(gateAddr)
+			if g == 1 {
+				return
+			}
+			c.Yield()
+		}
+	}
+
+	// The paper gives S1 lower priority than S2 (lower number = higher
+	// priority in pCore).
+	s1 := committee.CreateSpec{
+		Name: "S1",
+		Prio: 6,
+		Entry: func(c *pcore.Ctx) {
+			waitGate(c)
+			_ = sram.Write32(xAddr, 1) // a
+			c.Compute(5)
+			for { // b
+				y, _ := sram.Read32(yAddr)
+				if y != 1 {
+					break
+				}
+				c.Yield() // c
+			}
+			_ = sram.Write32(xAddr, 0) // d
+			c.Progress()               // e: end
+		},
+	}
+	s2 := committee.CreateSpec{
+		Name: "S2",
+		Prio: 4,
+		Entry: func(c *pcore.Ctx) {
+			waitGate(c)
+			_ = sram.Write32(yAddr, 1) // f
+			c.Compute(5)
+			for { // g
+				x, _ := sram.Read32(xAddr)
+				if x != 1 {
+					break
+				}
+				c.Yield() // h
+			}
+			_ = sram.Write32(yAddr, 0) // i
+			c.Progress()               // j: end
+			_ = sram.Write32(s2doneAddr, 1)
+		},
+	}
+	p.Committee.SetFactory(func(logical uint32) committee.CreateSpec {
+		if logical == 0 {
+			return s1
+		}
+		return s2
+	})
+
+	// Bootstrapper: create and suspend both slave processes, open the
+	// gate, then let the master processes race to resume them.
+	p.Master.Spawn("boot", func(ctx *master.Ctx) {
+		for logical := uint32(0); logical < 2; logical++ {
+			if _, err := p.Client.Call(ctx, bridge.CodeTC, logical, 0xffffffff); err != nil {
+				return
+			}
+			if _, err := p.Client.Call(ctx, bridge.CodeTS, logical, 0xffffffff); err != nil {
+				return
+			}
+		}
+		_ = sram.Write32(gateAddr, 1)
+		if forceBug {
+			// Bad order: resume S1 first and hold S2 back until x is set,
+			// pinning K -> a -> L -> f -> g -> h -> b -> c ...
+			p.Master.Spawn("M1", func(m1 *master.Ctx) {
+				_, _ = p.Client.Call(m1, bridge.CodeTR, 0, 0xffffffff)
+			})
+			p.Master.Spawn("M2", func(m2 *master.Ctx) {
+				for {
+					x, _ := sram.Read32(xAddr)
+					if x == 1 {
+						break
+					}
+					m2.Yield()
+				}
+				_, _ = p.Client.Call(m2, bridge.CodeTR, 1, 0xffffffff)
+			})
+			return
+		}
+		// Good order: L -> f -> g -> K -> i -> j -> a -> b -> d -> e.
+		// Resume S2 first and hold S1 back until S2 has reached its end
+		// state j (observed through the harness's done flag).
+		p.Master.Spawn("M2", func(m2 *master.Ctx) {
+			_, _ = p.Client.Call(m2, bridge.CodeTR, 1, 0xffffffff)
+		})
+		p.Master.Spawn("M1", func(m1 *master.Ctx) {
+			for {
+				done, _ := sram.Read32(s2doneAddr)
+				if done == 1 {
+					break
+				}
+				m1.Yield()
+			}
+			_, _ = p.Client.Call(m1, bridge.CodeTR, 0, 0xffffffff)
+		})
+	})
+	return xAddr, yAddr, nil
+}

@@ -1,0 +1,415 @@
+package app
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bridge"
+	"repro/internal/committee"
+	"repro/internal/master"
+	"repro/internal/pcore"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// The paper motivates the master-slave model with the heterogeneous
+// multiprocessor JPEG implementation of Shee et al. (its reference [2]):
+// the host core feeds image blocks to DSP workers that run the
+// DCT/quantize/entropy pipeline. JPEGRemote reproduces that workload on
+// the simulated platform: master feeders stream 8×8 pixel blocks to
+// slave encoder tasks over the bridge's data rings; each task runs a
+// real integer DCT, quantization and zig-zag run-length encoding,
+// streaming the code back; the master decodes (dequantize + inverse
+// DCT) and verifies the reconstruction error bound. It is the "realistic
+// application under stress" workload of the reproduction.
+
+// BlockSide is the JPEG block dimension.
+const BlockSide = 8
+
+// BlockPixels is the number of pixels per block.
+const BlockPixels = BlockSide * BlockSide
+
+// jpegQuant is a luminance-style quantization table (flattened 8×8),
+// scaled mildly so reconstruction stays within a testable error bound.
+var jpegQuant = [BlockPixels]int16{
+	8, 6, 5, 8, 12, 20, 26, 31,
+	6, 6, 7, 10, 13, 29, 30, 28,
+	7, 7, 8, 12, 20, 29, 35, 28,
+	7, 9, 11, 15, 26, 44, 40, 31,
+	9, 11, 19, 28, 34, 55, 52, 39,
+	12, 18, 28, 32, 41, 52, 57, 46,
+	25, 32, 39, 44, 52, 61, 60, 51,
+	36, 46, 48, 49, 56, 50, 52, 50,
+}
+
+// zigzag is the standard JPEG coefficient scan order.
+var zigzag = [BlockPixels]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// dct1d performs the 8-point DCT-II on a row/column (float reference
+// implementation; the simulated DSP charges cycles through Compute).
+func dct1d(in, out []float64) {
+	for k := 0; k < BlockSide; k++ {
+		sum := 0.0
+		for n := 0; n < BlockSide; n++ {
+			sum += in[n] * math.Cos(math.Pi*(float64(n)+0.5)*float64(k)/BlockSide)
+		}
+		scale := math.Sqrt(2.0 / BlockSide)
+		if k == 0 {
+			scale = math.Sqrt(1.0 / BlockSide)
+		}
+		out[k] = sum * scale
+	}
+}
+
+// idct1d is the matching inverse transform.
+func idct1d(in, out []float64) {
+	for n := 0; n < BlockSide; n++ {
+		sum := 0.0
+		for k := 0; k < BlockSide; k++ {
+			scale := math.Sqrt(2.0 / BlockSide)
+			if k == 0 {
+				scale = math.Sqrt(1.0 / BlockSide)
+			}
+			sum += scale * in[k] * math.Cos(math.Pi*(float64(n)+0.5)*float64(k)/BlockSide)
+		}
+		out[n] = sum
+	}
+}
+
+// ForwardBlock runs the 2-D DCT and quantization of one 8×8 block.
+func ForwardBlock(pixels []int16) [BlockPixels]int16 {
+	var tmp, freq [BlockPixels]float64
+	row := make([]float64, BlockSide)
+	out := make([]float64, BlockSide)
+	// Rows.
+	for r := 0; r < BlockSide; r++ {
+		for c := 0; c < BlockSide; c++ {
+			row[c] = float64(pixels[r*BlockSide+c]) - 128 // level shift
+		}
+		dct1d(row, out)
+		copy(tmp[r*BlockSide:], out)
+	}
+	// Columns.
+	col := make([]float64, BlockSide)
+	for c := 0; c < BlockSide; c++ {
+		for r := 0; r < BlockSide; r++ {
+			col[r] = tmp[r*BlockSide+c]
+		}
+		dct1d(col, out)
+		for r := 0; r < BlockSide; r++ {
+			freq[r*BlockSide+c] = out[r]
+		}
+	}
+	var q [BlockPixels]int16
+	for i := 0; i < BlockPixels; i++ {
+		q[i] = int16(math.Round(freq[i] / float64(jpegQuant[i])))
+	}
+	return q
+}
+
+// InverseBlock dequantizes and inverse-transforms one block back to
+// pixel space.
+func InverseBlock(q []int16) [BlockPixels]int16 {
+	var freq, tmp [BlockPixels]float64
+	for i := 0; i < BlockPixels; i++ {
+		freq[i] = float64(q[i]) * float64(jpegQuant[i])
+	}
+	col := make([]float64, BlockSide)
+	out := make([]float64, BlockSide)
+	for c := 0; c < BlockSide; c++ {
+		for r := 0; r < BlockSide; r++ {
+			col[r] = freq[r*BlockSide+c]
+		}
+		idct1d(col, out)
+		for r := 0; r < BlockSide; r++ {
+			tmp[r*BlockSide+c] = out[r]
+		}
+	}
+	var pix [BlockPixels]int16
+	row := make([]float64, BlockSide)
+	for r := 0; r < BlockSide; r++ {
+		copy(row, tmp[r*BlockSide:(r+1)*BlockSide])
+		idct1d(row, out)
+		for c := 0; c < BlockSide; c++ {
+			v := math.Round(out[c]) + 128
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			pix[r*BlockSide+c] = int16(v)
+		}
+	}
+	return pix
+}
+
+// RunLengthEncode zig-zag scans the quantized block and encodes it as
+// (run, value) pairs terminated by (255, 0) — a compact stand-in for
+// JPEG's entropy stage that keeps the stream verifiable.
+func RunLengthEncode(q []int16) []int16 {
+	var out []int16
+	run := int16(0)
+	for _, idx := range zigzag {
+		v := q[idx]
+		if v == 0 {
+			run++
+			continue
+		}
+		out = append(out, run, v)
+		run = 0
+	}
+	out = append(out, 255, 0) // end of block
+	return out
+}
+
+// RunLengthDecode reverses RunLengthEncode.
+func RunLengthDecode(code []int16) ([BlockPixels]int16, int, error) {
+	var q [BlockPixels]int16
+	pos := 0
+	i := 0
+	for {
+		if i+1 >= len(code)+1 {
+			return q, i, fmt.Errorf("jpeg: truncated block code")
+		}
+		if i >= len(code) {
+			return q, i, fmt.Errorf("jpeg: missing end of block")
+		}
+		run := code[i]
+		if run == 255 && i+1 < len(code) && code[i+1] == 0 {
+			return q, i + 2, nil
+		}
+		if i+1 >= len(code) {
+			return q, i, fmt.Errorf("jpeg: dangling run")
+		}
+		v := code[i+1]
+		pos += int(run)
+		if pos >= BlockPixels {
+			return q, i, fmt.Errorf("jpeg: run overflows block")
+		}
+		q[zigzag[pos]] = v
+		pos++
+		i += 2
+	}
+}
+
+// JPEGRemote is the streaming JPEG-encoder scenario.
+type JPEGRemote struct {
+	p      *platform.Platform
+	tasks  int
+	blocks int
+
+	in  []*bridge.Stream
+	out []*bridge.Stream
+
+	// Verified counts blocks whose reconstruction met the error bound;
+	// MaxError is the worst per-pixel absolute error observed.
+	Verified int
+	Failed   int
+	MaxError int
+}
+
+// NewJPEGRemote builds the scenario: tasks encoder tasks, each fed
+// blocksPerTask random 8×8 blocks. maxErr is the acceptable per-pixel
+// reconstruction error (quantization is lossy; 16 is comfortable for
+// this table).
+func NewJPEGRemote(p *platform.Platform, tasks, blocksPerTask, maxErr int, seed uint64) (*JPEGRemote, error) {
+	if tasks <= 0 || blocksPerTask <= 0 {
+		return nil, fmt.Errorf("app: jpeg needs positive tasks and blocks")
+	}
+	j := &JPEGRemote{p: p, tasks: tasks, blocks: blocksPerTask}
+	ringCap := uint32(4096)
+	for i := 0; i < tasks; i++ {
+		in, err := p.Hub.NewStream(fmt.Sprintf("jpeg-in-%d", i), uint16(100+2*i), ringCap, p.SoC.Boxes.ArmToDspData)
+		if err != nil {
+			return nil, err
+		}
+		out, err := p.Hub.NewStream(fmt.Sprintf("jpeg-out-%d", i), uint16(101+2*i), ringCap, p.SoC.Boxes.DspToArmEvent)
+		if err != nil {
+			return nil, err
+		}
+		j.in = append(j.in, in)
+		j.out = append(j.out, out)
+	}
+
+	p.Committee.SetFactory(func(logical uint32) committee.CreateSpec {
+		i := int(logical) % tasks
+		in, out := j.in[i], j.out[i]
+		return committee.CreateSpec{
+			Name: fmt.Sprintf("jpeg-enc-%d", i),
+			Prio: 5,
+			Entry: func(c *pcore.Ctx) {
+				buf := make([]int16, BlockPixels)
+				for b := 0; b < blocksPerTask; b++ {
+					// Gather one full block from the input ring.
+					got := 0
+					for got < BlockPixels {
+						n, err := in.Pop16(buf[got:])
+						if err != nil {
+							panic(err)
+						}
+						if n == 0 {
+							c.Yield()
+							continue
+						}
+						got += n
+					}
+					// Encode: DCT (heavy compute) + quant + RLE.
+					c.StackPush(96) // transform workspace frame
+					q := ForwardBlock(buf)
+					c.Compute(900) // ~8×8 DCT on a 192 MHz VLIW DSP
+					code := RunLengthEncode(q[:])
+					c.Compute(len(code) * 4)
+					c.StackPop(96)
+					// Emit length-prefixed code.
+					frame := append([]int16{int16(len(code))}, code...)
+					for off := 0; off < len(frame); {
+						n, err := out.Push16(frame[off:])
+						if err != nil {
+							panic(err)
+						}
+						if n == 0 {
+							c.Yield()
+							continue
+						}
+						off += n
+					}
+					c.Progress()
+				}
+				out.Close()
+			},
+		}
+	})
+
+	for i := 0; i < tasks; i++ {
+		i := i
+		p.Master.Spawn(fmt.Sprintf("jpeg-feeder-%d", i), func(ctx *master.Ctx) {
+			rep, err := p.Client.Call(ctx, bridge.CodeTC, uint32(i), 0xffffffff)
+			if err != nil || rep.Status != bridge.StatusOK {
+				j.Failed++
+				return
+			}
+			rng := stats.New(seed ^ uint64(i+1)*0x9e3779b97f4a7c15)
+			blocks := make([][]int16, blocksPerTask)
+			// Feed all blocks (smooth gradient + noise: realistic image-ish
+			// content that quantizes within the error bound).
+			for b := range blocks {
+				px := make([]int16, BlockPixels)
+				base := int16(rng.Intn(128) + 64)
+				for r := 0; r < BlockSide; r++ {
+					for cc := 0; cc < BlockSide; cc++ {
+						v := int(base) + 3*r + 2*cc + rng.Intn(9) - 4
+						if v < 0 {
+							v = 0
+						}
+						if v > 255 {
+							v = 255
+						}
+						px[r*BlockSide+cc] = int16(v)
+					}
+				}
+				blocks[b] = px
+				for off := 0; off < BlockPixels; {
+					n, err := j.in[i].Push16(px[off:])
+					if err != nil {
+						j.Failed++
+						return
+					}
+					if n == 0 {
+						ctx.Yield()
+						continue
+					}
+					off += n
+				}
+				ctx.Compute(64)
+			}
+			j.in[i].Close()
+			// Collect, decode and verify each block.
+			for b := 0; b < blocksPerTask; b++ {
+				code, ok := j.recvFrame(ctx, i)
+				if !ok {
+					j.Failed++
+					return
+				}
+				q, _, err := RunLengthDecode(code)
+				if err != nil {
+					j.Failed++
+					return
+				}
+				pix := InverseBlock(q[:])
+				worst := 0
+				for k := 0; k < BlockPixels; k++ {
+					d := int(pix[k]) - int(blocks[b][k])
+					if d < 0 {
+						d = -d
+					}
+					if d > worst {
+						worst = d
+					}
+				}
+				if worst > j.MaxError {
+					j.MaxError = worst
+				}
+				if worst > maxErr {
+					j.Failed++
+					return
+				}
+				j.Verified++
+			}
+		})
+	}
+	return j, nil
+}
+
+// recvFrame reads one length-prefixed code frame from task i's output
+// ring, yielding while data is in flight.
+func (j *JPEGRemote) recvFrame(ctx *master.Ctx, i int) ([]int16, bool) {
+	one := make([]int16, 1)
+	for {
+		n, err := j.out[i].Pop16(one)
+		if err != nil {
+			return nil, false
+		}
+		if n == 1 {
+			break
+		}
+		if j.out[i].Closed() && j.out[i].Len() == 0 {
+			return nil, false
+		}
+		ctx.Yield()
+	}
+	length := int(one[0])
+	if length <= 0 || length > 3*BlockPixels {
+		return nil, false
+	}
+	code := make([]int16, 0, length)
+	buf := make([]int16, 16)
+	for len(code) < length {
+		want := length - len(code)
+		if want > len(buf) {
+			want = len(buf)
+		}
+		n, err := j.out[i].Pop16(buf[:want])
+		if err != nil {
+			return nil, false
+		}
+		if n == 0 {
+			if j.out[i].Closed() && j.out[i].Len() == 0 {
+				return nil, false
+			}
+			ctx.Yield()
+			continue
+		}
+		code = append(code, buf[:n]...)
+	}
+	return code, true
+}

@@ -1,0 +1,137 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bridge"
+	"repro/internal/master"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+func TestDCTRoundTripFlatBlock(t *testing.T) {
+	px := make([]int16, BlockPixels)
+	for i := range px {
+		px[i] = 128
+	}
+	q := ForwardBlock(px)
+	// A flat block has only (at most) a DC coefficient.
+	for i := 1; i < BlockPixels; i++ {
+		if q[i] != 0 {
+			t.Fatalf("AC coefficient %d = %d on flat block", i, q[i])
+		}
+	}
+	back := InverseBlock(q[:])
+	for i := range back {
+		if d := int(back[i]) - 128; d < -1 || d > 1 {
+			t.Fatalf("pixel %d reconstructed as %d", i, back[i])
+		}
+	}
+}
+
+func TestDCTRoundTripGradient(t *testing.T) {
+	px := make([]int16, BlockPixels)
+	for r := 0; r < BlockSide; r++ {
+		for c := 0; c < BlockSide; c++ {
+			px[r*BlockSide+c] = int16(60 + 4*r + 3*c)
+		}
+	}
+	q := ForwardBlock(px)
+	back := InverseBlock(q[:])
+	for i := range back {
+		d := int(back[i]) - int(px[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > 12 {
+			t.Fatalf("pixel %d error %d (got %d want %d)", i, d, back[i], px[i])
+		}
+	}
+}
+
+func TestRunLengthRoundTripProperty(t *testing.T) {
+	// Property: RLE decode(encode(q)) == q for sparse coefficient blocks
+	// (the shape quantized DCT output takes).
+	err := quick.Check(func(seed uint64, density uint8) bool {
+		rng := stats.New(seed)
+		var q [BlockPixels]int16
+		nonzero := int(density % 20)
+		for j := 0; j < nonzero; j++ {
+			q[rng.Intn(BlockPixels)] = int16(rng.Intn(200) - 100)
+		}
+		code := RunLengthEncode(q[:])
+		back, consumed, err := RunLengthDecode(code)
+		if err != nil || consumed != len(code) {
+			return false
+		}
+		return back == q
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLengthDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]int16{
+		{},              // empty
+		{3},             // dangling run
+		{70, 5, 255, 0}, // run overflows block
+		{0, 1, 2, 3},    // missing end marker
+	}
+	for i, code := range cases {
+		if _, _, err := RunLengthDecode(code); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestJPEGRemoteEndToEnd(t *testing.T) {
+	p := newP(t, platform.Config{})
+	j, err := NewJPEGRemote(p, 3, 6, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RunUntilQuiescent(20_000_000)
+	if j.Failed != 0 {
+		t.Fatalf("%d blocks failed (maxErr %d)", j.Failed, j.MaxError)
+	}
+	if j.Verified != 3*6 {
+		t.Fatalf("verified %d of %d", j.Verified, 3*6)
+	}
+	if p.Slave.Crashed() {
+		t.Fatalf("crash: %v", p.Slave.Fault())
+	}
+	t.Logf("max reconstruction error: %d", j.MaxError)
+}
+
+func TestJPEGRemoteUnderSuspensionStress(t *testing.T) {
+	// The encoder pipeline must survive suspend/resume stress with all
+	// blocks still verified — the streaming state lives in SRAM.
+	p := newP(t, platform.Config{})
+	j, err := NewJPEGRemote(p, 2, 4, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Master.Spawn("stress", func(ctx *master.Ctx) {
+		for round := 0; round < 8; round++ {
+			for logical := uint32(0); logical < 2; logical++ {
+				rep, err := p.Client.Call(ctx, bridge.CodeTS, logical, 0xffffffff)
+				if err != nil {
+					return
+				}
+				ctx.Compute(800)
+				if rep.Status == bridge.StatusOK {
+					if _, err := p.Client.Call(ctx, bridge.CodeTR, logical, 0xffffffff); err != nil {
+						return
+					}
+				}
+				ctx.Compute(800)
+			}
+		}
+	})
+	p.RunUntilQuiescent(20_000_000)
+	if j.Failed != 0 || j.Verified != 2*4 {
+		t.Fatalf("verified=%d failed=%d", j.Verified, j.Failed)
+	}
+}

@@ -1,0 +1,186 @@
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/bridge"
+	"repro/internal/committee"
+	"repro/internal/master"
+	"repro/internal/pcore"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// StreamSort is the streaming-remoting variant of the quicksort stress:
+// instead of generating data locally, each slave task receives its 128
+// int16 elements from a master feeder thread through a shared-memory
+// stream (pCore Bridge's bulk transport), sorts them, and streams the
+// result back, where the master verifies it. It exercises the data
+// mailboxes and SRAM rings alongside the command path.
+type StreamSort struct {
+	p     *platform.Platform
+	tasks int
+	elems int
+
+	in  []*bridge.Stream // master → slave, per logical task
+	out []*bridge.Stream // slave → master
+
+	Verified int // sorted outputs verified by the master side
+	Failed   int // outputs that came back unsorted or short
+}
+
+// NewStreamSort builds the scenario on the platform: allocates the
+// per-task stream pairs, installs the slave factory, and spawns one
+// master driver per task that creates the task via TC, feeds its input
+// stream, collects and verifies the output. seed derives the per-task
+// data.
+func NewStreamSort(p *platform.Platform, tasks, elems int, seed uint64) (*StreamSort, error) {
+	if tasks <= 0 || elems <= 0 {
+		return nil, fmt.Errorf("app: streamsort needs positive tasks and elems")
+	}
+	ss := &StreamSort{p: p, tasks: tasks, elems: elems}
+	ringCap := uint32(1)
+	for int(ringCap) < elems*2 {
+		ringCap <<= 1
+	}
+	for i := 0; i < tasks; i++ {
+		in, err := p.Hub.NewStream(fmt.Sprintf("sort-in-%d", i), uint16(2*i), ringCap, p.SoC.Boxes.ArmToDspData)
+		if err != nil {
+			return nil, err
+		}
+		out, err := p.Hub.NewStream(fmt.Sprintf("sort-out-%d", i), uint16(2*i+1), ringCap, p.SoC.Boxes.DspToArmEvent)
+		if err != nil {
+			return nil, err
+		}
+		ss.in = append(ss.in, in)
+		ss.out = append(ss.out, out)
+	}
+
+	p.Committee.SetFactory(func(logical uint32) committee.CreateSpec {
+		i := int(logical) % tasks
+		in, out := ss.in[i], ss.out[i]
+		return committee.CreateSpec{
+			Name: fmt.Sprintf("ssort-%d", i),
+			Prio: pcore.Priority(2 + i%(pcore.NumPriorities-2)),
+			Entry: func(c *pcore.Ctx) {
+				data := make([]int16, 0, elems)
+				buf := make([]int16, 32)
+				for len(data) < elems {
+					n, err := in.Pop16(buf)
+					if err != nil {
+						panic(err) // surfaces as kernel fault
+					}
+					if n == 0 {
+						if in.Closed() && in.Len() == 0 {
+							break // short input: sort what we have
+						}
+						c.Yield()
+						continue
+					}
+					data = append(data, buf[:n]...)
+					c.Compute(n)
+				}
+				sortStream(c, data)
+				for off := 0; off < len(data); {
+					n, err := out.Push16(data[off:])
+					if err != nil {
+						panic(err)
+					}
+					if n == 0 {
+						c.Yield()
+						continue
+					}
+					off += n
+					c.Compute(n)
+				}
+				out.Close()
+				c.Progress()
+			},
+		}
+	})
+
+	for i := 0; i < tasks; i++ {
+		i := i
+		p.Master.Spawn(fmt.Sprintf("feeder-%d", i), func(ctx *master.Ctx) {
+			// Create the slave task via the command path.
+			rep, err := p.Client.Call(ctx, bridge.CodeTC, uint32(i), 0xffffffff)
+			if err != nil || rep.Status != bridge.StatusOK {
+				ss.Failed++
+				return
+			}
+			// Feed the input stream.
+			rng := stats.New(seed ^ uint64(i+1)*0x9e3779b97f4a7c15)
+			vals := make([]int16, elems)
+			for j := range vals {
+				vals[j] = int16(rng.Uint64())
+			}
+			for off := 0; off < elems; {
+				n, err := ss.in[i].Push16(vals[off:])
+				if err != nil {
+					ss.Failed++
+					return
+				}
+				if n == 0 {
+					ctx.Yield()
+					continue
+				}
+				off += n
+				ctx.Compute(n)
+			}
+			ss.in[i].Close()
+			// Collect and verify the output.
+			got := make([]int16, 0, elems)
+			buf := make([]int16, 32)
+			for len(got) < elems {
+				n, err := ss.out[i].Pop16(buf)
+				if err != nil {
+					ss.Failed++
+					return
+				}
+				if n == 0 {
+					if ss.out[i].Closed() && ss.out[i].Len() == 0 {
+						break
+					}
+					ctx.Yield()
+					continue
+				}
+				got = append(got, buf[:n]...)
+			}
+			if len(got) != elems {
+				ss.Failed++
+				return
+			}
+			for j := 1; j < len(got); j++ {
+				if got[j-1] > got[j] {
+					ss.Failed++
+					return
+				}
+			}
+			ss.Verified++
+		})
+	}
+	return ss, nil
+}
+
+// sortStream is the bounded-depth quicksort shared with the local
+// workload, charging stack frames against the task's 512-byte stack.
+func sortStream(c *pcore.Ctx, data []int16) {
+	var sort func(lo, hi int)
+	sort = func(lo, hi int) {
+		for lo < hi {
+			c.StackPush(qsortFrame)
+			p := partition(c, data, lo, hi)
+			if p-lo < hi-p {
+				sort(lo, p-1)
+				lo = p + 1
+			} else {
+				sort(p+1, hi)
+				hi = p - 1
+			}
+			c.StackPop(qsortFrame)
+		}
+	}
+	if len(data) > 1 {
+		sort(0, len(data)-1)
+	}
+}

@@ -1,0 +1,384 @@
+// Package bridge implements the inter-core communication middleware the
+// paper calls pCore Bridge: remote commands travel as fixed-size request
+// descriptors in shared SRAM, with mailbox messages as doorbells, and
+// results return through a reply ring the same way. The committer issues
+// commands through Client on the master side; the committee serves them
+// on the slave side (package committee).
+package bridge
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/mailbox"
+	"repro/internal/master"
+	"repro/internal/pcore"
+)
+
+// ServiceCode is the wire encoding of a slave service.
+type ServiceCode uint16
+
+// Wire codes for the Table I services.
+const (
+	CodeInvalid ServiceCode = iota
+	CodeTC
+	CodeTD
+	CodeTS
+	CodeTR
+	CodeTCH
+	CodeTY
+)
+
+// CodeOf maps a service symbol (pattern alphabet) to its wire code.
+func CodeOf(symbol string) (ServiceCode, bool) {
+	switch symbol {
+	case "TC":
+		return CodeTC, true
+	case "TD":
+		return CodeTD, true
+	case "TS":
+		return CodeTS, true
+	case "TR":
+		return CodeTR, true
+	case "TCH":
+		return CodeTCH, true
+	case "TY":
+		return CodeTY, true
+	}
+	return CodeInvalid, false
+}
+
+// Service maps a wire code back to the pcore service identifier.
+func (c ServiceCode) Service() (pcore.Service, bool) {
+	switch c {
+	case CodeTC:
+		return pcore.SvcTaskCreate, true
+	case CodeTD:
+		return pcore.SvcTaskDelete, true
+	case CodeTS:
+		return pcore.SvcTaskSuspend, true
+	case CodeTR:
+		return pcore.SvcTaskResume, true
+	case CodeTCH:
+		return pcore.SvcTaskChanprio, true
+	case CodeTY:
+		return pcore.SvcTaskYield, true
+	}
+	return "", false
+}
+
+// String returns the service symbol for the code.
+func (c ServiceCode) String() string {
+	if s, ok := c.Service(); ok {
+		return string(s)
+	}
+	return fmt.Sprintf("ServiceCode(%d)", uint16(c))
+}
+
+// Status is the wire status of a completed remote command.
+type Status uint32
+
+// Reply statuses.
+const (
+	StatusOK Status = iota
+	StatusServiceError
+	StatusUnknownTask
+	StatusBadRequest
+	StatusCrashed // diagnostic only: a dead slave never actually replies
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusServiceError:
+		return "service-error"
+	case StatusUnknownTask:
+		return "unknown-task"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusCrashed:
+		return "crashed"
+	}
+	return fmt.Sprintf("Status(%d)", uint32(s))
+}
+
+// Request is a remote command descriptor.
+type Request struct {
+	Token uint32
+	Op    ServiceCode
+	Arg0  uint32 // logical task index
+	Arg1  uint32 // auxiliary (priority for TC/TCH)
+}
+
+// Reply is a remote command result descriptor.
+type Reply struct {
+	Token  uint32
+	Status Status
+	Value  uint32 // slave task state after the service (pcore.State)
+	Aux    uint32 // actual pcore TaskID
+}
+
+// Mailbox doorbell opcodes.
+const (
+	opDoorbell uint16 = 0x0001
+	opReply    uint16 = 0x0002
+)
+
+const descSize = 16
+
+// DefaultSlots is the default descriptor ring depth.
+const DefaultSlots = 8
+
+// Hub owns the SRAM descriptor rings shared by client and server.
+type Hub struct {
+	SoC     *hw.SoC
+	NSlots  int
+	reqBase uint32
+	repBase uint32
+}
+
+// NewHub allocates the request and reply rings in the SoC's shared SRAM.
+func NewHub(soc *hw.SoC, nslots int) (*Hub, error) {
+	if nslots <= 0 {
+		nslots = DefaultSlots
+	}
+	req, err := soc.SRAM.Alloc("bridge-req-ring", uint32(nslots*descSize))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := soc.SRAM.Alloc("bridge-rep-ring", uint32(nslots*descSize))
+	if err != nil {
+		return nil, err
+	}
+	return &Hub{SoC: soc, NSlots: nslots, reqBase: req.Base, repBase: rep.Base}, nil
+}
+
+func (h *Hub) slotCheck(slot int) error {
+	if slot < 0 || slot >= h.NSlots {
+		return fmt.Errorf("bridge: slot %d out of range [0,%d)", slot, h.NSlots)
+	}
+	return nil
+}
+
+// WriteRequest stores a request descriptor into the given ring slot.
+func (h *Hub) WriteRequest(slot int, r Request) error {
+	if err := h.slotCheck(slot); err != nil {
+		return err
+	}
+	base := h.reqBase + uint32(slot*descSize)
+	m := h.SoC.SRAM
+	if err := m.Write32(base, r.Token); err != nil {
+		return err
+	}
+	if err := m.Write32(base+4, uint32(r.Op)); err != nil {
+		return err
+	}
+	if err := m.Write32(base+8, r.Arg0); err != nil {
+		return err
+	}
+	return m.Write32(base+12, r.Arg1)
+}
+
+// ReadRequest loads the request descriptor from the given ring slot.
+func (h *Hub) ReadRequest(slot int) (Request, error) {
+	if err := h.slotCheck(slot); err != nil {
+		return Request{}, err
+	}
+	base := h.reqBase + uint32(slot*descSize)
+	m := h.SoC.SRAM
+	tok, err := m.Read32(base)
+	if err != nil {
+		return Request{}, err
+	}
+	op, err := m.Read32(base + 4)
+	if err != nil {
+		return Request{}, err
+	}
+	a0, err := m.Read32(base + 8)
+	if err != nil {
+		return Request{}, err
+	}
+	a1, err := m.Read32(base + 12)
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{Token: tok, Op: ServiceCode(op), Arg0: a0, Arg1: a1}, nil
+}
+
+// WriteReply stores a reply descriptor into the given ring slot.
+func (h *Hub) WriteReply(slot int, r Reply) error {
+	if err := h.slotCheck(slot); err != nil {
+		return err
+	}
+	base := h.repBase + uint32(slot*descSize)
+	m := h.SoC.SRAM
+	if err := m.Write32(base, r.Token); err != nil {
+		return err
+	}
+	if err := m.Write32(base+4, uint32(r.Status)); err != nil {
+		return err
+	}
+	if err := m.Write32(base+8, r.Value); err != nil {
+		return err
+	}
+	return m.Write32(base+12, r.Aux)
+}
+
+// ReadReply loads the reply descriptor from the given ring slot.
+func (h *Hub) ReadReply(slot int) (Reply, error) {
+	if err := h.slotCheck(slot); err != nil {
+		return Reply{}, err
+	}
+	base := h.repBase + uint32(slot*descSize)
+	m := h.SoC.SRAM
+	tok, err := m.Read32(base)
+	if err != nil {
+		return Reply{}, err
+	}
+	st, err := m.Read32(base + 4)
+	if err != nil {
+		return Reply{}, err
+	}
+	v, err := m.Read32(base + 8)
+	if err != nil {
+		return Reply{}, err
+	}
+	aux, err := m.Read32(base + 12)
+	if err != nil {
+		return Reply{}, err
+	}
+	return Reply{Token: tok, Status: Status(st), Value: v, Aux: aux}, nil
+}
+
+// Client is the master-side RPC endpoint used by committer threads.
+type Client struct {
+	hub      *Hub
+	os       *master.OS
+	slotFree []bool
+	waiting  map[uint32]master.ThreadID
+	replies  map[uint32]Reply
+	next     uint32
+	calls    uint64
+	retries  uint64
+}
+
+// NewClient creates the master-side endpoint.
+func NewClient(hub *Hub, os *master.OS) *Client {
+	c := &Client{
+		hub:      hub,
+		os:       os,
+		slotFree: make([]bool, hub.NSlots),
+		waiting:  map[uint32]master.ThreadID{},
+		replies:  map[uint32]Reply{},
+	}
+	for i := range c.slotFree {
+		c.slotFree[i] = true
+	}
+	return c
+}
+
+// Stats returns lifetime call and retry counters.
+func (c *Client) Stats() (calls, retries uint64) { return c.calls, c.retries }
+
+// InFlight returns the number of calls awaiting replies.
+func (c *Client) InFlight() int { return len(c.waiting) }
+
+// Call issues a remote command from within a master thread and blocks the
+// thread until the reply arrives. The calling thread yields while the
+// descriptor ring or the doorbell mailbox is full, exactly like the
+// polling middleware on hardware.
+func (c *Client) Call(ctx *master.Ctx, op ServiceCode, arg0, arg1 uint32) (Reply, error) {
+	c.next++
+	token := c.next
+	// Acquire a ring slot.
+	slot := -1
+	for {
+		for i, free := range c.slotFree {
+			if free {
+				slot = i
+				break
+			}
+		}
+		if slot >= 0 {
+			break
+		}
+		c.retries++
+		ctx.Yield()
+	}
+	c.slotFree[slot] = false
+	if err := c.hub.WriteRequest(slot, Request{Token: token, Op: op, Arg0: arg0, Arg1: arg1}); err != nil {
+		c.slotFree[slot] = true
+		return Reply{}, err
+	}
+	// Ring the doorbell, yielding while the mailbox is full.
+	for {
+		err := c.hub.SoC.Boxes.ArmToDspCmd.Post(mailbox.Compose(opDoorbell, uint16(slot)))
+		if err == nil {
+			break
+		}
+		if err != mailbox.ErrFull {
+			c.slotFree[slot] = true
+			return Reply{}, err
+		}
+		c.retries++
+		ctx.Yield()
+	}
+	c.calls++
+	c.waiting[token] = ctx.ID()
+	ctx.Park("rpc")
+	rep, ok := c.replies[token]
+	if !ok {
+		return Reply{}, fmt.Errorf("bridge: thread %d woke without reply for token %d", ctx.ID(), token)
+	}
+	delete(c.replies, token)
+	return rep, nil
+}
+
+// PumpReplies drains the reply mailbox, matching replies to waiting
+// threads and unparking them. The platform loop calls it when the ARM
+// reply interrupt fires. It returns the number of replies delivered.
+func (c *Client) PumpReplies() int {
+	n := 0
+	for {
+		msg, ok := c.hub.SoC.Boxes.DspToArmReply.Recv()
+		if !ok {
+			return n
+		}
+		if msg.Cmd() != opReply {
+			continue // foreign traffic on the reply box; ignore
+		}
+		slot := int(msg.Arg())
+		rep, err := c.hub.ReadReply(slot)
+		if err != nil {
+			continue
+		}
+		c.slotFree[slot] = true
+		th, ok := c.waiting[rep.Token]
+		if !ok {
+			continue // stale reply
+		}
+		delete(c.waiting, rep.Token)
+		c.replies[rep.Token] = rep
+		c.os.Unpark(th)
+		n++
+	}
+}
+
+// PostReply is the server-side completion path: write the descriptor and
+// ring the reply doorbell. It reports false when the reply mailbox is
+// full (the server must retry on its next poll).
+func (h *Hub) PostReply(slot int, r Reply) (bool, error) {
+	if err := h.WriteReply(slot, r); err != nil {
+		return false, err
+	}
+	err := h.SoC.Boxes.DspToArmReply.Post(mailbox.Compose(opReply, uint16(slot)))
+	if err == mailbox.ErrFull {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

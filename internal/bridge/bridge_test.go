@@ -1,0 +1,267 @@
+package bridge
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/mailbox"
+	"repro/internal/master"
+)
+
+func newHub(t *testing.T) *Hub {
+	t.Helper()
+	soc := hw.New(hw.Config{})
+	h, err := NewHub(soc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	h := newHub(t)
+	req := Request{Token: 0xdeadbeef, Op: CodeTCH, Arg0: 7, Arg1: 13}
+	if err := h.WriteRequest(3, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.ReadRequest(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("got %+v", got)
+	}
+	rep := Reply{Token: 42, Status: StatusServiceError, Value: 5, Aux: 9}
+	if err := h.WriteReply(0, rep); err != nil {
+		t.Fatal(err)
+	}
+	gotRep, err := h.ReadReply(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep != rep {
+		t.Fatalf("got %+v", gotRep)
+	}
+}
+
+func TestDescriptorSlotBounds(t *testing.T) {
+	h := newHub(t)
+	if err := h.WriteRequest(-1, Request{}); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	if err := h.WriteRequest(h.NSlots, Request{}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if _, err := h.ReadReply(h.NSlots); err == nil {
+		t.Fatal("out-of-range reply slot accepted")
+	}
+}
+
+func TestDescriptorSlotsIndependent(t *testing.T) {
+	h := newHub(t)
+	for slot := 0; slot < h.NSlots; slot++ {
+		if err := h.WriteRequest(slot, Request{Token: uint32(slot + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for slot := 0; slot < h.NSlots; slot++ {
+		r, err := h.ReadRequest(slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Token != uint32(slot+1) {
+			t.Fatalf("slot %d token %d", slot, r.Token)
+		}
+	}
+}
+
+func TestStatusAndCodeStrings(t *testing.T) {
+	for _, s := range []Status{StatusOK, StatusServiceError, StatusUnknownTask, StatusBadRequest, StatusCrashed, Status(99)} {
+		if s.String() == "" {
+			t.Errorf("empty string for status %d", s)
+		}
+	}
+}
+
+func TestClientStaleReplyIgnored(t *testing.T) {
+	soc := hw.New(hw.Config{})
+	h, err := NewHub(soc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os := master.New()
+	defer os.Shutdown()
+	c := NewClient(h, os)
+	// Post a reply nobody waits for: the pump must skip it gracefully.
+	if err := h.WriteReply(2, Reply{Token: 999}); err != nil {
+		t.Fatal(err)
+	}
+	_ = soc.Boxes.DspToArmReply.Post(mailbox.Compose(opReply, 2))
+	if n := c.PumpReplies(); n != 0 {
+		t.Fatalf("delivered %d stale replies", n)
+	}
+}
+
+func TestStreamPushPop(t *testing.T) {
+	h := newHub(t)
+	s, err := h.NewStream("t", 1, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Push([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("push %d %v", n, err)
+	}
+	if s.Len() != 5 || s.Free() != 59 {
+		t.Fatalf("len %d free %d", s.Len(), s.Free())
+	}
+	buf := make([]byte, 10)
+	n, err = s.Pop(buf)
+	if err != nil || n != 5 || string(buf[:5]) != "hello" {
+		t.Fatalf("pop %d %q %v", n, buf[:n], err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("stream not drained")
+	}
+}
+
+func TestStreamWrapAround(t *testing.T) {
+	h := newHub(t)
+	s, err := h.NewStream("t", 1, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	// Cycle more data than the capacity to force wraps.
+	for round := 0; round < 10; round++ {
+		msg := []byte{byte(round), byte(round + 1), byte(round + 2)}
+		if n, _ := s.Push(msg); n != 3 {
+			t.Fatalf("round %d push short", round)
+		}
+		n, _ := s.Pop(buf)
+		if n != 3 || !bytes.Equal(buf[:3], msg) {
+			t.Fatalf("round %d pop %v", round, buf[:n])
+		}
+	}
+}
+
+func TestStreamBackpressure(t *testing.T) {
+	h := newHub(t)
+	s, _ := h.NewStream("t", 1, 8, nil)
+	n, err := s.Push(make([]byte, 20))
+	if err != nil || n != 8 {
+		t.Fatalf("push %d %v", n, err)
+	}
+	if n, _ := s.Push([]byte{1}); n != 0 {
+		t.Fatal("push into full ring succeeded")
+	}
+	buf := make([]byte, 4)
+	_, _ = s.Pop(buf)
+	if n, _ := s.Push([]byte{1, 2, 3, 4, 5}); n != 4 {
+		t.Fatalf("partial push %d", n)
+	}
+}
+
+func TestStreamClose(t *testing.T) {
+	h := newHub(t)
+	s, _ := h.NewStream("t", 1, 16, nil)
+	_, _ = s.Push([]byte{1, 2})
+	s.Close()
+	if !s.Closed() {
+		t.Fatal("not closed")
+	}
+	if _, err := s.Push([]byte{3}); err == nil {
+		t.Fatal("push after close accepted")
+	}
+	// Remaining data still readable.
+	buf := make([]byte, 4)
+	n, err := s.Pop(buf)
+	if err != nil || n != 2 {
+		t.Fatalf("pop after close %d %v", n, err)
+	}
+}
+
+func TestStreamDoorbell(t *testing.T) {
+	soc := hw.New(hw.Config{MailboxLatency: 1})
+	h, err := NewHub(soc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.NewStream("t", 7, 16, soc.Boxes.ArmToDspData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = s.Push([]byte{1})
+	msg, ok := soc.Boxes.ArmToDspData.Recv()
+	if !ok || msg.Cmd() != 7 {
+		t.Fatalf("doorbell %v %v", msg, ok)
+	}
+}
+
+func TestStreamCapacityValidation(t *testing.T) {
+	h := newHub(t)
+	for _, bad := range []uint32{0, 3, 12, 100} {
+		if _, err := h.NewStream("bad", 1, bad, nil); err == nil {
+			t.Fatalf("capacity %d accepted", bad)
+		}
+	}
+}
+
+func TestStreamInt16RoundTrip(t *testing.T) {
+	h := newHub(t)
+	s, _ := h.NewStream("t", 1, 256, nil)
+	vals := []int16{-32768, -1, 0, 1, 32767, 12345}
+	n, err := s.Push16(vals)
+	if err != nil || n != len(vals) {
+		t.Fatalf("push16 %d %v", n, err)
+	}
+	got := make([]int16, len(vals))
+	n, err = s.Pop16(got)
+	if err != nil || n != len(vals) {
+		t.Fatalf("pop16 %d %v", n, err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: %d != %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestStreamFIFOProperty(t *testing.T) {
+	h := newHub(t)
+	s, _ := h.NewStream("prop", 1, 128, nil)
+	var inQueue []byte
+	next := byte(0)
+	err := quick.Check(func(pushes []byte, popN uint8) bool {
+		// Push a chunk of sequence bytes.
+		chunk := make([]byte, len(pushes)%32)
+		for i := range chunk {
+			chunk[i] = next
+			next++
+		}
+		n, err := s.Push(chunk)
+		if err != nil {
+			return false
+		}
+		inQueue = append(inQueue, chunk[:n]...)
+		next = next - byte(len(chunk)-n) // unpushed bytes return to the pool
+		// Pop some.
+		buf := make([]byte, popN%32)
+		m, err := s.Pop(buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			if buf[i] != inQueue[i] {
+				return false
+			}
+		}
+		inQueue = inQueue[m:]
+		return s.Len() == len(inQueue)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package chess implements the CHESS-style baseline the paper compares
+// against: stateless systematic exploration with preemption bounding.
+// Where pTest samples interleavings probabilistically, this explorer
+// enumerates every interleaving of the per-task command patterns whose
+// preemption count stays within a bound, executing each schedule on a
+// fresh deterministic platform. Coverage is exhaustive within the bound;
+// cost grows combinatorially — exactly the trade-off the paper's
+// introduction describes ("model checking is not efficient when
+// searching infinite state spaces").
+package chess
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/pattern"
+	"repro/internal/pfa"
+	"repro/internal/stats"
+)
+
+// Config sets one exploration.
+type Config struct {
+	// Run is the per-schedule execution configuration (workload, kernel,
+	// detector, RE/PD for coverage metrics). Its Op/Seed/merge fields are
+	// ignored — the explorer supplies each schedule explicitly.
+	Run core.Config
+	// Sources are the per-task command patterns to interleave. When nil,
+	// they are generated from Run.RE/Run.PD with Run.N patterns of size
+	// Run.S using Run.Seed (the same pattern generator as pTest, so the
+	// comparison isolates the scheduling strategy).
+	Sources [][]string
+	// PreemptionBound is CHESS's bound c: the maximum number of switches
+	// away from a task that still has commands pending. Negative means
+	// unbounded enumeration.
+	PreemptionBound int
+	// MaxSchedules caps the number of schedules executed (0 = no cap).
+	MaxSchedules int
+	// StopAtFirstBug ends exploration at the first failure (default on;
+	// set ExploreAll to scan the whole space).
+	ExploreAll bool
+}
+
+// Result aggregates an exploration.
+type Result struct {
+	Schedules      int // schedules executed
+	SpaceExhausted bool
+	Bugs           []*detector.Report
+	FirstBugAt     int // 1-based schedule index, 0 if none
+	TotalDuration  clock.Cycles
+	TotalCommands  int
+}
+
+// Explore runs the systematic exploration.
+func Explore(cfg Config) (*Result, error) {
+	sources := cfg.Sources
+	if sources == nil {
+		machine, err := pfa.FromRegex(cfg.Run.RE, cfg.Run.PD)
+		if err != nil {
+			return nil, fmt.Errorf("chess: %w", err)
+		}
+		rng := stats.New(cfg.Run.Seed)
+		n := cfg.Run.N
+		if n <= 0 {
+			n = 1
+		}
+		s := cfg.Run.S
+		if s <= 0 {
+			s = 8
+		}
+		pats, err := machine.GenerateSet(rng, n, s, pfa.DefaultGenOptions())
+		if err != nil {
+			return nil, fmt.Errorf("chess: %w", err)
+		}
+		sources = make([][]string, len(pats))
+		for i, p := range pats {
+			sources[i] = p.Symbols
+		}
+	}
+
+	res := &Result{}
+	var execErr error
+	count := pattern.EnumerateInterleavings(sources, cfg.PreemptionBound, func(m pattern.Merged) bool {
+		if cfg.MaxSchedules > 0 && res.Schedules >= cfg.MaxSchedules {
+			return false
+		}
+		out, err := core.RunMerged(cfg.Run, m)
+		if err != nil {
+			execErr = err
+			return false
+		}
+		res.Schedules++
+		res.TotalDuration += out.Duration
+		res.TotalCommands += out.CommandsIssued
+		if out.Bug != nil {
+			res.Bugs = append(res.Bugs, out.Bug)
+			if res.FirstBugAt == 0 {
+				res.FirstBugAt = res.Schedules
+			}
+			if !cfg.ExploreAll {
+				return false
+			}
+		}
+		return true
+	})
+	if execErr != nil {
+		return res, execErr
+	}
+	res.SpaceExhausted = count == res.Schedules && (cfg.MaxSchedules == 0 || res.Schedules < cfg.MaxSchedules)
+	return res, nil
+}
+
+// ScheduleSpace returns the size of the schedule space for the sources
+// under the preemption bound without executing anything — the cost the
+// explorer commits to.
+func ScheduleSpace(sources [][]string, preemptionBound int) int {
+	return pattern.CountInterleavings(sources, preemptionBound)
+}

@@ -1,0 +1,197 @@
+// Package clock provides the virtual time base and discrete-event queue
+// that drive the simulated OMAP platform. All latencies in the simulator
+// (mailbox hops, kernel services, compute bursts) are expressed in virtual
+// cycles of this clock, so runs are reproducible and benches can report
+// cycle costs independent of host speed.
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycles is a duration or instant expressed in virtual processor cycles.
+// The reproduction loosely calibrates one cycle to 1/192MHz (the OMAP5912
+// core clock), but only relative magnitudes matter to the experiments.
+type Cycles uint64
+
+// Event is a scheduled callback. Fire is invoked with the clock already
+// advanced to the event's due time.
+type Event struct {
+	due    Cycles
+	seq    uint64 // tie-break so equal-time events fire in schedule order
+	fire   func()
+	index  int // heap index; -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Due returns the virtual time at which the event is (or was) scheduled.
+func (e *Event) Due() Cycles { return e.due }
+
+// eventQueue implements heap.Interface ordered by (due, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Clock is a virtual-time discrete-event scheduler. The zero value is a
+// clock at time zero with no pending events, ready to use.
+type Clock struct {
+	now   Cycles
+	seq   uint64
+	queue eventQueue
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, e := range c.queue {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Advance moves the clock forward by d cycles without firing events; it is
+// used by the co-simulation loop to charge compute time. It panics if the
+// move would jump over a pending event, which would reorder causality.
+func (c *Clock) Advance(d Cycles) {
+	target := c.now + d
+	if next, ok := c.peek(); ok && next.due < target {
+		panic(fmt.Sprintf("clock: Advance(%d) would skip event due at %d (now %d)", d, next.due, c.now))
+	}
+	c.now = target
+}
+
+// AdvanceTo moves the clock to the given absolute time, subject to the same
+// no-skip rule as Advance. Moving backwards is a no-op.
+func (c *Clock) AdvanceTo(t Cycles) {
+	if t <= c.now {
+		return
+	}
+	c.Advance(t - c.now)
+}
+
+// Schedule registers fn to fire after delay cycles and returns the event
+// handle, which can be cancelled until it fires.
+func (c *Clock) Schedule(delay Cycles, fn func()) *Event {
+	e := &Event{due: c.now + delay, seq: c.seq, fire: fn}
+	c.seq++
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already
+// fired or already cancelled event is a harmless no-op.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&c.queue, e.index)
+		e.index = -1
+	}
+}
+
+func (c *Clock) peek() (*Event, bool) {
+	for len(c.queue) > 0 {
+		e := c.queue[0]
+		if e.cancel {
+			heap.Pop(&c.queue)
+			continue
+		}
+		return e, true
+	}
+	return nil, false
+}
+
+// NextDue returns the due time of the earliest pending event.
+func (c *Clock) NextDue() (Cycles, bool) {
+	e, ok := c.peek()
+	if !ok {
+		return 0, false
+	}
+	return e.due, true
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// due time. It returns false if no events are pending.
+func (c *Clock) Step() bool {
+	e, ok := c.peek()
+	if !ok {
+		return false
+	}
+	heap.Pop(&c.queue)
+	c.now = e.due
+	e.fire()
+	return true
+}
+
+// RunUntil fires events in order until the next event would be due after t,
+// then advances the clock to exactly t. It returns the number of events
+// fired.
+func (c *Clock) RunUntil(t Cycles) int {
+	fired := 0
+	for {
+		e, ok := c.peek()
+		if !ok || e.due > t {
+			break
+		}
+		heap.Pop(&c.queue)
+		c.now = e.due
+		e.fire()
+		fired++
+	}
+	if c.now < t {
+		c.now = t
+	}
+	return fired
+}
+
+// Drain fires all pending events in order (including ones scheduled while
+// draining) up to the given safety limit and returns the number fired. It
+// is mainly useful in tests; a limit of 0 means no limit.
+func (c *Clock) Drain(limit int) int {
+	fired := 0
+	for {
+		if limit > 0 && fired >= limit {
+			return fired
+		}
+		if !c.Step() {
+			return fired
+		}
+		fired++
+	}
+}

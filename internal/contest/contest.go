@@ -1,0 +1,150 @@
+// Package contest implements the ConTest-style baseline the paper
+// compares against: random noise injection. Instead of steering the
+// slave through PFA-guided remote commands, the baseline starts the
+// workload once and randomly forces yields at synchronization points
+// ("ConTest debugs multi-threaded programs by randomly interleaving the
+// execution of threads"). The benches compare its discovery rate and
+// cost against pTest's adaptive patterns.
+package contest
+
+import (
+	"fmt"
+
+	"repro/internal/bridge"
+	"repro/internal/clock"
+	"repro/internal/committee"
+	"repro/internal/detector"
+	"repro/internal/hw"
+	"repro/internal/master"
+	"repro/internal/pcore"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// Config sets one noise-injection run.
+type Config struct {
+	// Seed drives the noise decisions; a run is reproducible from
+	// (Config, Seed).
+	Seed uint64
+	// NoiseP is the probability of forcing a yield at each continuation
+	// point (default 0.2, ConTest's classic ballpark).
+	NoiseP float64
+	// Tasks is how many logical tasks to start (one TC each).
+	Tasks int
+	// Factory supplies the workload bodies.
+	Factory committee.Factory
+	// Kernel configures the slave (noise hook is installed on top).
+	Kernel pcore.Config
+	// HW configures the SoC.
+	HW hw.Config
+	// MaxSteps bounds the run (default 2_000_000).
+	MaxSteps int
+	// Detector tunes failure detection.
+	Detector detector.Options
+}
+
+// Outcome reports one noise-injection run.
+type Outcome struct {
+	Bug      *detector.Report
+	Duration clock.Cycles
+	Steps    uint64
+	Yields   uint64 // noise decisions that fired
+	Seed     uint64
+}
+
+// Run executes one ConTest-style trial: create the tasks, then let the
+// noisy scheduler run the workload to completion or failure.
+func Run(cfg Config) (*Outcome, error) {
+	if cfg.Tasks <= 0 {
+		cfg.Tasks = 1
+	}
+	if cfg.NoiseP == 0 {
+		cfg.NoiseP = 0.2
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 2_000_000
+	}
+	rng := stats.New(cfg.Seed)
+	var yields uint64
+	kernelCfg := cfg.Kernel
+	kernelCfg.Noise = func() bool {
+		if rng.Bool(cfg.NoiseP) {
+			yields++
+			return true
+		}
+		return false
+	}
+	plat, err := platform.New(platform.Config{
+		HW: cfg.HW, Kernel: kernelCfg, Factory: cfg.Factory,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("contest: %w", err)
+	}
+	defer plat.Shutdown()
+
+	created := 0
+	plat.Master.Spawn("starter", func(ctx *master.Ctx) {
+		for logical := uint32(0); logical < uint32(cfg.Tasks); logical++ {
+			rep, err := plat.Client.Call(ctx, bridge.CodeTC, logical, 0xffffffff)
+			if err != nil || rep.Status != bridge.StatusOK {
+				return
+			}
+			created++
+		}
+	})
+	det := detector.New(plat, nil, cfg.Detector)
+	bug := det.Run(cfg.MaxSteps)
+	return &Outcome{
+		Bug:      bug,
+		Duration: plat.Now(),
+		Steps:    plat.Steps(),
+		Yields:   yields,
+		Seed:     cfg.Seed,
+	}, nil
+}
+
+// Campaign repeats Run over consecutive seeds and reports the discovery
+// statistics, mirroring core.RunCampaign for comparison benches.
+type CampaignResult struct {
+	Trials        int
+	Bugs          []*detector.Report
+	FirstBugTrial int
+	TotalDuration clock.Cycles
+}
+
+// BugRate returns the fraction of trials that found a failure.
+func (r *CampaignResult) BugRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(len(r.Bugs)) / float64(r.Trials)
+}
+
+// RunCampaign executes trials with seeds base.Seed, base.Seed+1, ...,
+// stopping at the first bug unless keepGoing.
+func RunCampaign(base Config, trials int, keepGoing bool) (*CampaignResult, error) {
+	if trials <= 0 {
+		trials = 10
+	}
+	res := &CampaignResult{}
+	for i := 0; i < trials; i++ {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)
+		out, err := Run(cfg)
+		if err != nil {
+			return res, err
+		}
+		res.Trials++
+		res.TotalDuration += out.Duration
+		if out.Bug != nil {
+			res.Bugs = append(res.Bugs, out.Bug)
+			if res.FirstBugTrial == 0 {
+				res.FirstBugTrial = i + 1
+			}
+			if !keepGoing {
+				break
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nfa"
+	"repro/internal/pfa"
+)
+
+// Coverage-guided refinement: the paper's future work asks how "the
+// influence of probability distributions on the generation of test
+// pattern" should be handled "for different testing scenarios". This
+// file implements the natural adaptive answer: between campaign trials,
+// reweight the distribution toward PFA transitions the executed commands
+// have not exercised yet, so the pattern generator spends its budget on
+// unexplored behaviour while the regular expression keeps every pattern
+// legal.
+
+// RefineDistribution blends the base distribution with an
+// inverse-frequency boost: for each state, a transition taken c times
+// out of that state's total gets weight proportional to
+// (1-alpha)*base + alpha*(1/(1+c)) normalized per state. alpha in [0,1]
+// sets how aggressively the refinement chases uncovered transitions
+// (0 returns base unchanged, 1 ignores base entirely).
+func RefineDistribution(machine *pfa.PFA, counts map[string]int, base pfa.Distribution, alpha float64) pfa.Distribution {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	out := pfa.Distribution{}
+	for s := 0; s < machine.NumStates(); s++ {
+		state := nfa.StateID(s)
+		trans := machine.Transitions(state)
+		if len(trans) == 0 {
+			continue
+		}
+		label := machine.Label(state)
+		if label == "" {
+			label = pfa.StartLabel
+		}
+		if out[label] != nil {
+			continue // label already refined (states sharing labels pool)
+		}
+		cond := map[string]float64{}
+		// Inverse-frequency boost, normalized over this state's symbols.
+		boostTotal := 0.0
+		boosts := map[string]float64{}
+		for _, tr := range trans {
+			c := counts[label+">"+tr.Symbol]
+			b := 1.0 / float64(1+c)
+			boosts[tr.Symbol] += b
+			boostTotal += b
+		}
+		for _, tr := range trans {
+			baseP := 0.0
+			if base != nil && base[label] != nil {
+				baseP = base[label][tr.Symbol]
+			} else {
+				baseP = 1.0 / float64(len(trans))
+			}
+			cond[tr.Symbol] = (1-alpha)*baseP + alpha*boosts[tr.Symbol]/boostTotal
+		}
+		out[label] = cond
+	}
+	return out
+}
+
+// NoRefinement disables distribution refinement when assigned to
+// AdaptiveCampaignConfig.Alpha — the campaign then measures the fixed
+// base distribution with the same coverage bookkeeping, which is the
+// control arm of the refinement ablation.
+const NoRefinement = -1.0
+
+// AdaptiveCampaignConfig runs a refinement campaign: after every trial
+// the distribution is reweighted toward unexercised transitions.
+type AdaptiveCampaignConfig struct {
+	Base Config
+	// Trials is the number of runs (default 10).
+	Trials int
+	// Alpha is the refinement aggressiveness in (0, 1]; 0 takes the
+	// default 0.5 and NoRefinement (-1) disables refinement entirely.
+	Alpha float64
+	// KeepGoing continues past failures (default: stop at first bug).
+	KeepGoing bool
+}
+
+// AdaptiveCampaignResult extends the campaign result with the coverage
+// trajectory and the final refined distribution.
+type AdaptiveCampaignResult struct {
+	CampaignResult
+	// TransitionCoverage per trial, cumulative over all commands so far.
+	TransitionCoverage []float64
+	// FinalPD is the distribution after the last refinement.
+	FinalPD pfa.Distribution
+}
+
+// RunAdaptiveCampaign executes the refinement loop.
+func RunAdaptiveCampaign(cfg AdaptiveCampaignConfig) (*AdaptiveCampaignResult, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 10
+	}
+	refine := cfg.Alpha >= 0
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.5
+	}
+	machine, err := pfa.FromRegex(cfg.Base.RE, cfg.Base.PD)
+	if err != nil {
+		return nil, fmt.Errorf("core: adaptive campaign: %w", err)
+	}
+
+	res := &AdaptiveCampaignResult{}
+	pd := cfg.Base.PD
+	counts := map[string]int{}   // cumulative label>symbol counts
+	covered := map[string]bool{} // cumulative machine edges seen
+	edges := edgeSet(machine)
+
+	for i := 0; i < cfg.Trials; i++ {
+		run := cfg.Base
+		run.PD = pd
+		run.Seed = cfg.Base.Seed + uint64(i)
+		out, err := AdaptiveTest(run)
+		if err != nil {
+			return res, fmt.Errorf("core: adaptive trial %d: %w", i+1, err)
+		}
+		res.Trials++
+		res.Outcomes = append(res.Outcomes, out)
+		res.TotalCommands += out.CommandsIssued
+		res.TotalDuration += out.Duration
+
+		// Accumulate per-task transition counts from the issued commands.
+		last := map[int]string{}
+		issued := out.Merged.Entries
+		if out.CommandsIssued < len(issued) {
+			issued = issued[:out.CommandsIssued]
+		}
+		for _, e := range issued {
+			prev, ok := last[e.Task]
+			if !ok {
+				prev = pfa.StartLabel
+			}
+			key := prev + ">" + e.Symbol
+			counts[key]++
+			if edges[key] {
+				// Lifecycle restarts produce prev>symbol pairs (e.g. TD>TC)
+				// that are not machine edges; only true edges count.
+				covered[key] = true
+			}
+			last[e.Task] = e.Symbol
+		}
+		cov := 0.0
+		if len(edges) > 0 {
+			cov = float64(len(covered)) / float64(len(edges))
+		}
+		res.TransitionCoverage = append(res.TransitionCoverage, cov)
+
+		if out.Bug != nil {
+			res.Bugs = append(res.Bugs, out.Bug)
+			if res.FirstBugTrial == 0 {
+				res.FirstBugTrial = i + 1
+			}
+			if !cfg.KeepGoing {
+				break
+			}
+		} else if out.Finished {
+			res.CleanFinishes++
+		}
+		if refine {
+			pd = RefineDistribution(machine, counts, cfg.Base.PD, cfg.Alpha)
+		}
+	}
+	res.FinalPD = pd
+	return res, nil
+}
+
+// edgeSet returns the PFA's distinct label>symbol edges.
+func edgeSet(machine *pfa.PFA) map[string]bool {
+	edges := map[string]bool{}
+	for s := 0; s < machine.NumStates(); s++ {
+		label := machine.Label(nfa.StateID(s))
+		if label == "" {
+			label = pfa.StartLabel
+		}
+		for _, tr := range machine.Transitions(nfa.StateID(s)) {
+			edges[label+">"+tr.Symbol] = true
+		}
+	}
+	return edges
+}

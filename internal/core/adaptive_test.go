@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/pattern"
+	"repro/internal/pfa"
+)
+
+func TestRefineDistributionValid(t *testing.T) {
+	machine, err := pfa.PCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{
+		"^>TC":    100,
+		"TC>TCH":  90,
+		"TCH>TCH": 80,
+	}
+	refined := RefineDistribution(machine, counts, pfa.PCoreDistribution(), 0.5)
+	// The refined distribution must build a valid PFA.
+	if _, err := pfa.FromRegex(pfa.PCoreRE, refined); err != nil {
+		t.Fatal(err)
+	}
+	// Unexercised siblings must gain probability relative to the base:
+	// TC>TCH was hammered, so its refined probability drops below 0.6.
+	if refined["TC"]["TCH"] >= 0.6 {
+		t.Fatalf("over-exercised edge not damped: %v", refined["TC"]["TCH"])
+	}
+	if refined["TC"]["TS"] <= 0.1 {
+		t.Fatalf("unexercised edge not boosted: %v", refined["TC"]["TS"])
+	}
+}
+
+func TestRefineAlphaExtremes(t *testing.T) {
+	machine, err := pfa.PCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pfa.PCoreDistribution()
+	counts := map[string]int{"TC>TCH": 1000}
+	// alpha 0: identical to base.
+	same := RefineDistribution(machine, counts, base, 0)
+	for from, cond := range base {
+		for sym, p := range cond {
+			if math.Abs(same[from][sym]-p) > 1e-12 {
+				t.Fatalf("alpha=0 changed %s>%s: %v vs %v", from, sym, same[from][sym], p)
+			}
+		}
+	}
+	// alpha clamped from silly values.
+	_ = RefineDistribution(machine, counts, base, -5)
+	_ = RefineDistribution(machine, counts, base, 5)
+}
+
+func TestRefineSumsToOne(t *testing.T) {
+	machine, err := pfa.PCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined := RefineDistribution(machine, map[string]int{"TC>TD": 7}, nil, 0.7)
+	for from, cond := range refined {
+		sum := 0.0
+		for _, p := range cond {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("state %s sums to %v", from, sum)
+		}
+	}
+}
+
+func TestAdaptiveCampaignCoverageMonotone(t *testing.T) {
+	res, err := RunAdaptiveCampaign(AdaptiveCampaignConfig{
+		Base: Config{
+			RE: pfa.PCoreRE, PD: pfa.PCoreDistribution(),
+			N: 4, S: 8, Op: pattern.OpRoundRobin, Seed: 30,
+			Factory: app.SpinFactory(),
+		},
+		Trials:    6,
+		KeepGoing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 6 {
+		t.Fatalf("trials %d", res.Trials)
+	}
+	if len(res.TransitionCoverage) != 6 {
+		t.Fatalf("coverage points %d", len(res.TransitionCoverage))
+	}
+	prev := 0.0
+	for i, c := range res.TransitionCoverage {
+		if c < prev {
+			t.Fatalf("cumulative coverage dropped at trial %d: %v", i+1, res.TransitionCoverage)
+		}
+		prev = c
+	}
+	if res.FinalPD == nil {
+		t.Fatal("no final PD")
+	}
+	if _, err := pfa.FromRegex(pfa.PCoreRE, res.FinalPD); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveReachesFullCoverageFasterThanSkewed(t *testing.T) {
+	// Start from a heavily skewed base: the adaptive loop must reach
+	// full transition coverage within the trial budget, while the fixed
+	// skewed PD does not.
+	skewed := pfa.Distribution{
+		pfa.StartLabel: {"TC": 1},
+		"TC":           {"TCH": 0.997, "TS": 0.001, "TD": 0.001, "TY": 0.001},
+		"TCH":          {"TCH": 0.997, "TS": 0.001, "TD": 0.001, "TY": 0.001},
+		"TS":           {"TR": 1},
+		"TR":           {"TCH": 0.997, "TS": 0.001, "TD": 0.001, "TY": 0.001},
+	}
+	base := Config{
+		RE: pfa.PCoreRE, PD: skewed,
+		N: 4, S: 10, Op: pattern.OpRoundRobin, Seed: 3,
+		Factory: app.SpinFactory(),
+	}
+	adaptive, err := RunAdaptiveCampaign(AdaptiveCampaignConfig{
+		Base: base, Trials: 8, Alpha: 0.8, KeepGoing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := RunAdaptiveCampaign(AdaptiveCampaignConfig{
+		Base: base, Trials: 8, Alpha: NoRefinement, KeepGoing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCov := adaptive.TransitionCoverage[len(adaptive.TransitionCoverage)-1]
+	fCov := fixed.TransitionCoverage[len(fixed.TransitionCoverage)-1]
+	if aCov <= fCov {
+		t.Fatalf("adaptive coverage %.3f not above fixed %.3f", aCov, fCov)
+	}
+}
+
+func TestAdaptiveCampaignStopsOnBug(t *testing.T) {
+	res, err := RunAdaptiveCampaign(AdaptiveCampaignConfig{
+		Base: Config{
+			RE: pfa.PCoreRE, PD: pfa.PCoreDistribution(),
+			N: 12, S: 20, Op: pattern.OpRoundRobin, Seed: 6,
+			Factory: app.QuicksortFactory(11),
+			Kernel:  kcfgGCLeak(),
+		},
+		Trials: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bugs) == 0 || res.FirstBugTrial == 0 {
+		t.Fatalf("no bug found: %+v", res.CampaignResult)
+	}
+	if res.Trials != res.FirstBugTrial {
+		t.Fatalf("did not stop at first bug: %d vs %d", res.Trials, res.FirstBugTrial)
+	}
+}

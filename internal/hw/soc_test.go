@@ -1,0 +1,120 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/interrupt"
+	"repro/internal/mailbox"
+)
+
+// clockAt converts a raw cycle count for Run targets.
+func clockAt(c uint64) clock.Cycles { return clock.Cycles(c) }
+
+func TestDefaults(t *testing.T) {
+	s := New(Config{})
+	if s.SRAM.Size() != 250*1024 {
+		t.Fatalf("sram %d", s.SRAM.Size())
+	}
+	if s.Boxes.ArmToDspCmd.Depth() != mailbox.DefaultDepth {
+		t.Fatalf("depth %d", s.Boxes.ArmToDspCmd.Depth())
+	}
+	if s.Cfg.MailboxLatency != 20 || s.Cfg.TimerPeriod != 1000 {
+		t.Fatalf("cfg %+v", s.Cfg)
+	}
+}
+
+func TestMailboxRaisesInterruptAfterLatency(t *testing.T) {
+	s := New(Config{MailboxLatency: 15})
+	if err := s.Boxes.ArmToDspCmd.Post(mailbox.Compose(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Before the latency elapses the DSP sees nothing.
+	s.Run(14)
+	if s.DspIRQ.Pending(interrupt.LineMailboxCmd) {
+		t.Fatal("interrupt raised before latency")
+	}
+	s.Run(15)
+	if !s.DspIRQ.Pending(interrupt.LineMailboxCmd) {
+		t.Fatal("interrupt not raised at latency")
+	}
+	// The message itself is available in the FIFO.
+	m, ok := s.Boxes.ArmToDspCmd.Recv()
+	if !ok || m.Cmd() != 1 || m.Arg() != 2 {
+		t.Fatalf("recv %v %v", m, ok)
+	}
+}
+
+func TestMailboxDirectionWiring(t *testing.T) {
+	s := New(Config{MailboxLatency: 1})
+	_ = s.Boxes.DspToArmReply.Post(1)
+	_ = s.Boxes.DspToArmEvent.Post(2)
+	_ = s.Boxes.ArmToDspData.Post(3)
+	s.Run(2)
+	if !s.ArmIRQ.Pending(interrupt.LineMailboxReply) {
+		t.Fatal("reply line not on ARM side")
+	}
+	if !s.ArmIRQ.Pending(interrupt.LineMailboxEvent) {
+		t.Fatal("event line not on ARM side")
+	}
+	if !s.DspIRQ.Pending(interrupt.LineMailboxData) {
+		t.Fatal("data line not on DSP side")
+	}
+	if s.DspIRQ.Pending(interrupt.LineMailboxReply) {
+		t.Fatal("reply line leaked to DSP side")
+	}
+}
+
+func TestRunAdvancesTime(t *testing.T) {
+	s := New(Config{})
+	s.Run(500)
+	if s.Now() != 500 {
+		t.Fatalf("now %d", s.Now())
+	}
+}
+
+func TestTimerTicks(t *testing.T) {
+	s := New(Config{TimerPeriod: 100})
+	armTicks, dspTicks := 0, 0
+	s.ArmIRQ.Handle(interrupt.LineTimer, func() { armTicks++ })
+	s.DspIRQ.Handle(interrupt.LineTimer, func() { dspTicks++ })
+	s.StartTimers()
+	for i := 0; i < 5; i++ {
+		s.Run(clockAt(uint64((i + 1) * 100)))
+		s.ArmIRQ.Dispatch()
+		s.DspIRQ.Dispatch()
+	}
+	if armTicks != 5 || dspTicks != 5 {
+		t.Fatalf("ticks arm=%d dsp=%d, want 5 each", armTicks, dspTicks)
+	}
+}
+
+func TestTimerCoalescesWhenUnserviced(t *testing.T) {
+	s := New(Config{TimerPeriod: 50})
+	s.StartTimers()
+	s.Run(500) // ten periods, nobody dispatching
+	if !s.ArmIRQ.Pending(interrupt.LineTimer) {
+		t.Fatal("timer line not pending")
+	}
+	// Level-triggered: one dispatch consumes the coalesced ticks.
+	fired := 0
+	s.ArmIRQ.Handle(interrupt.LineTimer, func() { fired++ })
+	s.ArmIRQ.Dispatch()
+	if fired != 1 {
+		t.Fatalf("fired %d", fired)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.SRAM.Alloc("x", 1024); err != nil {
+		t.Fatal(err)
+	}
+	out := s.String()
+	for _, frag := range []string{"t=0", "sram=1024/256000", "arm2dsp-cmd"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("summary %q missing %q", out, frag)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package mailbox models the four hardware mailboxes of the OMAP5912
+// through which the ARM and DSP cores exchange events: small FIFOs that
+// raise an interrupt line on the receiving side when a message arrives.
+package mailbox
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Message is one mailbox word. The OMAP mailbox registers carry a 16-bit
+// command and a 16-bit payload; the simulator keeps them packed in one
+// 32-bit word with helpers below.
+type Message uint32
+
+// Compose packs a command and argument into a message.
+func Compose(cmd uint16, arg uint16) Message {
+	return Message(uint32(cmd)<<16 | uint32(arg))
+}
+
+// Cmd extracts the command half.
+func (m Message) Cmd() uint16 { return uint16(m >> 16) }
+
+// Arg extracts the argument half.
+func (m Message) Arg() uint16 { return uint16(m & 0xffff) }
+
+// ErrFull is returned by Post when the FIFO has no free slot; the sender
+// must retry later, exactly as the polling middleware does on hardware.
+var ErrFull = errors.New("mailbox: FIFO full")
+
+// DefaultDepth is the FIFO depth of each simulated mailbox.
+const DefaultDepth = 4
+
+// Box is one mailbox: a bounded FIFO plus a notification hook invoked on
+// the transition from empty to non-empty (the interrupt edge).
+type Box struct {
+	name     string
+	fifo     []Message
+	depth    int
+	onNotify func()
+	posted   uint64
+	received uint64
+}
+
+// New returns an empty mailbox with the given FIFO depth (DefaultDepth if
+// depth <= 0).
+func New(name string, depth int) *Box {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Box{name: name, depth: depth}
+}
+
+// Name returns the mailbox name.
+func (b *Box) Name() string { return b.name }
+
+// OnNotify registers the interrupt hook fired when a message arrives into
+// an empty FIFO. Replacing the hook is allowed (last registration wins).
+func (b *Box) OnNotify(fn func()) { b.onNotify = fn }
+
+// Post appends a message to the FIFO, firing the notification hook on the
+// empty→non-empty edge. It returns ErrFull when the FIFO is at depth.
+func (b *Box) Post(m Message) error {
+	if len(b.fifo) >= b.depth {
+		return ErrFull
+	}
+	wasEmpty := len(b.fifo) == 0
+	b.fifo = append(b.fifo, m)
+	b.posted++
+	if wasEmpty && b.onNotify != nil {
+		b.onNotify()
+	}
+	return nil
+}
+
+// Recv pops the oldest message; ok is false when the FIFO is empty.
+func (b *Box) Recv() (m Message, ok bool) {
+	if len(b.fifo) == 0 {
+		return 0, false
+	}
+	m = b.fifo[0]
+	copy(b.fifo, b.fifo[1:])
+	b.fifo = b.fifo[:len(b.fifo)-1]
+	b.received++
+	return m, true
+}
+
+// Peek returns the oldest message without removing it.
+func (b *Box) Peek() (m Message, ok bool) {
+	if len(b.fifo) == 0 {
+		return 0, false
+	}
+	return b.fifo[0], true
+}
+
+// Len returns the number of queued messages.
+func (b *Box) Len() int { return len(b.fifo) }
+
+// Depth returns the FIFO capacity.
+func (b *Box) Depth() int { return b.depth }
+
+// Stats returns the lifetime posted/received counters.
+func (b *Box) Stats() (posted, received uint64) { return b.posted, b.received }
+
+// Bank is the OMAP5912's set of four mailboxes with their conventional
+// roles in the pCore Bridge protocol.
+type Bank struct {
+	// ArmToDspCmd carries remote commands from master to slave.
+	ArmToDspCmd *Box
+	// DspToArmReply carries command completions from slave to master.
+	DspToArmReply *Box
+	// ArmToDspData signals streaming-payload availability to the slave.
+	ArmToDspData *Box
+	// DspToArmEvent carries asynchronous slave events (faults, logs).
+	DspToArmEvent *Box
+}
+
+// NewBank creates the four mailboxes with the given FIFO depth.
+func NewBank(depth int) *Bank {
+	return &Bank{
+		ArmToDspCmd:   New("arm2dsp-cmd", depth),
+		DspToArmReply: New("dsp2arm-reply", depth),
+		ArmToDspData:  New("arm2dsp-data", depth),
+		DspToArmEvent: New("dsp2arm-event", depth),
+	}
+}
+
+// Boxes returns the bank's mailboxes in a stable order.
+func (bk *Bank) Boxes() []*Box {
+	return []*Box{bk.ArmToDspCmd, bk.DspToArmReply, bk.ArmToDspData, bk.DspToArmEvent}
+}
+
+// String summarizes FIFO occupancy, for detector dumps.
+func (bk *Bank) String() string {
+	s := ""
+	for i, b := range bk.Boxes() {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d/%d", b.Name(), b.Len(), b.Depth())
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package mailbox
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComposeSplit(t *testing.T) {
+	m := Compose(0x12, 0x3456)
+	if m.Cmd() != 0x12 || m.Arg() != 0x3456 {
+		t.Fatalf("cmd=%x arg=%x", m.Cmd(), m.Arg())
+	}
+}
+
+func TestComposeRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(cmd, arg uint16) bool {
+		m := Compose(cmd, arg)
+		return m.Cmd() == cmd && m.Arg() == arg
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	b := New("t", 4)
+	for i := uint16(0); i < 4; i++ {
+		if err := b.Post(Compose(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint16(0); i < 4; i++ {
+		m, ok := b.Recv()
+		if !ok || m.Cmd() != i {
+			t.Fatalf("recv %d: %v %v", i, m, ok)
+		}
+	}
+	if _, ok := b.Recv(); ok {
+		t.Fatal("recv from empty succeeded")
+	}
+}
+
+func TestPostFull(t *testing.T) {
+	b := New("t", 2)
+	_ = b.Post(1)
+	_ = b.Post(2)
+	if err := b.Post(3); err != ErrFull {
+		t.Fatalf("got %v", err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len %d", b.Len())
+	}
+}
+
+func TestNotifyOnEmptyEdgeOnly(t *testing.T) {
+	b := New("t", 4)
+	notifies := 0
+	b.OnNotify(func() { notifies++ })
+	_ = b.Post(1) // empty -> 1: notify
+	_ = b.Post(2) // 1 -> 2: no notify
+	if notifies != 1 {
+		t.Fatalf("notifies %d after two posts", notifies)
+	}
+	b.Recv()
+	b.Recv()
+	_ = b.Post(3) // empty edge again
+	if notifies != 2 {
+		t.Fatalf("notifies %d", notifies)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	b := New("t", 2)
+	if _, ok := b.Peek(); ok {
+		t.Fatal("peek on empty")
+	}
+	_ = b.Post(42)
+	m, ok := b.Peek()
+	if !ok || m != 42 || b.Len() != 1 {
+		t.Fatalf("peek %v %v len %d", m, ok, b.Len())
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := New("t", 8)
+	for i := 0; i < 5; i++ {
+		_ = b.Post(Message(i))
+	}
+	for i := 0; i < 3; i++ {
+		b.Recv()
+	}
+	p, r := b.Stats()
+	if p != 5 || r != 3 {
+		t.Fatalf("stats %d %d", p, r)
+	}
+}
+
+func TestDefaultDepth(t *testing.T) {
+	b := New("t", 0)
+	if b.Depth() != DefaultDepth {
+		t.Fatalf("depth %d", b.Depth())
+	}
+}
+
+func TestBank(t *testing.T) {
+	bk := NewBank(4)
+	boxes := bk.Boxes()
+	if len(boxes) != 4 {
+		t.Fatalf("%d boxes", len(boxes))
+	}
+	names := map[string]bool{}
+	for _, b := range boxes {
+		names[b.Name()] = true
+	}
+	if len(names) != 4 {
+		t.Fatal("duplicate mailbox names")
+	}
+	_ = bk.ArmToDspCmd.Post(1)
+	if !strings.Contains(bk.String(), "arm2dsp-cmd:1/4") {
+		t.Fatalf("bank string %q", bk.String())
+	}
+}
+
+func TestFIFOPreservedUnderMixedOps(t *testing.T) {
+	// Property: messages come out in the order they went in, regardless of
+	// the interleaving of posts and receives.
+	err := quick.Check(func(ops []bool) bool {
+		b := New("t", 64)
+		nextIn := Message(0)
+		nextOut := Message(0)
+		for _, post := range ops {
+			if post {
+				if b.Post(nextIn) == nil {
+					nextIn++
+				}
+			} else if m, ok := b.Recv(); ok {
+				if m != nextOut {
+					return false
+				}
+				nextOut++
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

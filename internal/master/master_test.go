@@ -1,0 +1,167 @@
+package master
+
+import (
+	"strings"
+	"testing"
+)
+
+func newOS(t *testing.T) *OS {
+	t.Helper()
+	o := New()
+	t.Cleanup(o.Shutdown)
+	return o
+}
+
+func TestSpawnAndRun(t *testing.T) {
+	o := newOS(t)
+	ran := false
+	id := o.Spawn("t", func(c *Ctx) {
+		c.Compute(100)
+		ran = true
+	})
+	o.RunUntilIdle(100)
+	if !ran {
+		t.Fatal("thread did not run")
+	}
+	if o.Thread(id).State() != TDone {
+		t.Fatalf("state %v", o.Thread(id).State())
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	o := newOS(t)
+	var order []string
+	mk := func(name string) func(*Ctx) {
+		return func(c *Ctx) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				c.Yield()
+			}
+		}
+	}
+	o.Spawn("a", mk("a"))
+	o.Spawn("b", mk("b"))
+	o.Spawn("c", mk("c"))
+	o.RunUntilIdle(100)
+	if strings.Join(order, ",") != "a,b,c,a,b,c,a,b,c" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	o := newOS(t)
+	var order []string
+	id := o.Spawn("sleeper", func(c *Ctx) {
+		order = append(order, "before")
+		c.Park("test")
+		order = append(order, "after")
+	})
+	o.RunUntilIdle(100)
+	if strings.Join(order, ",") != "before" {
+		t.Fatalf("order %v", order)
+	}
+	th := o.Thread(id)
+	if th.State() != TParked || th.ParkedOn() != "test" {
+		t.Fatalf("state %v on %q", th.State(), th.ParkedOn())
+	}
+	o.Unpark(id)
+	o.RunUntilIdle(100)
+	if strings.Join(order, ",") != "before,after" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestUnparkNonParkedIsNoop(t *testing.T) {
+	o := newOS(t)
+	id := o.Spawn("t", func(c *Ctx) { c.Yield() })
+	o.Unpark(id) // ready, not parked
+	o.Unpark(99) // nonexistent
+	o.RunUntilIdle(10)
+	if o.Thread(id).State() != TDone {
+		t.Fatal("thread did not finish")
+	}
+}
+
+func TestPanicContained(t *testing.T) {
+	o := newOS(t)
+	o.Spawn("boom", func(c *Ctx) { panic("thread bug") })
+	survivor := false
+	o.Spawn("ok", func(c *Ctx) { survivor = true })
+	o.RunUntilIdle(10)
+	p := o.LastPanic()
+	if p == nil || !strings.Contains(p.Detail, "thread bug") {
+		t.Fatalf("panic %v", p)
+	}
+	if !survivor {
+		t.Fatal("panic killed the whole OS")
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	o := newOS(t)
+	o.Spawn("t", func(c *Ctx) { c.Compute(500) })
+	before := o.Cycles()
+	o.RunUntilIdle(10)
+	if o.Cycles() <= before {
+		t.Fatal("cycles did not advance")
+	}
+}
+
+func TestEventsEmitted(t *testing.T) {
+	o := newOS(t)
+	var evs []string
+	o.OnEvent(func(e ThreadEvent) { evs = append(evs, e.What) })
+	id := o.Spawn("t", func(c *Ctx) { c.Park("x") })
+	o.RunUntilIdle(10)
+	o.Unpark(id)
+	o.RunUntilIdle(10)
+	joined := strings.Join(evs, ",")
+	for _, frag := range []string{"spawn", "park:x", "unpark", "exit:returned"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("events %q missing %q", joined, frag)
+		}
+	}
+}
+
+func TestShutdownKillsParked(t *testing.T) {
+	o := New()
+	o.Spawn("stuck", func(c *Ctx) { c.Park("forever") })
+	o.RunUntilIdle(10)
+	o.Shutdown() // must not hang
+	if o.Ready() {
+		t.Fatal("runq not drained")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []string {
+		o := New()
+		defer o.Shutdown()
+		var log []string
+		for _, n := range []string{"x", "y", "z"} {
+			n := n
+			o.Spawn(n, func(c *Ctx) {
+				for i := 0; i < 2; i++ {
+					log = append(log, n)
+					c.Compute(10)
+					c.Yield()
+				}
+			})
+		}
+		o.RunUntilIdle(100)
+		return log
+	}
+	a := strings.Join(run(), ",")
+	b := strings.Join(run(), ",")
+	if a != b {
+		t.Fatalf("nondeterministic: %s vs %s", a, b)
+	}
+}
+
+func TestThreadStateString(t *testing.T) {
+	for _, s := range []ThreadState{TReady, TRunning, TParked, TDone, ThreadState(99)} {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", s)
+		}
+	}
+}

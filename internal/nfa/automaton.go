@@ -1,0 +1,322 @@
+// Package nfa implements the finite-state automaton layer between the
+// service regular expressions and the probabilistic automaton (PFA):
+// Thompson construction, Glushkov position construction, epsilon closure,
+// subset construction and bisimulation-based state merging.
+//
+// The pattern generator builds its PFA on the Glushkov automaton because
+// every transition into a Glushkov state emits that state's symbol; the
+// merged form reproduces exactly the service-labelled machine the paper
+// draws in Figure 5.
+package nfa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StateID identifies a state within one automaton.
+type StateID int
+
+// Edge is a symbol-labelled transition to a target state.
+type Edge struct {
+	Symbol string
+	To     StateID
+}
+
+// Automaton is a finite automaton over string symbols with optional
+// epsilon transitions. Labels optionally records, per state, the symbol
+// emitted on entry to the state (the Glushkov property); it is empty for
+// automata that do not maintain it.
+type Automaton struct {
+	Start  StateID
+	Accept []bool
+	Edges  [][]Edge
+	Eps    [][]StateID
+	Labels []string
+}
+
+// NewAutomaton returns an automaton with n states and no transitions.
+func NewAutomaton(n int) *Automaton {
+	return &Automaton{
+		Accept: make([]bool, n),
+		Edges:  make([][]Edge, n),
+		Eps:    make([][]StateID, n),
+		Labels: make([]string, n),
+	}
+}
+
+// NumStates returns the number of states.
+func (a *Automaton) NumStates() int { return len(a.Accept) }
+
+// AddState appends a fresh state and returns its id.
+func (a *Automaton) AddState() StateID {
+	a.Accept = append(a.Accept, false)
+	a.Edges = append(a.Edges, nil)
+	a.Eps = append(a.Eps, nil)
+	a.Labels = append(a.Labels, "")
+	return StateID(len(a.Accept) - 1)
+}
+
+// AddEdge adds a symbol transition. Duplicate edges are ignored.
+func (a *Automaton) AddEdge(from StateID, sym string, to StateID) {
+	for _, e := range a.Edges[from] {
+		if e.Symbol == sym && e.To == to {
+			return
+		}
+	}
+	a.Edges[from] = append(a.Edges[from], Edge{Symbol: sym, To: to})
+}
+
+// AddEps adds an epsilon transition. Duplicates are ignored.
+func (a *Automaton) AddEps(from, to StateID) {
+	for _, t := range a.Eps[from] {
+		if t == to {
+			return
+		}
+	}
+	a.Eps[from] = append(a.Eps[from], to)
+}
+
+// HasEpsilon reports whether any epsilon transition exists.
+func (a *Automaton) HasEpsilon() bool {
+	for _, es := range a.Eps {
+		if len(es) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Alphabet returns the sorted set of symbols used on transitions.
+func (a *Automaton) Alphabet() []string {
+	set := map[string]bool{}
+	for _, es := range a.Edges {
+		for _, e := range es {
+			set[e.Symbol] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// closure expands the state set with everything reachable via epsilon
+// transitions, in place, and returns it sorted.
+func (a *Automaton) closure(set []StateID) []StateID {
+	seen := map[StateID]bool{}
+	var stack []StateID
+	for _, s := range set {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.Eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]StateID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EpsilonClosure returns the epsilon closure of the given states.
+func (a *Automaton) EpsilonClosure(set ...StateID) []StateID {
+	return a.closure(set)
+}
+
+// Match simulates the automaton (NFA semantics, epsilon transitions
+// honoured) over the symbol sequence and reports acceptance.
+func (a *Automaton) Match(input []string) bool {
+	current := a.closure([]StateID{a.Start})
+	for _, sym := range input {
+		var next []StateID
+		seen := map[StateID]bool{}
+		for _, s := range current {
+			for _, e := range a.Edges[s] {
+				if e.Symbol == sym && !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		current = a.closure(next)
+	}
+	for _, s := range current {
+		if a.Accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// Successors returns the sorted distinct states reachable from s on sym.
+func (a *Automaton) Successors(s StateID, sym string) []StateID {
+	var out []StateID
+	for _, e := range a.Edges[s] {
+		if e.Symbol == sym {
+			out = append(out, e.To)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OutSymbols returns the sorted distinct symbols leaving state s.
+func (a *Automaton) OutSymbols(s StateID) []string {
+	set := map[string]bool{}
+	for _, e := range a.Edges[s] {
+		set[e.Symbol] = true
+	}
+	out := make([]string, 0, len(set))
+	for sym := range set {
+		out = append(out, sym)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsDeterministic reports whether the automaton is deterministic: no
+// epsilon transitions and at most one successor per (state, symbol).
+func (a *Automaton) IsDeterministic() bool {
+	if a.HasEpsilon() {
+		return false
+	}
+	for s := range a.Edges {
+		seen := map[string]bool{}
+		for _, e := range a.Edges[s] {
+			if seen[e.Symbol] {
+				return false
+			}
+			seen[e.Symbol] = true
+		}
+	}
+	return true
+}
+
+// stateSetKey builds a canonical map key for a sorted state set.
+func stateSetKey(set []StateID) string {
+	var sb strings.Builder
+	for i, s := range set {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", s)
+	}
+	return sb.String()
+}
+
+// Determinize performs the subset construction and returns an equivalent
+// deterministic automaton without epsilon transitions. State labels are
+// preserved when every NFA state in a subset carries the same label.
+func (a *Automaton) Determinize() *Automaton {
+	d := NewAutomaton(0)
+	startSet := a.closure([]StateID{a.Start})
+	ids := map[string]StateID{}
+	var order [][]StateID
+
+	intern := func(set []StateID) StateID {
+		key := stateSetKey(set)
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := d.AddState()
+		ids[key] = id
+		order = append(order, set)
+		acc := false
+		label := ""
+		uniform := true
+		for i, s := range set {
+			if a.Accept[s] {
+				acc = true
+			}
+			if i == 0 {
+				label = a.Labels[s]
+			} else if a.Labels[s] != label {
+				uniform = false
+			}
+		}
+		d.Accept[id] = acc
+		if uniform {
+			d.Labels[id] = label
+		}
+		return id
+	}
+
+	start := intern(startSet)
+	d.Start = start
+	for i := 0; i < len(order); i++ {
+		set := order[i]
+		from := StateID(i)
+		// Gather moves per symbol.
+		moves := map[string]map[StateID]bool{}
+		for _, s := range set {
+			for _, e := range a.Edges[s] {
+				if moves[e.Symbol] == nil {
+					moves[e.Symbol] = map[StateID]bool{}
+				}
+				moves[e.Symbol][e.To] = true
+			}
+		}
+		syms := make([]string, 0, len(moves))
+		for sym := range moves {
+			syms = append(syms, sym)
+		}
+		sort.Strings(syms)
+		for _, sym := range syms {
+			var target []StateID
+			for s := range moves[sym] {
+				target = append(target, s)
+			}
+			sort.Slice(target, func(x, y int) bool { return target[x] < target[y] })
+			target = a.closure(target)
+			to := intern(target)
+			d.AddEdge(from, sym, to)
+		}
+	}
+	return d
+}
+
+// Dot renders the automaton in Graphviz DOT format, used by cmd/pfagen.
+func (a *Automaton) Dot(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %s {\n  rankdir=LR;\n", name)
+	fmt.Fprintf(&sb, "  _start [shape=point];\n  _start -> q%d;\n", a.Start)
+	for s := 0; s < a.NumStates(); s++ {
+		shape := "circle"
+		if a.Accept[s] {
+			shape = "doublecircle"
+		}
+		label := fmt.Sprintf("q%d", s)
+		if a.Labels[s] != "" {
+			label = a.Labels[s]
+		}
+		fmt.Fprintf(&sb, "  q%d [shape=%s,label=%q];\n", s, shape, label)
+	}
+	for s := 0; s < a.NumStates(); s++ {
+		for _, e := range a.Edges[s] {
+			fmt.Fprintf(&sb, "  q%d -> q%d [label=%q];\n", s, e.To, e.Symbol)
+		}
+		for _, t := range a.Eps[s] {
+			fmt.Fprintf(&sb, "  q%d -> q%d [label=\"ε\",style=dashed];\n", s, t)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

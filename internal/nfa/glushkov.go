@@ -1,0 +1,235 @@
+package nfa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/regex"
+)
+
+// posInfo carries the Glushkov first/last/nullable analysis of a subtree,
+// with positions numbered in symbol-occurrence order.
+type posInfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+// Glushkov builds the position automaton of the regular expression: one
+// state per symbol occurrence plus a distinguished start state (state 0).
+// Every transition into a state emits exactly that state's symbol, which
+// is the property the PFA layer relies on to condition probabilities on
+// the previously executed service.
+func Glushkov(n regex.Node) *Automaton {
+	var symbols []string // position p (1-based) emits symbols[p-1]
+	follow := map[int]map[int]bool{}
+
+	addFollow := func(p, q int) {
+		if follow[p] == nil {
+			follow[p] = map[int]bool{}
+		}
+		follow[p][q] = true
+	}
+
+	var walk func(regex.Node) posInfo
+	walk = func(node regex.Node) posInfo {
+		switch v := node.(type) {
+		case regex.Sym:
+			symbols = append(symbols, v.Name)
+			p := len(symbols)
+			return posInfo{nullable: false, first: []int{p}, last: []int{p}}
+		case regex.End, regex.Empty:
+			return posInfo{nullable: true}
+		case regex.Concat:
+			// Left fold with the standard Glushkov concatenation rules:
+			//   follow += last(acc) × first(part)
+			//   first(acc·part) = first(acc) ∪ (nullable(acc) ? first(part) : ∅)
+			//   last(acc·part)  = last(part) ∪ (nullable(part) ? last(acc) : ∅)
+			acc := posInfo{nullable: true}
+			for _, part := range v.Parts {
+				pi := walk(part)
+				for _, l := range acc.last {
+					for _, f := range pi.first {
+						addFollow(l, f)
+					}
+				}
+				first := acc.first
+				if acc.nullable {
+					first = append(append([]int{}, acc.first...), pi.first...)
+				}
+				last := pi.last
+				if pi.nullable {
+					last = append(append([]int{}, pi.last...), acc.last...)
+				}
+				acc = posInfo{nullable: acc.nullable && pi.nullable, first: first, last: last}
+			}
+			return acc
+		case regex.Alt:
+			info := posInfo{}
+			for _, b := range v.Branches {
+				bi := walk(b)
+				info.nullable = info.nullable || bi.nullable
+				info.first = append(info.first, bi.first...)
+				info.last = append(info.last, bi.last...)
+			}
+			return info
+		case regex.Star:
+			pi := walk(v.Inner)
+			for _, l := range pi.last {
+				for _, f := range pi.first {
+					addFollow(l, f)
+				}
+			}
+			return posInfo{nullable: true, first: pi.first, last: pi.last}
+		case regex.Plus:
+			pi := walk(v.Inner)
+			for _, l := range pi.last {
+				for _, f := range pi.first {
+					addFollow(l, f)
+				}
+			}
+			return posInfo{nullable: pi.nullable, first: pi.first, last: pi.last}
+		case regex.Opt:
+			pi := walk(v.Inner)
+			return posInfo{nullable: true, first: pi.first, last: pi.last}
+		default:
+			panic(fmt.Sprintf("nfa: unknown regex node %T", node))
+		}
+	}
+
+	root := walk(n)
+
+	a := NewAutomaton(len(symbols) + 1)
+	a.Start = 0
+	a.Labels[0] = ""
+	for p, sym := range symbols {
+		a.Labels[p+1] = sym
+	}
+	if root.nullable {
+		a.Accept[0] = true
+	}
+	for _, l := range root.last {
+		a.Accept[l] = true
+	}
+	for _, f := range root.first {
+		a.AddEdge(0, symbols[f-1], StateID(f))
+	}
+	ps := make([]int, 0, len(follow))
+	for p := range follow {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	for _, p := range ps {
+		qs := make([]int, 0, len(follow[p]))
+		for q := range follow[p] {
+			qs = append(qs, q)
+		}
+		sort.Ints(qs)
+		for _, q := range qs {
+			a.AddEdge(StateID(p), symbols[q-1], StateID(q))
+		}
+	}
+	return a
+}
+
+// MergeEquivalent computes the coarsest partition of states such that two
+// states are in the same class only if they agree on acceptance and entry
+// label and have the same set of (symbol → class) moves, then returns the
+// quotient automaton. For the paper's expression (2) this collapses the
+// two (TCH)* occurrences into the single TCH node of Figure 5.
+//
+// The construction is the standard iterative partition refinement
+// (Moore-style bisimulation on the nondeterministic move sets).
+func MergeEquivalent(a *Automaton) *Automaton {
+	n := a.NumStates()
+	// Initial classes by (accepting, label).
+	class := make([]int, n)
+	keyOf := map[string]int{}
+	for s := 0; s < n; s++ {
+		k := fmt.Sprintf("%v|%s", a.Accept[s], a.Labels[s])
+		id, ok := keyOf[k]
+		if !ok {
+			id = len(keyOf)
+			keyOf[k] = id
+		}
+		class[s] = id
+	}
+
+	for {
+		// Signature: current class + sorted set of (symbol, successor class).
+		sigOf := map[string]int{}
+		next := make([]int, n)
+		for s := 0; s < n; s++ {
+			moves := map[string]bool{}
+			for _, e := range a.Edges[s] {
+				moves[fmt.Sprintf("%s>%d", e.Symbol, class[e.To])] = true
+			}
+			ms := make([]string, 0, len(moves))
+			for m := range moves {
+				ms = append(ms, m)
+			}
+			sort.Strings(ms)
+			sig := fmt.Sprintf("%d;%v", class[s], ms)
+			id, ok := sigOf[sig]
+			if !ok {
+				id = len(sigOf)
+				sigOf[sig] = id
+			}
+			next[s] = id
+		}
+		same := true
+		for s := 0; s < n; s++ {
+			if next[s] != class[s] {
+				same = false
+				break
+			}
+		}
+		class = next
+		if same {
+			break
+		}
+	}
+
+	// Build quotient with stable class numbering: classes ordered by their
+	// smallest member state so the start class is reproducible.
+	numClasses := 0
+	for _, c := range class {
+		if c+1 > numClasses {
+			numClasses = c + 1
+		}
+	}
+	firstMember := make([]int, numClasses)
+	for i := range firstMember {
+		firstMember[i] = n
+	}
+	for s := 0; s < n; s++ {
+		if s < firstMember[class[s]] {
+			firstMember[class[s]] = s
+		}
+	}
+	orderedClasses := make([]int, numClasses)
+	for i := range orderedClasses {
+		orderedClasses[i] = i
+	}
+	sort.Slice(orderedClasses, func(i, j int) bool {
+		return firstMember[orderedClasses[i]] < firstMember[orderedClasses[j]]
+	})
+	renum := make([]StateID, numClasses)
+	for newID, c := range orderedClasses {
+		renum[c] = StateID(newID)
+	}
+
+	q := NewAutomaton(numClasses)
+	for s := 0; s < n; s++ {
+		cs := renum[class[s]]
+		if a.Accept[s] {
+			q.Accept[cs] = true
+		}
+		q.Labels[cs] = a.Labels[s]
+		for _, e := range a.Edges[s] {
+			q.AddEdge(cs, e.Symbol, renum[class[e.To]])
+		}
+	}
+	q.Start = renum[class[a.Start]]
+	return q
+}

@@ -1,0 +1,387 @@
+package nfa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/regex"
+	"repro/internal/stats"
+)
+
+const paperRE = "TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)"
+
+func mustThompson(t *testing.T, re string) *Automaton {
+	t.Helper()
+	n, err := regex.Parse(re)
+	if err != nil {
+		t.Fatalf("parse %q: %v", re, err)
+	}
+	return Thompson(n)
+}
+
+func mustGlushkov(t *testing.T, re string) *Automaton {
+	t.Helper()
+	n, err := regex.Parse(re)
+	if err != nil {
+		t.Fatalf("parse %q: %v", re, err)
+	}
+	return Glushkov(n)
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Fields(s)
+}
+
+// matchCases maps an expression to accepted and rejected inputs
+// (space-separated symbol sequences).
+var matchCases = []struct {
+	re     string
+	accept []string
+	reject []string
+}{
+	{
+		re:     "a",
+		accept: []string{"a"},
+		reject: []string{"", "b", "a a"},
+	},
+	{
+		re:     "a b",
+		accept: []string{"a b"},
+		reject: []string{"a", "b", "b a", "a b c"},
+	},
+	{
+		re:     "a | b",
+		accept: []string{"a", "b"},
+		reject: []string{"", "a b", "c"},
+	},
+	{
+		re:     "a*",
+		accept: []string{"", "a", "a a a a"},
+		reject: []string{"b", "a b"},
+	},
+	{
+		re:     "a+",
+		accept: []string{"a", "a a"},
+		reject: []string{"", "b"},
+	},
+	{
+		re:     "a?",
+		accept: []string{"", "a"},
+		reject: []string{"a a"},
+	},
+	{
+		re:     "(a c* d) | b",
+		accept: []string{"a d", "a c d", "a c c c d", "b"},
+		reject: []string{"", "a", "a c", "d", "a b", "b b", "c d"},
+	},
+	{
+		re: paperRE,
+		accept: []string{
+			"TC TD", "TC TY", "TC TCH TD", "TC TCH TCH TY",
+			"TC TS TR TD", "TC TS TR TCH TY", "TC TS TR TCH TS TR TD",
+			"TC TCH TS TR TCH TCH TY",
+		},
+		reject: []string{
+			"", "TC", "TD", "TC TS TD", "TC TR TD", "TC TD TD",
+			"TC TS TR", "TCH TC TD", "TC TS TS TR TD", "TC TY TY",
+		},
+	},
+	{
+		re:     "(a b)* c",
+		accept: []string{"c", "a b c", "a b a b c"},
+		reject: []string{"a c", "a b", "b a c"},
+	},
+}
+
+func TestThompsonMatch(t *testing.T) {
+	for _, tc := range matchCases {
+		a := mustThompson(t, tc.re)
+		for _, in := range tc.accept {
+			if !a.Match(split(in)) {
+				t.Errorf("Thompson(%q) rejects %q", tc.re, in)
+			}
+		}
+		for _, in := range tc.reject {
+			if a.Match(split(in)) {
+				t.Errorf("Thompson(%q) accepts %q", tc.re, in)
+			}
+		}
+	}
+}
+
+func TestGlushkovMatch(t *testing.T) {
+	for _, tc := range matchCases {
+		a := mustGlushkov(t, tc.re)
+		for _, in := range tc.accept {
+			if !a.Match(split(in)) {
+				t.Errorf("Glushkov(%q) rejects %q", tc.re, in)
+			}
+		}
+		for _, in := range tc.reject {
+			if a.Match(split(in)) {
+				t.Errorf("Glushkov(%q) accepts %q", tc.re, in)
+			}
+		}
+	}
+}
+
+func TestGlushkovHasNoEpsilon(t *testing.T) {
+	for _, tc := range matchCases {
+		if mustGlushkov(t, tc.re).HasEpsilon() {
+			t.Errorf("Glushkov(%q) has epsilon transitions", tc.re)
+		}
+	}
+}
+
+func TestGlushkovLabels(t *testing.T) {
+	a := mustGlushkov(t, "(a c* d) | b")
+	// Every non-start state's incoming edges carry its label.
+	for s := 0; s < a.NumStates(); s++ {
+		for _, e := range a.Edges[s] {
+			if a.Labels[e.To] != e.Symbol {
+				t.Errorf("edge into state %d labelled %q but state label %q",
+					e.To, e.Symbol, a.Labels[e.To])
+			}
+		}
+	}
+	if a.Labels[a.Start] != "" {
+		t.Error("start state has a symbol label")
+	}
+}
+
+func TestGlushkovStateCount(t *testing.T) {
+	// One state per symbol occurrence plus start.
+	a := mustGlushkov(t, "(a c* d) | b")
+	if a.NumStates() != 5 {
+		t.Fatalf("states = %d, want 5", a.NumStates())
+	}
+	// paper RE: TC, TCH, TS, TR, TCH, TD, TY = 7 occurrences + start.
+	p := mustGlushkov(t, paperRE)
+	if p.NumStates() != 8 {
+		t.Fatalf("paper RE states = %d, want 8", p.NumStates())
+	}
+}
+
+func TestMergeEquivalentPaperRE(t *testing.T) {
+	// Merging must collapse the two TCH occurrences into one state,
+	// producing exactly the 7-node machine of Figure 5.
+	a := MergeEquivalent(mustGlushkov(t, paperRE))
+	if a.NumStates() != 7 {
+		t.Fatalf("merged states = %d, want 7 (Figure 5)", a.NumStates())
+	}
+	labels := map[string]int{}
+	for s := 0; s < a.NumStates(); s++ {
+		labels[a.Labels[s]]++
+	}
+	for _, sym := range []string{"TC", "TCH", "TS", "TR", "TD", "TY"} {
+		if labels[sym] != 1 {
+			t.Errorf("symbol %s has %d states, want 1", sym, labels[sym])
+		}
+	}
+	if !a.IsDeterministic() {
+		t.Error("merged paper automaton is nondeterministic")
+	}
+}
+
+func TestMergePreservesLanguage(t *testing.T) {
+	for _, tc := range matchCases {
+		merged := MergeEquivalent(mustGlushkov(t, tc.re))
+		for _, in := range tc.accept {
+			if !merged.Match(split(in)) {
+				t.Errorf("merged(%q) rejects %q", tc.re, in)
+			}
+		}
+		for _, in := range tc.reject {
+			if merged.Match(split(in)) {
+				t.Errorf("merged(%q) accepts %q", tc.re, in)
+			}
+		}
+	}
+}
+
+func TestDeterminize(t *testing.T) {
+	for _, tc := range matchCases {
+		d := mustThompson(t, tc.re).Determinize()
+		if !d.IsDeterministic() {
+			t.Errorf("Determinize(%q) not deterministic", tc.re)
+		}
+		for _, in := range tc.accept {
+			if !d.Match(split(in)) {
+				t.Errorf("DFA(%q) rejects %q", tc.re, in)
+			}
+		}
+		for _, in := range tc.reject {
+			if d.Match(split(in)) {
+				t.Errorf("DFA(%q) accepts %q", tc.re, in)
+			}
+		}
+	}
+}
+
+func TestEpsilonClosure(t *testing.T) {
+	a := NewAutomaton(4)
+	a.AddEps(0, 1)
+	a.AddEps(1, 2)
+	a.AddEdge(2, "x", 3)
+	cl := a.EpsilonClosure(0)
+	if len(cl) != 3 || cl[0] != 0 || cl[1] != 1 || cl[2] != 2 {
+		t.Fatalf("closure = %v", cl)
+	}
+}
+
+func TestEpsilonClosureCycle(t *testing.T) {
+	a := NewAutomaton(3)
+	a.AddEps(0, 1)
+	a.AddEps(1, 0)
+	a.AddEps(1, 2)
+	cl := a.EpsilonClosure(0)
+	if len(cl) != 3 {
+		t.Fatalf("closure over eps-cycle = %v", cl)
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	a := mustGlushkov(t, paperRE)
+	al := a.Alphabet()
+	want := []string{"TC", "TCH", "TD", "TR", "TS", "TY"}
+	if len(al) != len(want) {
+		t.Fatalf("alphabet %v", al)
+	}
+	for i := range want {
+		if al[i] != want[i] {
+			t.Fatalf("alphabet %v, want %v", al, want)
+		}
+	}
+}
+
+func TestOutSymbolsAndSuccessors(t *testing.T) {
+	a := MergeEquivalent(mustGlushkov(t, paperRE))
+	// Locate the TC state.
+	var tc StateID = -1
+	for s := 0; s < a.NumStates(); s++ {
+		if a.Labels[s] == "TC" {
+			tc = StateID(s)
+		}
+	}
+	if tc < 0 {
+		t.Fatal("no TC state")
+	}
+	out := a.OutSymbols(tc)
+	want := []string{"TCH", "TD", "TS", "TY"}
+	if len(out) != len(want) {
+		t.Fatalf("TC out symbols %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("TC out symbols %v, want %v", out, want)
+		}
+	}
+	if len(a.Successors(tc, "TS")) != 1 {
+		t.Fatal("TC should have exactly one TS successor")
+	}
+	if len(a.Successors(tc, "TR")) != 0 {
+		t.Fatal("TC must not transition on TR")
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	a := NewAutomaton(2)
+	a.AddEdge(0, "x", 1)
+	a.AddEdge(0, "x", 1)
+	a.AddEps(0, 1)
+	a.AddEps(0, 1)
+	if len(a.Edges[0]) != 1 || len(a.Eps[0]) != 1 {
+		t.Fatalf("duplicates kept: %d edges, %d eps", len(a.Edges[0]), len(a.Eps[0]))
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	a := MergeEquivalent(mustGlushkov(t, "a | b"))
+	dot := a.Dot("g")
+	for _, frag := range []string{"digraph g", "doublecircle", "->"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("dot output missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+// randomWalkStrings generates sample strings by random walks over the
+// merged Glushkov automaton, used for the language-equivalence property.
+func randomWalkStrings(a *Automaton, rng *stats.RNG, n, maxLen int) [][]string {
+	var out [][]string
+	for i := 0; i < n; i++ {
+		var seq []string
+		s := a.Start
+		for step := 0; step < maxLen; step++ {
+			if len(a.Edges[s]) == 0 {
+				break
+			}
+			e := a.Edges[s][rng.Intn(len(a.Edges[s]))]
+			seq = append(seq, e.Symbol)
+			s = e.To
+			if a.Accept[s] && rng.Bool(0.3) {
+				break
+			}
+		}
+		out = append(out, seq)
+	}
+	return out
+}
+
+func TestConstructionsAgreeProperty(t *testing.T) {
+	// Property: Thompson, Glushkov, merged-Glushkov and the DFA agree on
+	// membership for both random-walk strings (mostly accepted) and
+	// random strings over the alphabet (mostly rejected).
+	res := []string{
+		"a", "a b", "a | b", "a*", "(a c* d) | b", "(a b)* c",
+		"a+ b?", paperRE, "x (y | z)* x$",
+	}
+	rng := stats.New(12345)
+	for _, re := range res {
+		th := mustThompson(t, re)
+		gl := mustGlushkov(t, re)
+		mg := MergeEquivalent(gl)
+		df := th.Determinize()
+		alpha := gl.Alphabet()
+
+		var samples [][]string
+		samples = append(samples, randomWalkStrings(mg, rng, 30, 12)...)
+		for i := 0; i < 30; i++ {
+			n := rng.Intn(6)
+			var seq []string
+			for j := 0; j < n; j++ {
+				seq = append(seq, alpha[rng.Intn(len(alpha))])
+			}
+			samples = append(samples, seq)
+		}
+		for _, in := range samples {
+			want := th.Match(in)
+			if gl.Match(in) != want || mg.Match(in) != want || df.Match(in) != want {
+				t.Fatalf("constructions disagree on %q for %v: thompson=%v glushkov=%v merged=%v dfa=%v",
+					re, in, want, gl.Match(in), mg.Match(in), df.Match(in))
+			}
+		}
+	}
+}
+
+func TestMatchQuickProperty(t *testing.T) {
+	// Property: for a* b, membership is exactly "n a's then one b".
+	a := mustGlushkov(t, "a* b")
+	err := quick.Check(func(na uint8, tail bool) bool {
+		var seq []string
+		for i := 0; i < int(na%20); i++ {
+			seq = append(seq, "a")
+		}
+		if tail {
+			seq = append(seq, "b")
+		}
+		return a.Match(seq) == tail
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

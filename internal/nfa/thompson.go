@@ -1,0 +1,82 @@
+package nfa
+
+import (
+	"fmt"
+
+	"repro/internal/regex"
+)
+
+// Thompson compiles the regular expression into an epsilon-NFA using
+// Thompson's construction (the paper's Algorithm 2 step "ConvertToNFA").
+// The resulting automaton has a single accept state. End anchors compile
+// to epsilon because whole-sequence matching already anchors both ends;
+// regex.Parse has verified anchors are in tail position.
+func Thompson(n regex.Node) *Automaton {
+	a := NewAutomaton(0)
+	start, end := thompson(a, n)
+	a.Start = start
+	a.Accept[end] = true
+	return a
+}
+
+// thompson returns the (entry, exit) states of the fragment for n.
+func thompson(a *Automaton, n regex.Node) (StateID, StateID) {
+	switch v := n.(type) {
+	case regex.Sym:
+		s := a.AddState()
+		e := a.AddState()
+		a.AddEdge(s, v.Name, e)
+		a.Labels[e] = v.Name
+		return s, e
+	case regex.End, regex.Empty:
+		s := a.AddState()
+		e := a.AddState()
+		a.AddEps(s, e)
+		return s, e
+	case regex.Concat:
+		if len(v.Parts) == 0 {
+			return thompson(a, regex.Empty{})
+		}
+		first, prevEnd := thompson(a, v.Parts[0])
+		for _, p := range v.Parts[1:] {
+			s, e := thompson(a, p)
+			a.AddEps(prevEnd, s)
+			prevEnd = e
+		}
+		return first, prevEnd
+	case regex.Alt:
+		s := a.AddState()
+		e := a.AddState()
+		for _, b := range v.Branches {
+			bs, be := thompson(a, b)
+			a.AddEps(s, bs)
+			a.AddEps(be, e)
+		}
+		return s, e
+	case regex.Star:
+		s := a.AddState()
+		e := a.AddState()
+		is, ie := thompson(a, v.Inner)
+		a.AddEps(s, is)
+		a.AddEps(s, e)
+		a.AddEps(ie, is)
+		a.AddEps(ie, e)
+		return s, e
+	case regex.Plus:
+		is, ie := thompson(a, v.Inner)
+		e := a.AddState()
+		a.AddEps(ie, is)
+		a.AddEps(ie, e)
+		return is, e
+	case regex.Opt:
+		s := a.AddState()
+		e := a.AddState()
+		is, ie := thompson(a, v.Inner)
+		a.AddEps(s, is)
+		a.AddEps(s, e)
+		a.AddEps(ie, e)
+		return s, e
+	default:
+		panic(fmt.Sprintf("nfa: unknown regex node %T", n))
+	}
+}

@@ -1,0 +1,74 @@
+package pattern
+
+// Bounded systematic enumeration of interleavings. The CHESS-style
+// baseline explores merged patterns exhaustively instead of sampling
+// them; the enumerator below yields every interleaving of the sources
+// whose number of context switches (task changes between adjacent
+// entries) does not exceed the given bound — the preemption-bounding
+// idea of Musuvathi & Qadeer applied at remote-command granularity.
+
+// EnumerateInterleavings calls yield for each distinct interleaving of
+// the sources with at most maxSwitches preemptions, in lexicographic
+// task order, until yield returns false or the space is exhausted. A
+// preemption is a switch away from a task that still has commands left;
+// moving on after a task is exhausted is free, exactly as in CHESS's
+// preemption bounding. It returns the number of interleavings produced.
+// A negative maxSwitches means unbounded (full interleaving space —
+// exponential; use only for tiny inputs).
+func EnumerateInterleavings(sources [][]string, maxSwitches int, yield func(Merged) bool) int {
+	n := len(sources)
+	if n == 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range sources {
+		total += len(s)
+	}
+	pos := make([]int, n)
+	entries := make([]Entry, 0, total)
+	count := 0
+	stopped := false
+
+	var rec func(lastTask, switches int)
+	rec = func(lastTask, switches int) {
+		if stopped {
+			return
+		}
+		if len(entries) == total {
+			m := Merged{Op: OpSequential, Sources: n, Entries: append([]Entry{}, entries...)}
+			count++
+			if !yield(m) {
+				stopped = true
+			}
+			return
+		}
+		for t := 0; t < n; t++ {
+			if pos[t] >= len(sources[t]) {
+				continue
+			}
+			sw := switches
+			if lastTask >= 0 && lastTask != t && pos[lastTask] < len(sources[lastTask]) {
+				sw++ // preemption: previous task still had work
+				if maxSwitches >= 0 && sw > maxSwitches {
+					continue
+				}
+			}
+			entries = append(entries, Entry{Task: t, Symbol: sources[t][pos[t]], Seq: pos[t]})
+			pos[t]++
+			rec(t, sw)
+			pos[t]--
+			entries = entries[:len(entries)-1]
+			if stopped {
+				return
+			}
+		}
+	}
+	rec(-1, 0)
+	return count
+}
+
+// CountInterleavings returns the number of interleavings of the sources
+// with at most maxSwitches task switches, without materializing them.
+func CountInterleavings(sources [][]string, maxSwitches int) int {
+	return EnumerateInterleavings(sources, maxSwitches, func(Merged) bool { return true })
+}

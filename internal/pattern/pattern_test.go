@@ -1,0 +1,394 @@
+package pattern
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func sources3() [][]string {
+	return [][]string{
+		{"A1", "A2", "A3"},
+		{"B1", "B2"},
+		{"C1", "C2", "C3", "C4"},
+	}
+}
+
+func symbolsOf(m Merged) []string {
+	out := make([]string, 0, m.Len())
+	for _, e := range m.Entries {
+		out = append(out, e.Symbol)
+	}
+	return out
+}
+
+// checkInterleaving verifies the two merge invariants: every source
+// symbol appears exactly once, and per-source order is preserved.
+func checkInterleaving(t *testing.T, sources [][]string, m Merged) {
+	t.Helper()
+	total := 0
+	for _, s := range sources {
+		total += len(s)
+	}
+	if m.Len() != total {
+		t.Fatalf("merged %d entries, want %d", m.Len(), total)
+	}
+	next := make([]int, len(sources))
+	for i, e := range m.Entries {
+		if e.Task < 0 || e.Task >= len(sources) {
+			t.Fatalf("entry %d has bad task %d", i, e.Task)
+		}
+		if e.Seq != next[e.Task] {
+			t.Fatalf("entry %d: task %d out of order: seq %d, want %d",
+				i, e.Task, e.Seq, next[e.Task])
+		}
+		if sources[e.Task][e.Seq] != e.Symbol {
+			t.Fatalf("entry %d: symbol %q, want %q", i, e.Symbol, sources[e.Task][e.Seq])
+		}
+		next[e.Task]++
+	}
+	for tsk, n := range next {
+		if n != len(sources[tsk]) {
+			t.Fatalf("task %d consumed %d of %d symbols", tsk, n, len(sources[tsk]))
+		}
+	}
+}
+
+func TestMergeAllOpsAreInterleavings(t *testing.T) {
+	for _, op := range Ops() {
+		rng := stats.New(42)
+		m, err := Merge(sources3(), op, rng, Options{Weights: []float64{1, 2, 3}})
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		checkInterleaving(t, sources3(), m)
+	}
+}
+
+func TestMergeSequential(t *testing.T) {
+	m, err := Merge(sources3(), OpSequential, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A1", "A2", "A3", "B1", "B2", "C1", "C2", "C3", "C4"}
+	if !reflect.DeepEqual(symbolsOf(m), want) {
+		t.Fatalf("got %v", symbolsOf(m))
+	}
+}
+
+func TestMergeRoundRobinChunk1(t *testing.T) {
+	m, err := Merge(sources3(), OpRoundRobin, nil, Options{Subseq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A1", "B1", "C1", "A2", "B2", "C2", "A3", "C3", "C4"}
+	if !reflect.DeepEqual(symbolsOf(m), want) {
+		t.Fatalf("got %v", symbolsOf(m))
+	}
+}
+
+func TestMergeRoundRobinChunk2(t *testing.T) {
+	m, err := Merge(sources3(), OpRoundRobin, nil, Options{Subseq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A1", "A2", "B1", "B2", "C1", "C2", "A3", "C3", "C4"}
+	if !reflect.DeepEqual(symbolsOf(m), want) {
+		t.Fatalf("got %v", symbolsOf(m))
+	}
+}
+
+func TestMergeCyclicRotates(t *testing.T) {
+	src := [][]string{{"A1", "A2", "A3"}, {"B1", "B2", "B3"}, {"C1", "C2", "C3"}}
+	m, err := Merge(src, OpCyclic, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 order 0,1,2; round 2 order 1,2,0; round 3 order 2,0,1.
+	want := []string{"A1", "B1", "C1", "B2", "C2", "A2", "C3", "A3", "B3"}
+	if !reflect.DeepEqual(symbolsOf(m), want) {
+		t.Fatalf("got %v", symbolsOf(m))
+	}
+}
+
+func TestMergeCyclicLockstep(t *testing.T) {
+	// In any prefix, per-task progress differs by at most 1 — the lockstep
+	// property that drives cyclic-wait scenarios.
+	src := [][]string{{"a", "a", "a"}, {"b", "b", "b"}, {"c", "c", "c"}}
+	m, err := Merge(src, OpCyclic, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progress := make([]int, 3)
+	for _, e := range m.Entries {
+		progress[e.Task]++
+		min, max := progress[0], progress[0]
+		for _, p := range progress {
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("lockstep violated: progress %v", progress)
+		}
+	}
+}
+
+func TestMergeRandomDeterministicPerSeed(t *testing.T) {
+	m1, err := Merge(sources3(), OpRandom, stats.New(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Merge(sources3(), OpRandom, stats.New(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("same seed produced different merges")
+	}
+	m3, err := Merge(sources3(), OpRandom, stats.New(6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(symbolsOf(m1), symbolsOf(m3)) {
+		t.Log("note: different seeds produced identical merge (possible but unlikely)")
+	}
+}
+
+func TestMergeRandomRequiresRNG(t *testing.T) {
+	if _, err := Merge(sources3(), OpRandom, nil, Options{}); err == nil {
+		t.Fatal("OpRandom without RNG accepted")
+	}
+	if _, err := Merge(sources3(), OpPriority, nil, Options{}); err == nil {
+		t.Fatal("OpPriority without RNG accepted")
+	}
+}
+
+func TestMergePriorityFavorsHeavyTask(t *testing.T) {
+	// Task 1 has weight 8: its commands should mostly come first.
+	src := [][]string{
+		{"a", "a", "a", "a", "a", "a", "a", "a"},
+		{"b", "b", "b", "b", "b", "b", "b", "b"},
+	}
+	rng := stats.New(9)
+	firstHalfB := 0
+	const rounds = 200
+	for r := 0; r < rounds; r++ {
+		m, err := Merge(src, OpPriority, rng, Options{Weights: []float64{1, 8}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range m.Entries[:8] {
+			if e.Task == 1 {
+				firstHalfB++
+			}
+		}
+	}
+	frac := float64(firstHalfB) / float64(rounds*8)
+	if frac < 0.7 {
+		t.Fatalf("heavy task occupies only %.2f of the first half", frac)
+	}
+}
+
+func TestMergeNoSources(t *testing.T) {
+	if _, err := Merge(nil, OpRoundRobin, nil, Options{}); err != ErrNoSources {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMergeEmptySources(t *testing.T) {
+	m, err := Merge([][]string{{}, {}}, OpRoundRobin, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("merged %d entries from empty sources", m.Len())
+	}
+}
+
+func TestMergeSingleSource(t *testing.T) {
+	for _, op := range Ops() {
+		m, err := Merge([][]string{{"x", "y", "z"}}, op, stats.New(1), Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if !reflect.DeepEqual(symbolsOf(m), []string{"x", "y", "z"}) {
+			t.Fatalf("%v: got %v", op, symbolsOf(m))
+		}
+	}
+}
+
+func TestPerTaskInvertsMerge(t *testing.T) {
+	for _, op := range Ops() {
+		m, err := Merge(sources3(), op, stats.New(77), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := m.PerTask()
+		if !reflect.DeepEqual(back, sources3()) {
+			t.Fatalf("%v: PerTask %v != sources", op, back)
+		}
+	}
+}
+
+func TestMergePropertyRandomSources(t *testing.T) {
+	// Property: for arbitrary sources and any op, the result is a valid
+	// interleaving.
+	err := quick.Check(func(seed uint64, shape []uint8) bool {
+		rng := stats.New(seed)
+		nsrc := 1 + int(seed%5)
+		sources := make([][]string, nsrc)
+		for i := range sources {
+			n := 0
+			if i < len(shape) {
+				n = int(shape[i] % 7)
+			}
+			for j := 0; j < n; j++ {
+				sources[i] = append(sources[i], string(rune('a'+i))+string(rune('0'+j)))
+			}
+		}
+		for _, op := range Ops() {
+			m, err := Merge(sources, op, rng, Options{})
+			if err != nil {
+				return false
+			}
+			next := make([]int, nsrc)
+			for _, e := range m.Entries {
+				if e.Seq != next[e.Task] {
+					return false
+				}
+				next[e.Task]++
+			}
+			for tsk := range sources {
+				if next[tsk] != len(sources[tsk]) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseOpRoundTrip(t *testing.T) {
+	for _, op := range Ops() {
+		got, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != op {
+			t.Fatalf("round trip %v -> %v", op, got)
+		}
+	}
+	if _, err := ParseOp("nope"); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if Op(99).String() == "" {
+		t.Fatal("unknown op String empty")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	sources := [][]string{
+		{"a", "b"},
+		{"a", "b"},
+		{"a"},
+		{"a", "b"},
+		{},
+		{},
+	}
+	unique, removed := Dedup(sources)
+	if removed != 3 {
+		t.Fatalf("removed %d, want 3", removed)
+	}
+	if len(unique) != 3 {
+		t.Fatalf("unique %d, want 3", len(unique))
+	}
+}
+
+func TestEnumerateInterleavingsCountsSmall(t *testing.T) {
+	// Two sources of length 2 and 1: C(3,1) = 3 interleavings unbounded.
+	n := CountInterleavings([][]string{{"a1", "a2"}, {"b1"}}, -1)
+	if n != 3 {
+		t.Fatalf("count=%d, want 3", n)
+	}
+	// Two sources of length 2 each: C(4,2) = 6.
+	n = CountInterleavings([][]string{{"a1", "a2"}, {"b1", "b2"}}, -1)
+	if n != 6 {
+		t.Fatalf("count=%d, want 6", n)
+	}
+}
+
+func TestEnumerateInterleavingsSwitchBound(t *testing.T) {
+	src := [][]string{{"a1", "a2"}, {"b1", "b2"}}
+	// 0 switches: only the two sequential orders.
+	if n := CountInterleavings(src, 0); n != 2 {
+		t.Fatalf("0-switch count=%d, want 2", n)
+	}
+	// Bounds are monotone.
+	prev := 0
+	for b := 0; b <= 3; b++ {
+		n := CountInterleavings(src, b)
+		if n < prev {
+			t.Fatalf("count not monotone at bound %d: %d < %d", b, n, prev)
+		}
+		prev = n
+	}
+	if prev != 6 {
+		t.Fatalf("max-bound count=%d, want 6", prev)
+	}
+}
+
+func TestEnumerateValidInterleavings(t *testing.T) {
+	src := [][]string{{"a1", "a2"}, {"b1"}, {"c1"}}
+	seen := map[string]bool{}
+	EnumerateInterleavings(src, -1, func(m Merged) bool {
+		key := ""
+		next := make([]int, len(src))
+		for _, e := range m.Entries {
+			if e.Seq != next[e.Task] {
+				t.Fatalf("bad interleaving %v", m.Entries)
+			}
+			next[e.Task]++
+			key += e.Symbol + "|"
+		}
+		if seen[key] {
+			t.Fatalf("duplicate interleaving %s", key)
+		}
+		seen[key] = true
+		return true
+	})
+	// 4!/(2!·1!·1!) = 12 interleavings.
+	if len(seen) != 12 {
+		t.Fatalf("distinct interleavings %d, want 12", len(seen))
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	src := [][]string{{"a1", "a2"}, {"b1", "b2"}}
+	n := 0
+	EnumerateInterleavings(src, -1, func(Merged) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop yielded %d", n)
+	}
+}
+
+func TestEnumerateEmpty(t *testing.T) {
+	if n := CountInterleavings(nil, -1); n != 0 {
+		t.Fatalf("nil sources count %d", n)
+	}
+	// All-empty sources: exactly one (empty) interleaving.
+	if n := CountInterleavings([][]string{{}, {}}, -1); n != 1 {
+		t.Fatalf("empty sources count %d", n)
+	}
+}

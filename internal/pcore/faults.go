@@ -1,0 +1,48 @@
+package pcore
+
+// FaultPlan configures the faults seeded into the simulated kernel. The
+// zero value is a healthy kernel. The plans mirror the bug classes the
+// paper's evaluation discovered (GC failure, deadlock-prone application
+// code) plus the additional seeded faults used by the fault-coverage
+// ablation (the paper's future-work item on verifying fault coverage).
+type FaultPlan struct {
+	// GCLeakEvery makes every n-th garbage-collection pass leak its blocks
+	// instead of reclaiming them (case study 1's crash cause). The pool
+	// shrinks under create/delete churn until allocation fails and the
+	// kernel crashes with FaultPoolExhausted / FaultGCCorruption.
+	GCLeakEvery int
+
+	// GCCorruptAfterLeaks, when > 0, crashes the kernel with
+	// FaultGCCorruption as soon as the cumulative leaked-block count
+	// reaches the threshold — modelling the collector scribbling over the
+	// free list rather than merely leaking. 0 means the kernel only
+	// crashes when an allocation finally finds the pool empty.
+	GCCorruptAfterLeaks int
+
+	// DropResumeEvery makes every n-th task_resume a silent no-op (a lost
+	// wakeup in the command path): the target task stays suspended while
+	// the master believes it runs — a synchronization anomaly for the
+	// detector's hang/starvation checks.
+	DropResumeEvery int
+
+	// MisplacePriorityEvery makes every n-th task_chanprio apply the
+	// wrong priority value (sets the lowest priority instead), seeding
+	// starvation of the affected task.
+	MisplacePriorityEvery int
+
+	// StackGuardOff disables the 512-byte stack overflow check, letting
+	// overflowing tasks silently corrupt a neighbour: the next service
+	// touching the neighbour task crashes the kernel with FaultAssert.
+	StackGuardOff bool
+}
+
+// Healthy reports whether the plan injects no faults.
+func (f FaultPlan) Healthy() bool {
+	return f == FaultPlan{}
+}
+
+// counters tracks per-plan trigger state inside the kernel.
+type faultState struct {
+	resumeCalls   int
+	chanprioCalls int
+}

@@ -1,0 +1,473 @@
+package pcore
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// Config sets kernel parameters; zero values take pCore defaults.
+type Config struct {
+	// MaxTasks is the TCB table size (default 16, pCore's limit).
+	MaxTasks int
+	// StackSize is each task's stack in bytes (default 512, the paper's
+	// stress-test configuration).
+	StackSize int
+	// GCEvery runs a background garbage-collection pass every n completed
+	// kernel services (default 8).
+	GCEvery int
+	// Quantum is the compute budget before an equal-priority round-robin
+	// rotation (default 500 cycles).
+	Quantum clock.Cycles
+	// Faults seeds the kernel with simulated bugs.
+	Faults FaultPlan
+	// Noise, when non-nil, is consulted at every continuation point (a
+	// task completing a system call that would keep the processor): a
+	// true return forces a yield to the back of the priority queue. It
+	// is the hook the ConTest-style noise-injection baseline uses to
+	// randomly perturb the schedule at synchronization points.
+	Noise func() bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTasks <= 0 {
+		c.MaxTasks = 16
+	}
+	if c.StackSize <= 0 {
+		c.StackSize = 512
+	}
+	if c.GCEvery <= 0 {
+		c.GCEvery = 8
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 500
+	}
+	return c
+}
+
+// Kernel is the simulated pCore instance. Not safe for concurrent use;
+// the co-simulation is single-threaded by design.
+type Kernel struct {
+	cfg  Config
+	plan FaultPlan
+
+	tasks     []*Task // index 1..MaxTasks; nil = free slot
+	ready     [NumPriorities][]TaskID
+	readyMask uint32
+
+	tcbPool   *Pool
+	stackPool *Pool
+
+	cycles  clock.Cycles
+	fault   *KernelFault
+	lastRun TaskID
+	current TaskID
+
+	syscallCh chan struct{}
+	curReq    request
+
+	fstate   faultState
+	svcCount int
+
+	onEvent func(Event)
+
+	svcCalls    map[Service]uint64
+	svcCycles   map[Service]clock.Cycles
+	ctxSwitches uint64
+	dispatches  uint64
+}
+
+// New boots a kernel with the given configuration.
+func New(cfg Config) *Kernel {
+	cfg = cfg.withDefaults()
+	k := &Kernel{
+		cfg:       cfg,
+		plan:      cfg.Faults,
+		tasks:     make([]*Task, cfg.MaxTasks+1),
+		tcbPool:   NewPool("tcb", cfg.MaxTasks),
+		stackPool: NewPool("stack", cfg.MaxTasks),
+		syscallCh: make(chan struct{}),
+		svcCalls:  make(map[Service]uint64),
+		svcCycles: make(map[Service]clock.Cycles),
+	}
+	return k
+}
+
+// Cycles returns the kernel-local virtual time consumed so far.
+func (k *Kernel) Cycles() clock.Cycles { return k.cycles }
+
+// Fault returns the crash record, or nil while the kernel is healthy.
+func (k *Kernel) Fault() *KernelFault { return k.fault }
+
+// Crashed reports whether the kernel has crashed.
+func (k *Kernel) Crashed() bool { return k.fault != nil }
+
+// OnEvent registers the trace hook (last registration wins).
+func (k *Kernel) OnEvent(fn func(Event)) { k.onEvent = fn }
+
+func (k *Kernel) emit(e Event) {
+	e.At = k.cycles
+	if k.onEvent != nil {
+		k.onEvent(e)
+	}
+}
+
+// crash records a kernel fault; the kernel refuses all work afterwards.
+func (k *Kernel) crash(reason, detail string, task TaskID) *KernelFault {
+	if k.fault != nil {
+		return k.fault
+	}
+	k.fault = &KernelFault{Reason: reason, Detail: detail, Task: task, At: k.cycles}
+	k.emit(Event{Task: task, Kind: EvFault, Detail: reason + ": " + detail})
+	return k.fault
+}
+
+// --- ready queue management -------------------------------------------
+
+func (k *Kernel) enqueueBack(t *Task) {
+	t.state = StateReady
+	k.ready[t.prio] = append(k.ready[t.prio], t.id)
+	k.readyMask |= 1 << uint(t.prio)
+}
+
+func (k *Kernel) enqueueFront(t *Task) {
+	if k.cfg.Noise != nil && k.cfg.Noise() {
+		// Injected noise: a forced yield at this continuation point.
+		k.enqueueBack(t)
+		return
+	}
+	t.state = StateReady
+	k.ready[t.prio] = append([]TaskID{t.id}, k.ready[t.prio]...)
+	k.readyMask |= 1 << uint(t.prio)
+}
+
+func (k *Kernel) dequeue(t *Task) {
+	q := k.ready[t.prio]
+	for i, id := range q {
+		if id == t.id {
+			k.ready[t.prio] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(k.ready[t.prio]) == 0 {
+		k.readyMask &^= 1 << uint(t.prio)
+	}
+}
+
+// pickNext pops the highest-priority ready task (lowest numeric prio).
+func (k *Kernel) pickNext() *Task {
+	if k.readyMask == 0 {
+		return nil
+	}
+	for p := 0; p < NumPriorities; p++ {
+		if k.readyMask&(1<<uint(p)) == 0 {
+			continue
+		}
+		q := k.ready[p]
+		id := q[0]
+		k.ready[p] = q[1:]
+		if len(k.ready[p]) == 0 {
+			k.readyMask &^= 1 << uint(p)
+		}
+		return k.tasks[id]
+	}
+	return nil
+}
+
+// ReadyCount returns the number of ready tasks.
+func (k *Kernel) ReadyCount() int {
+	n := 0
+	for p := 0; p < NumPriorities; p++ {
+		n += len(k.ready[p])
+	}
+	return n
+}
+
+// Idle reports whether no task is ready to run.
+func (k *Kernel) Idle() bool { return k.readyMask == 0 }
+
+// --- dispatch loop -----------------------------------------------------
+
+// Step dispatches the highest-priority ready task for one kernel event
+// (run until its next system call) and processes that call. It returns
+// the virtual-cycle cost and whether any task ran. A crashed kernel
+// never runs.
+func (k *Kernel) Step() (clock.Cycles, bool) {
+	if k.fault != nil {
+		return 0, false
+	}
+	t := k.pickNext()
+	if t == nil {
+		return 0, false
+	}
+	var cost clock.Cycles
+	if k.lastRun != t.id {
+		cost += CostContextSw
+		k.ctxSwitches++
+		t.sliceUsed = 0
+	}
+	k.lastRun = t.id
+	k.current = t.id
+	k.dispatches++
+	t.state = StateRunning
+	k.emit(Event{Task: t.id, Kind: EvDispatch})
+
+	t.runCh <- struct{}{}
+	<-k.syscallCh
+	req := k.curReq
+	t.syscalls++
+	cost += k.handle(req)
+	k.current = 0
+	k.cycles += cost
+	return cost, true
+}
+
+// RunUntilIdle steps the kernel until no task is ready, the kernel
+// crashes, or maxSteps is exceeded; it returns the steps taken.
+func (k *Kernel) RunUntilIdle(maxSteps int) int {
+	steps := 0
+	for steps < maxSteps {
+		if _, ran := k.Step(); !ran {
+			break
+		}
+		steps++
+	}
+	return steps
+}
+
+// handle processes one task request and returns its cycle cost. On
+// return the requesting task is in a well-defined non-running state.
+func (k *Kernel) handle(req request) clock.Cycles {
+	t := req.task
+	t.syscallErr = nil
+	switch req.kind {
+	case reqYield:
+		k.enqueueBack(t)
+		return CostYield
+
+	case reqCompute:
+		t.sliceUsed += req.cycles
+		if t.sliceUsed >= k.cfg.Quantum {
+			t.sliceUsed = 0
+			k.enqueueBack(t)
+		} else {
+			k.enqueueFront(t)
+		}
+		return req.cycles
+
+	case reqProgress:
+		t.progress++
+		k.emit(Event{Task: t.id, Kind: EvProgress})
+		k.enqueueFront(t)
+		return 1
+
+	case reqStackPush:
+		t.stackUsed += req.bytes
+		if t.stackUsed > k.cfg.StackSize {
+			if !k.plan.StackGuardOff {
+				used := t.stackUsed
+				k.killParked(t, "stack overflow")
+				k.crash(FaultStackOverflow,
+					fmt.Sprintf("task %q used %d of %d stack bytes", t.name, used, k.cfg.StackSize), t.id)
+				return 2
+			}
+			// Unguarded overflow scribbles over the adjacent TCB.
+			if n := k.neighborOf(t); n != nil {
+				n.corrupted = true
+			}
+		}
+		k.enqueueFront(t)
+		return 2
+
+	case reqStackPop:
+		t.stackUsed -= req.bytes
+		if t.stackUsed < 0 {
+			t.stackUsed = 0
+		}
+		k.enqueueFront(t)
+		return 2
+
+	case reqSemWait:
+		s := req.sem
+		if s.count > 0 {
+			s.count--
+			k.enqueueFront(t)
+			return CostSemOp
+		}
+		t.state = StateBlocked
+		t.waitSem = s
+		s.waiters.push(t)
+		k.emit(Event{Task: t.id, Kind: EvBlock, Detail: "sem " + s.name})
+		return CostSemOp
+
+	case reqSemSignal:
+		s := req.sem
+		if w := s.waiters.pop(); w != nil {
+			// Direct handoff: the unit goes to w, whose pending SemWait
+			// completes at its next dispatch (wake status nil).
+			w.state = StateReady
+			w.waitSem = nil
+			k.enqueueBack(w)
+			k.emit(Event{Task: w.id, Kind: EvWake, Detail: "sem " + s.name})
+		} else {
+			s.count++
+		}
+		k.enqueueFront(t)
+		return CostSemOp
+
+	case reqMutexLock:
+		m := req.mu
+		switch {
+		case m.owner == nil:
+			m.owner = t
+			k.enqueueFront(t)
+		case m.owner == t:
+			k.killParked(t, "recursive lock")
+			k.crash(FaultAssert, fmt.Sprintf("task %q recursively locked %q", t.name, m.name), t.id)
+		default:
+			t.state = StateBlocked
+			t.waitMu = m
+			m.waiters.push(t)
+			k.emit(Event{Task: t.id, Kind: EvBlock, Detail: "mutex " + m.name})
+		}
+		return CostSemOp
+
+	case reqMutexUnlock:
+		m := req.mu
+		if m.owner != t {
+			owner := m.Owner()
+			k.killParked(t, "bad unlock")
+			k.crash(FaultAssert, fmt.Sprintf("task %q unlocked %q owned by %d", t.name, m.name, owner), t.id)
+			return CostSemOp
+		}
+		if w := m.waiters.pop(); w != nil {
+			m.owner = w // direct ownership transfer
+			w.state = StateReady
+			w.waitMu = nil
+			k.enqueueBack(w)
+			k.emit(Event{Task: w.id, Kind: EvWake, Detail: "mutex " + m.name})
+		} else {
+			m.owner = nil
+		}
+		k.enqueueFront(t)
+		return CostSemOp
+
+	case reqQueueSend:
+		if k.handleSend(t, req.q, req.msg) {
+			k.enqueueFront(t)
+		}
+		return CostSemOp
+
+	case reqQueueRecv:
+		if k.handleRecv(t, req.q) {
+			k.enqueueFront(t)
+		}
+		return CostSemOp
+
+	case reqExit:
+		k.cleanupLocked(t, "exit")
+		return CostTaskYield
+
+	case reqTaskPanic:
+		k.cleanupLocked(t, "panic")
+		k.crash(FaultAssert, fmt.Sprintf("task %q panicked: %s", t.name, req.detail), t.id)
+		return CostTaskYield
+	}
+	k.crash(FaultAssert, fmt.Sprintf("unknown request kind %d", req.kind), t.id)
+	return 0
+}
+
+// neighborOf returns the live task in the adjacent TCB slot (wrapping),
+// the victim of an unguarded stack overflow.
+func (k *Kernel) neighborOf(t *Task) *Task {
+	for off := 1; off <= k.cfg.MaxTasks; off++ {
+		id := TaskID((int(t.id)+off-1)%k.cfg.MaxTasks + 1)
+		if id != t.id && k.tasks[id] != nil {
+			return k.tasks[id]
+		}
+	}
+	return nil
+}
+
+// cleanupLocked terminates a task that is NOT parked in a wait (it just
+// made a request): releases its pool blocks and clears its slot. The
+// goroutine has already ended or will end without touching the kernel.
+func (k *Kernel) cleanupLocked(t *Task, why string) {
+	k.releaseTask(t, why)
+}
+
+// releaseTask frees a task's resources and marks it terminated.
+func (k *Kernel) releaseTask(t *Task, why string) {
+	if t.state == StateTerminated {
+		return
+	}
+	// Remove from any queue it might occupy.
+	switch t.state {
+	case StateReady, StateRunning:
+		k.dequeue(t)
+	case StateBlocked:
+		if t.waitSem != nil {
+			t.waitSem.waiters.remove(t)
+			t.waitSem = nil
+		}
+		if t.waitMu != nil {
+			t.waitMu.waiters.remove(t)
+			t.waitMu = nil
+		}
+		if t.waitSendQ != nil {
+			t.waitSendQ.sendQ.remove(t)
+			t.waitSendQ = nil
+		}
+		if t.waitRecvQ != nil {
+			t.waitRecvQ.recvQ.remove(t)
+			t.waitRecvQ = nil
+		}
+	}
+	t.state = StateTerminated
+	if err := k.tcbPool.Release(t.tcbBlock); err != nil {
+		k.crash(FaultDoubleFree, err.Error(), t.id)
+	}
+	if err := k.stackPool.Release(t.stackBlock); err != nil {
+		k.crash(FaultDoubleFree, err.Error(), t.id)
+	}
+	k.tasks[t.id] = nil
+	k.emit(Event{Task: t.id, Kind: EvExit, Detail: why})
+}
+
+// killParked terminates a task whose goroutine is parked waiting for
+// dispatch: the kill handshake resumes it, the trampoline unwinds and
+// acknowledges, and the kernel reclaims the slot.
+func (k *Kernel) killParked(t *Task, why string) {
+	t.killed = true
+	t.runCh <- struct{}{}
+	<-k.syscallCh // reqKilledAck
+	k.releaseTask(t, why)
+}
+
+// --- garbage collection -------------------------------------------------
+
+// maybeGC runs the periodic background collection after every GCEvery
+// completed services.
+func (k *Kernel) maybeGC() {
+	k.svcCount++
+	if k.svcCount%k.cfg.GCEvery == 0 {
+		k.runGC("periodic")
+	}
+}
+
+// runGC performs one collection pass over both pools, honouring the
+// injected GC fault.
+func (k *Kernel) runGC(why string) {
+	r1, l1 := k.tcbPool.Collect(k.plan.GCLeakEvery)
+	r2, l2 := k.stackPool.Collect(k.plan.GCLeakEvery)
+	k.emit(Event{Kind: EvGC, Detail: fmt.Sprintf("%s: reclaimed %d, leaked %d", why, r1+r2, l1+l2)})
+	if k.plan.GCCorruptAfterLeaks > 0 &&
+		k.tcbPool.Leaked()+k.stackPool.Leaked() >= k.plan.GCCorruptAfterLeaks {
+		k.crash(FaultGCCorruption,
+			fmt.Sprintf("collector leaked %d tcb / %d stack blocks and corrupted the free list",
+				k.tcbPool.Leaked(), k.stackPool.Leaked()), 0)
+	}
+}
+
+// Pools exposes allocator occupancy for diagnostics and tests.
+func (k *Kernel) Pools() (tcb, stack *Pool) { return k.tcbPool, k.stackPool }

@@ -1,0 +1,1017 @@
+package pcore
+
+import (
+	"strings"
+	"testing"
+)
+
+func newK(t *testing.T, cfg Config) *Kernel {
+	t.Helper()
+	k := New(cfg)
+	t.Cleanup(k.Shutdown)
+	return k
+}
+
+func TestCreateAndRunToCompletion(t *testing.T) {
+	k := newK(t, Config{})
+	ran := false
+	id, err := k.CreateTask("worker", 5, func(c *Ctx) {
+		c.Compute(100)
+		ran = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == InvalidTask {
+		t.Fatal("invalid id")
+	}
+	k.RunUntilIdle(100)
+	if !ran {
+		t.Fatal("task body did not run")
+	}
+	if _, ok := k.TaskInfo(id); ok {
+		t.Fatal("task slot still live after completion")
+	}
+}
+
+func TestPriorityScheduling(t *testing.T) {
+	k := newK(t, Config{})
+	var order []string
+	mk := func(name string) func(*Ctx) {
+		return func(c *Ctx) { order = append(order, name) }
+	}
+	// Created low-priority first; high priority must still run first.
+	if _, err := k.CreateTask("low", 9, mk("low")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateTask("high", 1, mk("high")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.CreateTask("mid", 5, mk("mid")); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle(100)
+	if strings.Join(order, ",") != "high,mid,low" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestYieldRoundRobin(t *testing.T) {
+	k := newK(t, Config{})
+	var order []string
+	mk := func(name string) func(*Ctx) {
+		return func(c *Ctx) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				c.Yield()
+			}
+		}
+	}
+	_, _ = k.CreateTask("a", 5, mk("a"))
+	_, _ = k.CreateTask("b", 5, mk("b"))
+	k.RunUntilIdle(100)
+	want := "a,b,a,b,a,b"
+	if strings.Join(order, ",") != want {
+		t.Fatalf("order %v, want %s", order, want)
+	}
+}
+
+func TestComputeKeepsRunningUntilQuantum(t *testing.T) {
+	k := newK(t, Config{Quantum: 100})
+	var order []string
+	mk := func(name string, bursts int) func(*Ctx) {
+		return func(c *Ctx) {
+			for i := 0; i < bursts; i++ {
+				order = append(order, name)
+				c.Compute(40) // below quantum: keeps the processor
+			}
+		}
+	}
+	_, _ = k.CreateTask("a", 5, mk("a", 4))
+	_, _ = k.CreateTask("b", 5, mk("b", 4))
+	k.RunUntilIdle(100)
+	// a computes 40+40 = 80 < 100, third burst crosses the quantum at 120
+	// → rotation. Expect runs of a then b, not strict alternation.
+	joined := strings.Join(order, ",")
+	if strings.HasPrefix(joined, "a,b") {
+		t.Fatalf("compute did not keep processor: %s", joined)
+	}
+	if !strings.Contains(joined, "b") {
+		t.Fatalf("b never ran: %s", joined)
+	}
+}
+
+func TestPreemptionByResume(t *testing.T) {
+	k := newK(t, Config{})
+	var order []string
+	hiID, _ := k.CreateTask("hi", 1, func(c *Ctx) {
+		order = append(order, "hi")
+	})
+	if err := k.SuspendTask(hiID); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = k.CreateTask("lo", 9, func(c *Ctx) {
+		order = append(order, "lo1")
+		c.Yield()
+		order = append(order, "lo2")
+	})
+	// Let lo run one step, then resume hi: hi must preempt lo's remainder.
+	if _, ran := k.Step(); !ran {
+		t.Fatal("no step")
+	}
+	if err := k.ResumeTask(hiID); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle(100)
+	if strings.Join(order, ",") != "lo1,hi,lo2" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestSuspendResumeSemantics(t *testing.T) {
+	k := newK(t, Config{})
+	id, _ := k.CreateTask("x", 5, func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	})
+	// Resume of a ready task is illegal (paper: resume only when suspended).
+	if err := k.ResumeTask(id); err == nil {
+		t.Fatal("resume of ready task accepted")
+	}
+	if err := k.SuspendTask(id); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := k.TaskInfo(id)
+	if info.State != StateSuspended {
+		t.Fatalf("state %v", info.State)
+	}
+	// Double suspend is illegal.
+	if err := k.SuspendTask(id); err == nil {
+		t.Fatal("double suspend accepted")
+	}
+	// Suspended task must not run.
+	if _, ran := k.Step(); ran {
+		t.Fatal("suspended task ran")
+	}
+	if err := k.ResumeTask(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ran := k.Step(); !ran {
+		t.Fatal("resumed task did not run")
+	}
+}
+
+func TestServiceErrorsOnBadIDs(t *testing.T) {
+	k := newK(t, Config{})
+	for _, err := range []error{
+		k.DeleteTask(0),
+		k.DeleteTask(99),
+		k.SuspendTask(3),
+		k.ResumeTask(3),
+		k.ChangePriority(3, 1),
+		k.TerminateTask(3),
+	} {
+		if err == nil {
+			t.Fatal("bad id accepted")
+		}
+		if _, ok := err.(*ServiceError); !ok {
+			t.Fatalf("got %T: %v", err, err)
+		}
+	}
+}
+
+func TestChangePriorityRepositionsReadyTask(t *testing.T) {
+	k := newK(t, Config{})
+	var order []string
+	a, _ := k.CreateTask("a", 5, func(c *Ctx) { order = append(order, "a") })
+	_, _ = k.CreateTask("b", 4, func(c *Ctx) { order = append(order, "b") })
+	if err := k.ChangePriority(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle(100)
+	if strings.Join(order, ",") != "a,b" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestChangePriorityRange(t *testing.T) {
+	k := newK(t, Config{})
+	id, _ := k.CreateTask("x", 5, func(c *Ctx) { c.Yield() })
+	if err := k.ChangePriority(id, NumPriorities); err == nil {
+		t.Fatal("out-of-range priority accepted")
+	}
+}
+
+func TestTerminateTaskTY(t *testing.T) {
+	k := newK(t, Config{})
+	hits := 0
+	id, _ := k.CreateTask("loop", 5, func(c *Ctx) {
+		for {
+			hits++
+			c.Yield()
+		}
+	})
+	k.Step()
+	k.Step()
+	if err := k.TerminateTask(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.TaskInfo(id); ok {
+		t.Fatal("task alive after TY")
+	}
+	before := hits
+	k.RunUntilIdle(10)
+	if hits != before {
+		t.Fatal("terminated task kept running")
+	}
+}
+
+func TestDeleteInEachState(t *testing.T) {
+	k := newK(t, Config{})
+	// Ready task.
+	a, _ := k.CreateTask("ready", 5, func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	})
+	if err := k.DeleteTask(a); err != nil {
+		t.Fatal(err)
+	}
+	// Suspended task.
+	b, _ := k.CreateTask("susp", 5, func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	})
+	_ = k.SuspendTask(b)
+	if err := k.DeleteTask(b); err != nil {
+		t.Fatal(err)
+	}
+	// Blocked task.
+	sem := k.NewSem("s", 0)
+	c, _ := k.CreateTask("blocked", 5, func(ctx *Ctx) {
+		ctx.SemWait(sem)
+	})
+	k.Step() // run until it blocks
+	info, _ := k.TaskInfo(c)
+	if info.State != StateBlocked {
+		t.Fatalf("state %v, want blocked", info.State)
+	}
+	if err := k.DeleteTask(c); err != nil {
+		t.Fatal(err)
+	}
+	if sem.Waiters() != 0 {
+		t.Fatal("deleted task still in wait queue")
+	}
+	// Double delete.
+	if err := k.DeleteTask(c); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestSixteenTaskLimit(t *testing.T) {
+	k := newK(t, Config{})
+	body := func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := k.CreateTask("t", Priority(i%NumPriorities), body); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	if _, err := k.CreateTask("overflow", 5, body); err == nil {
+		t.Fatal("17th task accepted")
+	}
+	if k.Crashed() {
+		t.Fatal("slot exhaustion crashed the kernel")
+	}
+}
+
+func TestSlotReuseAfterDelete(t *testing.T) {
+	k := newK(t, Config{})
+	body := func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	}
+	// Healthy kernel sustains far more create/delete cycles than slots.
+	for i := 0; i < 200; i++ {
+		id, err := k.CreateTask("churn", 5, body)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := k.DeleteTask(id); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	if k.Crashed() {
+		t.Fatalf("healthy kernel crashed: %v", k.Fault())
+	}
+}
+
+func TestSemWaitSignal(t *testing.T) {
+	k := newK(t, Config{})
+	sem := k.NewSem("s", 0)
+	var order []string
+	_, _ = k.CreateTask("waiter", 3, func(c *Ctx) {
+		c.SemWait(sem)
+		order = append(order, "acquired")
+	})
+	_, _ = k.CreateTask("signaler", 5, func(c *Ctx) {
+		order = append(order, "signaling")
+		c.SemSignal(sem)
+	})
+	k.RunUntilIdle(100)
+	if strings.Join(order, ",") != "signaling,acquired" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestSemInitialCount(t *testing.T) {
+	k := newK(t, Config{})
+	sem := k.NewSem("s", 2)
+	got := 0
+	body := func(c *Ctx) {
+		c.SemWait(sem)
+		got++
+	}
+	_, _ = k.CreateTask("a", 5, body)
+	_, _ = k.CreateTask("b", 5, body)
+	_, _ = k.CreateTask("c", 5, body)
+	k.RunUntilIdle(100)
+	if got != 2 {
+		t.Fatalf("acquired %d, want 2 (third must stay blocked)", got)
+	}
+}
+
+func TestSemPriorityWakeOrder(t *testing.T) {
+	k := newK(t, Config{})
+	sem := k.NewSem("s", 0)
+	var woke []string
+	mk := func(name string) func(*Ctx) {
+		return func(c *Ctx) {
+			c.SemWait(sem)
+			woke = append(woke, name)
+		}
+	}
+	_, _ = k.CreateTask("low", 9, mk("low"))
+	_, _ = k.CreateTask("high", 1, mk("high"))
+	k.RunUntilIdle(100) // both block
+	_, _ = k.CreateTask("sig", 5, func(c *Ctx) {
+		c.SemSignal(sem)
+		c.SemSignal(sem)
+	})
+	k.RunUntilIdle(100)
+	if strings.Join(woke, ",") != "high,low" {
+		t.Fatalf("wake order %v", woke)
+	}
+}
+
+func TestSemNoPhantomUnitAfterHandoff(t *testing.T) {
+	// Regression: a task woken by direct handoff must not retain a
+	// "grant" that lets a later SemWait on the same semaphore skip
+	// blocking. The second wait below must block (count is 0 again).
+	k := newK(t, Config{})
+	sem := k.NewSem("s", 0)
+	acquired := 0
+	id, _ := k.CreateTask("waiter", 5, func(c *Ctx) {
+		c.SemWait(sem) // blocks, gets handoff
+		acquired++
+		c.SemWait(sem) // must block again
+		acquired++
+	})
+	_, _ = k.CreateTask("sig", 5, func(c *Ctx) {
+		c.SemSignal(sem)
+	})
+	k.RunUntilIdle(200)
+	if acquired != 1 {
+		t.Fatalf("acquired %d units from 1 signal", acquired)
+	}
+	info, _ := k.TaskInfo(id)
+	if info.State != StateBlocked {
+		t.Fatalf("waiter state %v, want blocked on second wait", info.State)
+	}
+}
+
+func TestMutexOwnershipAndTransfer(t *testing.T) {
+	k := newK(t, Config{})
+	m := k.NewMutex("m")
+	var order []string
+	_, _ = k.CreateTask("a", 5, func(c *Ctx) {
+		c.Lock(m)
+		order = append(order, "a-locked")
+		c.Yield()
+		c.Unlock(m)
+		order = append(order, "a-unlocked")
+	})
+	bID, _ := k.CreateTask("b", 5, func(c *Ctx) {
+		c.Lock(m)
+		order = append(order, "b-locked")
+		c.Unlock(m)
+	})
+	k.Step() // a locks
+	if m.Owner() == InvalidTask {
+		t.Fatal("mutex not owned")
+	}
+	k.RunUntilIdle(100)
+	joined := strings.Join(order, ",")
+	if joined != "a-locked,a-unlocked,b-locked" && joined != "a-locked,b-locked,a-unlocked" {
+		// Ownership transfer wakes b only after a unlocks; a-unlocked is
+		// appended after the unlock call returns, so the first form is
+		// expected; accept both orderings of the trailing entries only if
+		// b locked after a unlocked semantically.
+		t.Fatalf("order %v", order)
+	}
+	if m.Owner() != InvalidTask {
+		t.Fatalf("mutex still owned by %d", m.Owner())
+	}
+	_ = bID
+}
+
+func TestRecursiveLockCrashesKernel(t *testing.T) {
+	k := newK(t, Config{})
+	m := k.NewMutex("m")
+	_, _ = k.CreateTask("rec", 5, func(c *Ctx) {
+		c.Lock(m)
+		c.Lock(m)
+	})
+	k.RunUntilIdle(100)
+	f := k.Fault()
+	if f == nil || f.Reason != FaultAssert {
+		t.Fatalf("fault %v", f)
+	}
+}
+
+func TestBadUnlockCrashesKernel(t *testing.T) {
+	k := newK(t, Config{})
+	m := k.NewMutex("m")
+	_, _ = k.CreateTask("bad", 5, func(c *Ctx) {
+		c.Unlock(m)
+	})
+	k.RunUntilIdle(100)
+	if k.Fault() == nil || k.Fault().Reason != FaultAssert {
+		t.Fatalf("fault %v", k.Fault())
+	}
+}
+
+func TestSuspendBlockedTaskRetriesWait(t *testing.T) {
+	k := newK(t, Config{})
+	m := k.NewMutex("m")
+	acquired := false
+	holder, _ := k.CreateTask("holder", 5, func(c *Ctx) {
+		c.Lock(m)
+		for i := 0; i < 3; i++ {
+			c.Yield()
+		}
+		c.Unlock(m)
+		for {
+			c.Yield()
+		}
+	})
+	waiter, _ := k.CreateTask("waiter", 5, func(c *Ctx) {
+		c.Lock(m)
+		acquired = true
+		c.Unlock(m)
+	})
+	// Run until the waiter blocks on the mutex.
+	for i := 0; i < 3; i++ {
+		k.Step()
+	}
+	info, _ := k.TaskInfo(waiter)
+	if info.State != StateBlocked {
+		t.Fatalf("waiter state %v", info.State)
+	}
+	// Suspend the blocked waiter: it leaves the wait queue.
+	if err := k.SuspendTask(waiter); err != nil {
+		t.Fatal(err)
+	}
+	if m.Waiters() != 0 {
+		t.Fatal("suspended task still queued on mutex")
+	}
+	// Resume: the waiter retries, eventually acquires after holder unlocks.
+	if err := k.ResumeTask(waiter); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntilIdle(200)
+	if !acquired {
+		t.Fatal("waiter never reacquired after suspend/resume")
+	}
+	_ = holder
+}
+
+func TestStackOverflowCrashes(t *testing.T) {
+	k := newK(t, Config{StackSize: 512})
+	_, _ = k.CreateTask("deep", 5, func(c *Ctx) {
+		for i := 0; i < 100; i++ {
+			c.StackPush(64)
+		}
+	})
+	k.RunUntilIdle(1000)
+	f := k.Fault()
+	if f == nil || f.Reason != FaultStackOverflow {
+		t.Fatalf("fault %v", f)
+	}
+}
+
+func TestStackBalancedNoCrash(t *testing.T) {
+	k := newK(t, Config{StackSize: 512})
+	_, _ = k.CreateTask("ok", 5, func(c *Ctx) {
+		for i := 0; i < 100; i++ {
+			c.StackPush(256)
+			c.StackPop(256)
+		}
+	})
+	k.RunUntilIdle(10000)
+	if k.Crashed() {
+		t.Fatalf("balanced stack crashed: %v", k.Fault())
+	}
+}
+
+func TestStackGuardOffCorruptsNeighbor(t *testing.T) {
+	k := newK(t, Config{StackSize: 512, Faults: FaultPlan{StackGuardOff: true}})
+	victim, _ := k.CreateTask("victim", 6, func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	})
+	_, _ = k.CreateTask("overflower", 5, func(c *Ctx) {
+		for i := 0; i < 20; i++ {
+			c.StackPush(64)
+		}
+	})
+	k.RunUntilIdle(1000)
+	if k.Crashed() {
+		t.Fatalf("unguarded overflow crashed immediately: %v", k.Fault())
+	}
+	// The next service touching the corrupted neighbour crashes.
+	err := k.SuspendTask(victim)
+	if err == nil || k.Fault() == nil || k.Fault().Reason != FaultAssert {
+		t.Fatalf("corruption not detected: err=%v fault=%v", err, k.Fault())
+	}
+}
+
+func TestGCLeakFaultCrashesUnderChurn(t *testing.T) {
+	k := newK(t, Config{GCEvery: 4, Faults: FaultPlan{GCLeakEvery: 2}})
+	body := func(c *Ctx) { c.Compute(10) }
+	var crashed bool
+	for i := 0; i < 500; i++ {
+		id, err := k.CreateTask("churn", 5, body)
+		if err != nil {
+			crashed = true
+			break
+		}
+		k.RunUntilIdle(10)
+		_ = id
+	}
+	if !crashed && !k.Crashed() {
+		t.Fatal("GC leak fault never crashed the kernel")
+	}
+	f := k.Fault()
+	if f.Reason != FaultPoolExhausted && f.Reason != FaultGCCorruption {
+		t.Fatalf("fault reason %q", f.Reason)
+	}
+	tcb, _ := k.Pools()
+	if tcb.Leaked() == 0 {
+		t.Fatal("no blocks leaked")
+	}
+}
+
+func TestGCCorruptAfterLeaksThreshold(t *testing.T) {
+	k := newK(t, Config{GCEvery: 2, Faults: FaultPlan{GCLeakEvery: 1, GCCorruptAfterLeaks: 4}})
+	body := func(c *Ctx) { c.Compute(5) }
+	for i := 0; i < 100 && !k.Crashed(); i++ {
+		_, _ = k.CreateTask("churn", 5, body)
+		k.RunUntilIdle(10)
+	}
+	f := k.Fault()
+	if f == nil || f.Reason != FaultGCCorruption {
+		t.Fatalf("fault %v", f)
+	}
+}
+
+func TestHealthyGCSurvivesChurn(t *testing.T) {
+	k := newK(t, Config{GCEvery: 4})
+	body := func(c *Ctx) { c.Compute(10) }
+	for i := 0; i < 500; i++ {
+		if _, err := k.CreateTask("churn", 5, body); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		k.RunUntilIdle(10)
+	}
+	if k.Crashed() {
+		t.Fatalf("healthy kernel crashed: %v", k.Fault())
+	}
+}
+
+func TestDropResumeEveryLostWakeup(t *testing.T) {
+	k := newK(t, Config{Faults: FaultPlan{DropResumeEvery: 2}})
+	a, _ := k.CreateTask("a", 5, func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	})
+	_ = k.SuspendTask(a)
+	if err := k.ResumeTask(a); err != nil { // resume #1: honoured
+		t.Fatal(err)
+	}
+	info, _ := k.TaskInfo(a)
+	if info.State != StateReady {
+		t.Fatalf("state %v after honoured resume", info.State)
+	}
+	_ = k.SuspendTask(a)
+	if err := k.ResumeTask(a); err != nil { // resume #2: dropped silently
+		t.Fatal(err)
+	}
+	info, _ = k.TaskInfo(a)
+	if info.State != StateSuspended {
+		t.Fatalf("state %v after dropped resume, want suspended", info.State)
+	}
+}
+
+func TestMisplacePriorityFault(t *testing.T) {
+	k := newK(t, Config{Faults: FaultPlan{MisplacePriorityEvery: 2}})
+	a, _ := k.CreateTask("a", 5, func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	})
+	_ = k.ChangePriority(a, 3) // honoured
+	info, _ := k.TaskInfo(a)
+	if info.Prio != 3 {
+		t.Fatalf("prio %d", info.Prio)
+	}
+	_ = k.ChangePriority(a, 2) // misapplied to lowest
+	info, _ = k.TaskInfo(a)
+	if info.Prio != NumPriorities-1 {
+		t.Fatalf("prio %d, want %d", info.Prio, NumPriorities-1)
+	}
+}
+
+func TestWaitForGraphDeadlockCycle(t *testing.T) {
+	k := newK(t, Config{})
+	m1 := k.NewMutex("m1")
+	m2 := k.NewMutex("m2")
+	a, _ := k.CreateTask("a", 5, func(c *Ctx) {
+		c.Lock(m1)
+		c.Yield()
+		c.Lock(m2)
+		c.Unlock(m2)
+		c.Unlock(m1)
+	})
+	b, _ := k.CreateTask("b", 5, func(c *Ctx) {
+		c.Lock(m2)
+		c.Yield()
+		c.Lock(m1)
+		c.Unlock(m1)
+		c.Unlock(m2)
+	})
+	k.RunUntilIdle(100)
+	if k.Crashed() {
+		t.Fatalf("crashed: %v", k.Fault())
+	}
+	g := k.WaitForGraph()
+	if len(g[a]) != 1 || g[a][0] != b {
+		t.Fatalf("graph %v", g)
+	}
+	if len(g[b]) != 1 || g[b][0] != a {
+		t.Fatalf("graph %v", g)
+	}
+	// Both blocked, nothing ready: the kernel is idle (hung).
+	if !k.Idle() {
+		t.Fatal("deadlocked kernel not idle")
+	}
+}
+
+func TestTaskPanicContained(t *testing.T) {
+	k := newK(t, Config{})
+	_, _ = k.CreateTask("boom", 5, func(c *Ctx) {
+		panic("application bug")
+	})
+	k.RunUntilIdle(10)
+	f := k.Fault()
+	if f == nil || f.Reason != FaultAssert || !strings.Contains(f.Detail, "application bug") {
+		t.Fatalf("fault %v", f)
+	}
+}
+
+func TestCtxExit(t *testing.T) {
+	k := newK(t, Config{})
+	after := false
+	id, _ := k.CreateTask("x", 5, func(c *Ctx) {
+		c.Exit()
+		after = true // must be unreachable
+	})
+	k.RunUntilIdle(10)
+	if after {
+		t.Fatal("code after Exit ran")
+	}
+	if _, ok := k.TaskInfo(id); ok {
+		t.Fatal("task alive after Exit")
+	}
+	if k.Crashed() {
+		t.Fatalf("Exit crashed kernel: %v", k.Fault())
+	}
+}
+
+func TestProgressCounter(t *testing.T) {
+	k := newK(t, Config{})
+	id, _ := k.CreateTask("p", 5, func(c *Ctx) {
+		for i := 0; i < 5; i++ {
+			c.Progress()
+			c.Yield()
+		}
+	})
+	k.Step()
+	k.Step()
+	info, _ := k.TaskInfo(id)
+	if info.Progress == 0 {
+		t.Fatal("no progress recorded")
+	}
+}
+
+func TestEventsEmitted(t *testing.T) {
+	k := newK(t, Config{})
+	var kinds []EventKind
+	k.OnEvent(func(e Event) { kinds = append(kinds, e.Kind) })
+	id, _ := k.CreateTask("e", 5, func(c *Ctx) {
+		c.Progress()
+	})
+	k.RunUntilIdle(10)
+	_ = id
+	want := map[EventKind]bool{EvService: false, EvDispatch: false, EvProgress: false, EvExit: false}
+	for _, kd := range kinds {
+		if _, ok := want[kd]; ok {
+			want[kd] = true
+		}
+	}
+	for kd, seen := range want {
+		if !seen {
+			t.Errorf("event kind %v never emitted", kd)
+		}
+	}
+}
+
+func TestServiceStatsAndCosts(t *testing.T) {
+	k := newK(t, Config{})
+	id, _ := k.CreateTask("s", 5, func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	})
+	_ = k.SuspendTask(id)
+	_ = k.ResumeTask(id)
+	_ = k.ChangePriority(id, 6)
+	_ = k.DeleteTask(id)
+	calls, cycles := k.ServiceStats()
+	for _, svc := range []Service{SvcTaskCreate, SvcTaskSuspend, SvcTaskResume, SvcTaskChanprio, SvcTaskDelete} {
+		if calls[svc] != 1 {
+			t.Errorf("%s calls %d", svc, calls[svc])
+		}
+		if cycles[svc] == 0 {
+			t.Errorf("%s cycles 0", svc)
+		}
+	}
+}
+
+func TestCrashedKernelRejectsEverything(t *testing.T) {
+	k := newK(t, Config{})
+	_, _ = k.CreateTask("boom", 5, func(c *Ctx) { panic("x") })
+	k.RunUntilIdle(10)
+	if !k.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if _, err := k.CreateTask("y", 5, func(c *Ctx) {}); err == nil {
+		t.Fatal("crashed kernel accepted create")
+	}
+	if _, ran := k.Step(); ran {
+		t.Fatal("crashed kernel stepped")
+	}
+}
+
+func TestDeterministicEventStream(t *testing.T) {
+	run := func() []string {
+		k := New(Config{})
+		defer k.Shutdown()
+		var log []string
+		k.OnEvent(func(e Event) {
+			log = append(log, e.Kind.String()+":"+string(e.Service))
+		})
+		sem := k.NewSem("s", 0)
+		_, _ = k.CreateTask("a", 3, func(c *Ctx) {
+			c.Compute(50)
+			c.SemSignal(sem)
+			c.Compute(20)
+		})
+		_, _ = k.CreateTask("b", 5, func(c *Ctx) {
+			c.SemWait(sem)
+			c.Progress()
+		})
+		id, _ := k.CreateTask("c", 7, func(c *Ctx) {
+			for {
+				c.Yield()
+			}
+		})
+		_ = k.SuspendTask(id)
+		_ = k.ResumeTask(id)
+		k.RunUntilIdle(50)
+		return log
+	}
+	a := run()
+	b := run()
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Fatalf("nondeterministic event streams:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty event stream")
+	}
+}
+
+func TestSnapshotFields(t *testing.T) {
+	k := newK(t, Config{})
+	sem := k.NewSem("gate", 0)
+	_, _ = k.CreateTask("w", 5, func(c *Ctx) { c.SemWait(sem) })
+	k.Step()
+	s := k.Snapshot()
+	if len(s.Tasks) != 1 {
+		t.Fatalf("tasks %d", len(s.Tasks))
+	}
+	if s.Tasks[0].WaitingOn != "sem:gate" {
+		t.Fatalf("waitingOn %q", s.Tasks[0].WaitingOn)
+	}
+	if s.TCBFree != 15 {
+		t.Fatalf("tcb free %d", s.TCBFree)
+	}
+}
+
+func TestChangePriorityOnBlockedAndSuspended(t *testing.T) {
+	k := newK(t, Config{})
+	sem := k.NewSem("s", 0)
+	blocked, _ := k.CreateTask("blocked", 5, func(c *Ctx) { c.SemWait(sem) })
+	susp, _ := k.CreateTask("susp", 5, func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	})
+	k.Step() // blocked task blocks
+	_ = k.SuspendTask(susp)
+	if err := k.ChangePriority(blocked, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ChangePriority(susp, 2); err != nil {
+		t.Fatal(err)
+	}
+	ib, _ := k.TaskInfo(blocked)
+	is, _ := k.TaskInfo(susp)
+	if ib.Prio != 3 || is.Prio != 2 {
+		t.Fatalf("prios %d %d", ib.Prio, is.Prio)
+	}
+	if ib.State != StateBlocked || is.State != StateSuspended {
+		t.Fatalf("states %v %v changed by TCH", ib.State, is.State)
+	}
+	// Priority change of a blocked task reorders its wake position.
+	second, _ := k.CreateTask("second", 1, func(c *Ctx) { c.SemWait(sem) })
+	k.RunUntilIdle(10)
+	_, _ = k.CreateTask("sig", 6, func(c *Ctx) { c.SemSignal(sem) })
+	k.RunUntilIdle(10)
+	// second (prio 1) outranks blocked (prio 3): it gets the unit.
+	i2, _ := k.TaskInfo(second)
+	ib, _ = k.TaskInfo(blocked)
+	if i2.State == StateBlocked && ib.State != StateBlocked {
+		t.Fatalf("wake order ignored priority: second=%v blocked=%v", i2.State, ib.State)
+	}
+}
+
+func TestTYOnSuspendedAndBlocked(t *testing.T) {
+	k := newK(t, Config{})
+	sem := k.NewSem("s", 0)
+	a, _ := k.CreateTask("a", 5, func(c *Ctx) { c.SemWait(sem) })
+	b, _ := k.CreateTask("b", 5, func(c *Ctx) {
+		for {
+			c.Yield()
+		}
+	})
+	k.Step()
+	_ = k.SuspendTask(b)
+	if err := k.TerminateTask(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.TerminateTask(b); err != nil {
+		t.Fatal(err)
+	}
+	if sem.Waiters() != 0 {
+		t.Fatal("terminated task left in sem queue")
+	}
+	if len(k.LiveTasks()) != 0 {
+		t.Fatal("tasks alive after TY")
+	}
+}
+
+func TestNoiseHookForcesRotation(t *testing.T) {
+	// With Noise always-true, two equal-priority compute tasks alternate
+	// at every continuation point instead of holding the processor.
+	var order []string
+	k := New(Config{Quantum: 1 << 30, Noise: func() bool { return true }})
+	defer k.Shutdown()
+	mk := func(name string) func(*Ctx) {
+		return func(c *Ctx) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				c.Compute(10)
+			}
+		}
+	}
+	_, _ = k.CreateTask("a", 5, mk("a"))
+	_, _ = k.CreateTask("b", 5, mk("b"))
+	k.RunUntilIdle(100)
+	if strings.Join(order, ",") != "a,b,a,b,a,b" {
+		t.Fatalf("noise did not rotate: %v", order)
+	}
+}
+
+func TestNoiseOffKeepsProcessor(t *testing.T) {
+	var order []string
+	k := newK(t, Config{Quantum: 1 << 30})
+	mk := func(name string) func(*Ctx) {
+		return func(c *Ctx) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				c.Compute(10)
+			}
+		}
+	}
+	_, _ = k.CreateTask("a", 5, mk("a"))
+	_, _ = k.CreateTask("b", 5, mk("b"))
+	k.RunUntilIdle(100)
+	if strings.Join(order, ",") != "a,a,a,b,b,b" {
+		t.Fatalf("unexpected rotation without noise: %v", order)
+	}
+}
+
+func TestTableIMetadata(t *testing.T) {
+	if len(TableIServices()) != 6 {
+		t.Fatal("Table I has six services")
+	}
+	for _, s := range TableIServices() {
+		if ServiceDescription(s) == "" {
+			t.Errorf("no description for %s", s)
+		}
+	}
+	if ServiceDescription(Service("nope")) != "" {
+		t.Error("description for unknown service")
+	}
+}
+
+func TestPoolInvariants(t *testing.T) {
+	p := NewPool("t", 4)
+	if p.Free() != 4 || p.InUse() != 0 || p.Garbage() != 0 {
+		t.Fatal("fresh pool wrong")
+	}
+	b1, ok := p.Alloc()
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if err := p.Release(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(b1); err == nil {
+		t.Fatal("double release accepted")
+	}
+	if p.Garbage() != 1 {
+		t.Fatalf("garbage %d", p.Garbage())
+	}
+	r, l := p.Collect(0)
+	if r != 1 || l != 0 || p.Free() != 4 {
+		t.Fatalf("collect %d %d free %d", r, l, p.Free())
+	}
+}
+
+func TestPoolLeakAccounting(t *testing.T) {
+	p := NewPool("t", 4)
+	b, _ := p.Alloc()
+	_ = p.Release(b)
+	r, l := p.Collect(1) // every pass leaks
+	if r != 0 || l != 1 || p.Leaked() != 1 {
+		t.Fatalf("collect %d %d leaked %d", r, l, p.Leaked())
+	}
+	if p.Free() != 3 {
+		t.Fatalf("free %d, want 3 (one block gone)", p.Free())
+	}
+}
+
+func TestStateStringAndEventKindString(t *testing.T) {
+	states := []State{StateFree, StateReady, StateRunning, StateSuspended,
+		StateBlocked, StateTerminated, State(200)}
+	for _, s := range states {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", s)
+		}
+	}
+	for kd := EvService; kd <= EvGC+1; kd++ {
+		if kd.String() == "" {
+			t.Errorf("empty string for kind %d", kd)
+		}
+	}
+}

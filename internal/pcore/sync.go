@@ -1,0 +1,113 @@
+package pcore
+
+import "sort"
+
+// waiter is one parked task in a wait queue.
+type waiter struct {
+	task *Task
+	seq  uint64 // enqueue order for FIFO tie-break
+}
+
+// waitQueue orders parked tasks by (priority, enqueue order) — the
+// highest-priority, longest-waiting task wakes first, matching pCore's
+// priority discipline.
+type waitQueue struct {
+	ws  []waiter
+	seq uint64
+}
+
+func (q *waitQueue) push(t *Task) {
+	q.ws = append(q.ws, waiter{task: t, seq: q.seq})
+	q.seq++
+}
+
+func (q *waitQueue) empty() bool { return len(q.ws) == 0 }
+
+func (q *waitQueue) len() int { return len(q.ws) }
+
+// pop removes and returns the best waiter.
+func (q *waitQueue) pop() *Task {
+	if len(q.ws) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(q.ws); i++ {
+		if q.ws[i].task.prio < q.ws[best].task.prio ||
+			(q.ws[i].task.prio == q.ws[best].task.prio && q.ws[i].seq < q.ws[best].seq) {
+			best = i
+		}
+	}
+	t := q.ws[best].task
+	q.ws = append(q.ws[:best], q.ws[best+1:]...)
+	return t
+}
+
+// remove deletes a specific task from the queue (suspension of a blocked
+// task); it reports whether the task was present.
+func (q *waitQueue) remove(t *Task) bool {
+	for i, w := range q.ws {
+		if w.task == t {
+			q.ws = append(q.ws[:i], q.ws[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// tasks returns the waiting tasks ordered by wake order (for dumps).
+func (q *waitQueue) tasks() []*Task {
+	out := make([]waiter, len(q.ws))
+	copy(out, q.ws)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].task.prio != out[j].task.prio {
+			return out[i].task.prio < out[j].task.prio
+		}
+		return out[i].seq < out[j].seq
+	})
+	ts := make([]*Task, len(out))
+	for i, w := range out {
+		ts[i] = w.task
+	}
+	return ts
+}
+
+// Sem is a counting semaphore with a priority wait queue. Wakeups use
+// direct handoff: a signalled unit goes straight to the woken waiter
+// (the count is not incremented), whose pending wait completes when it
+// is next dispatched.
+type Sem struct {
+	name    string
+	count   int
+	waiters waitQueue
+}
+
+// Name returns the semaphore name.
+func (s *Sem) Name() string { return s.name }
+
+// Count returns the available units (not counting pending grants).
+func (s *Sem) Count() int { return s.count }
+
+// Waiters returns the number of blocked tasks.
+func (s *Sem) Waiters() int { return s.waiters.len() }
+
+// Mutex is a binary lock with an owner, enabling wait-for-graph deadlock
+// analysis (the dining-philosophers resources of case study 2).
+type Mutex struct {
+	name    string
+	owner   *Task
+	waiters waitQueue
+}
+
+// Name returns the mutex name.
+func (m *Mutex) Name() string { return m.name }
+
+// Owner returns the owning task id, or InvalidTask when free.
+func (m *Mutex) Owner() TaskID {
+	if m.owner == nil {
+		return InvalidTask
+	}
+	return m.owner.id
+}
+
+// Waiters returns the number of blocked tasks.
+func (m *Mutex) Waiters() int { return m.waiters.len() }

@@ -1,0 +1,208 @@
+package pfa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/nfa"
+)
+
+// PrefixProb returns the probability that the PFA generates the given
+// symbol sequence as its first len(symbols) emissions (summed over all
+// state paths — the forward algorithm). Dead-end final states restart at
+// q0 with probability 1, mirroring Generate's default behaviour.
+func (p *PFA) PrefixProb(symbols []string) float64 {
+	dist := map[nfa.StateID]float64{p.resolveDeadEnd(p.auto.Start): 1}
+	// resolveDeadEnd on start is the identity unless the start itself is a
+	// dead end, which only happens for degenerate single-state languages.
+	for _, sym := range symbols {
+		next := map[nfa.StateID]float64{}
+		for q, mass := range dist {
+			for _, t := range p.trans[q] {
+				if t.Symbol == sym {
+					next[p.resolveDeadEnd(t.To)] += mass * t.Prob
+				}
+			}
+		}
+		dist = next
+		if len(dist) == 0 {
+			return 0
+		}
+	}
+	total := 0.0
+	for _, mass := range dist {
+		total += mass
+	}
+	return total
+}
+
+// resolveDeadEnd maps a dead-end final state to the start state (the
+// restart semantics); all other states map to themselves.
+func (p *PFA) resolveDeadEnd(q nfa.StateID) nfa.StateID {
+	if len(p.trans[q]) == 0 && p.IsFinal(q) {
+		return p.auto.Start
+	}
+	return q
+}
+
+// ExpectedSymbolFreq computes the expected relative frequency of each
+// symbol over the first `steps` emissions, by propagating the exact state
+// distribution (with restart-on-dead-end semantics). The Figure 3 and
+// Figure 5 reproduction tests compare empirical pattern histograms
+// against these values.
+func (p *PFA) ExpectedSymbolFreq(steps int) map[string]float64 {
+	freq := map[string]float64{}
+	if steps <= 0 {
+		return freq
+	}
+	dist := map[nfa.StateID]float64{p.resolveDeadEnd(p.auto.Start): 1}
+	for i := 0; i < steps; i++ {
+		next := map[nfa.StateID]float64{}
+		for q, mass := range dist {
+			for _, t := range p.trans[q] {
+				freq[t.Symbol] += mass * t.Prob
+				next[p.resolveDeadEnd(t.To)] += mass * t.Prob
+			}
+		}
+		dist = next
+		if len(dist) == 0 {
+			break
+		}
+	}
+	total := 0.0
+	for _, v := range freq {
+		total += v
+	}
+	if total > 0 {
+		for s := range freq {
+			freq[s] /= total
+		}
+	}
+	return freq
+}
+
+// StationaryDistribution estimates the long-run state occupancy of the
+// restart-closed Markov chain by power iteration. It returns state
+// probabilities summing to 1, or an error if iteration fails to converge
+// within maxIter steps (periodic chains are averaged over a window to
+// damp oscillation).
+func (p *PFA) StationaryDistribution(maxIter int, tol float64) (map[nfa.StateID]float64, error) {
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	n := p.NumStates()
+	cur := make([]float64, n)
+	cur[p.resolveDeadEnd(p.auto.Start)] = 1
+	for iter := 1; iter <= maxIter; iter++ {
+		next := make([]float64, n)
+		for q := 0; q < n; q++ {
+			if cur[q] == 0 {
+				continue
+			}
+			if len(p.trans[q]) == 0 {
+				// Absorbing non-final dead end cannot occur in a validated
+				// PFA built from a trimmed automaton; final dead ends
+				// restart. Keep mass in place as a safe fallback.
+				next[p.resolveDeadEnd(nfa.StateID(q))] += cur[q]
+				continue
+			}
+			for _, t := range p.trans[q] {
+				next[p.resolveDeadEnd(t.To)] += cur[q] * t.Prob
+			}
+		}
+		// Lazy-chain mixing: ½ stay + ½ move. The lazy chain shares the
+		// stationary distribution of the original but is aperiodic, so
+		// power iteration converges geometrically even for periodic PFAs.
+		diff := 0.0
+		for i := range next {
+			next[i] = 0.5*cur[i] + 0.5*next[i]
+			diff += math.Abs(next[i] - cur[i])
+		}
+		cur = next
+		if diff < tol && iter > 2 {
+			out := make(map[nfa.StateID]float64, n)
+			for i, v := range cur {
+				if v > 0 {
+					out[nfa.StateID(i)] = v
+				}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("pfa: stationary distribution did not converge in %d iterations", maxIter)
+}
+
+// EntropyRate returns the asymptotic per-symbol entropy (bits) of the
+// generation process: H = Σ_q π(q) Σ_t -P(t) log2 P(t). Higher entropy
+// means the PFA spreads its patterns over more distinct service
+// sequences; the distribution-sweep ablation reports it alongside
+// coverage.
+func (p *PFA) EntropyRate() (float64, error) {
+	pi, err := p.StationaryDistribution(0, 0)
+	if err != nil {
+		return 0, err
+	}
+	h := 0.0
+	for q, mass := range pi {
+		for _, t := range p.trans[q] {
+			h += mass * t.Prob * -math.Log2(t.Prob)
+		}
+	}
+	return h, nil
+}
+
+// MostProbablePattern returns the single highest-probability pattern of
+// exactly the given length (Viterbi over the restart-closed chain) and
+// its probability. Ties break toward lexicographically smaller symbol
+// sequences for reproducibility.
+func (p *PFA) MostProbablePattern(length int) ([]string, float64) {
+	type cell struct {
+		prob float64
+		seq  []string
+	}
+	best := map[nfa.StateID]cell{p.resolveDeadEnd(p.auto.Start): {prob: 1}}
+	for i := 0; i < length; i++ {
+		next := map[nfa.StateID]cell{}
+		states := make([]nfa.StateID, 0, len(best))
+		for q := range best {
+			states = append(states, q)
+		}
+		sort.Slice(states, func(a, b int) bool { return states[a] < states[b] })
+		for _, q := range states {
+			c := best[q]
+			for _, t := range p.trans[q] {
+				np := c.prob * t.Prob
+				to := p.resolveDeadEnd(t.To)
+				seq := append(append([]string{}, c.seq...), t.Symbol)
+				old, ok := next[to]
+				if !ok || np > old.prob || (np == old.prob && lexLess(seq, old.seq)) {
+					next[to] = cell{prob: np, seq: seq}
+				}
+			}
+		}
+		best = next
+		if len(best) == 0 {
+			return nil, 0
+		}
+	}
+	var out cell
+	for _, c := range best {
+		if c.prob > out.prob || (c.prob == out.prob && out.seq != nil && lexLess(c.seq, out.seq)) {
+			out = c
+		}
+	}
+	return out.seq, out.prob
+}
+
+func lexLess(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,180 @@
+package pfa
+
+import (
+	"fmt"
+
+	"repro/internal/nfa"
+	"repro/internal/stats"
+)
+
+// GenOptions configures Algorithm 2's pattern generation.
+type GenOptions struct {
+	// RestartOnFinal controls what happens when generation reaches a final
+	// state with no outgoing transitions before the pattern is full. When
+	// true (the recommended default, see DefaultGenOptions) generation
+	// re-enters the initial state and continues — modelling the repeated
+	// task lifecycles of the paper's stress test, which "continued to
+	// create tasks and removed them when their work was done". When false,
+	// generation stops and the pattern may be shorter than requested.
+	RestartOnFinal bool
+	// StopProb, when positive, ends generation early at any final state
+	// with the given probability, yielding variable-length lifecycles.
+	StopProb float64
+}
+
+// DefaultGenOptions returns the options used by the reproduction
+// experiments: restart on dead-end final states, no early stop.
+func DefaultGenOptions() GenOptions {
+	return GenOptions{RestartOnFinal: true}
+}
+
+// Pattern is one generated test pattern: a sequence of slave-service
+// symbols in an order the service regular expression permits, plus the
+// state trajectory that produced it (aligned: States[0] = q0 and
+// States[i+1] is the state after emitting Symbols[i]; a restart inserts
+// q0 into the trajectory without emitting a symbol, so len(States) may
+// exceed len(Symbols)+1 by the number of restarts).
+type Pattern struct {
+	Symbols  []string
+	States   []nfa.StateID
+	Restarts int
+}
+
+// Len returns the number of service symbols in the pattern.
+func (p Pattern) Len() int { return len(p.Symbols) }
+
+// Key returns a canonical string form of the symbol sequence, used for
+// replicated-pattern detection.
+func (p Pattern) Key() string {
+	n := 0
+	for _, s := range p.Symbols {
+		n += len(s) + 1
+	}
+	buf := make([]byte, 0, n)
+	for i, s := range p.Symbols {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, s...)
+	}
+	return string(buf)
+}
+
+// Generate runs Algorithm 2: starting from q0, repeatedly resolve the
+// probabilistic choice at the current state and append the emitted
+// service symbol, until the pattern holds size symbols. The paper indexes
+// patterns by visited states; we return both the symbols (what the
+// committer issues) and the state trajectory (what the bug detector's
+// records reference).
+func (p *PFA) Generate(rng *stats.RNG, size int, opts GenOptions) (Pattern, error) {
+	if size <= 0 {
+		return Pattern{}, fmt.Errorf("pfa: pattern size %d must be positive", size)
+	}
+	pat := Pattern{
+		Symbols: make([]string, 0, size),
+		States:  make([]nfa.StateID, 0, size+1),
+	}
+	q := p.auto.Start
+	pat.States = append(pat.States, q)
+	for len(pat.Symbols) < size {
+		if opts.StopProb > 0 && p.IsFinal(q) && rng.Bool(opts.StopProb) {
+			break
+		}
+		if len(p.trans[q]) == 0 {
+			// Dead end: only final states may legally be dead ends.
+			if !p.IsFinal(q) {
+				return pat, fmt.Errorf("pfa: stuck in non-final state %d with no transitions", q)
+			}
+			if !opts.RestartOnFinal {
+				break
+			}
+			q = p.auto.Start
+			pat.States = append(pat.States, q)
+			pat.Restarts++
+			continue
+		}
+		t, err := p.MakeChoice(q, rng)
+		if err != nil {
+			return pat, err
+		}
+		pat.Symbols = append(pat.Symbols, t.Symbol)
+		q = t.To
+		pat.States = append(pat.States, q)
+	}
+	return pat, nil
+}
+
+// GenerateSet produces n patterns of the given size (the T[1..n] loop of
+// Algorithm 1).
+func (p *PFA) GenerateSet(rng *stats.RNG, n, size int, opts GenOptions) ([]Pattern, error) {
+	out := make([]Pattern, 0, n)
+	for i := 0; i < n; i++ {
+		pat, err := p.Generate(rng, size, opts)
+		if err != nil {
+			return nil, fmt.Errorf("pfa: pattern %d: %w", i, err)
+		}
+		out = append(out, pat)
+	}
+	return out, nil
+}
+
+// GenerateUnique produces n patterns with distinct symbol sequences,
+// addressing the paper's future-work concern that "replicated test
+// patterns can reduce the effectiveness of pTest". It gives up after
+// maxTries consecutive duplicates (0 means 100×n tries) and returns what
+// it has together with the number of duplicates discarded.
+func (p *PFA) GenerateUnique(rng *stats.RNG, n, size int, opts GenOptions, maxTries int) ([]Pattern, int, error) {
+	if maxTries <= 0 {
+		maxTries = 100 * n
+	}
+	seen := make(map[string]bool, n)
+	out := make([]Pattern, 0, n)
+	dups := 0
+	tries := 0
+	for len(out) < n && tries < maxTries {
+		tries++
+		pat, err := p.Generate(rng, size, opts)
+		if err != nil {
+			return out, dups, err
+		}
+		k := pat.Key()
+		if seen[k] {
+			dups++
+			continue
+		}
+		seen[k] = true
+		out = append(out, pat)
+	}
+	return out, dups, nil
+}
+
+// Walk replays a symbol sequence through the PFA (restarting at final
+// dead ends exactly as Generate does) and reports whether every step was
+// a legal transition. It is used to cross-check that generated patterns
+// stay within the language and to map observed traces back to states.
+func (p *PFA) Walk(symbols []string) (states []nfa.StateID, ok bool) {
+	q := p.auto.Start
+	states = append(states, q)
+	for _, sym := range symbols {
+		if len(p.trans[q]) == 0 {
+			if !p.IsFinal(q) {
+				return states, false
+			}
+			q = p.auto.Start
+			states = append(states, q)
+		}
+		var next *Transition
+		for i := range p.trans[q] {
+			if p.trans[q][i].Symbol == sym {
+				next = &p.trans[q][i]
+				break
+			}
+		}
+		if next == nil {
+			return states, false
+		}
+		q = next.To
+		states = append(states, q)
+	}
+	return states, true
+}

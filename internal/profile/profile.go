@@ -1,0 +1,138 @@
+// Package profile implements the paper's probability-acquisition path:
+// "the knowledge about probability distributions can be learned through
+// system profiling". A Collector taps the committee's executed-command
+// stream while real (or representative) master software drives the
+// slave; the collected per-task service traces are then fitted against
+// the service regular expression to produce the Distribution that the
+// pattern generator uses for subsequent adaptive testing — closing the
+// adaptive loop.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/committee"
+	"repro/internal/nfa"
+	"repro/internal/pfa"
+	"repro/internal/regex"
+)
+
+// Collector accumulates the per-logical-task service sequences executed
+// by a committee. Register it before driving the workload.
+type Collector struct {
+	traces map[uint32][]string
+	order  []uint32 // first-seen order for deterministic output
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{traces: map[uint32][]string{}}
+}
+
+// Attach registers the collector on the committee (replacing any
+// previous OnExecuted hook).
+func (c *Collector) Attach(cmte *committee.Committee) {
+	cmte.OnExecuted(func(e committee.Executed) {
+		c.Observe(e)
+	})
+}
+
+// Observe records one executed command; only successfully served
+// commands count, since failed ones did not drive the slave.
+func (c *Collector) Observe(e committee.Executed) {
+	if e.Status != 0 { // bridge.StatusOK
+		return
+	}
+	svc, ok := e.Req.Op.Service()
+	if !ok {
+		return
+	}
+	logical := e.Req.Arg0
+	if _, seen := c.traces[logical]; !seen {
+		c.order = append(c.order, logical)
+	}
+	c.traces[logical] = append(c.traces[logical], string(svc))
+}
+
+// Commands returns the total number of recorded commands.
+func (c *Collector) Commands() int {
+	n := 0
+	for _, tr := range c.traces {
+		n += len(tr)
+	}
+	return n
+}
+
+// Traces returns the per-task service sequences in first-seen task
+// order.
+func (c *Collector) Traces() [][]string {
+	out := make([][]string, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, append([]string{}, c.traces[id]...))
+	}
+	return out
+}
+
+// Learn fits the collected traces against the service regular
+// expression, returning the conditional next-service distribution with
+// the given Laplace smoothing. Traces that leave the expression's
+// language are skipped and reported in the LearnResult.
+func (c *Collector) Learn(re string, smoothing float64) (pfa.Distribution, pfa.LearnResult, error) {
+	return Learn(re, c.Traces(), smoothing)
+}
+
+// Learn fits arbitrary service traces against the expression.
+func Learn(re string, traces [][]string, smoothing float64) (pfa.Distribution, pfa.LearnResult, error) {
+	node, err := regex.Parse(re)
+	if err != nil {
+		return nil, pfa.LearnResult{}, fmt.Errorf("profile: %w", err)
+	}
+	auto := nfa.MergeEquivalent(nfa.Glushkov(node))
+	return pfa.EstimateFromTraces(auto, traces, smoothing)
+}
+
+// Divergence computes the maximum absolute difference between two
+// distributions' conditional probabilities over the union of their
+// entries — the fit metric the profiling example reports.
+func Divergence(a, b pfa.Distribution) float64 {
+	keys := map[string]map[string]bool{}
+	add := func(d pfa.Distribution) {
+		for from, m := range d {
+			if keys[from] == nil {
+				keys[from] = map[string]bool{}
+			}
+			for sym := range m {
+				keys[from][sym] = true
+			}
+		}
+	}
+	add(a)
+	add(b)
+	worst := 0.0
+	froms := make([]string, 0, len(keys))
+	for from := range keys {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		for sym := range keys[from] {
+			av := 0.0
+			if a[from] != nil {
+				av = a[from][sym]
+			}
+			bv := 0.0
+			if b[from] != nil {
+				bv = b[from][sym]
+			}
+			d := av - bv
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

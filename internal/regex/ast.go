@@ -1,0 +1,224 @@
+// Package regex implements the service regular-expression language that
+// pTest users write to describe legal slave-service sequences, e.g. the
+// paper's expression (2) for pCore task management:
+//
+//	TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)
+//
+// Symbols are multi-character identifiers naming slave services (TC, TCH,
+// ...). Operators are alternation `|`, Kleene star `*`, plus `+`, option
+// `?`, grouping `(...)` and the end anchor `$`. Concatenation is written by
+// juxtaposition (whitespace separated).
+package regex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a node of the parsed regular-expression tree.
+type Node interface {
+	fmt.Stringer
+	// precedence is used by String to decide where parentheses are needed.
+	precedence() int
+}
+
+// Sym is a single alphabet symbol (a slave service name).
+type Sym struct{ Name string }
+
+// Concat is the concatenation of its parts, in order.
+type Concat struct{ Parts []Node }
+
+// Alt is the alternation (union) of its branches.
+type Alt struct{ Branches []Node }
+
+// Star is zero-or-more repetition of the inner expression.
+type Star struct{ Inner Node }
+
+// Plus is one-or-more repetition of the inner expression.
+type Plus struct{ Inner Node }
+
+// Opt is zero-or-one occurrence of the inner expression.
+type Opt struct{ Inner Node }
+
+// End is the `$` anchor: the pattern must end here. The paper writes the
+// terminating services as TD$ | TY$.
+type End struct{}
+
+// Empty matches the empty string; it arises from empty groups.
+type Empty struct{}
+
+func (Sym) precedence() int    { return 3 }
+func (End) precedence() int    { return 3 }
+func (Empty) precedence() int  { return 3 }
+func (Star) precedence() int   { return 2 }
+func (Plus) precedence() int   { return 2 }
+func (Opt) precedence() int    { return 2 }
+func (Concat) precedence() int { return 1 }
+func (Alt) precedence() int    { return 0 }
+
+func wrap(n Node, min int) string {
+	s := n.String()
+	if n.precedence() < min {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (s Sym) String() string  { return s.Name }
+func (End) String() string    { return "$" }
+func (Empty) String() string  { return "()" }
+func (s Star) String() string { return wrap(s.Inner, 3) + "*" }
+func (p Plus) String() string { return wrap(p.Inner, 3) + "+" }
+func (o Opt) String() string  { return wrap(o.Inner, 3) + "?" }
+func (c Concat) String() string {
+	parts := make([]string, len(c.Parts))
+	for i, p := range c.Parts {
+		parts[i] = wrap(p, 1)
+	}
+	return strings.Join(parts, " ")
+}
+func (a Alt) String() string {
+	parts := make([]string, len(a.Branches))
+	for i, b := range a.Branches {
+		parts[i] = wrap(b, 1)
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Symbols returns the sorted set of alphabet symbols appearing in the tree.
+func Symbols(n Node) []string {
+	set := make(map[string]bool)
+	collectSymbols(n, set)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectSymbols(n Node, set map[string]bool) {
+	switch v := n.(type) {
+	case Sym:
+		set[v.Name] = true
+	case Concat:
+		for _, p := range v.Parts {
+			collectSymbols(p, set)
+		}
+	case Alt:
+		for _, b := range v.Branches {
+			collectSymbols(b, set)
+		}
+	case Star:
+		collectSymbols(v.Inner, set)
+	case Plus:
+		collectSymbols(v.Inner, set)
+	case Opt:
+		collectSymbols(v.Inner, set)
+	}
+}
+
+// nullable reports whether the expression can match the empty string.
+func nullable(n Node) bool {
+	switch v := n.(type) {
+	case Sym:
+		return false
+	case End, Empty:
+		return true
+	case Star, Opt:
+		return true
+	case Plus:
+		return nullable(v.Inner)
+	case Concat:
+		for _, p := range v.Parts {
+			if !nullable(p) {
+				return false
+			}
+		}
+		return true
+	case Alt:
+		for _, b := range v.Branches {
+			if nullable(b) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// CheckAnchors verifies that every `$` anchor sits in tail position: no
+// symbol can be generated after it on the same path. The whole expression
+// is implicitly anchored at both ends (patterns are whole-string matches),
+// so a valid `$` is a documentation device exactly as the paper uses it;
+// a `$` followed by required symbols would make the expression
+// unsatisfiable and is rejected here.
+func CheckAnchors(n Node) error {
+	_, err := checkAnchors(n)
+	return err
+}
+
+// checkAnchors returns whether the subtree contains a path ending in `$`,
+// and an error if a `$` is followed by generable symbols.
+func checkAnchors(n Node) (endsWithAnchor bool, err error) {
+	switch v := n.(type) {
+	case Sym, Empty:
+		return false, nil
+	case End:
+		return true, nil
+	case Star:
+		anch, err := checkAnchors(v.Inner)
+		if err != nil {
+			return false, err
+		}
+		if anch {
+			return false, fmt.Errorf("regex: `$` inside a repeated group %q would be followed by further symbols", n)
+		}
+		return false, nil
+	case Plus:
+		anch, err := checkAnchors(v.Inner)
+		if err != nil {
+			return false, err
+		}
+		if anch {
+			return false, fmt.Errorf("regex: `$` inside a repeated group %q would be followed by further symbols", n)
+		}
+		return false, nil
+	case Opt:
+		return checkAnchors(v.Inner)
+	case Alt:
+		any := false
+		for _, b := range v.Branches {
+			anch, err := checkAnchors(b)
+			if err != nil {
+				return false, err
+			}
+			any = any || anch
+		}
+		return any, nil
+	case Concat:
+		sawAnchor := false
+		for _, p := range v.Parts {
+			if sawAnchor && !nullable(p) {
+				return false, fmt.Errorf("regex: symbols required after `$` in %q", n)
+			}
+			if sawAnchor {
+				// Nullable part after an anchor: only legal if it cannot
+				// generate any symbol at all (e.g. another anchor or empty).
+				if len(Symbols(p)) > 0 {
+					return false, fmt.Errorf("regex: optional symbols after `$` in %q", n)
+				}
+			}
+			anch, err := checkAnchors(p)
+			if err != nil {
+				return false, err
+			}
+			if anch {
+				sawAnchor = true
+			}
+		}
+		return sawAnchor, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,250 @@
+package regex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// token kinds produced by the lexer.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokSym
+	tokLParen
+	tokRParen
+	tokAlt
+	tokStar
+	tokPlus
+	tokOpt
+	tokEnd
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokSym:
+		return "symbol"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokAlt:
+		return "'|'"
+	case tokStar:
+		return "'*'"
+	case tokPlus:
+		return "'+'"
+	case tokOpt:
+		return "'?'"
+	case tokEnd:
+		return "'$'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// SyntaxError describes a parse failure with its byte offset in the input.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("regex: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func isSymChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokAlt, "|", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+", i})
+			i++
+		case c == '?':
+			toks = append(toks, token{tokOpt, "?", i})
+			i++
+		case c == '$':
+			toks = append(toks, token{tokEnd, "$", i})
+			i++
+		case isSymChar(c):
+			j := i
+			for j < len(input) && isSymChar(input[j]) {
+				j++
+			}
+			toks = append(toks, token{tokSym, input[i:j], i})
+			i = j
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse parses the service regular expression and validates its anchors.
+//
+// Grammar:
+//
+//	expr   := alt
+//	alt    := concat ('|' concat)*
+//	concat := repeat+
+//	repeat := atom ('*' | '+' | '?')*
+//	atom   := SYMBOL | '$' | '(' alt ')'
+func Parse(input string) (Node, error) {
+	if strings.TrimSpace(input) == "" {
+		return nil, &SyntaxError{Pos: 0, Msg: "empty expression"}
+	}
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf(t, "unexpected %s", t.kind)
+	}
+	if err := CheckAnchors(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustParse is Parse, panicking on error. It is a convenience for tests
+// and for compiled-in expressions such as the paper's equation (2).
+func MustParse(input string) Node {
+	n, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *parser) parseAlt() (Node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	branches := []Node{first}
+	for p.peek().kind == tokAlt {
+		p.next()
+		b, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, b)
+	}
+	if len(branches) == 1 {
+		return first, nil
+	}
+	return Alt{Branches: branches}, nil
+}
+
+func (p *parser) parseConcat() (Node, error) {
+	var parts []Node
+	for {
+		k := p.peek().kind
+		if k != tokSym && k != tokLParen && k != tokEnd {
+			break
+		}
+		r, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	}
+	switch len(parts) {
+	case 0:
+		return nil, p.errf(p.peek(), "expected symbol, '(' or '$', got %s", p.peek().kind)
+	case 1:
+		return parts[0], nil
+	}
+	return Concat{Parts: parts}, nil
+}
+
+func (p *parser) parseRepeat() (Node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().kind {
+		case tokStar:
+			p.next()
+			atom = Star{Inner: atom}
+		case tokPlus:
+			p.next()
+			atom = Plus{Inner: atom}
+		case tokOpt:
+			p.next()
+			atom = Opt{Inner: atom}
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokSym:
+		return Sym{Name: t.text}, nil
+	case tokEnd:
+		return End{}, nil
+	case tokLParen:
+		if p.peek().kind == tokRParen {
+			p.next()
+			return Empty{}, nil
+		}
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if closing := p.next(); closing.kind != tokRParen {
+			return nil, p.errf(closing, "expected ')', got %s", closing.kind)
+		}
+		return inner, nil
+	default:
+		return nil, p.errf(t, "expected symbol, '(' or '$', got %s", t.kind)
+	}
+}

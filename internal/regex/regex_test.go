@@ -1,0 +1,266 @@
+package regex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's equation (2): behaviour of pCore task-management services.
+const paperRE = "TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)"
+
+func TestParseSingleSymbol(t *testing.T) {
+	n, err := Parse("TC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := n.(Sym)
+	if !ok || s.Name != "TC" {
+		t.Fatalf("got %#v", n)
+	}
+}
+
+func TestParsePaperExpression(t *testing.T) {
+	n, err := Parse(paperRE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := n.(Concat)
+	if !ok {
+		t.Fatalf("top level is %T, want Concat", n)
+	}
+	if len(c.Parts) != 3 {
+		t.Fatalf("concat has %d parts, want 3", len(c.Parts))
+	}
+	if s, ok := c.Parts[0].(Sym); !ok || s.Name != "TC" {
+		t.Fatalf("first part %#v", c.Parts[0])
+	}
+	if _, ok := c.Parts[1].(Star); !ok {
+		t.Fatalf("middle part %T, want Star", c.Parts[1])
+	}
+	alt, ok := c.Parts[2].(Alt)
+	if !ok || len(alt.Branches) != 2 {
+		t.Fatalf("tail part %#v", c.Parts[2])
+	}
+	syms := Symbols(n)
+	want := []string{"TC", "TCH", "TD", "TR", "TS", "TY"}
+	if len(syms) != len(want) {
+		t.Fatalf("symbols %v", syms)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("symbols %v, want %v", syms, want)
+		}
+	}
+}
+
+func TestParseFigure3Expression(t *testing.T) {
+	// Figure 3's language: (a c* d) | b
+	n, err := Parse("(a c* d) | b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, ok := n.(Alt)
+	if !ok || len(alt.Branches) != 2 {
+		t.Fatalf("got %#v", n)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	// star binds tighter than concat binds tighter than alt
+	n := MustParse("a b* | c")
+	alt, ok := n.(Alt)
+	if !ok || len(alt.Branches) != 2 {
+		t.Fatalf("got %#v", n)
+	}
+	con, ok := alt.Branches[0].(Concat)
+	if !ok || len(con.Parts) != 2 {
+		t.Fatalf("left branch %#v", alt.Branches[0])
+	}
+	if _, ok := con.Parts[1].(Star); !ok {
+		t.Fatalf("star did not bind to b: %#v", con.Parts[1])
+	}
+}
+
+func TestPlusAndOpt(t *testing.T) {
+	n := MustParse("a+ b?")
+	con := n.(Concat)
+	if _, ok := con.Parts[0].(Plus); !ok {
+		t.Fatalf("got %#v", con.Parts[0])
+	}
+	if _, ok := con.Parts[1].(Opt); !ok {
+		t.Fatalf("got %#v", con.Parts[1])
+	}
+}
+
+func TestStackedRepeats(t *testing.T) {
+	n := MustParse("a*?")
+	if _, ok := n.(Opt); !ok {
+		t.Fatalf("got %#v", n)
+	}
+}
+
+func TestEmptyGroup(t *testing.T) {
+	n := MustParse("a () b")
+	con := n.(Concat)
+	if _, ok := con.Parts[1].(Empty); !ok {
+		t.Fatalf("got %#v", con.Parts[1])
+	}
+}
+
+func TestMultiCharAndNumericSymbols(t *testing.T) {
+	n := MustParse("task_create SVC9")
+	con := n.(Concat)
+	if con.Parts[0].(Sym).Name != "task_create" {
+		t.Fatalf("got %#v", con.Parts[0])
+	}
+	if con.Parts[1].(Sym).Name != "SVC9" {
+		t.Fatalf("got %#v", con.Parts[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"a |",
+		"| a",
+		"(a",
+		"a)",
+		"*",
+		"a @ b",
+		"a (b",
+		"()*)",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("ab @")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("got %T: %v", err, err)
+	}
+	if se.Pos != 3 {
+		t.Fatalf("error position %d, want 3", se.Pos)
+	}
+	if !strings.Contains(se.Error(), "offset 3") {
+		t.Fatalf("error text %q", se.Error())
+	}
+}
+
+func TestAnchorValidTailPositions(t *testing.T) {
+	valid := []string{
+		"a$",
+		"a (b$ | c$)",
+		"a b $",
+		"(a$)?",      // optional anchored tail
+		"a ($ | b$)", // both branches end
+		paperRE,
+	}
+	for _, in := range valid {
+		if _, err := Parse(in); err != nil {
+			t.Errorf("Parse(%q) failed: %v", in, err)
+		}
+	}
+}
+
+func TestAnchorInvalidPositions(t *testing.T) {
+	invalid := []string{
+		"a$ b",
+		"(a$)* b",
+		"(a$)+",
+		"($ a)",
+		"a$ b?",
+	}
+	for _, in := range invalid {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want anchor error", in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"TC",
+		"a b c",
+		"a | b | c",
+		"(a | b) c",
+		"a* b+ c?",
+		"(a b)*",
+		paperRE,
+	}
+	for _, in := range cases {
+		n1 := MustParse(in)
+		rendered := n1.String()
+		n2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q) failed: %v", rendered, in, err)
+			continue
+		}
+		if n2.String() != rendered {
+			t.Errorf("String not stable: %q -> %q", rendered, n2.String())
+		}
+	}
+}
+
+func TestNullable(t *testing.T) {
+	cases := map[string]bool{
+		"a":        false,
+		"a*":       true,
+		"a?":       true,
+		"a+":       false,
+		"a | b*":   true,
+		"a b":      false,
+		"a* b*":    true,
+		"(a b)* c": false,
+	}
+	for in, want := range cases {
+		n := MustParse(in)
+		if got := nullable(n); got != want {
+			t.Errorf("nullable(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestSymbolsDedup(t *testing.T) {
+	syms := Symbols(MustParse("a a a | a"))
+	if len(syms) != 1 || syms[0] != "a" {
+		t.Fatalf("got %v", syms)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestParserNeverPanicsProperty(t *testing.T) {
+	// Property: Parse returns (node, nil) or (nil, error) but never panics,
+	// for arbitrary strings over the expression alphabet.
+	alphabet := []byte("ab R|*+?()$ ")
+	err := quick.Check(func(raw []byte) bool {
+		var sb strings.Builder
+		for _, b := range raw {
+			sb.WriteByte(alphabet[int(b)%len(alphabet)])
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", sb.String(), r)
+			}
+		}()
+		n, err := Parse(sb.String())
+		return (n == nil) != (err == nil)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

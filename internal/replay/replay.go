@@ -1,0 +1,134 @@
+// Package replay serializes a failing pTest run into a self-contained
+// reproduction file and re-executes it. The paper's bug detector "dumps
+// the related information to help users reproduce the bugs"; in the
+// deterministic co-simulation that information is the exact merged
+// command schedule plus the platform configuration, so a replay is
+// bit-identical to the original run.
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/clock"
+	"repro/internal/committee"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/pcore"
+	"repro/internal/pfa"
+)
+
+// Version is the reproduction file format version.
+const Version = 1
+
+// KernelParams is the serializable subset of pcore.Config.
+type KernelParams struct {
+	MaxTasks  int             `json:"max_tasks,omitempty"`
+	StackSize int             `json:"stack_size,omitempty"`
+	GCEvery   int             `json:"gc_every,omitempty"`
+	Quantum   uint64          `json:"quantum,omitempty"`
+	Faults    pcore.FaultPlan `json:"faults"`
+}
+
+// File is one reproduction record.
+type File struct {
+	Version    int              `json:"version"`
+	RE         string           `json:"re"`
+	PD         pfa.Distribution `json:"pd,omitempty"`
+	Seed       uint64           `json:"seed"`
+	CommandGap int              `json:"command_gap,omitempty"`
+	Kernel     KernelParams     `json:"kernel"`
+
+	// Workload names the slave factory; the runner resolves it through
+	// its registry (function values cannot be serialized).
+	Workload     string `json:"workload"`
+	WorkloadSeed uint64 `json:"workload_seed,omitempty"`
+
+	// Entries is the exact merged command schedule that provoked the bug.
+	Entries []pattern.Entry `json:"entries"`
+	Sources int             `json:"sources"`
+	Op      string          `json:"op"`
+
+	// BugSummary records what the original run detected (informational).
+	BugSummary string `json:"bug_summary,omitempty"`
+}
+
+// FromOutcome builds a reproduction file from a finished run.
+func FromOutcome(cfg core.Config, out *core.Outcome, workload string, workloadSeed uint64) *File {
+	f := &File{
+		Version:    Version,
+		RE:         cfg.RE,
+		PD:         cfg.PD,
+		Seed:       cfg.Seed,
+		CommandGap: cfg.CommandGap,
+		Kernel: KernelParams{
+			MaxTasks:  cfg.Kernel.MaxTasks,
+			StackSize: cfg.Kernel.StackSize,
+			GCEvery:   cfg.Kernel.GCEvery,
+			Quantum:   uint64(cfg.Kernel.Quantum),
+			Faults:    cfg.Kernel.Faults,
+		},
+		Workload:     workload,
+		WorkloadSeed: workloadSeed,
+		Entries:      out.Merged.Entries,
+		Sources:      out.Merged.Sources,
+		Op:           out.Merged.Op.String(),
+	}
+	if out.Bug != nil {
+		f.BugSummary = out.Bug.String()
+	}
+	return f
+}
+
+// Save writes the file as indented JSON.
+func (f *File) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Load reads a reproduction file.
+func Load(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("replay: unsupported version %d", f.Version)
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("replay: empty schedule")
+	}
+	return &f, nil
+}
+
+// Run re-executes the recorded schedule with the given factory (resolved
+// by the caller from File.Workload). The result should reproduce the
+// recorded bug exactly.
+func (f *File) Run(factory committee.Factory) (*core.Outcome, error) {
+	op, err := pattern.ParseOp(f.Op)
+	if err != nil {
+		op = pattern.OpSequential
+	}
+	merged := pattern.Merged{
+		Entries: append([]pattern.Entry{}, f.Entries...),
+		Op:      op,
+		Sources: f.Sources,
+	}
+	cfg := core.Config{
+		RE:         f.RE,
+		PD:         f.PD,
+		Seed:       f.Seed,
+		CommandGap: f.CommandGap,
+		Kernel: pcore.Config{
+			MaxTasks:  f.Kernel.MaxTasks,
+			StackSize: f.Kernel.StackSize,
+			GCEvery:   f.Kernel.GCEvery,
+			Quantum:   clock.Cycles(f.Kernel.Quantum),
+			Faults:    f.Kernel.Faults,
+		},
+		Factory: factory,
+	}
+	return core.RunMerged(cfg, merged)
+}

@@ -1,0 +1,189 @@
+package sharedmem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSize(t *testing.T) {
+	m := New(0)
+	if m.Size() != 250*1024 {
+		t.Fatalf("default size %d", m.Size())
+	}
+}
+
+func TestReadWriteWidths(t *testing.T) {
+	m := New(64)
+	if err := m.Write8(0, 0xab); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read8(0); v != 0xab {
+		t.Fatalf("read8 %x", v)
+	}
+	if err := m.Write16(2, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read16(2); v != 0x1234 {
+		t.Fatalf("read16 %x", v)
+	}
+	if err := m.Write32(4, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read32(4); v != 0xdeadbeef {
+		t.Fatalf("read32 %x", v)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New(8)
+	if err := m.Write32(0, 0x04030201); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 4; i++ {
+		if v, _ := m.Read8(i); v != byte(i+1) {
+			t.Fatalf("byte %d = %x", i, v)
+		}
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	m := New(4)
+	cases := []func() error{
+		func() error { _, err := m.Read8(4); return err },
+		func() error { return m.Write8(4, 0) },
+		func() error { _, err := m.Read16(3); return err },
+		func() error { return m.Write16(3, 0) },
+		func() error { _, err := m.Read32(1); return err },
+		func() error { return m.Write32(1, 0) },
+		func() error { _, err := m.ReadBytes(0, 5); return err },
+		func() error { return m.WriteBytes(2, []byte{1, 2, 3}) },
+		func() error { return m.Fill(0, 5, 0) },
+	}
+	for i, f := range cases {
+		err := f()
+		var ae *AccessError
+		if !errors.As(err, &ae) {
+			t.Errorf("case %d: got %v, want AccessError", i, err)
+		}
+	}
+}
+
+func TestAccessErrorMessage(t *testing.T) {
+	m := New(4)
+	err := m.Write32(2, 0)
+	if err == nil || err.Error() == "" {
+		t.Fatal("empty error")
+	}
+}
+
+func TestAllocSequential(t *testing.T) {
+	m := New(100)
+	r1, err := m.Alloc("a", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Alloc("b", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Base != 0 || r2.Base != 40 {
+		t.Fatalf("bases %d %d", r1.Base, r2.Base)
+	}
+	if r1.End() != 40 {
+		t.Fatalf("end %d", r1.End())
+	}
+	if m.Used() != 80 {
+		t.Fatalf("used %d", m.Used())
+	}
+	if _, err := m.Alloc("c", 40); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	if _, err := m.Alloc("d", 0); err == nil {
+		t.Fatal("zero-size allocation succeeded")
+	}
+	regs := m.Regions()
+	if len(regs) != 2 || regs[0].Name != "a" || regs[1].Name != "b" {
+		t.Fatalf("regions %v", regs)
+	}
+}
+
+func TestWatchpointFires(t *testing.T) {
+	m := New(64)
+	var hits []uint32
+	m.OnWrite(8, 4, func(addr uint32, size int) { hits = append(hits, addr) })
+	_ = m.Write8(7, 1)                   // below window
+	_ = m.Write8(12, 1)                  // above window
+	_ = m.Write8(8, 1)                   // inside
+	_ = m.Write32(10, 1)                 // overlaps tail
+	_ = m.WriteBytes(0, make([]byte, 9)) // overlaps head
+	if len(hits) != 3 {
+		t.Fatalf("watch hits %v", hits)
+	}
+}
+
+func TestFillAndReadBytes(t *testing.T) {
+	m := New(16)
+	if err := m.Fill(4, 8, 0x5a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ReadBytes(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b {
+		if v != 0x5a {
+			t.Fatalf("fill byte %x", v)
+		}
+	}
+	if v, _ := m.Read8(3); v != 0 {
+		t.Fatal("fill leaked below")
+	}
+	if v, _ := m.Read8(12); v != 0 {
+		t.Fatal("fill leaked above")
+	}
+}
+
+func TestWriteBytesRoundTrip(t *testing.T) {
+	m := New(1024)
+	err := quick.Check(func(addr16 uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := uint32(addr16) % 512
+		if int(addr)+len(data) > m.Size() {
+			return true
+		}
+		if err := m.WriteBytes(addr, data); err != nil {
+			return false
+		}
+		got, err := m.ReadBytes(addr, len(data))
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRead16Write16Property(t *testing.T) {
+	m := New(256)
+	err := quick.Check(func(addr8 uint8, v uint16) bool {
+		addr := uint32(addr8) % 254
+		if err := m.Write16(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Read16(addr)
+		return err == nil && got == v
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

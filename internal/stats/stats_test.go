@@ -1,0 +1,372 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 coincide in %d/100 outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := New(99)
+	const buckets = 10
+	counts := make([]int, buckets)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[int(r.Float64()*buckets)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d frequency %.4f deviates from 0.1", i, frac)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %.4f", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	err := quick.Check(func(seed uint64) bool {
+		rr := New(seed)
+		n := 1 + int(seed%32)
+		p := rr.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 200, Rand: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(17)
+	xs := []int{1, 2, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0
+	for _, x := range xs {
+		sum2 += x
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed contents: %d vs %d", sum, sum2)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(21)
+	child := parent.Split()
+	// Child stream should differ from continuing the parent stream.
+	same := 0
+	for i := 0; i < 50; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("split stream coincides with parent in %d/50 outputs", same)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(23)
+	var s Summary
+	for i := 0; i < 20000; i++ {
+		s.Add(float64(r.Geometric(0.25)))
+	}
+	// Mean of failures-before-success = (1-p)/p = 3.
+	if math.Abs(s.Mean()-3) > 0.15 {
+		t.Fatalf("Geometric(0.25) mean %.3f, want ~3", s.Mean())
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=0")
+		}
+	}()
+	New(1).Geometric(0)
+}
+
+func TestCategoricalProportions(t *testing.T) {
+	r := New(29)
+	w := []float64{0.6, 0.4}
+	counts := [2]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		idx, err := r.Categorical(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	if math.Abs(float64(counts[0])/n-0.6) > 0.01 {
+		t.Fatalf("category 0 frequency %.4f, want ~0.6", float64(counts[0])/n)
+	}
+}
+
+func TestCategoricalSkipsZeroWeights(t *testing.T) {
+	r := New(31)
+	w := []float64{0, 1, 0}
+	for i := 0; i < 1000; i++ {
+		idx, err := r.Categorical(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != 1 {
+			t.Fatalf("picked zero-weight category %d", idx)
+		}
+	}
+}
+
+func TestCategoricalErrors(t *testing.T) {
+	r := New(37)
+	if _, err := r.Categorical(nil); err != ErrEmptyDistribution {
+		t.Fatalf("nil weights: got %v", err)
+	}
+	if _, err := r.Categorical([]float64{0, 0}); err != ErrEmptyDistribution {
+		t.Fatalf("zero weights: got %v", err)
+	}
+	if _, err := r.Categorical([]float64{0.5, -0.1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestCategoricalUnnormalizedWeights(t *testing.T) {
+	r := New(41)
+	// Weights 3:1 — should behave like 0.75 : 0.25.
+	counts := [2]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		idx, err := r.Categorical([]float64{3, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	if math.Abs(float64(counts[0])/n-0.75) > 0.02 {
+		t.Fatalf("unnormalized sampling frequency %.4f, want ~0.75", float64(counts[0])/n)
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N=%d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean=%v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Population sd is 2; sample variance = 32/7.
+	if math.Abs(s.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var=%v", s.Var())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	s.Add(3.5)
+	if s.Var() != 0 {
+		t.Fatal("single-sample variance not zero")
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("single-sample min/max wrong")
+	}
+}
+
+func TestHistogramFreqAndCategories(t *testing.T) {
+	h := NewHistogram()
+	h.Observe("TC")
+	h.ObserveN("TD", 3)
+	if h.Total() != 4 {
+		t.Fatalf("total=%d", h.Total())
+	}
+	if h.Freq("TD") != 0.75 {
+		t.Fatalf("freq=%v", h.Freq("TD"))
+	}
+	cats := h.Categories()
+	if len(cats) != 2 || cats[0] != "TC" || cats[1] != "TD" {
+		t.Fatalf("categories=%v", cats)
+	}
+}
+
+func TestHistogramEmptyFreq(t *testing.T) {
+	h := NewHistogram()
+	if h.Freq("x") != 0 {
+		t.Fatal("empty histogram freq nonzero")
+	}
+	stat, dof := h.ChiSquare(map[string]float64{"x": 1})
+	if stat != 0 || dof != 0 {
+		t.Fatal("empty histogram chi-square nonzero")
+	}
+}
+
+func TestChiSquareMatchesExpected(t *testing.T) {
+	r := New(43)
+	h := NewHistogram()
+	exp := map[string]float64{"a": 0.6, "b": 0.4}
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.6) {
+			h.Observe("a")
+		} else {
+			h.Observe("b")
+		}
+	}
+	stat, dof := h.ChiSquare(exp)
+	if dof != 1 {
+		t.Fatalf("dof=%d", dof)
+	}
+	// 99.9th percentile of chi-square with 1 dof is ~10.8.
+	if stat > 10.8 {
+		t.Fatalf("chi-square %v too large for matching distribution", stat)
+	}
+}
+
+func TestChiSquareInfOnImpossibleObservation(t *testing.T) {
+	h := NewHistogram()
+	h.Observe("z")
+	stat, _ := h.ChiSquare(map[string]float64{"z": 0, "a": 1})
+	if !math.IsInf(stat, 1) {
+		t.Fatalf("expected +Inf, got %v", stat)
+	}
+}
+
+func TestMaxAbsFreqError(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveN("a", 60)
+	h.ObserveN("b", 40)
+	e := h.MaxAbsFreqError(map[string]float64{"a": 0.5, "b": 0.5})
+	if math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("error=%v, want 0.1", e)
+	}
+}
+
+func TestSummaryWelfordMatchesNaive(t *testing.T) {
+	// Property: streaming variance matches two-pass variance.
+	err := quick.Check(func(seed uint64) bool {
+		r := New(seed)
+		n := 2 + int(seed%100)
+		xs := make([]float64, n)
+		var s Summary
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+			s.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return math.Abs(v-s.Var()) < 1e-6*(1+math.Abs(v))
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming summary statistics (count, mean, variance,
+// min, max) using Welford's online algorithm, so benches can report
+// distributions without retaining every sample.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the minimum observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the maximum observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// String renders the summary in a compact single-line form.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f",
+		s.n, s.Mean(), s.Stddev(), s.min, s.max)
+}
+
+// Histogram counts observations of string-keyed categories; the pattern
+// analyses use it to compare empirical symbol frequencies against the PFA's
+// predicted distribution.
+type Histogram struct {
+	counts map[string]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[string]int)}
+}
+
+// Observe adds one occurrence of the category.
+func (h *Histogram) Observe(cat string) { h.ObserveN(cat, 1) }
+
+// ObserveN adds n occurrences of the category.
+func (h *Histogram) ObserveN(cat string, n int) {
+	h.counts[cat] += n
+	h.total += n
+}
+
+// Count returns the occurrences recorded for the category.
+func (h *Histogram) Count(cat string) int { return h.counts[cat] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Freq returns the empirical frequency of the category in [0, 1].
+func (h *Histogram) Freq(cat string) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[cat]) / float64(h.total)
+}
+
+// Categories returns the observed categories sorted lexicographically.
+func (h *Histogram) Categories() []string {
+	cats := make([]string, 0, len(h.counts))
+	for c := range h.counts {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	return cats
+}
+
+// ChiSquare computes the chi-square statistic of the histogram against the
+// expected probability map. Categories absent from expected contribute via
+// a pooled "other" cell only if they were observed; expected probabilities
+// of zero with nonzero observations return +Inf. The returned degrees of
+// freedom is len(expected)-1.
+func (h *Histogram) ChiSquare(expected map[string]float64) (stat float64, dof int) {
+	if h.total == 0 {
+		return 0, 0
+	}
+	n := float64(h.total)
+	for cat, p := range expected {
+		obs := float64(h.counts[cat])
+		exp := p * n
+		if exp == 0 {
+			if obs > 0 {
+				return math.Inf(1), len(expected) - 1
+			}
+			continue
+		}
+		d := obs - exp
+		stat += d * d / exp
+	}
+	return stat, len(expected) - 1
+}
+
+// MaxAbsFreqError returns the largest absolute difference between the
+// empirical frequency and the expected probability across the expected
+// categories. It is the distribution-match criterion used by the
+// Figure 3/Figure 5 reproduction tests.
+func (h *Histogram) MaxAbsFreqError(expected map[string]float64) float64 {
+	worst := 0.0
+	for cat, p := range expected {
+		d := math.Abs(h.Freq(cat) - p)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

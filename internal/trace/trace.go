@@ -1,0 +1,212 @@
+// Package trace records a merged, globally-timestamped event timeline of
+// a platform run — slave kernel events, master thread events and served
+// remote commands — and renders it as text: a chronological listing and
+// per-task swimlanes. It is the debugging view a pTest user reads next
+// to the bug detector's report.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/committee"
+	"repro/internal/master"
+	"repro/internal/pcore"
+	"repro/internal/platform"
+)
+
+// Source identifies the component that produced an event.
+type Source string
+
+// Event sources.
+const (
+	SrcSlave   Source = "slave"
+	SrcMaster  Source = "master"
+	SrcCommand Source = "command"
+)
+
+// Event is one timeline entry, stamped with global platform time.
+type Event struct {
+	At     clock.Cycles
+	Source Source
+	Who    string // task/thread identity
+	What   string
+}
+
+// Recorder accumulates events from an attached platform.
+type Recorder struct {
+	events []Event
+	limit  int
+	p      *platform.Platform
+
+	// last-known slave task states for the swimlane view
+	taskNames map[pcore.TaskID]string
+}
+
+// NewRecorder returns a recorder keeping at most limit events (0 = all).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit, taskNames: map[pcore.TaskID]string{}}
+}
+
+// Attach hooks the recorder into the platform's slave kernel, master OS
+// and committee. It replaces any previously registered hooks on those
+// components.
+func (r *Recorder) Attach(p *platform.Platform) {
+	r.p = p
+	p.Slave.OnEvent(func(e pcore.Event) {
+		who := fmt.Sprintf("task%d", e.Task)
+		if info, ok := p.Slave.TaskInfo(e.Task); ok {
+			r.taskNames[e.Task] = info.Name
+			who = info.Name
+		} else if name, ok := r.taskNames[e.Task]; ok {
+			who = name
+		}
+		what := e.Kind.String()
+		if e.Service != "" {
+			what += ":" + string(e.Service)
+		}
+		if e.Detail != "" {
+			what += " " + e.Detail
+		}
+		r.add(Event{At: p.Now(), Source: SrcSlave, Who: who, What: what})
+	})
+	p.Master.OnEvent(func(e master.ThreadEvent) {
+		r.add(Event{At: p.Now(), Source: SrcMaster,
+			Who: fmt.Sprintf("thread%d", e.Thread), What: e.What})
+	})
+	p.Committee.OnExecuted(func(e committee.Executed) {
+		r.add(Event{At: p.Now(), Source: SrcCommand,
+			Who:  fmt.Sprintf("logical%d", e.Req.Arg0),
+			What: fmt.Sprintf("%s -> %s (%s)", e.Req.Op, e.State, e.Status)})
+	})
+}
+
+func (r *Recorder) add(e Event) {
+	r.events = append(r.events, e)
+	if r.limit > 0 && len(r.events) > r.limit {
+		drop := len(r.events) - r.limit
+		r.events = append(r.events[:0:0], r.events[drop:]...)
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns a copy of the retained events in order.
+func (r *Recorder) Events() []Event {
+	return append([]Event{}, r.events...)
+}
+
+// Render writes the chronological listing.
+func (r *Recorder) Render(w io.Writer) error {
+	for _, e := range r.events {
+		if _, err := fmt.Fprintf(w, "t=%-8d %-7s %-12s %s\n", e.At, e.Source, e.Who, e.What); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// laneChar maps a slave event to its swimlane letter.
+func laneChar(what string) (byte, bool) {
+	switch {
+	case strings.HasPrefix(what, "dispatch"):
+		return 'R', true // running
+	case strings.HasPrefix(what, "block"):
+		if strings.Contains(what, "suspended") {
+			return 'S', true
+		}
+		return 'B', true
+	case strings.HasPrefix(what, "wake"):
+		return 'r', true // ready again
+	case strings.HasPrefix(what, "exit"):
+		return 'T', true // terminated
+	case strings.HasPrefix(what, "fault"):
+		return 'X', true
+	}
+	return 0, false
+}
+
+// Lanes renders per-task swimlanes over the given number of time
+// buckets: each lane is a string whose i-th character is the task's
+// last-known condition in bucket i — R running, r ready, B blocked,
+// S suspended, T terminated, X fault, '.' no information yet,
+// '-' carried over from the previous bucket.
+func (r *Recorder) Lanes(buckets int) map[string]string {
+	if buckets <= 0 || len(r.events) == 0 {
+		return nil
+	}
+	maxT := r.events[len(r.events)-1].At
+	if maxT == 0 {
+		maxT = 1
+	}
+	type laneState struct {
+		chars []byte
+		last  byte
+	}
+	lanes := map[string]*laneState{}
+	bucketOf := func(t clock.Cycles) int {
+		b := int(uint64(t) * uint64(buckets) / uint64(maxT+1))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		return b
+	}
+	for _, e := range r.events {
+		if e.Source != SrcSlave {
+			continue
+		}
+		ch, ok := laneChar(e.What)
+		if !ok {
+			continue
+		}
+		ls := lanes[e.Who]
+		if ls == nil {
+			ls = &laneState{chars: []byte(strings.Repeat(".", buckets))}
+			lanes[e.Who] = ls
+		}
+		b := bucketOf(e.At)
+		ls.chars[b] = ch
+		ls.last = ch
+	}
+	// Fill gaps: propagate the last event letter forward as '-' runs so
+	// the lane reads as a continuous history.
+	out := make(map[string]string, len(lanes))
+	for who, ls := range lanes {
+		filled := make([]byte, len(ls.chars))
+		prev := byte('.')
+		for i, c := range ls.chars {
+			if c == '.' {
+				if prev != '.' && prev != 'T' && prev != 'X' {
+					filled[i] = '-'
+				} else {
+					filled[i] = prev
+				}
+				continue
+			}
+			filled[i] = c
+			prev = c
+		}
+		out[who] = string(filled)
+	}
+	return out
+}
+
+// RenderLanes writes the swimlane view, lanes sorted by name.
+func (r *Recorder) RenderLanes(w io.Writer, buckets int) error {
+	lanes := r.Lanes(buckets)
+	names := make([]string, 0, len(lanes))
+	for n := range lanes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%-14s %s\n", n, lanes[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/bridge"
+	"repro/internal/master"
+	"repro/internal/pcore"
+	"repro/internal/platform"
+)
+
+func runTracedScenario(t *testing.T, limit int) *Recorder {
+	t.Helper()
+	factory, _ := app.Philosophers(2, 5, false)
+	p, err := platform.New(platform.Config{Factory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	r := NewRecorder(limit)
+	r.Attach(p)
+	p.Master.Spawn("drv", func(ctx *master.Ctx) {
+		for logical := uint32(0); logical < 2; logical++ {
+			_, _ = p.Client.Call(ctx, bridge.CodeTC, logical, 0xffffffff)
+		}
+	})
+	p.RunUntilQuiescent(1_000_000)
+	return r
+}
+
+func TestRecorderCapturesAllSources(t *testing.T) {
+	r := runTracedScenario(t, 0)
+	if r.Len() == 0 {
+		t.Fatal("no events")
+	}
+	seen := map[Source]bool{}
+	for _, e := range r.Events() {
+		seen[e.Source] = true
+	}
+	for _, src := range []Source{SrcSlave, SrcMaster, SrcCommand} {
+		if !seen[src] {
+			t.Errorf("no events from %s", src)
+		}
+	}
+}
+
+func TestEventsNonDecreasingTime(t *testing.T) {
+	r := runTracedScenario(t, 0)
+	var prev uint64
+	for i, e := range r.Events() {
+		if uint64(e.At) < prev {
+			t.Fatalf("event %d at t=%d after t=%d", i, e.At, prev)
+		}
+		prev = uint64(e.At)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := runTracedScenario(t, 10)
+	if r.Len() != 10 {
+		t.Fatalf("kept %d events, want 10", r.Len())
+	}
+}
+
+func TestRenderListing(t *testing.T) {
+	r := runTracedScenario(t, 0)
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"slave", "command", "phil-0", "TC -> ready (ok)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("listing missing %q", frag)
+		}
+	}
+}
+
+func TestLanes(t *testing.T) {
+	r := runTracedScenario(t, 0)
+	lanes := r.Lanes(40)
+	if len(lanes) < 2 {
+		t.Fatalf("lanes %v", lanes)
+	}
+	for who, lane := range lanes {
+		if len(lane) != 40 {
+			t.Fatalf("lane %s has %d buckets", who, len(lane))
+		}
+		if !strings.Contains(lane, "R") {
+			t.Errorf("lane %s never ran: %s", who, lane)
+		}
+	}
+	// Philosophers finish their 5 rounds: lanes must end terminated.
+	for who, lane := range lanes {
+		if !strings.Contains(lane, "T") {
+			t.Errorf("lane %s never terminated: %s", who, lane)
+		}
+	}
+	var sb strings.Builder
+	if err := r.RenderLanes(&sb, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "phil-0") {
+		t.Fatalf("lane render %q", sb.String())
+	}
+}
+
+func TestLanesEmptyAndZeroBuckets(t *testing.T) {
+	r := NewRecorder(0)
+	if l := r.Lanes(10); l != nil {
+		t.Fatalf("lanes from empty recorder: %v", l)
+	}
+	r.add(Event{At: 5, Source: SrcSlave, Who: "x", What: "dispatch"})
+	if l := r.Lanes(0); l != nil {
+		t.Fatal("zero buckets accepted")
+	}
+}
+
+func TestLaneShowsBlockedDeadlock(t *testing.T) {
+	// Deadlocked philosophers: both lanes must end in blocked (B).
+	factory, _ := app.Philosophers(2, 100000, false)
+	p, err := platform.New(platform.Config{Factory: factory, Kernel: pcore.Config{Quantum: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	r := NewRecorder(0)
+	r.Attach(p)
+	// Force the deadlock with direct kernel tasks: two lock-cross tasks.
+	m1 := pcore.NewMutex("m1")
+	m2 := pcore.NewMutex("m2")
+	_, _ = p.Slave.CreateTask("a", 5, func(c *pcore.Ctx) {
+		c.Lock(m1)
+		c.Yield()
+		c.Lock(m2)
+	})
+	_, _ = p.Slave.CreateTask("b", 5, func(c *pcore.Ctx) {
+		c.Lock(m2)
+		c.Yield()
+		c.Lock(m1)
+	})
+	p.RunUntilQuiescent(100000)
+	lanes := r.Lanes(20)
+	for _, who := range []string{"a", "b"} {
+		lane, ok := lanes[who]
+		if !ok {
+			t.Fatalf("no lane for %s: %v", who, lanes)
+		}
+		lastLetter := byte(0)
+		for i := len(lane) - 1; i >= 0; i-- {
+			if lane[i] != '-' && lane[i] != '.' {
+				lastLetter = lane[i]
+				break
+			}
+		}
+		if lastLetter != 'B' {
+			t.Errorf("lane %s ends in %q, want B: %s", who, string(lastLetter), lane)
+		}
+	}
+}

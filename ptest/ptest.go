@@ -1,0 +1,248 @@
+// Package ptest is the public API of the pTest reproduction: an adaptive
+// stress-testing tool for concurrent software on (simulated) embedded
+// multicore processors, after Chang, Hsieh and Lee, "pTest: An Adaptive
+// Testing Tool for Concurrent Software on Embedded Multicore
+// Processors", DATE 2009.
+//
+// The flow mirrors the paper's Algorithm 1. A service regular expression
+// and a probability distribution define a probabilistic finite-state
+// automaton (PFA); the pattern generator samples n test patterns of size
+// s from it; the pattern merger interleaves them under a selectable op;
+// the committer issues the merged pattern as remote commands to the
+// simulated pCore slave kernel while the bug detector watches for
+// crashes, deadlocks, hangs, livelock and starvation:
+//
+//	out, err := ptest.Run(ptest.Config{
+//	    RE:      ptest.PCoreRE,
+//	    PD:      ptest.PCoreDistribution(),
+//	    N:       16,
+//	    S:       24,
+//	    Op:      ptest.OpRoundRobin,
+//	    Seed:    1,
+//	    Factory: ptest.QuicksortFactory(42),
+//	})
+//	if out.Bug != nil {
+//	    fmt.Println(out.Bug)       // classified failure
+//	    fmt.Print(out.Bug.Journal) // Definition 2 records for replay
+//	}
+//
+// Every run is deterministic in (Config, Seed); a bug report plus its
+// seed reproduces the failure exactly.
+package ptest
+
+import (
+	"io"
+
+	"repro/internal/app"
+	"repro/internal/chess"
+	"repro/internal/committee"
+	"repro/internal/contest"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/pattern"
+	"repro/internal/pcore"
+	"repro/internal/pfa"
+	"repro/internal/profile"
+	"repro/internal/replay"
+)
+
+// Config configures one adaptive test run; see core.Config for the full
+// field documentation. The zero value of every optional field takes a
+// sensible default.
+type Config = core.Config
+
+// Outcome is the result of one run: detected bug (if any), coverage,
+// patterns, journal and costs.
+type Outcome = core.Outcome
+
+// CampaignConfig repeats runs across seeds.
+type CampaignConfig = core.CampaignConfig
+
+// CampaignResult aggregates a campaign.
+type CampaignResult = core.CampaignResult
+
+// Run executes Algorithm 1 once: generate, merge, commit, detect.
+func Run(cfg Config) (*Outcome, error) { return core.AdaptiveTest(cfg) }
+
+// RunCampaign repeats Run over consecutive seeds.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return core.RunCampaign(cfg)
+}
+
+// RunMerged executes an explicit merged pattern (expert use: replay and
+// systematic exploration).
+func RunMerged(cfg Config, merged Merged) (*Outcome, error) {
+	return core.RunMerged(cfg, merged)
+}
+
+// AdaptiveCampaignConfig configures a coverage-guided campaign: between
+// trials the distribution is reweighted toward PFA transitions the
+// executed commands have not exercised yet.
+type AdaptiveCampaignConfig = core.AdaptiveCampaignConfig
+
+// AdaptiveCampaignResult extends the campaign result with the coverage
+// trajectory and final refined distribution.
+type AdaptiveCampaignResult = core.AdaptiveCampaignResult
+
+// NoRefinement disables refinement in an adaptive campaign (control arm).
+const NoRefinement = core.NoRefinement
+
+// RunAdaptiveCampaign executes the coverage-guided refinement loop.
+func RunAdaptiveCampaign(cfg AdaptiveCampaignConfig) (*AdaptiveCampaignResult, error) {
+	return core.RunAdaptiveCampaign(cfg)
+}
+
+// --- pattern generation ---------------------------------------------------
+
+// Distribution assigns conditional next-service probabilities, keyed by
+// the previously executed service (StartLabel for the initial state).
+type Distribution = pfa.Distribution
+
+// StartLabel addresses the PFA's initial state in a Distribution.
+const StartLabel = pfa.StartLabel
+
+// PFA is the probabilistic finite-state automaton of Definition 1.
+type PFA = pfa.PFA
+
+// NewPFA compiles a service regular expression and attaches the
+// distribution (nil = uniform over legal transitions).
+func NewPFA(re string, d Distribution) (*PFA, error) { return pfa.FromRegex(re, d) }
+
+// GenOptions tunes Algorithm 2's pattern generation.
+type GenOptions = pfa.GenOptions
+
+// Pattern is one generated test pattern.
+type Pattern = pfa.Pattern
+
+// The paper's canonical automata.
+const (
+	// PCoreRE is equation (2): the pCore task-management life cycle.
+	PCoreRE = pfa.PCoreRE
+	// Figure3RE is the didactic expression of Figure 3.
+	Figure3RE = pfa.Figure3RE
+)
+
+// PCoreDistribution returns Figure 5's transition probabilities.
+func PCoreDistribution() Distribution { return pfa.PCoreDistribution() }
+
+// Figure3Distribution returns Figure 3's transition probabilities.
+func Figure3Distribution() Distribution { return pfa.Figure3Distribution() }
+
+// --- pattern merging --------------------------------------------------------
+
+// Op selects the pattern-merger strategy.
+type Op = pattern.Op
+
+// Merger strategies (Algorithm 1's op parameter).
+const (
+	OpRoundRobin = pattern.OpRoundRobin
+	OpRandom     = pattern.OpRandom
+	OpCyclic     = pattern.OpCyclic
+	OpPriority   = pattern.OpPriority
+	OpSequential = pattern.OpSequential
+)
+
+// Ops lists every merger strategy.
+func Ops() []Op { return pattern.Ops() }
+
+// Merged is the final interleaved test pattern.
+type Merged = pattern.Merged
+
+// --- failure reports ----------------------------------------------------------
+
+// Report is a detected failure with its reproduction dump.
+type Report = detector.Report
+
+// BugKind classifies failures.
+type BugKind = detector.BugKind
+
+// Failure classes.
+const (
+	BugCrash       = detector.BugCrash
+	BugDeadlock    = detector.BugDeadlock
+	BugHang        = detector.BugHang
+	BugLivelock    = detector.BugLivelock
+	BugStarvation  = detector.BugStarvation
+	BugMasterPanic = detector.BugMasterPanic
+)
+
+// --- slave workloads -----------------------------------------------------------
+
+// Factory supplies workload bodies for logical tasks.
+type Factory = committee.Factory
+
+// CreateSpec describes one slave task to create.
+type CreateSpec = committee.CreateSpec
+
+// SpinFactory returns idle control-loop tasks.
+func SpinFactory() Factory { return app.SpinFactory() }
+
+// QuicksortFactory returns the case-study-1 stress workload: each task
+// sorts 128 2-byte integers within a 512-byte stack.
+func QuicksortFactory(seed uint64) Factory { return app.QuicksortFactory(seed) }
+
+// Philosophers returns the case-study-2 workload: n philosopher tasks
+// over n mutually exclusive forks; ordered=false is the deadlock-prone
+// variant.
+func Philosophers(n, rounds int, ordered bool) (Factory, []*Mutex) {
+	return app.Philosophers(n, rounds, ordered)
+}
+
+// ProducerConsumer returns the lost-wakeup workload.
+func ProducerConsumer(items int) Factory { return app.ProducerConsumer(items) }
+
+// PriorityInversion returns the starvation workload.
+func PriorityInversion(hogBursts int) Factory { return app.PriorityInversion(hogBursts) }
+
+// --- slave kernel configuration ---------------------------------------------------
+
+// KernelConfig configures the simulated pCore slave.
+type KernelConfig = pcore.Config
+
+// FaultPlan seeds simulated kernel bugs (GC leak, lost resume, ...).
+type FaultPlan = pcore.FaultPlan
+
+// Mutex is a slave-side lock (exposed for workload assertions).
+type Mutex = pcore.Mutex
+
+// --- baselines ----------------------------------------------------------------------
+
+// ContestConfig configures the ConTest-style noise-injection baseline.
+type ContestConfig = contest.Config
+
+// RunContest executes one noise-injection trial.
+func RunContest(cfg ContestConfig) (*contest.Outcome, error) { return contest.Run(cfg) }
+
+// ChessConfig configures the CHESS-style systematic explorer.
+type ChessConfig = chess.Config
+
+// RunChess executes a preemption-bounded systematic exploration.
+func RunChess(cfg ChessConfig) (*chess.Result, error) { return chess.Explore(cfg) }
+
+// --- profiling and reproduction -------------------------------------------
+
+// ProfileCollector taps a committee's executed-command stream so a
+// probability distribution can be learned from real usage.
+type ProfileCollector = profile.Collector
+
+// NewProfileCollector returns an empty profiling collector.
+func NewProfileCollector() *ProfileCollector { return profile.NewCollector() }
+
+// LearnDistribution fits service traces against an expression, returning
+// the conditional next-service distribution with Laplace smoothing.
+func LearnDistribution(re string, traces [][]string, smoothing float64) (Distribution, pfa.LearnResult, error) {
+	return profile.Learn(re, traces, smoothing)
+}
+
+// ReproFile is a serialized failing run: the exact merged schedule plus
+// platform configuration, re-executable bit-identically.
+type ReproFile = replay.File
+
+// NewReproFile captures a finished run for later replay; workload names
+// the factory so the replayer can reconstruct it.
+func NewReproFile(cfg Config, out *Outcome, workload string, workloadSeed uint64) *ReproFile {
+	return replay.FromOutcome(cfg, out, workload, workloadSeed)
+}
+
+// LoadRepro reads a reproduction file.
+func LoadRepro(r io.Reader) (*ReproFile, error) { return replay.Load(r) }

@@ -1,0 +1,191 @@
+package ptest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicRunQuickstart(t *testing.T) {
+	out, err := Run(Config{
+		RE:      PCoreRE,
+		PD:      PCoreDistribution(),
+		N:       4,
+		S:       10,
+		Op:      OpRoundRobin,
+		Seed:    1,
+		Factory: SpinFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Bug != nil {
+		t.Fatalf("bug %v", out.Bug)
+	}
+	if out.CommandsIssued != 40 {
+		t.Fatalf("commands %d", out.CommandsIssued)
+	}
+}
+
+func TestPublicPFA(t *testing.T) {
+	p, err := NewPFA(Figure3RE, Figure3Distribution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() == 0 {
+		t.Fatal("empty PFA")
+	}
+	if _, err := NewPFA("(((", nil); err == nil {
+		t.Fatal("bad RE accepted")
+	}
+}
+
+func TestPublicCampaignFindsCrash(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{
+		Base: Config{
+			RE: PCoreRE, PD: PCoreDistribution(),
+			N: 8, S: 16, Op: OpRoundRobin, Seed: 1,
+			Factory: QuicksortFactory(5),
+			Kernel:  KernelConfig{GCEvery: 4, Faults: FaultPlan{GCLeakEvery: 2}},
+		},
+		Trials: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bugs) == 0 || res.Bugs[0].Kind != BugCrash {
+		t.Fatalf("bugs %v", res.Bugs)
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	cOut, err := RunContest(ContestConfig{
+		Seed: 1, Tasks: 2, Factory: QuicksortFactory(9), MaxSteps: 500000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cOut.Bug != nil {
+		t.Fatalf("contest clean run found %v", cOut.Bug)
+	}
+	chOut, err := RunChess(ChessConfig{
+		Run: Config{
+			RE: PCoreRE, PD: PCoreDistribution(),
+			Factory: SpinFactory(),
+		},
+		Sources:         [][]string{{"TC", "TD"}, {"TC", "TY"}},
+		PreemptionBound: 1,
+		ExploreAll:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chOut.Schedules == 0 {
+		t.Fatal("chess executed nothing")
+	}
+}
+
+func TestPublicOps(t *testing.T) {
+	if len(Ops()) != 5 {
+		t.Fatalf("ops %v", Ops())
+	}
+	names := map[string]bool{}
+	for _, op := range Ops() {
+		names[op.String()] = true
+	}
+	for _, want := range []string{"roundrobin", "random", "cyclic", "priority", "sequential"} {
+		if !names[want] {
+			t.Errorf("missing op %s", want)
+		}
+	}
+}
+
+func TestPublicAdaptiveCampaign(t *testing.T) {
+	res, err := RunAdaptiveCampaign(AdaptiveCampaignConfig{
+		Base: Config{
+			RE: PCoreRE, PD: PCoreDistribution(),
+			N: 3, S: 8, Op: OpRoundRobin, Seed: 1,
+			Factory: SpinFactory(),
+		},
+		Trials:    3,
+		KeepGoing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 3 || len(res.TransitionCoverage) != 3 {
+		t.Fatalf("res %+v", res.CampaignResult)
+	}
+}
+
+func TestPublicReproRoundTrip(t *testing.T) {
+	cfg := Config{
+		RE: PCoreRE, PD: PCoreDistribution(),
+		N: 8, S: 16, Op: OpRoundRobin, Seed: 1,
+		Factory: QuicksortFactory(5),
+		Kernel:  KernelConfig{GCEvery: 4, Faults: FaultPlan{GCLeakEvery: 2}},
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Bug == nil {
+		t.Fatal("no bug to reproduce")
+	}
+	f := NewReproFile(cfg, out, "quicksort", 5)
+	var buf strings.Builder
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRepro(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := loaded.Run(QuicksortFactory(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Bug == nil || replayed.Bug.At != out.Bug.At {
+		t.Fatalf("replay mismatch: %v vs %v", replayed.Bug, out.Bug)
+	}
+}
+
+func TestPublicLearnDistribution(t *testing.T) {
+	d, res, err := LearnDistribution(PCoreRE, [][]string{
+		{"TC", "TCH", "TD"},
+		{"TC", "TS", "TR", "TY"},
+	}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != 2 {
+		t.Fatalf("learn result %+v", res)
+	}
+	if _, err := NewPFA(PCoreRE, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicReportRendering(t *testing.T) {
+	factory, _ := Philosophers(3, 100000, false)
+	out, err := Run(Config{
+		RE: "TC (TS TR)+ TD$",
+		PD: Distribution{
+			StartLabel: {"TC": 1},
+			"TC":       {"TS": 1},
+			"TS":       {"TR": 1},
+			"TR":       {"TS": 1, "TD": 0},
+		},
+		N: 3, S: 41, Op: OpCyclic, Seed: 0, CommandGap: 100,
+		Factory: factory,
+		Kernel:  KernelConfig{Quantum: 1 << 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Bug == nil || out.Bug.Kind != BugDeadlock {
+		t.Fatalf("bug %v", out.Bug)
+	}
+	if !strings.Contains(out.Bug.String(), "deadlock") {
+		t.Fatalf("report %q", out.Bug.String())
+	}
+}
