@@ -671,6 +671,72 @@ func BenchmarkBaseline_ChessLostResume(b *testing.B) {
 	}
 }
 
+// --- Campaign engine: sharded trial execution ------------------------------------------------
+
+// benchCampaign measures the 32-trial quicksort-stress campaign at a
+// given parallelism. Trials are independent and deterministic in
+// (Config, Seed), so every row below computes the identical result —
+// the wall-clock ratio between rows is pure engine speedup.
+func benchCampaign(b *testing.B, parallelism int) {
+	var cmds float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunCampaign(core.CampaignConfig{
+			Base: core.Config{
+				RE: pfa.PCoreRE, PD: pfa.PCoreDistribution(),
+				N: 16, S: 24, Op: pattern.OpRoundRobin, Seed: 1,
+				Factory: app.QuicksortFactory(99),
+			},
+			Trials: 32, KeepGoing: true, Parallelism: parallelism,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trials != 32 {
+			b.Fatalf("ran %d trials", res.Trials)
+		}
+		cmds += float64(res.TotalCommands)
+	}
+	b.ReportMetric(cmds/float64(b.N), "cmds/op")
+	if d := b.Elapsed().Seconds(); d > 0 {
+		b.ReportMetric(32*float64(b.N)/d, "trials/s")
+	}
+}
+
+func BenchmarkCampaign_Sequential(b *testing.B) { benchCampaign(b, 1) }
+func BenchmarkCampaign_Parallel2(b *testing.B)  { benchCampaign(b, 2) }
+func BenchmarkCampaign_Parallel4(b *testing.B)  { benchCampaign(b, 4) }
+func BenchmarkCampaign_Parallel8(b *testing.B)  { benchCampaign(b, 8) }
+
+// BenchmarkCampaign_PFACache isolates the compiled-PFA cache: a full
+// Glushkov construction per call versus the memoized lookup the
+// campaign hot path now performs.
+func BenchmarkCampaign_PFACache(b *testing.B) {
+	pd := pfa.PCoreDistribution()
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pfa.FromRegex(pfa.PCoreRE, pd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		if _, err := pfa.Compile(pfa.PCoreRE, pd); err != nil {
+			b.Fatal(err) // warm the entry
+		}
+		before := pfa.CompileCount()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pfa.Compile(pfa.PCoreRE, pd); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if pfa.CompileCount() != before {
+			b.Fatal("cache missed")
+		}
+	})
+}
+
 // --- End-to-end throughput -------------------------------------------------------------------
 
 // BenchmarkEndToEnd_CommandThroughput measures raw remote-command

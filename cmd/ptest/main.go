@@ -10,6 +10,7 @@
 //	ptest -re 'TC (TS TR)+ TD$' -pd '^:TC=1,TC:TS=1,TS:TR=1,TR:TS=1,TR:TD=0' \
 //	      -n 3 -s 41 -op cyclic -workload philosophers -quantum 1073741824 -gap 100
 //	ptest -pcore -n 4 -s 12 -trials 20 -keep-going
+//	ptest -pcore -n 16 -s 24 -workload quicksort -trials 64 -parallel 0   # one worker per CPU
 package main
 
 import (
@@ -64,6 +65,7 @@ func main() {
 		opName    = flag.String("op", "roundrobin", "merge op: roundrobin|random|cyclic|priority|sequential")
 		seed      = flag.Uint64("seed", 1, "base seed")
 		trials    = flag.Int("trials", 1, "campaign trials (seed increments per trial)")
+		parallel  = flag.Int("parallel", 1, "trial workers: 1 = sequential, 0 = one per CPU (results identical either way)")
 		keepGoing = flag.Bool("keep-going", false, "do not stop the campaign at the first bug")
 		dedup     = flag.Bool("dedup", false, "discard replicated patterns before merging")
 		gap       = flag.Int("gap", 0, "inter-command gap in cycles (stress density)")
@@ -106,20 +108,30 @@ func main() {
 		os.Exit(1)
 	}
 
-	var factory committee.Factory
+	// Every trial gets a freshly built factory: workloads with shared
+	// state (philosopher forks, producer/consumer buffers) must not leak
+	// it across trials — and must not share it between concurrently
+	// simulated platforms when -parallel > 1.
+	var newFactory func() committee.Factory
 	switch *workload {
 	case "spin":
-		factory = app.SpinFactory()
+		newFactory = app.SpinFactory
 	case "quicksort":
-		factory = app.QuicksortFactory(*seed)
+		newFactory = func() committee.Factory { return app.QuicksortFactory(*seed) }
 	case "philosophers":
-		factory, _ = app.Philosophers(max(*n, 2), *rounds, false)
+		newFactory = func() committee.Factory {
+			f, _ := app.Philosophers(max(*n, 2), *rounds, false)
+			return f
+		}
 	case "ordered-philosophers":
-		factory, _ = app.Philosophers(max(*n, 2), *rounds, true)
+		newFactory = func() committee.Factory {
+			f, _ := app.Philosophers(max(*n, 2), *rounds, true)
+			return f
+		}
 	case "prodcons":
-		factory = app.ProducerConsumer(10)
+		newFactory = func() committee.Factory { return app.ProducerConsumer(10) }
 	case "inversion":
-		factory = app.PriorityInversion(100000)
+		newFactory = func() committee.Factory { return app.PriorityInversion(100000) }
 	default:
 		fmt.Fprintf(os.Stderr, "ptest: unknown workload %q\n", *workload)
 		os.Exit(2)
@@ -140,12 +152,16 @@ func main() {
 		RE: expr, PD: pd,
 		N: *n, S: *s, Op: op, Seed: *seed,
 		Dedup: *dedup, CommandGap: *gap,
-		Kernel:  kcfg,
-		Factory: factory,
+		Kernel:     kcfg,
+		NewFactory: newFactory,
 	}
 
+	parallelism := *parallel
+	if parallelism <= 0 {
+		parallelism = -1 // engine: one worker per CPU
+	}
 	res, err := core.RunCampaign(core.CampaignConfig{
-		Base: base, Trials: *trials, KeepGoing: *keepGoing,
+		Base: base, Trials: *trials, KeepGoing: *keepGoing, Parallelism: parallelism,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ptest:", err)

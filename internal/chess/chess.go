@@ -11,10 +11,12 @@ package chess
 
 import (
 	"fmt"
+	"iter"
 
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/engine"
 	"repro/internal/pattern"
 	"repro/internal/pfa"
 	"repro/internal/stats"
@@ -40,6 +42,11 @@ type Config struct {
 	// StopAtFirstBug ends exploration at the first failure (default on;
 	// set ExploreAll to scan the whole space).
 	ExploreAll bool
+	// Parallelism shards schedule execution across a worker pool (0/1
+	// sequential, negative = one worker per CPU). Schedules execute on
+	// independent platforms in enumeration order, so Schedules, Bugs and
+	// FirstBugAt are identical to the sequential exploration.
+	Parallelism int
 }
 
 // Result aggregates an exploration.
@@ -52,14 +59,20 @@ type Result struct {
 	TotalCommands  int
 }
 
-// Explore runs the systematic exploration.
+// Explore runs the systematic exploration. Schedules are pulled from
+// the enumerator in chunks and executed across Config.Parallelism
+// workers — each on its own fresh platform — with results folded in
+// enumeration order, so every aggregate matches the sequential scan.
 func Explore(cfg Config) (*Result, error) {
+	// One compiled machine serves pattern generation and every schedule
+	// execution; re-resolving the cache per schedule would serialize the
+	// workers on its mutex.
+	machine, err := pfa.Compile(cfg.Run.RE, cfg.Run.PD)
+	if err != nil {
+		return nil, fmt.Errorf("chess: %w", err)
+	}
 	sources := cfg.Sources
 	if sources == nil {
-		machine, err := pfa.FromRegex(cfg.Run.RE, cfg.Run.PD)
-		if err != nil {
-			return nil, fmt.Errorf("chess: %w", err)
-		}
 		rng := stats.New(cfg.Run.Seed)
 		n := cfg.Run.N
 		if n <= 0 {
@@ -79,35 +92,82 @@ func Explore(cfg Config) (*Result, error) {
 		}
 	}
 
+	next, stopEnum := iter.Pull(iter.Seq[pattern.Merged](func(yield func(pattern.Merged) bool) {
+		pattern.EnumerateInterleavings(sources, cfg.PreemptionBound, yield)
+	}))
+	defer stopEnum()
+
 	res := &Result{}
-	var execErr error
-	count := pattern.EnumerateInterleavings(sources, cfg.PreemptionBound, func(m pattern.Merged) bool {
-		if cfg.MaxSchedules > 0 && res.Schedules >= cfg.MaxSchedules {
-			return false
-		}
-		out, err := core.RunMerged(cfg.Run, m)
-		if err != nil {
-			execErr = err
-			return false
-		}
-		res.Schedules++
-		res.TotalDuration += out.Duration
-		res.TotalCommands += out.CommandsIssued
-		if out.Bug != nil {
-			res.Bugs = append(res.Bugs, out.Bug)
-			if res.FirstBugAt == 0 {
-				res.FirstBugAt = res.Schedules
-			}
-			if !cfg.ExploreAll {
-				return false
-			}
-		}
-		return true
-	})
-	if execErr != nil {
-		return res, execErr
+	workers := engine.Normalize(cfg.Parallelism)
+	// Chunked lookahead: big enough to keep the pool busy, small enough
+	// that early cancellation wastes little work on a found bug. A lone
+	// worker pulls one schedule at a time — exactly the lazy sequential
+	// enumeration, with nothing materialized past the stopping point.
+	chunkSize := 32 * workers
+	if workers == 1 {
+		chunkSize = 1
 	}
-	res.SpaceExhausted = count == res.Schedules && (cfg.MaxSchedules == 0 || res.Schedules < cfg.MaxSchedules)
+	enumDone := false
+	stopped := false
+	capped := false
+	enumerated := 0
+	batch := make([]pattern.Merged, 0, chunkSize)
+
+	for !stopped && !enumDone {
+		batch = batch[:0]
+		for len(batch) < chunkSize {
+			if cfg.MaxSchedules > 0 && res.Schedules+len(batch) >= cfg.MaxSchedules {
+				stopped, capped = true, true // cap reached; the space may or may not continue
+				break
+			}
+			m, ok := next()
+			if !ok {
+				enumDone = true
+				break
+			}
+			enumerated++
+			batch = append(batch, m)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		outs, runErr := engine.Run(len(batch), cfg.Parallelism,
+			func(i int) (*core.Outcome, error) { return core.RunMergedWith(cfg.Run, machine, batch[i]) },
+			func(out *core.Outcome) bool { return !cfg.ExploreAll && out.Bug != nil })
+		executed := len(outs)
+		for _, out := range outs {
+			res.Schedules++
+			res.TotalDuration += out.Duration
+			res.TotalCommands += out.CommandsIssued
+			if out.Bug != nil {
+				res.Bugs = append(res.Bugs, out.Bug)
+				if res.FirstBugAt == 0 {
+					res.FirstBugAt = res.Schedules
+				}
+				if !cfg.ExploreAll {
+					stopped = true
+				}
+			}
+		}
+		if runErr != nil {
+			return res, runErr
+		}
+		if executed < len(batch) {
+			stopped = true // early-cancelled inside the chunk
+		}
+	}
+	// Exhausted means the full bounded space was enumerated and every
+	// schedule in it executed — a bug on the space's final schedule
+	// still counts, a cap or a mid-space stop does not. When a bug
+	// stopped a fully-executed batch that happened to end exactly on a
+	// chunk boundary, probe the enumerator once so the answer does not
+	// depend on chunk alignment (and hence on Parallelism).
+	if !enumDone && !capped && res.Schedules == enumerated {
+		if _, ok := next(); !ok {
+			enumDone = true
+		}
+	}
+	res.SpaceExhausted = enumDone && !capped && res.Schedules == enumerated
 	return res, nil
 }
 

@@ -1,0 +1,112 @@
+package chess
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/committee"
+	"repro/internal/core"
+	"repro/internal/pcore"
+	"repro/internal/pfa"
+)
+
+// TestExploreParallelMatchesSequential: sharded schedule execution must
+// reproduce the sequential exploration exactly — including the
+// early-stop point when the first bug lands mid-space.
+func TestExploreParallelMatchesSequential(t *testing.T) {
+	cfg := Config{
+		Run: core.Config{
+			RE: pfa.PCoreRE, PD: pfa.PCoreDistribution(),
+			Factory: app.SpinFactory(),
+			Kernel:  pcore.Config{Faults: pcore.FaultPlan{DropResumeEvery: 3}},
+		},
+		Sources: [][]string{
+			{"TC", "TS", "TR", "TS", "TR"},
+			{"TC", "TS", "TR"},
+		},
+		PreemptionBound: 1,
+	}
+	seq, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	par, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Schedules != par.Schedules || seq.FirstBugAt != par.FirstBugAt ||
+		len(seq.Bugs) != len(par.Bugs) || seq.SpaceExhausted != par.SpaceExhausted ||
+		seq.TotalCommands != par.TotalCommands || seq.TotalDuration != par.TotalDuration {
+		t.Fatalf("diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestExploreBugOnFinalScheduleStillExhausts: a bug on the last
+// schedule of a fully-enumerated space stops the exploration but the
+// space still counts as exhausted — every schedule in it executed —
+// and the answer must not depend on Parallelism.
+func TestExploreBugOnFinalScheduleStillExhausts(t *testing.T) {
+	cfg := Config{
+		Run: core.Config{
+			RE: pfa.PCoreRE, PD: pfa.PCoreDistribution(),
+			Factory: app.SpinFactory(),
+			Kernel:  pcore.Config{Faults: pcore.FaultPlan{DropResumeEvery: 3}},
+		},
+		// A single source has exactly one interleaving; its third TR is
+		// dropped, so the space's only (and hence final) schedule hangs.
+		Sources:         [][]string{{"TC", "TS", "TR", "TS", "TR", "TS", "TR"}},
+		PreemptionBound: 1,
+	}
+	for _, par := range []int{0, 4} {
+		cfg.Parallelism = par
+		res, err := Explore(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedules != 1 || res.FirstBugAt != 1 {
+			t.Fatalf("par %d: schedules=%d firstBug=%d", par, res.Schedules, res.FirstBugAt)
+		}
+		if !res.SpaceExhausted {
+			t.Fatalf("par %d: bug on the final schedule must still exhaust the space", par)
+		}
+	}
+}
+
+// TestExploreParallelFullSpace: with ExploreAll the parallel explorer
+// must execute the identical exhaustive space.
+func TestExploreParallelFullSpace(t *testing.T) {
+	newCfg := func(par int) Config {
+		return Config{
+			Run: core.Config{
+				RE: pfa.PCoreRE, PD: pfa.PCoreDistribution(),
+				// Philosopher forks are stateful: every schedule needs its
+				// own, or concurrently executing platforms would share them.
+				NewFactory: func() committee.Factory {
+					f, _ := app.Philosophers(2, 1000, false)
+					return f
+				},
+				Kernel: pcore.Config{Quantum: 1 << 30},
+			},
+			Sources:         [][]string{{"TC", "TS", "TR", "TD"}, {"TC", "TD"}},
+			PreemptionBound: 1,
+			ExploreAll:      true,
+			Parallelism:     par,
+		}
+	}
+	seq, err := Explore(newCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Explore(newCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.SpaceExhausted || !par.SpaceExhausted {
+		t.Fatalf("space not exhausted: seq %v par %v", seq.SpaceExhausted, par.SpaceExhausted)
+	}
+	if seq.Schedules != par.Schedules || len(seq.Bugs) != len(par.Bugs) ||
+		seq.TotalCommands != par.TotalCommands || seq.TotalDuration != par.TotalDuration {
+		t.Fatalf("diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -76,6 +76,9 @@ func New(client *bridge.Client, merged pattern.Merged, policy PriorityPolicy,
 		journal: journal,
 		now:     now,
 		Gap:     10,
+		// One Result per pattern entry: size the slice once instead of
+		// growing it through the whole run.
+		Results: make([]Result, 0, merged.Len()),
 	}
 }
 
@@ -146,7 +149,7 @@ func (c *Committer) record(res Result) {
 
 // StatusCounts aggregates result statuses, for reports.
 func (c *Committer) StatusCounts() map[bridge.Status]int {
-	out := map[bridge.Status]int{}
+	out := make(map[bridge.Status]int, 4) // a run rarely sees more than a few distinct statuses
 	for _, r := range c.Results {
 		out[r.Status]++
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/committee"
 	"repro/internal/detector"
+	"repro/internal/engine"
 	"repro/internal/hw"
 	"repro/internal/master"
 	"repro/internal/pcore"
@@ -33,6 +34,10 @@ type Config struct {
 	Tasks int
 	// Factory supplies the workload bodies.
 	Factory committee.Factory
+	// NewFactory, when set, builds a fresh Factory per run and takes
+	// precedence over Factory — required for parallel campaigns whose
+	// factories close over mutable state (philosopher forks etc.).
+	NewFactory func() committee.Factory
 	// Kernel configures the slave (noise hook is installed on top).
 	Kernel pcore.Config
 	// HW configures the SoC.
@@ -41,6 +46,10 @@ type Config struct {
 	MaxSteps int
 	// Detector tunes failure detection.
 	Detector detector.Options
+	// Parallelism shards campaign trials across a worker pool (0/1
+	// sequential, negative = one worker per CPU); single Run calls
+	// ignore it. Results are bit-identical to the sequential campaign.
+	Parallelism int
 }
 
 // Outcome reports one noise-injection run.
@@ -74,8 +83,12 @@ func Run(cfg Config) (*Outcome, error) {
 		}
 		return false
 	}
+	factory := cfg.Factory
+	if cfg.NewFactory != nil {
+		factory = cfg.NewFactory()
+	}
 	plat, err := platform.New(platform.Config{
-		HW: cfg.HW, Kernel: kernelCfg, Factory: cfg.Factory,
+		HW: cfg.HW, Kernel: kernelCfg, Factory: factory,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("contest: %w", err)
@@ -121,19 +134,21 @@ func (r *CampaignResult) BugRate() float64 {
 }
 
 // RunCampaign executes trials with seeds base.Seed, base.Seed+1, ...,
-// stopping at the first bug unless keepGoing.
+// stopping at the first bug unless keepGoing. Trials shard across
+// base.Parallelism workers with results identical to a sequential scan.
 func RunCampaign(base Config, trials int, keepGoing bool) (*CampaignResult, error) {
 	if trials <= 0 {
 		trials = 10
 	}
+	outs, runErr := engine.Run(trials, base.Parallelism,
+		func(i int) (*Outcome, error) {
+			cfg := base
+			cfg.Seed = base.Seed + uint64(i)
+			return Run(cfg)
+		},
+		func(out *Outcome) bool { return !keepGoing && out.Bug != nil })
 	res := &CampaignResult{}
-	for i := 0; i < trials; i++ {
-		cfg := base
-		cfg.Seed = base.Seed + uint64(i)
-		out, err := Run(cfg)
-		if err != nil {
-			return res, err
-		}
+	for i, out := range outs {
 		res.Trials++
 		res.TotalDuration += out.Duration
 		if out.Bug != nil {
@@ -141,10 +156,7 @@ func RunCampaign(base Config, trials int, keepGoing bool) (*CampaignResult, erro
 			if res.FirstBugTrial == 0 {
 				res.FirstBugTrial = i + 1
 			}
-			if !keepGoing {
-				break
-			}
 		}
 	}
-	return res, nil
+	return res, runErr
 }

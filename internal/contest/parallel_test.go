@@ -1,0 +1,48 @@
+package contest
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/committee"
+	"repro/internal/detector"
+	"repro/internal/pcore"
+)
+
+// TestCampaignParallelMatchesSequential: the sharded noise-injection
+// campaign must agree with the sequential scan trial for trial,
+// including the first-bug stopping point. The philosophers factory
+// closes over shared forks, so the parallel run builds one per trial.
+func TestCampaignParallelMatchesSequential(t *testing.T) {
+	newCfg := func(par int) Config {
+		return Config{
+			Seed:   0,
+			NoiseP: 0.3,
+			Tasks:  3,
+			NewFactory: func() committee.Factory {
+				f, _ := app.Philosophers(3, 2000, false)
+				return f
+			},
+			Kernel:      pcore.Config{Quantum: 1 << 30},
+			Parallelism: par,
+		}
+	}
+	seq, err := RunCampaign(newCfg(0), 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCampaign(newCfg(8), 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Bugs) == 0 {
+		t.Fatal("noise found nothing; the early-stop path is untested")
+	}
+	if seq.Bugs[0].Kind != detector.BugDeadlock {
+		t.Fatalf("kind %v", seq.Bugs[0].Kind)
+	}
+	if seq.Trials != par.Trials || seq.FirstBugTrial != par.FirstBugTrial ||
+		len(seq.Bugs) != len(par.Bugs) || seq.TotalDuration != par.TotalDuration {
+		t.Fatalf("diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/nfa"
 	"repro/internal/pfa"
 )
@@ -73,8 +74,9 @@ func RefineDistribution(machine *pfa.PFA, counts map[string]int, base pfa.Distri
 // control arm of the refinement ablation.
 const NoRefinement = -1.0
 
-// AdaptiveCampaignConfig runs a refinement campaign: after every trial
-// the distribution is reweighted toward unexercised transitions.
+// AdaptiveCampaignConfig runs a refinement campaign: after every
+// refinement window the distribution is reweighted toward unexercised
+// transitions.
 type AdaptiveCampaignConfig struct {
 	Base Config
 	// Trials is the number of runs (default 10).
@@ -84,6 +86,17 @@ type AdaptiveCampaignConfig struct {
 	Alpha float64
 	// KeepGoing continues past failures (default: stop at first bug).
 	KeepGoing bool
+	// Parallelism shards the trials of one refinement window across a
+	// worker pool (0/1 sequential, negative = one worker per CPU).
+	Parallelism int
+	// Window is the batched-refinement size: that many consecutive
+	// seeds run against the current distribution, their counts fold in
+	// trial order, and refinement happens once per window. Window 1
+	// (the default) refines after every trial — exactly the classic
+	// sequential semantics; larger windows trade refinement fidelity
+	// for parallel throughput, since trials inside a window have no
+	// sequential dependency.
+	Window int
 }
 
 // AdaptiveCampaignResult extends the campaign result with the coverage
@@ -96,7 +109,13 @@ type AdaptiveCampaignResult struct {
 	FinalPD pfa.Distribution
 }
 
-// RunAdaptiveCampaign executes the refinement loop.
+// RunAdaptiveCampaign executes the refinement loop. Refinement is an
+// inherently sequential dependency between trials, so parallelism works
+// on windows: Window consecutive seeds run against the frozen current
+// distribution (sharded across Parallelism workers), their counts fold
+// in trial order, and the distribution refines once per window. The
+// default Window of 1 reproduces the classic trial-by-trial refinement
+// bit for bit at any Parallelism setting.
 func RunAdaptiveCampaign(cfg AdaptiveCampaignConfig) (*AdaptiveCampaignResult, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 10
@@ -105,69 +124,105 @@ func RunAdaptiveCampaign(cfg AdaptiveCampaignConfig) (*AdaptiveCampaignResult, e
 	if cfg.Alpha == 0 {
 		cfg.Alpha = 0.5
 	}
-	machine, err := pfa.FromRegex(cfg.Base.RE, cfg.Base.PD)
+	window := cfg.Window
+	if window <= 0 {
+		window = 1
+	}
+	base := cfg.Base.withDefaults()
+	machine, err := pfa.Compile(base.RE, base.PD)
 	if err != nil {
 		return nil, fmt.Errorf("core: adaptive campaign: %w", err)
 	}
 
 	res := &AdaptiveCampaignResult{}
-	pd := cfg.Base.PD
+	pd := base.PD
 	counts := map[string]int{}   // cumulative label>symbol counts
 	covered := map[string]bool{} // cumulative machine edges seen
 	edges := edgeSet(machine)
 
-	for i := 0; i < cfg.Trials; i++ {
-		run := cfg.Base
-		run.PD = pd
-		run.Seed = cfg.Base.Seed + uint64(i)
-		out, err := AdaptiveTest(run)
-		if err != nil {
-			return res, fmt.Errorf("core: adaptive trial %d: %w", i+1, err)
+	for start := 0; start < cfg.Trials; start += window {
+		w := window
+		if start+w > cfg.Trials {
+			w = cfg.Trials - start
 		}
-		res.Trials++
-		res.Outcomes = append(res.Outcomes, out)
-		res.TotalCommands += out.CommandsIssued
-		res.TotalDuration += out.Duration
+		// The whole window samples from one frozen distribution, so its
+		// machine compiles once. Refined distributions are single-use —
+		// building them uncached keeps per-window churn out of the
+		// shared compile cache.
+		winMachine := machine
+		if refine && start > 0 {
+			var err error
+			winMachine, err = pfa.FromRegex(base.RE, pd)
+			if err != nil {
+				return res, fmt.Errorf("core: adaptive campaign: %w", err)
+			}
+		}
+		outs, runErr := engine.Run(w, cfg.Parallelism,
+			func(j int) (*Outcome, error) {
+				run := base
+				run.PD = pd
+				run.Seed = base.Seed + uint64(start+j)
+				out, err := adaptiveTest(run, winMachine)
+				if err != nil {
+					return nil, fmt.Errorf("core: adaptive trial %d: %w", start+j+1, err)
+				}
+				return out, nil
+			},
+			func(out *Outcome) bool { return !cfg.KeepGoing && out.Bug != nil })
 
-		// Accumulate per-task transition counts from the issued commands.
-		last := map[int]string{}
-		issued := out.Merged.Entries
-		if out.CommandsIssued < len(issued) {
-			issued = issued[:out.CommandsIssued]
-		}
-		for _, e := range issued {
-			prev, ok := last[e.Task]
-			if !ok {
-				prev = pfa.StartLabel
-			}
-			key := prev + ">" + e.Symbol
-			counts[key]++
-			if edges[key] {
-				// Lifecycle restarts produce prev>symbol pairs (e.g. TD>TC)
-				// that are not machine edges; only true edges count.
-				covered[key] = true
-			}
-			last[e.Task] = e.Symbol
-		}
-		cov := 0.0
-		if len(edges) > 0 {
-			cov = float64(len(covered)) / float64(len(edges))
-		}
-		res.TransitionCoverage = append(res.TransitionCoverage, cov)
+		stopped := false
+		for j, out := range outs {
+			res.Trials++
+			res.Outcomes = append(res.Outcomes, out)
+			res.TotalCommands += out.CommandsIssued
+			res.TotalDuration += out.Duration
 
-		if out.Bug != nil {
-			res.Bugs = append(res.Bugs, out.Bug)
-			if res.FirstBugTrial == 0 {
-				res.FirstBugTrial = i + 1
+			// Accumulate per-task transition counts from the issued commands.
+			last := map[int]string{}
+			issued := out.Merged.Entries
+			if out.CommandsIssued < len(issued) {
+				issued = issued[:out.CommandsIssued]
 			}
-			if !cfg.KeepGoing {
-				break
+			for _, e := range issued {
+				prev, ok := last[e.Task]
+				if !ok {
+					prev = pfa.StartLabel
+				}
+				key := prev + ">" + e.Symbol
+				counts[key]++
+				if edges[key] {
+					// Lifecycle restarts produce prev>symbol pairs (e.g. TD>TC)
+					// that are not machine edges; only true edges count.
+					covered[key] = true
+				}
+				last[e.Task] = e.Symbol
 			}
-		} else if out.Finished {
-			res.CleanFinishes++
+			cov := 0.0
+			if len(edges) > 0 {
+				cov = float64(len(covered)) / float64(len(edges))
+			}
+			res.TransitionCoverage = append(res.TransitionCoverage, cov)
+
+			if out.Bug != nil {
+				res.Bugs = append(res.Bugs, out.Bug)
+				if res.FirstBugTrial == 0 {
+					res.FirstBugTrial = start + j + 1
+				}
+				if !cfg.KeepGoing {
+					stopped = true
+				}
+			} else if out.Finished {
+				res.CleanFinishes++
+			}
+		}
+		if runErr != nil {
+			return res, runErr
+		}
+		if stopped {
+			break
 		}
 		if refine {
-			pd = RefineDistribution(machine, counts, cfg.Base.PD, cfg.Alpha)
+			pd = RefineDistribution(machine, counts, base.PD, cfg.Alpha)
 		}
 	}
 	res.FinalPD = pd

@@ -16,6 +16,7 @@ import (
 	"repro/internal/committer"
 	"repro/internal/coverage"
 	"repro/internal/detector"
+	"repro/internal/engine"
 	"repro/internal/hw"
 	"repro/internal/pattern"
 	"repro/internal/pcore"
@@ -66,6 +67,12 @@ type Config struct {
 	HW hw.Config
 	// Factory supplies the slave workload bodies; nil uses idle spinners.
 	Factory committee.Factory
+	// NewFactory, when set, builds a fresh Factory per trial and takes
+	// precedence over Factory. Workloads whose factory closes over
+	// mutable state (philosopher forks, producer/consumer buffers) must
+	// use it for parallel campaigns — and benefit sequentially too, since
+	// a fresh factory keeps trials independent of each other.
+	NewFactory func() committee.Factory
 
 	// MaxSteps bounds the co-simulation (default 2_000_000 steps).
 	MaxSteps int
@@ -130,15 +137,23 @@ type Outcome struct {
 // reproducible schedule.)
 func AdaptiveTest(cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
-	rng := stats.New(cfg.Seed)
-
-	// T[i] ← PatternGenerator(RE, PD, s), for i in 1..n.
-	machine, err := pfa.FromRegex(cfg.RE, cfg.PD)
+	machine, err := pfa.Compile(cfg.RE, cfg.PD)
 	if err != nil {
 		return nil, fmt.Errorf("core: building PFA: %w", err)
 	}
+	return adaptiveTest(cfg, machine)
+}
+
+// adaptiveTest is AdaptiveTest against an already-compiled machine —
+// the campaign engines compile once and run every trial through here.
+// cfg must already carry defaults.
+func adaptiveTest(cfg Config, machine *pfa.PFA) (*Outcome, error) {
+	rng := stats.New(cfg.Seed)
+
+	// T[i] ← PatternGenerator(RE, PD, s), for i in 1..n.
 	genRNG := rng.Split()
 	var pats []pfa.Pattern
+	var err error
 	dups := 0
 	if cfg.Dedup {
 		pats, dups, err = machine.GenerateUnique(genRNG, cfg.N, cfg.S, cfg.Gen, 0)
@@ -159,7 +174,7 @@ func AdaptiveTest(cfg Config) (*Outcome, error) {
 		return nil, fmt.Errorf("core: merging patterns: %w", err)
 	}
 
-	out, err := RunMerged(cfg, merged)
+	out, err := runMerged(cfg, machine, merged)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +187,8 @@ func AdaptiveTest(cfg Config) (*Outcome, error) {
 // transitionCoverage recomputes the PFA-transition coverage of an
 // outcome against the machine that generated its patterns.
 func transitionCoverage(machine *pfa.PFA, out *Outcome) float64 {
-	track := coverage.NewTracker()
+	track := coverage.GetTracker()
+	defer coverage.PutTracker(track)
 	for _, e := range out.Merged.Entries[:min(out.CommandsIssued, out.Merged.Len())] {
 		track.Observe(e.Task, e.Symbol)
 	}
@@ -187,13 +203,29 @@ func transitionCoverage(machine *pfa.PFA, out *Outcome) float64 {
 // used for coverage metrics) are ignored.
 func RunMerged(cfg Config, merged pattern.Merged) (*Outcome, error) {
 	cfg = cfg.withDefaults()
-	machine, err := pfa.FromRegex(cfg.RE, cfg.PD)
+	machine, err := pfa.Compile(cfg.RE, cfg.PD)
 	if err != nil {
 		return nil, fmt.Errorf("core: building PFA: %w", err)
 	}
+	return runMerged(cfg, machine, merged)
+}
 
+// RunMergedWith is RunMerged against an already-compiled machine — the
+// batch path for systematic explorers that execute many schedules under
+// one (RE, PD) and should not re-resolve the cache per schedule.
+func RunMergedWith(cfg Config, machine *pfa.PFA, merged pattern.Merged) (*Outcome, error) {
+	return runMerged(cfg.withDefaults(), machine, merged)
+}
+
+// runMerged is the execution half against an already-compiled machine.
+// cfg must already carry defaults.
+func runMerged(cfg Config, machine *pfa.PFA, merged pattern.Merged) (*Outcome, error) {
+	factory := cfg.Factory
+	if cfg.NewFactory != nil {
+		factory = cfg.NewFactory()
+	}
 	plat, err := platform.New(platform.Config{
-		HW: cfg.HW, Kernel: cfg.Kernel, Factory: cfg.Factory,
+		HW: cfg.HW, Kernel: cfg.Kernel, Factory: factory,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: building platform: %w", err)
@@ -221,7 +253,8 @@ func RunMerged(cfg Config, merged pattern.Merged) (*Outcome, error) {
 	})
 
 	// Assemble the outcome.
-	track := coverage.NewTracker()
+	track := coverage.GetTracker()
+	defer coverage.PutTracker(track)
 	for _, r := range cmt.Results {
 		track.Observe(r.Entry.Task, r.Entry.Symbol)
 	}
@@ -248,6 +281,13 @@ type CampaignConfig struct {
 	// StopOnBug ends the campaign at the first failure (default true
 	// via the Run helper; set KeepGoing to scan all trials).
 	KeepGoing bool
+	// Parallelism shards trials across a worker pool: 0 or 1 runs
+	// sequentially, a negative value uses one worker per CPU. Every
+	// trial is deterministic in (Base, Base.Seed+index), so the result
+	// is bit-identical to the sequential campaign at any setting —
+	// including FirstBugTrial under early cancellation. Workloads with
+	// stateful factories must set Base.NewFactory.
+	Parallelism int
 }
 
 // CampaignResult aggregates a campaign.
@@ -270,19 +310,38 @@ func (r *CampaignResult) BugRate() float64 {
 }
 
 // RunCampaign executes the trials, varying the seed per trial
-// (base.Seed + trial index).
+// (base.Seed + trial index). Trials are sharded across
+// CampaignConfig.Parallelism workers; the PFA compiles once for the
+// whole campaign.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 10
 	}
+	base := cfg.Base.withDefaults()
+	machine, err := pfa.Compile(base.RE, base.PD)
+	if err != nil {
+		return &CampaignResult{}, fmt.Errorf("core: building PFA: %w", err)
+	}
+	outs, runErr := engine.Run(cfg.Trials, cfg.Parallelism,
+		func(i int) (*Outcome, error) {
+			run := base
+			run.Seed = base.Seed + uint64(i)
+			out, err := adaptiveTest(run, machine)
+			if err != nil {
+				return nil, fmt.Errorf("core: trial %d: %w", i+1, err)
+			}
+			return out, nil
+		},
+		func(out *Outcome) bool { return !cfg.KeepGoing && out.Bug != nil })
+	return foldCampaign(outs), runErr
+}
+
+// foldCampaign aggregates in-order trial outcomes into a result —
+// shared by the plain and adaptive campaigns so sequential and parallel
+// runs aggregate identically.
+func foldCampaign(outs []*Outcome) *CampaignResult {
 	res := &CampaignResult{}
-	for i := 0; i < cfg.Trials; i++ {
-		run := cfg.Base
-		run.Seed = cfg.Base.Seed + uint64(i)
-		out, err := AdaptiveTest(run)
-		if err != nil {
-			return res, fmt.Errorf("core: trial %d: %w", i+1, err)
-		}
+	for i, out := range outs {
 		res.Trials++
 		res.Outcomes = append(res.Outcomes, out)
 		res.TotalCommands += out.CommandsIssued
@@ -292,12 +351,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 			if res.FirstBugTrial == 0 {
 				res.FirstBugTrial = i + 1
 			}
-			if !cfg.KeepGoing {
-				break
-			}
 		} else if out.Finished {
 			res.CleanFinishes++
 		}
 	}
-	return res, nil
+	return res
 }

@@ -9,6 +9,7 @@ package coverage
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/nfa"
 	"repro/internal/pfa"
@@ -34,6 +35,38 @@ func NewTracker() *Tracker {
 		pairs:       map[string]int{},
 		lastSym:     map[int]string{},
 	}
+}
+
+// Reset clears the tracker for reuse, keeping its map storage.
+func (t *Tracker) Reset() {
+	clear(t.services)
+	clear(t.transitions)
+	clear(t.pairs)
+	clear(t.lastSym)
+	t.prevTask, t.prevSym, t.hasPrev = 0, "", false
+	t.commands = 0
+}
+
+// pool recycles trackers across trials. A campaign allocates one
+// tracker (four maps) per trial per coverage pass; under the parallel
+// campaign engine that allocation shows up on the hot path, and the
+// maps' buckets are perfectly reusable.
+var pool = sync.Pool{New: func() any { return NewTracker() }}
+
+// GetTracker returns a cleared tracker from the pool. Release it with
+// PutTracker once every value derived from it has been copied out
+// (Summary and the float metrics are plain values, so summarize-then-put
+// is safe).
+func GetTracker() *Tracker { return pool.Get().(*Tracker) }
+
+// PutTracker resets the tracker and returns it to the pool. The caller
+// must not retain it.
+func PutTracker(t *Tracker) {
+	if t == nil {
+		return
+	}
+	t.Reset()
+	pool.Put(t)
 }
 
 // Observe records one issued command (logical task, service symbol) in

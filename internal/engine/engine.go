@@ -1,0 +1,143 @@
+// Package engine is the parallel campaign executor: it shards a
+// sequence of independent, deterministic jobs (pTest trials, baseline
+// runs, enumerated schedules) across a worker pool while preserving the
+// exact semantics of the sequential loop it replaces. Every job is
+// identified by its index alone — seeds derive from the index, results
+// are collected in index order, and early cancellation keeps precisely
+// the prefix a sequential scan would have produced — so a campaign's
+// output is bit-identical at any parallelism, including 1.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Normalize resolves a Parallelism knob to a worker count: 0 (the zero
+// value) and 1 both mean sequential execution, a negative value means
+// one worker per available CPU (runtime.GOMAXPROCS), and any other
+// value is taken literally.
+func Normalize(parallelism int) int {
+	switch {
+	case parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case parallelism == 0:
+		return 1
+	}
+	return parallelism
+}
+
+// Run executes job(0..n-1) on min(parallelism, n) workers and returns
+// the results in index order. The semantics mirror a sequential
+//
+//	for i := 0; i < n; i++ { ... if stop(res) { break } }
+//
+// loop exactly:
+//
+//   - If stop(result) reports true for some indices, the returned slice
+//     is truncated after the lowest such index (inclusive) — the trials
+//     a sequential scan would have run before breaking. Jobs with
+//     higher indices that have not started are skipped; jobs already in
+//     flight finish and their results are discarded.
+//   - If a job fails, the error of the lowest failing index is returned
+//     together with the results of every lower index (exclusive), again
+//     matching the sequential loop. An error at an index the sequential
+//     loop would never have reached (above a lower stop index) is
+//     discarded with its result.
+//
+// stop may be nil (never stop early). With parallelism <= 1 the jobs
+// run inline on the caller's goroutine with no pool at all.
+func Run[T any](n, parallelism int, job func(idx int) (T, error), stop func(T) bool) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := Normalize(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return runSequential(n, job, stop)
+	}
+
+	var (
+		results = make([]T, n)
+		errs    = make([]error, n)
+		next    atomic.Int64 // next index to hand out
+		minStop atomic.Int64 // lowest index whose result requested a stop
+		minErr  atomic.Int64 // lowest index whose job failed
+		wg      sync.WaitGroup
+	)
+	minStop.Store(int64(n))
+	minErr.Store(int64(n))
+	// cutoff is the scheduling horizon: indices above it will never be
+	// part of the returned prefix, so workers skip them.
+	cutoff := func() int64 {
+		s, e := minStop.Load(), minErr.Load()
+		if e < s {
+			return e
+		}
+		return s
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) || i > cutoff() {
+					return
+				}
+				res, err := job(int(i))
+				if err != nil {
+					errs[i] = err
+					storeMin(&minErr, i)
+					continue
+				}
+				results[i] = res
+				if stop != nil && stop(res) {
+					storeMin(&minStop, i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s, e := minStop.Load(), minErr.Load()
+	if e < int64(n) && e <= s {
+		// The sequential loop would have hit this error before any stop.
+		return results[:e], errs[e]
+	}
+	if s < int64(n) {
+		return results[:s+1], nil
+	}
+	return results, nil
+}
+
+// runSequential is the parallelism<=1 path: the literal loop, no
+// goroutines, identical to the code the engine replaced.
+func runSequential[T any](n int, job func(idx int) (T, error), stop func(T) bool) ([]T, error) {
+	results := make([]T, 0, n)
+	for i := 0; i < n; i++ {
+		res, err := job(i)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+		if stop != nil && stop(res) {
+			break
+		}
+	}
+	return results, nil
+}
+
+// storeMin lowers a to v if v is smaller.
+func storeMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(0); got != 1 {
+		t.Fatalf("Normalize(0) = %d, want 1", got)
+	}
+	if got := Normalize(1); got != 1 {
+		t.Fatalf("Normalize(1) = %d, want 1", got)
+	}
+	if got := Normalize(7); got != 7 {
+		t.Fatalf("Normalize(7) = %d, want 7", got)
+	}
+	if got := Normalize(-1); got < 1 {
+		t.Fatalf("Normalize(-1) = %d, want >= 1", got)
+	}
+}
+
+func TestRunOrderedResults(t *testing.T) {
+	for _, par := range []int{1, 4, 16} {
+		results, err := Run(100, par, func(i int) (int, error) { return i * i, nil }, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 100 {
+			t.Fatalf("par %d: %d results", par, len(results))
+		}
+		for i, r := range results {
+			if r != i*i {
+				t.Fatalf("par %d: results[%d] = %d", par, i, r)
+			}
+		}
+	}
+}
+
+func TestRunStopTruncatesAtLowestIndex(t *testing.T) {
+	// The stop condition fires for several indices; the kept prefix must
+	// end at the lowest, exactly as a sequential break would.
+	for _, par := range []int{1, 3, 8} {
+		results, err := Run(64, par,
+			func(i int) (int, error) { return i, nil },
+			func(v int) bool { return v%10 == 7 }) // 7, 17, 27, ...
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 8 || results[7] != 7 {
+			t.Fatalf("par %d: got %v", par, results)
+		}
+	}
+}
+
+func TestRunErrorKeepsLowerPrefix(t *testing.T) {
+	boom := errors.New("boom")
+	for _, par := range []int{1, 4} {
+		results, err := Run(20, par,
+			func(i int) (int, error) {
+				if i == 5 || i == 9 {
+					return 0, fmt.Errorf("idx %d: %w", i, boom)
+				}
+				return i, nil
+			}, nil)
+		if !errors.Is(err, boom) {
+			t.Fatalf("par %d: err %v", par, err)
+		}
+		if err.Error() != "idx 5: boom" {
+			t.Fatalf("par %d: wrong (non-lowest) error: %v", par, err)
+		}
+		if len(results) != 5 {
+			t.Fatalf("par %d: kept %d results", par, len(results))
+		}
+	}
+}
+
+func TestRunErrorAboveStopIsDiscarded(t *testing.T) {
+	// A sequential loop breaking at index 3 never reaches index 12, so a
+	// parallel run that speculatively executed index 12 must discard its
+	// error.
+	results, err := Run(32, 8,
+		func(i int) (int, error) {
+			if i == 12 {
+				return 0, errors.New("speculative failure the sequential loop never sees")
+			}
+			return i, nil
+		},
+		func(v int) bool { return v == 3 })
+	if err != nil {
+		t.Fatalf("discarded error leaked: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("kept %d results", len(results))
+	}
+}
+
+func TestRunSkipsJobsPastTheCutoff(t *testing.T) {
+	// Once the stop index is known, jobs far past it must not start.
+	// With parallelism 2 and a stop at index 0, at most a handful of
+	// speculative jobs can be in flight; index 63 must never run.
+	var ran [64]atomic.Bool
+	results, err := Run(64, 2,
+		func(i int) (int, error) {
+			ran[i].Store(true)
+			if i > 0 {
+				time.Sleep(time.Millisecond) // let the stop at index 0 land first
+			}
+			return i, nil
+		},
+		func(v int) bool { return v == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("kept %d results", len(results))
+	}
+	if ran[63].Load() {
+		t.Fatal("job far past the cutoff still executed")
+	}
+}
+
+func TestRunMatchesSequentialUnderRandomStops(t *testing.T) {
+	// Property check: for a deterministic job/stop pair, the parallel
+	// run must reproduce the sequential prefix exactly.
+	job := func(i int) (int, error) { return (i * 2654435761) % 97, nil }
+	stop := func(v int) bool { return v < 5 }
+	want, err := Run(200, 1, job, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 5, 13} {
+		got, err := Run(200, par, job, stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("par %d: %d vs %d results", par, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("par %d: diverged at %d", par, i)
+			}
+		}
+	}
+}
+
+func TestRunZeroAndNegativeN(t *testing.T) {
+	results, err := Run(0, 4, func(i int) (int, error) { return i, nil }, nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("n=0: %v %v", results, err)
+	}
+}

@@ -1,0 +1,103 @@
+// Compiled-PFA cache. Campaign engines execute hundreds of trials
+// against the same (RE, PD) pair, and before this cache existed every
+// trial paid the full regex-parse + Glushkov + merge + validate
+// pipeline twice (once to generate patterns, once in the execution
+// half). Compile memoizes FromRegex on a canonical fingerprint of the
+// inputs, so a campaign compiles each distinct machine exactly once —
+// adaptive refinement, which produces a new distribution per window,
+// naturally gets one compile per window. The PFA is immutable after
+// construction, so a cached machine is safely shared across
+// concurrently executing trials.
+package pfa
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// compileCount counts full (uncached) FromRegex constructions, for
+// tests and benchmarks asserting cache effectiveness.
+var compileCount atomic.Uint64
+
+// CompileCount returns the number of full PFA constructions performed
+// by FromRegex since process start (cache hits do not count).
+func CompileCount() uint64 { return compileCount.Load() }
+
+// cacheLimit bounds the memo table. Campaigns touch a handful of keys;
+// adaptive refinement retires a key per window. When the table fills it
+// is dropped wholesale — simpler than LRU and harmless at this size.
+const cacheLimit = 256
+
+var cache = struct {
+	sync.Mutex
+	m map[string]*PFA
+}{m: make(map[string]*PFA)}
+
+// Compile returns the PFA for (re, d), building it with FromRegex on
+// the first request and serving the shared immutable machine from the
+// cache afterwards. Construction errors are not cached.
+func Compile(re string, d Distribution) (*PFA, error) {
+	key := fingerprint(re, d)
+	cache.Lock()
+	if p, ok := cache.m[key]; ok {
+		cache.Unlock()
+		return p, nil
+	}
+	cache.Unlock()
+
+	p, err := FromRegex(re, d)
+	if err != nil {
+		return nil, err
+	}
+	cache.Lock()
+	if prior, ok := cache.m[key]; ok {
+		// A concurrent trial raced us to the build; keep one canonical
+		// machine so pointer-based sharing stays coherent.
+		p = prior
+	} else {
+		if len(cache.m) >= cacheLimit {
+			cache.m = make(map[string]*PFA)
+		}
+		cache.m[key] = p
+	}
+	cache.Unlock()
+	return p, nil
+}
+
+// fingerprint renders (re, d) canonically: labels and symbols sorted,
+// probabilities in full precision. Distributions are tiny (states ×
+// symbols of the service alphabet), so this is orders of magnitude
+// cheaper than the construction it keys.
+func fingerprint(re string, d Distribution) string {
+	var sb strings.Builder
+	sb.WriteString(re)
+	if d == nil {
+		sb.WriteString("\x00uniform")
+		return sb.String()
+	}
+	labels := make([]string, 0, len(d))
+	for l := range d {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		sb.WriteByte(0)
+		sb.WriteString(l)
+		cond := d[l]
+		syms := make([]string, 0, len(cond))
+		for s := range cond {
+			syms = append(syms, s)
+		}
+		sort.Strings(syms)
+		for _, s := range syms {
+			sb.WriteByte(1)
+			sb.WriteString(s)
+			sb.WriteByte(2)
+			sb.WriteString(strconv.FormatFloat(cond[s], 'x', -1, 64))
+		}
+	}
+	return sb.String()
+}

@@ -164,6 +164,7 @@ func New(a *nfa.Automaton, d Distribution) (*PFA, error) {
 // Glushkov automaton and attaches the distribution. It is the one-call
 // path corresponding to Algorithm 2's ConvertToNFA + ConstructPFA steps.
 func FromRegex(re string, d Distribution) (*PFA, error) {
+	compileCount.Add(1)
 	node, err := regex.Parse(re)
 	if err != nil {
 		return nil, err

@@ -28,6 +28,15 @@
 //
 // Every run is deterministic in (Config, Seed); a bug report plus its
 // seed reproduces the failure exactly.
+//
+// Campaigns shard across CPUs: set CampaignConfig.Parallelism (or the
+// equivalent field on the baseline configs) to run trials on a worker
+// pool. Trials are independent in (Config, Seed), so a parallel
+// campaign produces trial-for-trial identical outcomes to the
+// sequential one — including the stopping point when the first bug
+// cancels the rest. Workloads whose factory closes over shared state
+// (philosopher forks, producer/consumer buffers) must supply
+// Config.NewFactory so each trial's platform gets a fresh instance.
 package ptest
 
 import (
@@ -55,7 +64,8 @@ type Config = core.Config
 // patterns, journal and costs.
 type Outcome = core.Outcome
 
-// CampaignConfig repeats runs across seeds.
+// CampaignConfig repeats runs across seeds; Parallelism shards the
+// trials across a worker pool with bit-identical results.
 type CampaignConfig = core.CampaignConfig
 
 // CampaignResult aggregates a campaign.
