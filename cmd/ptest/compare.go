@@ -1,0 +1,50 @@
+// ptest compare: diff two suite reports (baseline first) and exit
+// non-zero when detection rate or detection latency regressed beyond
+// the thresholds — the CI regression gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("ptest compare", flag.ContinueOnError)
+	var (
+		maxRateDrop = fs.Float64("max-rate-drop", 0,
+			"tolerated absolute per-cell bug-rate drop before failing")
+		maxLatencyGrowth = fs.Float64("max-latency-growth", 0,
+			"tolerated relative growth of a cell's first-bug trial (0.5 = 50%)")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return usagef("compare: want exactly two reports (old new), got %d args — flags must precede the report paths", fs.NArg())
+	}
+	// A missing or corrupt report is a runtime failure (the suite step
+	// that should have produced it broke), not a usage error: exit 1.
+	oldR, err := report.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newR, err := report.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	cmp := report.Compare(oldR, newR, report.Thresholds{
+		MaxRateDrop:      *maxRateDrop,
+		MaxLatencyGrowth: *maxLatencyGrowth,
+	})
+	cmp.Render(os.Stdout)
+	if !cmp.OK() {
+		fmt.Printf("compare: %d regression(s) between %s and %s\n",
+			len(cmp.Regressions), fs.Arg(0), fs.Arg(1))
+		return errFailed
+	}
+	fmt.Printf("compare: no regressions across %d baseline cell(s)\n", len(oldR.Cells))
+	return nil
+}

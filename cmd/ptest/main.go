@@ -1,272 +1,115 @@
-// Command ptest runs the full adaptive testing tool against the
-// simulated OMAP-like platform: Algorithm 1 with configuration
-// (RE, n, s, op), a slave workload, optional fault injection, and the
-// bug detector. It is the reproduction's equivalent of running pTest on
-// the board.
+// Command ptest is the reproduction's CLI. It grew from a single
+// campaign runner into three subcommands:
+//
+//	ptest run      one campaign against the simulated platform (the
+//	               original behavior; "ptest -pcore ..." still works)
+//	ptest suite    expand a declarative matrix spec into a run plan,
+//	               execute every cell, and emit machine-readable reports
+//	ptest compare  diff two suite reports and fail on regressions —
+//	               the CI gate
 //
 // Usage:
 //
-//	ptest -pcore -n 16 -s 24 -workload quicksort -gc-leak-every 2
-//	ptest -re 'TC (TS TR)+ TD$' -pd '^:TC=1,TC:TS=1,TS:TR=1,TR:TS=1,TR:TD=0' \
-//	      -n 3 -s 41 -op cyclic -workload philosophers -quantum 1073741824 -gap 100
-//	ptest -pcore -n 4 -s 12 -trials 20 -keep-going
-//	ptest -pcore -n 16 -s 24 -workload quicksort -trials 64 -parallel 0   # one worker per CPU
+//	ptest run -pcore -n 16 -s 24 -workload quicksort -gc-leak-every 2
+//	ptest run -re 'TC (TS TR)+ TD$' -n 3 -s 41 -op cyclic -workload philosophers
+//	ptest suite -spec examples/suite/smoke.json -out report.json -jsonl cells.jsonl
+//	ptest compare -max-rate-drop 0.05 baseline.json report.json
+//
+// Exit codes: 0 success, 1 failure found / regression / runtime error,
+// 2 flag or spec validation error. All errors print one greppable
+// "ptest: error: ..." line to stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
-
-	"repro/internal/app"
-	"repro/internal/clock"
-	"repro/internal/committee"
-	"repro/internal/core"
-	"repro/internal/pattern"
-	"repro/internal/pcore"
-	"repro/internal/pfa"
-	"repro/internal/replay"
 )
 
-func parsePD(spec string) (pfa.Distribution, error) {
-	d := pfa.Distribution{}
-	for _, item := range strings.Split(spec, ",") {
-		item = strings.TrimSpace(item)
-		if item == "" {
-			continue
-		}
-		colon := strings.Index(item, ":")
-		eq := strings.LastIndex(item, "=")
-		if colon < 0 || eq < colon {
-			return nil, fmt.Errorf("bad PD entry %q (want from:symbol=prob)", item)
-		}
-		p, err := strconv.ParseFloat(item[eq+1:], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad probability in %q: %v", item, err)
-		}
-		from, sym := item[:colon], item[colon+1:eq]
-		if d[from] == nil {
-			d[from] = map[string]float64{}
-		}
-		d[from][sym] = p
-	}
-	return d, nil
+// usageError marks flag/spec validation failures: every bad input —
+// unknown flag, unparsable spec, invalid value — routes through it so
+// the process exits 2 with one greppable message and a usage hint
+// instead of the ad-hoc os.Exit scatter this file used to have.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usagef builds a usageError.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
 }
+
+// errFailed signals an unhealthy-but-expected outcome (bugs found,
+// regression detected) whose details the subcommand already printed:
+// exit 1 with no extra stderr line.
+var errFailed = errors.New("failed")
 
 func main() {
-	var (
-		re        = flag.String("re", "", "service regular expression")
-		pdSpec    = flag.String("pd", "", "probability distribution: from:symbol=prob,... ('^' = start)")
-		usePcore  = flag.Bool("pcore", false, "use the paper's expression (2) + Figure 5 distribution")
-		n         = flag.Int("n", 4, "number of test patterns (logical tasks)")
-		s         = flag.Int("s", 12, "pattern size")
-		opName    = flag.String("op", "roundrobin", "merge op: roundrobin|random|cyclic|priority|sequential")
-		seed      = flag.Uint64("seed", 1, "base seed")
-		trials    = flag.Int("trials", 1, "campaign trials (seed increments per trial)")
-		parallel  = flag.Int("parallel", 1, "trial workers: 1 = sequential, 0 = one per CPU (results identical either way)")
-		keepGoing = flag.Bool("keep-going", false, "do not stop the campaign at the first bug")
-		dedup     = flag.Bool("dedup", false, "discard replicated patterns before merging")
-		gap       = flag.Int("gap", 0, "inter-command gap in cycles (stress density)")
-		workload  = flag.String("workload", "spin", "spin | quicksort | philosophers | ordered-philosophers | prodcons | inversion")
-		rounds    = flag.Int("rounds", 100000, "philosopher eating rounds")
-		quantum   = flag.Int("quantum", 0, "slave quantum in cycles")
-		gcLeak    = flag.Int("gc-leak-every", 0, "arm the GC leak fault")
-		dropTR    = flag.Int("drop-resume-every", 0, "arm the lost-wakeup fault")
-		misprio   = flag.Int("misplace-prio-every", 0, "arm the priority-misplacement fault")
-		dumpJ     = flag.Bool("dump-journal", false, "print the Definition 2 record journal of the failing run")
-		saveRepro = flag.String("save-repro", "", "write a reproduction file for the first failing run")
-		replayF   = flag.String("replay", "", "re-execute a reproduction file instead of generating patterns")
-	)
-	flag.Parse()
-
-	if *replayF != "" {
-		runReplay(*replayF, *rounds)
-		return
+	args := os.Args[1:]
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
 	}
 
-	expr, pd := *re, pfa.Distribution(nil)
-	if *usePcore {
-		expr, pd = pfa.PCoreRE, pfa.PCoreDistribution()
-	}
-	if expr == "" {
-		fmt.Fprintln(os.Stderr, "ptest: provide -re or -pcore")
-		os.Exit(2)
-	}
-	if *pdSpec != "" {
-		var err error
-		pd, err = parsePD(*pdSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ptest:", err)
-			os.Exit(1)
-		}
-	}
-	op, err := pattern.ParseOp(*opName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptest:", err)
-		os.Exit(1)
-	}
-
-	// Every trial gets a freshly built factory: workloads with shared
-	// state (philosopher forks, producer/consumer buffers) must not leak
-	// it across trials — and must not share it between concurrently
-	// simulated platforms when -parallel > 1.
-	var newFactory func() committee.Factory
-	switch *workload {
-	case "spin":
-		newFactory = app.SpinFactory
-	case "quicksort":
-		newFactory = func() committee.Factory { return app.QuicksortFactory(*seed) }
-	case "philosophers":
-		newFactory = func() committee.Factory {
-			f, _ := app.Philosophers(max(*n, 2), *rounds, false)
-			return f
-		}
-	case "ordered-philosophers":
-		newFactory = func() committee.Factory {
-			f, _ := app.Philosophers(max(*n, 2), *rounds, true)
-			return f
-		}
-	case "prodcons":
-		newFactory = func() committee.Factory { return app.ProducerConsumer(10) }
-	case "inversion":
-		newFactory = func() committee.Factory { return app.PriorityInversion(100000) }
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(args)
+	case "suite":
+		err = cmdSuite(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "help":
+		usage(os.Stdout)
 	default:
-		fmt.Fprintf(os.Stderr, "ptest: unknown workload %q\n", *workload)
+		err = usagef("unknown subcommand %q (want run|suite|compare|help)", cmd)
+	}
+
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// "-h" printed the flag list already; a help request succeeds.
+	case errors.Is(err, errFailed):
+		os.Exit(1)
+	case errors.As(err, &usageError{}):
+		fmt.Fprintf(os.Stderr, "ptest: error: %v\n", err)
+		fmt.Fprintln(os.Stderr, `run "ptest help" for usage`)
 		os.Exit(2)
-	}
-
-	kcfg := pcore.Config{
-		Faults: pcore.FaultPlan{
-			GCLeakEvery:           *gcLeak,
-			DropResumeEvery:       *dropTR,
-			MisplacePriorityEvery: *misprio,
-		},
-	}
-	if *quantum > 0 {
-		kcfg.Quantum = clock.Cycles(*quantum)
-	}
-
-	base := core.Config{
-		RE: expr, PD: pd,
-		N: *n, S: *s, Op: op, Seed: *seed,
-		Dedup: *dedup, CommandGap: *gap,
-		Kernel:     kcfg,
-		NewFactory: newFactory,
-	}
-
-	parallelism := *parallel
-	if parallelism <= 0 {
-		parallelism = -1 // engine: one worker per CPU
-	}
-	res, err := core.RunCampaign(core.CampaignConfig{
-		Base: base, Trials: *trials, KeepGoing: *keepGoing, Parallelism: parallelism,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptest:", err)
+	default:
+		fmt.Fprintf(os.Stderr, "ptest: error: %v\n", err)
 		os.Exit(1)
 	}
-
-	fmt.Printf("pTest: RE=%q n=%d s=%d op=%s trials=%d\n", expr, *n, *s, op, res.Trials)
-	fmt.Printf("commands issued: %d   virtual time: %d cycles\n", res.TotalCommands, res.TotalDuration)
-	for i, out := range res.Outcomes {
-		verdict := "clean"
-		if out.Bug != nil {
-			verdict = out.Bug.String()
-		} else if !out.Finished {
-			verdict = "incomplete (step budget)"
-		}
-		fmt.Printf("  trial %2d seed=%-4d cmds=%-5d cov=%.2f/%.2f  %s\n",
-			i+1, out.Seed, out.CommandsIssued,
-			out.Coverage.Services, out.Coverage.Transitions, verdict)
-	}
-	if len(res.Bugs) > 0 {
-		fmt.Printf("FAILURES: %d of %d trials (first at trial %d)\n",
-			len(res.Bugs), res.Trials, res.FirstBugTrial)
-		if *dumpJ {
-			fmt.Println("--- reproduction journal of first failure ---")
-			fmt.Print(res.Bugs[0].Journal)
-		}
-		if *saveRepro != "" {
-			// Locate the failing outcome and its effective config.
-			for i, out := range res.Outcomes {
-				if out.Bug == nil {
-					continue
-				}
-				cfg := base
-				cfg.Seed = base.Seed + uint64(i)
-				f := replay.FromOutcome(cfg, out, *workload, *seed)
-				file, err := os.Create(*saveRepro)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "ptest:", err)
-					break
-				}
-				err = f.Save(file)
-				_ = file.Close()
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "ptest:", err)
-					break
-				}
-				fmt.Printf("reproduction written to %s\n", *saveRepro)
-				break
-			}
-		}
-		os.Exit(1)
-	}
-	fmt.Println("no failures detected")
 }
 
-// runReplay re-executes a saved reproduction file.
-func runReplay(path string, rounds int) {
-	file, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptest:", err)
-		os.Exit(1)
+// parseFlags runs a subcommand's flag set and converts parse errors
+// into the shared usage-error path. A "-h" help request passes through
+// unwrapped so main exits 0 for it.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err}
 	}
-	f, err := replay.Load(file)
-	_ = file.Close()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptest:", err)
-		os.Exit(1)
-	}
-	var factory committee.Factory
-	switch f.Workload {
-	case "spin":
-		factory = app.SpinFactory()
-	case "quicksort":
-		factory = app.QuicksortFactory(f.WorkloadSeed)
-	case "philosophers":
-		factory, _ = app.Philosophers(max(f.Sources, 2), rounds, false)
-	case "ordered-philosophers":
-		factory, _ = app.Philosophers(max(f.Sources, 2), rounds, true)
-	case "prodcons":
-		factory = app.ProducerConsumer(10)
-	case "inversion":
-		factory = app.PriorityInversion(100000)
-	default:
-		fmt.Fprintf(os.Stderr, "ptest: reproduction references unknown workload %q\n", f.Workload)
-		os.Exit(1)
-	}
-	fmt.Printf("replaying %s: %d commands, workload %s\n", path, len(f.Entries), f.Workload)
-	if f.BugSummary != "" {
-		fmt.Printf("originally detected: %s\n", f.BugSummary)
-	}
-	out, err := f.Run(factory)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptest:", err)
-		os.Exit(1)
-	}
-	if out.Bug != nil {
-		fmt.Println("reproduced:", out.Bug)
-		os.Exit(1)
-	}
-	fmt.Println("replay finished clean (bug did not reproduce)")
+	return nil
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+func usage(w *os.File) {
+	fmt.Fprint(w, `ptest — adaptive testing for concurrent software on a simulated multicore
+
+subcommands:
+  run      run one campaign (default when the first argument is a flag)
+  suite    expand a matrix spec, run every cell, write JSON/JSONL reports
+  compare  diff two suite reports; exit non-zero on regression
+  help     print this text
+
+run "ptest <subcommand> -h" for that subcommand's flags.
+
+exit codes: 0 ok; 1 failures found, regression, or runtime error;
+2 invalid flags or spec.
+`)
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func wantUsageError(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("want usage error, got nil")
+	}
+	if !errors.As(err, &usageError{}) {
+		t.Fatalf("want usageError (exit 2), got %T: %v", err, err)
+	}
+}
+
+func TestRunValidationRoutesThroughUsageError(t *testing.T) {
+	// Every bad-input shape lands on the same error path.
+	wantUsageError(t, cmdRun(nil))                                           // no -re/-pcore
+	wantUsageError(t, cmdRun([]string{"-pcore", "-workload", "nosuch"}))     // unknown workload
+	wantUsageError(t, cmdRun([]string{"-pcore", "-op", "bogus"}))            // unknown merge op
+	wantUsageError(t, cmdRun([]string{"-pcore", "-pd", "garbage"}))          // bad PD syntax
+	wantUsageError(t, cmdRun([]string{"-no-such-flag"}))                     // flag parse error
+	wantUsageError(t, cmdSuite(nil))                                         // missing -spec
+	wantUsageError(t, cmdSuite([]string{"-spec", "/nonexistent/spec.json"})) // unreadable spec
+	wantUsageError(t, cmdCompare([]string{"only-one.json"}))                 // wrong arity
+}
+
+func TestHelpRequestIsNotAnError(t *testing.T) {
+	err := cmdRun([]string{"-h"})
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("want flag.ErrHelp, got %v", err)
+	}
+	if errors.As(err, &usageError{}) {
+		t.Fatal("help request classified as usage error (would exit 2)")
+	}
+}
+
+func TestRunCleanWorkloadSucceeds(t *testing.T) {
+	if err := cmdRun([]string{"-pcore", "-n", "2", "-s", "4", "-json"}); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+}
+
+func TestRunFaultyWorkloadExitsFailed(t *testing.T) {
+	err := cmdRun([]string{"-pcore", "-n", "8", "-s", "16", "-workload", "quicksort",
+		"-gc-leak-every", "2", "-trials", "3", "-json"})
+	if !errors.Is(err, errFailed) {
+		t.Fatalf("want errFailed (exit 1), got %v", err)
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, rate float64) string {
+	t.Helper()
+	r := &report.Report{
+		SchemaVersion: report.SchemaVersion,
+		Suite:         "t",
+		Cells: []report.Cell{{
+			ID: "w/c", Workload: "w", Tool: "adaptive", N: 1,
+			Summary: report.CampaignSummary{Trials: 10, BugRate: rate},
+		}},
+	}
+	r.Aggregate()
+	path := filepath.Join(dir, name)
+	if err := report.WriteFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 0.5)
+	same := writeReport(t, dir, "same.json", 0.5)
+	worse := writeReport(t, dir, "worse.json", 0.2)
+
+	if err := cmdCompare([]string{base, same}); err != nil {
+		t.Fatalf("identical reports must pass: %v", err)
+	}
+	if err := cmdCompare([]string{base, worse}); !errors.Is(err, errFailed) {
+		t.Fatalf("regression must exit non-zero, got %v", err)
+	}
+	// A threshold wide enough to absorb the drop passes the gate.
+	if err := cmdCompare([]string{"-max-rate-drop", "0.4", base, worse}); err != nil {
+		t.Fatalf("drop within threshold must pass: %v", err)
+	}
+}
+
+func TestSuiteEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	specJSON := `{
+		"name": "cli-e2e",
+		"trials": 1,
+		"max_steps": 100000,
+		"workloads": [{"name": "spin"}],
+		"ops": ["roundrobin"],
+		"points": [{"n": 2, "s": 4}],
+		"tools": [{"name": "adaptive"}]
+	}`
+	if err := os.WriteFile(spec, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "report.json")
+	if err := cmdSuite([]string{"-quiet", "-spec", spec, "-out", out, "-canonical"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := report.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].Tool != "adaptive" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.WallMS != 0 {
+		t.Fatal("-canonical left timing fields")
+	}
+	// The fresh report compared against itself passes the gate.
+	if err := cmdCompare([]string{out, out}); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+}

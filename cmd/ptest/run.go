@@ -1,0 +1,272 @@
+// ptest run: one campaign against the simulated OMAP-like platform —
+// Algorithm 1 with configuration (RE, n, s, op), a slave workload,
+// optional fault injection, and the bug detector. The reproduction's
+// equivalent of running pTest on the board.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/committee"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/pcore"
+	"repro/internal/pfa"
+	"repro/internal/replay"
+	"repro/internal/report"
+	"repro/internal/suite"
+)
+
+func parsePD(spec string) (pfa.Distribution, error) {
+	d := pfa.Distribution{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		colon := strings.Index(item, ":")
+		eq := strings.LastIndex(item, "=")
+		if colon < 0 || eq < colon {
+			return nil, fmt.Errorf("bad PD entry %q (want from:symbol=prob)", item)
+		}
+		p, err := strconv.ParseFloat(item[eq+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad probability in %q: %v", item, err)
+		}
+		from, sym := item[:colon], item[colon+1:eq]
+		if d[from] == nil {
+			d[from] = map[string]float64{}
+		}
+		d[from][sym] = p
+	}
+	return d, nil
+}
+
+// newWorkloadFactory builds the per-trial factory constructor shared by
+// run and replay, routing through internal/suite's single
+// workload-name registry. Every trial gets a freshly built factory:
+// workloads with shared state (philosopher forks, producer/consumer
+// buffers) must not leak it across trials — and must not share it
+// between concurrently simulated platforms when -parallel > 1.
+func newWorkloadFactory(workload string, n, rounds int, seed uint64) (func() committee.Factory, error) {
+	nf, err := suite.WorkloadSpec{Name: workload, Seed: seed, Rounds: rounds}.NewFactory(n)
+	if err != nil {
+		return nil, usagef("%v", err)
+	}
+	return nf, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("ptest run", flag.ContinueOnError)
+	var (
+		re        = fs.String("re", "", "service regular expression")
+		pdSpec    = fs.String("pd", "", "probability distribution: from:symbol=prob,... ('^' = start)")
+		usePcore  = fs.Bool("pcore", false, "use the paper's expression (2) + Figure 5 distribution")
+		n         = fs.Int("n", 4, "number of test patterns (logical tasks)")
+		s         = fs.Int("s", 12, "pattern size")
+		opName    = fs.String("op", "roundrobin", "merge op: roundrobin|random|cyclic|priority|sequential")
+		seed      = fs.Uint64("seed", 1, "base seed")
+		trials    = fs.Int("trials", 1, "campaign trials (seed increments per trial)")
+		parallel  = fs.Int("parallel", 1, "trial workers: 1 = sequential, 0 = one per CPU (results identical either way)")
+		keepGoing = fs.Bool("keep-going", false, "do not stop the campaign at the first bug")
+		dedup     = fs.Bool("dedup", false, "discard replicated patterns before merging")
+		gap       = fs.Int("gap", 0, "inter-command gap in cycles (stress density)")
+		workload  = fs.String("workload", "spin", "spin | quicksort | philosophers | ordered-philosophers | prodcons | inversion")
+		rounds    = fs.Int("rounds", 100000, "philosopher eating rounds")
+		quantum   = fs.Int("quantum", 0, "slave quantum in cycles")
+		gcLeak    = fs.Int("gc-leak-every", 0, "arm the GC leak fault")
+		dropTR    = fs.Int("drop-resume-every", 0, "arm the lost-wakeup fault")
+		misprio   = fs.Int("misplace-prio-every", 0, "arm the priority-misplacement fault")
+		jsonOut   = fs.Bool("json", false, "print the campaign summary as JSON instead of text")
+		dumpJ     = fs.Bool("dump-journal", false, "print the Definition 2 record journal of the failing run")
+		saveRepro = fs.String("save-repro", "", "write a reproduction file for the first failing run")
+		replayF   = fs.String("replay", "", "re-execute a reproduction file instead of generating patterns")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	if *replayF != "" {
+		return runReplay(*replayF, *rounds)
+	}
+
+	expr, pd := *re, pfa.Distribution(nil)
+	if *usePcore {
+		expr, pd = pfa.PCoreRE, pfa.PCoreDistribution()
+	}
+	if expr == "" {
+		return usagef("provide -re or -pcore")
+	}
+	if *pdSpec != "" {
+		var err error
+		pd, err = parsePD(*pdSpec)
+		if err != nil {
+			return usagef("%v", err)
+		}
+	}
+	op, err := pattern.ParseOp(*opName)
+	if err != nil {
+		return usagef("%v", err)
+	}
+	newFactory, err := newWorkloadFactory(*workload, *n, *rounds, *seed)
+	if err != nil {
+		return err
+	}
+
+	kcfg := pcore.Config{
+		Faults: pcore.FaultPlan{
+			GCLeakEvery:           *gcLeak,
+			DropResumeEvery:       *dropTR,
+			MisplacePriorityEvery: *misprio,
+		},
+	}
+	if *quantum > 0 {
+		kcfg.Quantum = clock.Cycles(*quantum)
+	}
+
+	base := core.Config{
+		RE: expr, PD: pd,
+		N: *n, S: *s, Op: op, Seed: *seed,
+		Dedup: *dedup, CommandGap: *gap,
+		Kernel:     kcfg,
+		NewFactory: newFactory,
+	}
+
+	parallelism := *parallel
+	if parallelism <= 0 {
+		parallelism = -1 // engine: one worker per CPU
+	}
+	res, err := core.RunCampaign(core.CampaignConfig{
+		Base: base, Trials: *trials, KeepGoing: *keepGoing, Parallelism: parallelism,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		rep := &report.Report{
+			SchemaVersion: report.SchemaVersion,
+			Suite:         "run",
+			Cells: []report.Cell{{
+				ID:       fmt.Sprintf("%s/%s/n%ds%d/adaptive", *workload, op, *n, *s),
+				Workload: *workload, Op: op.String(), N: *n, S: *s,
+				Tool: "adaptive", Seed: *seed,
+				Summary: res.Summary(),
+			}},
+		}
+		rep.Aggregate()
+		if err := report.Write(os.Stdout, rep); err != nil {
+			return err
+		}
+	} else {
+		printCampaign(expr, *n, *s, op, res)
+	}
+	if len(res.Bugs) > 0 {
+		// With -json, stdout carries only the report — the human-oriented
+		// extras go to stderr so `ptest run -json | jq` keeps parsing.
+		extras := io.Writer(os.Stdout)
+		if *jsonOut {
+			extras = os.Stderr
+		}
+		if *dumpJ {
+			fmt.Fprintln(extras, "--- reproduction journal of first failure ---")
+			fmt.Fprint(extras, res.Bugs[0].Journal)
+		}
+		if *saveRepro != "" {
+			if err := saveReproduction(extras, *saveRepro, base, res, *workload, *seed); err != nil {
+				return err
+			}
+		}
+		return errFailed
+	}
+	if !*jsonOut {
+		fmt.Println("no failures detected")
+	}
+	return nil
+}
+
+func printCampaign(expr string, n, s int, op pattern.Op, res *core.CampaignResult) {
+	fmt.Printf("pTest: RE=%q n=%d s=%d op=%s trials=%d\n", expr, n, s, op, res.Trials)
+	fmt.Printf("commands issued: %d   virtual time: %d cycles\n", res.TotalCommands, res.TotalDuration)
+	for i, out := range res.Outcomes {
+		verdict := "clean"
+		if out.Bug != nil {
+			verdict = out.Bug.String()
+		} else if !out.Finished {
+			verdict = "incomplete (step budget)"
+		}
+		fmt.Printf("  trial %2d seed=%-4d cmds=%-5d cov=%.2f/%.2f  %s\n",
+			i+1, out.Seed, out.CommandsIssued,
+			out.Coverage.Services, out.Coverage.Transitions, verdict)
+	}
+	if len(res.Bugs) > 0 {
+		fmt.Printf("FAILURES: %d of %d trials (first at trial %d)\n",
+			len(res.Bugs), res.Trials, res.FirstBugTrial)
+	}
+}
+
+// saveReproduction locates the first failing outcome and writes its
+// reproduction file; the confirmation line goes to w.
+func saveReproduction(w io.Writer, path string, base core.Config, res *core.CampaignResult, workload string, workloadSeed uint64) error {
+	for i, out := range res.Outcomes {
+		if out.Bug == nil {
+			continue
+		}
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)
+		f := replay.FromOutcome(cfg, out, workload, workloadSeed)
+		file, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = f.Save(file)
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "reproduction written to %s\n", path)
+		return nil
+	}
+	return nil
+}
+
+// runReplay re-executes a saved reproduction file.
+func runReplay(path string, rounds int) error {
+	file, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	f, err := replay.Load(file)
+	_ = file.Close()
+	if err != nil {
+		return err
+	}
+	// A reproduction file naming a workload this binary doesn't know is
+	// corrupt/stale data, not a bad invocation: runtime failure, exit 1.
+	newFactory, err := newWorkloadFactory(f.Workload, f.Sources, rounds, f.WorkloadSeed)
+	if err != nil {
+		return fmt.Errorf("reproduction references unknown workload %q", f.Workload)
+	}
+	fmt.Printf("replaying %s: %d commands, workload %s\n", path, len(f.Entries), f.Workload)
+	if f.BugSummary != "" {
+		fmt.Printf("originally detected: %s\n", f.BugSummary)
+	}
+	out, err := f.Run(newFactory())
+	if err != nil {
+		return err
+	}
+	if out.Bug != nil {
+		fmt.Println("reproduced:", out.Bug)
+		return errFailed
+	}
+	fmt.Println("replay finished clean (bug did not reproduce)")
+	return nil
+}

@@ -1,0 +1,66 @@
+// ptest suite: expand a declarative matrix spec into a deterministic
+// run plan, execute every cell, and write the machine-readable reports
+// CI diffs run-over-run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/suite"
+)
+
+func cmdSuite(args []string) error {
+	fs := flag.NewFlagSet("ptest suite", flag.ContinueOnError)
+	var (
+		specPath  = fs.String("spec", "", "suite spec JSON file (required)")
+		outPath   = fs.String("out", "", "aggregated JSON report path (default: stdout)")
+		jsonlPath = fs.String("jsonl", "", "per-cell JSONL stream path (optional)")
+		canonical = fs.Bool("canonical", false, "zero timing fields in the report (for committed baselines)")
+		cells     = fs.Int("cells", 0, "cell workers: overrides the spec's cell_parallelism (0 = keep spec)")
+		quiet     = fs.Bool("quiet", false, "suppress the per-cell progress summary on stderr")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return usagef("suite: -spec is required")
+	}
+	spec, err := suite.ParseFile(*specPath)
+	if err != nil {
+		return usageError{err}
+	}
+	if *cells != 0 {
+		spec.CellParallelism = *cells
+	}
+
+	var jsonl io.Writer
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl = f
+	}
+
+	rep, err := suite.Run(spec, jsonl)
+	if err != nil {
+		return err
+	}
+	if *canonical {
+		rep = report.Canonical(rep)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "suite %s: %d cells, %d with bugs (detection rate %.2f), %d trials, %d bugs\n",
+			rep.Suite, rep.Totals.Cells, rep.Totals.CellsWithBugs,
+			rep.Totals.DetectionRate, rep.Totals.Trials, rep.Totals.Bugs)
+	}
+	if *outPath == "" {
+		return report.Write(os.Stdout, rep)
+	}
+	return report.WriteFile(*outPath, rep)
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/pattern"
 	"repro/internal/pfa"
+	"repro/internal/report"
 	"repro/internal/stats"
 )
 
@@ -169,6 +170,33 @@ func Explore(cfg Config) (*Result, error) {
 	}
 	res.SpaceExhausted = enumDone && !capped && res.Schedules == enumerated
 	return res, nil
+}
+
+// BugRate returns the fraction of executed schedules that failed.
+func (r *Result) BugRate() float64 {
+	if r.Schedules == 0 {
+		return 0
+	}
+	return float64(len(r.Bugs)) / float64(r.Schedules)
+}
+
+// Summary reduces the exploration to the tool-agnostic machine-readable
+// struct suite reports aggregate: schedules map onto trials, FirstBugAt
+// onto the first-bug trial.
+func (r *Result) Summary() report.CampaignSummary {
+	s := report.CampaignSummary{
+		Trials:         r.Schedules,
+		Bugs:           len(r.Bugs),
+		BugRate:        r.BugRate(),
+		FirstBugTrial:  r.FirstBugAt,
+		TotalCommands:  r.TotalCommands,
+		TotalCycles:    uint64(r.TotalDuration),
+		SpaceExhausted: r.SpaceExhausted,
+	}
+	if len(r.Bugs) > 0 {
+		s.FirstBug = r.Bugs[0].String()
+	}
+	return s
 }
 
 // ScheduleSpace returns the size of the schedule space for the sources

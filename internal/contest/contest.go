@@ -19,6 +19,7 @@ import (
 	"repro/internal/master"
 	"repro/internal/pcore"
 	"repro/internal/platform"
+	"repro/internal/report"
 	"repro/internal/stats"
 )
 
@@ -131,6 +132,23 @@ func (r *CampaignResult) BugRate() float64 {
 		return 0
 	}
 	return float64(len(r.Bugs)) / float64(r.Trials)
+}
+
+// Summary reduces the campaign to the tool-agnostic machine-readable
+// struct suite reports aggregate. The noise baseline issues no remote
+// commands and tracks no coverage, so those fields stay zero.
+func (r *CampaignResult) Summary() report.CampaignSummary {
+	s := report.CampaignSummary{
+		Trials:        r.Trials,
+		Bugs:          len(r.Bugs),
+		BugRate:       r.BugRate(),
+		FirstBugTrial: r.FirstBugTrial,
+		TotalCycles:   uint64(r.TotalDuration),
+	}
+	if len(r.Bugs) > 0 {
+		s.FirstBug = r.Bugs[0].String()
+	}
+	return s
 }
 
 // RunCampaign executes trials with seeds base.Seed, base.Seed+1, ...,

@@ -23,6 +23,7 @@ import (
 	"repro/internal/pfa"
 	"repro/internal/platform"
 	"repro/internal/recording"
+	"repro/internal/report"
 	"repro/internal/stats"
 )
 
@@ -307,6 +308,37 @@ func (r *CampaignResult) BugRate() float64 {
 		return 0
 	}
 	return float64(len(r.Bugs)) / float64(r.Trials)
+}
+
+// Summary reduces the campaign to the tool-agnostic machine-readable
+// struct suite reports aggregate — the struct counterpart of the
+// ptest-run console output. Coverage fields are the mean over trial
+// outcomes (pairs: the max any trial observed).
+func (r *CampaignResult) Summary() report.CampaignSummary {
+	s := report.CampaignSummary{
+		Trials:        r.Trials,
+		Bugs:          len(r.Bugs),
+		BugRate:       r.BugRate(),
+		FirstBugTrial: r.FirstBugTrial,
+		CleanFinishes: r.CleanFinishes,
+		TotalCommands: r.TotalCommands,
+		TotalCycles:   uint64(r.TotalDuration),
+	}
+	if len(r.Bugs) > 0 {
+		s.FirstBug = r.Bugs[0].String()
+	}
+	for _, out := range r.Outcomes {
+		s.ServiceCoverage += out.Coverage.Services
+		s.TransitionCoverage += out.Coverage.Transitions
+		if out.Coverage.Pairs > s.InterleavingPairs {
+			s.InterleavingPairs = out.Coverage.Pairs
+		}
+	}
+	if len(r.Outcomes) > 0 {
+		s.ServiceCoverage /= float64(len(r.Outcomes))
+		s.TransitionCoverage /= float64(len(r.Outcomes))
+	}
+	return s
 }
 
 // RunCampaign executes the trials, varying the seed per trial

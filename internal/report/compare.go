@@ -1,0 +1,133 @@
+// The comparator: diff two suite reports cell by cell and flag
+// regressions beyond configured thresholds. CI runs it as a gate — the
+// old report is the committed baseline, the new one is the fresh run,
+// and any regression fails the build.
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// Thresholds bounds how much a metric may regress before Compare flags
+// it. Zero values are strict: any drop or growth is a regression.
+type Thresholds struct {
+	// MaxRateDrop is the tolerated absolute drop in a cell's bug rate
+	// (new < old - MaxRateDrop ⇒ regression).
+	MaxRateDrop float64
+	// MaxLatencyGrowth is the tolerated relative growth in a cell's
+	// first-bug trial (new > old * (1 + MaxLatencyGrowth) ⇒ regression).
+	// Only cells where both reports found a bug are compared.
+	MaxLatencyGrowth float64
+}
+
+// Regression is one metric that got worse beyond its threshold.
+type Regression struct {
+	Cell    string  `json:"cell"`
+	Metric  string  `json:"metric"` // "bug_rate" | "first_bug_trial" | "cell_missing"
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Allowed float64 `json:"allowed"` // the threshold that was exceeded
+}
+
+func (r Regression) String() string {
+	switch r.Metric {
+	case "cell_missing":
+		return fmt.Sprintf("%s: cell missing from new report", r.Cell)
+	case "bug_rate":
+		return fmt.Sprintf("%s: bug_rate %.4f -> %.4f (max drop %.4f)", r.Cell, r.Old, r.New, r.Allowed)
+	case "first_bug_trial":
+		return fmt.Sprintf("%s: first_bug_trial %.0f -> %.0f (max growth %.0f%%)", r.Cell, r.Old, r.New, r.Allowed*100)
+	}
+	return fmt.Sprintf("%s: %s %.4f -> %.4f", r.Cell, r.Metric, r.Old, r.New)
+}
+
+// Comparison is the full diff of two reports.
+type Comparison struct {
+	Regressions []Regression `json:"regressions"`
+	// Improvements lists metrics that got better, informationally.
+	Improvements []string `json:"improvements,omitempty"`
+	// Warnings lists non-gating oddities: new cells, spec digest
+	// mismatches, schema drift.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// OK reports whether the comparison found no regression.
+func (c *Comparison) OK() bool { return len(c.Regressions) == 0 }
+
+// Compare diffs old (the baseline) against new, cell by cell, matched
+// on cell ID. A cell present in the baseline but missing from the new
+// report is itself a regression — a shrinking matrix must not pass the
+// gate silently. Cells only in the new report are a warning.
+func Compare(oldR, newR *Report, th Thresholds) *Comparison {
+	cmp := &Comparison{}
+	if oldR.SpecDigest != "" && newR.SpecDigest != "" && oldR.SpecDigest != newR.SpecDigest {
+		cmp.Warnings = append(cmp.Warnings,
+			fmt.Sprintf("spec digest differs (baseline %s, new %s): cells are matched by ID only",
+				oldR.SpecDigest, newR.SpecDigest))
+	}
+	newCells := make(map[string]Cell, len(newR.Cells))
+	for _, c := range newR.Cells {
+		newCells[c.ID] = c
+	}
+	matched := make(map[string]bool, len(oldR.Cells))
+	for _, oc := range oldR.Cells {
+		nc, ok := newCells[oc.ID]
+		if !ok {
+			cmp.Regressions = append(cmp.Regressions, Regression{
+				Cell: oc.ID, Metric: "cell_missing",
+				Old: oc.Summary.BugRate,
+			})
+			continue
+		}
+		matched[oc.ID] = true
+		compareCell(cmp, oc, nc, th)
+	}
+	for _, nc := range newR.Cells {
+		if !matched[nc.ID] {
+			cmp.Warnings = append(cmp.Warnings, fmt.Sprintf("%s: new cell, no baseline", nc.ID))
+		}
+	}
+	return cmp
+}
+
+func compareCell(cmp *Comparison, oc, nc Cell, th Thresholds) {
+	oldRate, newRate := oc.Summary.BugRate, nc.Summary.BugRate
+	if newRate < oldRate-th.MaxRateDrop {
+		cmp.Regressions = append(cmp.Regressions, Regression{
+			Cell: oc.ID, Metric: "bug_rate",
+			Old: oldRate, New: newRate, Allowed: th.MaxRateDrop,
+		})
+	} else if newRate > oldRate {
+		cmp.Improvements = append(cmp.Improvements,
+			fmt.Sprintf("%s: bug_rate %.4f -> %.4f", oc.ID, oldRate, newRate))
+	}
+
+	oldFirst, newFirst := oc.Summary.FirstBugTrial, nc.Summary.FirstBugTrial
+	if oldFirst > 0 && newFirst > 0 {
+		if float64(newFirst) > float64(oldFirst)*(1+th.MaxLatencyGrowth) {
+			cmp.Regressions = append(cmp.Regressions, Regression{
+				Cell: oc.ID, Metric: "first_bug_trial",
+				Old: float64(oldFirst), New: float64(newFirst), Allowed: th.MaxLatencyGrowth,
+			})
+		} else if newFirst < oldFirst {
+			cmp.Improvements = append(cmp.Improvements,
+				fmt.Sprintf("%s: first_bug_trial %d -> %d", oc.ID, oldFirst, newFirst))
+		}
+	}
+}
+
+// Render writes the comparison in the greppable one-line-per-finding
+// format the CI log shows: "REGRESSION <detail>", "improved <detail>",
+// "warning <detail>".
+func (c *Comparison) Render(w io.Writer) {
+	for _, r := range c.Regressions {
+		fmt.Fprintf(w, "REGRESSION %s\n", r)
+	}
+	for _, s := range c.Improvements {
+		fmt.Fprintf(w, "improved %s\n", s)
+	}
+	for _, s := range c.Warnings {
+		fmt.Fprintf(w, "warning %s\n", s)
+	}
+}

@@ -1,0 +1,210 @@
+// Package report defines the machine-readable results the suite
+// orchestrator emits and CI diffs run-over-run: a per-cell campaign
+// summary, the aggregated suite report, and the JSON/JSONL encodings.
+// Everything in a report except the explicitly-marked timing fields is
+// deterministic in the suite spec, so two runs of the same spec produce
+// byte-identical canonical reports and a committed baseline can gate
+// regressions on any machine.
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion is stamped into every report; Read rejects reports from
+// a different schema so CI diffs never compare incompatible encodings.
+const SchemaVersion = 1
+
+// CampaignSummary is the tool-agnostic result of one campaign (a matrix
+// cell): what pTest, the ConTest-style baseline and the CHESS-style
+// explorer all reduce to. The tool packages expose it via Summary()
+// methods so callers aggregate structs instead of scraping printed
+// output.
+type CampaignSummary struct {
+	// Trials is the number of runs executed (schedules, for the
+	// systematic explorer).
+	Trials int `json:"trials"`
+	// Bugs counts failing trials.
+	Bugs int `json:"bugs"`
+	// BugRate is Bugs/Trials — the detection rate CI gates on.
+	BugRate float64 `json:"bug_rate"`
+	// FirstBugTrial is the 1-based trial of the first failure (0: none) —
+	// the detection-latency metric CI gates on.
+	FirstBugTrial int `json:"first_bug_trial,omitempty"`
+	// FirstBug is the one-line summary of the first failure.
+	FirstBug string `json:"first_bug,omitempty"`
+	// CleanFinishes counts trials that completed their whole pattern
+	// without a failure (adaptive tool only).
+	CleanFinishes int `json:"clean_finishes,omitempty"`
+	// TotalCommands sums remote commands issued across trials.
+	TotalCommands int `json:"total_commands,omitempty"`
+	// TotalCycles sums virtual platform time across trials. Virtual, not
+	// wall, time — fully deterministic.
+	TotalCycles uint64 `json:"total_cycles"`
+	// SpaceExhausted reports that the systematic explorer enumerated its
+	// whole bounded schedule space (chess tool only).
+	SpaceExhausted bool `json:"space_exhausted,omitempty"`
+	// ServiceCoverage / TransitionCoverage are the mean per-trial
+	// coverage fractions (adaptive tool only).
+	ServiceCoverage    float64 `json:"service_coverage,omitempty"`
+	TransitionCoverage float64 `json:"transition_coverage,omitempty"`
+	// InterleavingPairs is the max distinct cross-task service pairs any
+	// trial observed (adaptive tool only).
+	InterleavingPairs int `json:"interleaving_pairs,omitempty"`
+}
+
+// Cell is one executed matrix point: its coordinates, the derived seed,
+// and the campaign summary. Axes a tool does not consume are recorded
+// as their zero value (op/pd "", s 0).
+type Cell struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Op       string `json:"op,omitempty"`
+	N        int    `json:"n"`
+	S        int    `json:"s,omitempty"`
+	PD       string `json:"pd,omitempty"`
+	Tool     string `json:"tool"`
+	// Seed is the cell's base seed, derived from the cell ID so reruns
+	// and spec edits never shift other cells' seeds.
+	Seed uint64 `json:"seed"`
+
+	Summary CampaignSummary `json:"summary"`
+
+	// WallMS is host wall-clock time for the cell — a timing field,
+	// zeroed by Canonical.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Totals aggregates the cells of one report.
+type Totals struct {
+	Cells int `json:"cells"`
+	// CellsWithBugs counts cells whose campaign found at least one bug;
+	// DetectionRate is the fraction.
+	CellsWithBugs int     `json:"cells_with_bugs"`
+	DetectionRate float64 `json:"detection_rate"`
+	Trials        int     `json:"trials"`
+	Bugs          int     `json:"bugs"`
+	TotalCommands int     `json:"total_commands"`
+	TotalCycles   uint64  `json:"total_cycles"`
+}
+
+// Report is the aggregated output of one suite run.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Suite         string `json:"suite"`
+	// SpecDigest fingerprints the expanded spec; Compare warns when the
+	// two reports were produced from different specs.
+	SpecDigest string `json:"spec_digest,omitempty"`
+	Cells      []Cell `json:"cells"`
+	Totals     Totals `json:"totals"`
+
+	// PFACompiles is the number of full PFA constructions the run paid
+	// (cache misses). Environment-sensitive under parallel cell races,
+	// so Canonical zeroes it alongside the timing fields.
+	PFACompiles uint64 `json:"pfa_compiles,omitempty"`
+	// WallMS / CreatedAt are timing fields, zeroed by Canonical.
+	WallMS    float64 `json:"wall_ms"`
+	CreatedAt string  `json:"created_at,omitempty"`
+}
+
+// Aggregate recomputes Totals from Cells.
+func (r *Report) Aggregate() {
+	t := Totals{Cells: len(r.Cells)}
+	for _, c := range r.Cells {
+		t.Trials += c.Summary.Trials
+		t.Bugs += c.Summary.Bugs
+		t.TotalCommands += c.Summary.TotalCommands
+		t.TotalCycles += c.Summary.TotalCycles
+		if c.Summary.Bugs > 0 {
+			t.CellsWithBugs++
+		}
+	}
+	if t.Cells > 0 {
+		t.DetectionRate = float64(t.CellsWithBugs) / float64(t.Cells)
+	}
+	r.Totals = t
+}
+
+// Canonical returns a copy with every timing/environment field zeroed:
+// per-cell and total wall time, the creation stamp, and the PFA compile
+// count. Two runs of the same spec produce byte-identical canonical
+// reports; the determinism tests and committed baselines rely on it.
+func Canonical(r *Report) *Report {
+	out := *r
+	out.WallMS = 0
+	out.CreatedAt = ""
+	out.PFACompiles = 0
+	out.Cells = make([]Cell, len(r.Cells))
+	for i, c := range r.Cells {
+		c.WallMS = 0
+		out.Cells[i] = c
+	}
+	return &out
+}
+
+// Write encodes the report as indented JSON with a trailing newline.
+func Write(w io.Writer, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("report: encoding: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the report to path.
+func WriteFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if err := Write(f, r); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes and validates one report.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("report: decoding: %w", err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("report: schema version %d (want %d)", r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// ReadFile loads a report from path.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	defer f.Close()
+	r, err := Read(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("report: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteJSONL appends one cell as a single JSON line — the streaming
+// encoding the suite runner emits as cells complete.
+func WriteJSONL(w io.Writer, c Cell) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("report: encoding cell %s: %w", c.ID, err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,245 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixture is a small fully-populated report with stable values.
+func fixture() *Report {
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		Suite:         "golden",
+		SpecDigest:    "abcdef123456",
+		Cells: []Cell{
+			{
+				ID:       "quicksort/roundrobin/n4s8/figure5/adaptive",
+				Workload: "quicksort", Op: "roundrobin", N: 4, S: 8,
+				PD: "figure5", Tool: "adaptive", Seed: 42,
+				Summary: CampaignSummary{
+					Trials: 5, Bugs: 2, BugRate: 0.4, FirstBugTrial: 2,
+					FirstBug:      "[crash] at t=123: pool-exhausted",
+					CleanFinishes: 3, TotalCommands: 160, TotalCycles: 99999,
+					ServiceCoverage: 1, TransitionCoverage: 0.75, InterleavingPairs: 17,
+				},
+				WallMS: 12.5,
+			},
+			{
+				ID:       "philosophers/n4/contest",
+				Workload: "philosophers", N: 4, Tool: "contest", Seed: 7,
+				Summary: CampaignSummary{
+					Trials: 5, Bugs: 0, BugRate: 0, TotalCycles: 55555,
+				},
+				WallMS: 3.25,
+			},
+		},
+		PFACompiles: 3,
+		WallMS:      20.75,
+		CreatedAt:   "2026-07-28T00:00:00Z",
+	}
+	r.Aggregate()
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestWriteGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, fixture()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.golden.json", buf.Bytes())
+}
+
+func TestWriteGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	for _, c := range fixture().Cells {
+		if err := WriteJSONL(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkGolden(t, "cells.golden.jsonl", buf.Bytes())
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("want 2 JSONL lines, got %d", lines)
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := fixture()
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite != orig.Suite || len(got.Cells) != len(orig.Cells) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Cells[0].Summary != orig.Cells[0].Summary {
+		t.Fatalf("summary mismatch: %+v", got.Cells[0].Summary)
+	}
+}
+
+func TestReadRejectsSchemaDrift(t *testing.T) {
+	r := fixture()
+	r.SchemaVersion = SchemaVersion + 1
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("wrong schema version accepted")
+	}
+}
+
+func TestCanonicalZeroesTimingOnly(t *testing.T) {
+	r := fixture()
+	c := Canonical(r)
+	if c.WallMS != 0 || c.CreatedAt != "" || c.PFACompiles != 0 {
+		t.Fatalf("timing fields survive: %+v", c)
+	}
+	for _, cell := range c.Cells {
+		if cell.WallMS != 0 {
+			t.Fatalf("cell wall time survives: %+v", cell)
+		}
+	}
+	// Everything else is untouched — including the original.
+	if r.WallMS != 20.75 || r.Cells[0].WallMS != 12.5 {
+		t.Fatal("Canonical mutated its input")
+	}
+	if c.Cells[0].Summary != r.Cells[0].Summary || c.Totals != r.Totals {
+		t.Fatal("Canonical changed non-timing fields")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	r := fixture()
+	if r.Totals.Cells != 2 || r.Totals.CellsWithBugs != 1 {
+		t.Fatalf("totals %+v", r.Totals)
+	}
+	if r.Totals.DetectionRate != 0.5 {
+		t.Fatalf("detection rate %v", r.Totals.DetectionRate)
+	}
+	if r.Totals.Trials != 10 || r.Totals.Bugs != 2 {
+		t.Fatalf("totals %+v", r.Totals)
+	}
+	if r.Totals.TotalCycles != 99999+55555 {
+		t.Fatalf("cycles %d", r.Totals.TotalCycles)
+	}
+}
+
+// mkReport builds a one-cell report for comparator tests.
+func mkReport(id string, rate float64, firstBug int) *Report {
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		Suite:         "cmp",
+		Cells: []Cell{{
+			ID: id, Workload: "w", Tool: "adaptive", N: 1,
+			Summary: CampaignSummary{
+				Trials: 10, Bugs: int(rate * 10), BugRate: rate, FirstBugTrial: firstBug,
+			},
+		}},
+	}
+	r.Aggregate()
+	return r
+}
+
+func TestCompareThresholds(t *testing.T) {
+	cases := []struct {
+		name               string
+		oldRate, newRate   float64
+		oldFirst, newFirst int
+		th                 Thresholds
+		wantRegressions    int
+		wantMetric         string
+	}{
+		{"identical", 0.5, 0.5, 2, 2, Thresholds{}, 0, ""},
+		{"rate drop strict", 0.5, 0.4, 2, 2, Thresholds{}, 1, "bug_rate"},
+		{"rate drop within threshold", 0.5, 0.45, 2, 2, Thresholds{MaxRateDrop: 0.1}, 0, ""},
+		{"rate drop beyond threshold", 0.5, 0.3, 2, 2, Thresholds{MaxRateDrop: 0.1}, 1, "bug_rate"},
+		{"rate improves", 0.5, 0.7, 2, 2, Thresholds{}, 0, ""},
+		{"latency grows strict", 0.5, 0.5, 2, 3, Thresholds{}, 1, "first_bug_trial"},
+		{"latency within threshold", 0.5, 0.5, 2, 3, Thresholds{MaxLatencyGrowth: 0.5}, 0, ""},
+		{"latency beyond threshold", 0.5, 0.5, 2, 4, Thresholds{MaxLatencyGrowth: 0.5}, 1, "first_bug_trial"},
+		{"latency improves", 0.5, 0.5, 4, 2, Thresholds{}, 0, ""},
+		{"no bug either side", 0, 0, 0, 0, Thresholds{}, 0, ""},
+		{"bug vanishes entirely", 0.3, 0, 3, 0, Thresholds{}, 1, "bug_rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oldR := mkReport("w/cell", tc.oldRate, tc.oldFirst)
+			newR := mkReport("w/cell", tc.newRate, tc.newFirst)
+			cmp := Compare(oldR, newR, tc.th)
+			if len(cmp.Regressions) != tc.wantRegressions {
+				t.Fatalf("regressions %+v, want %d", cmp.Regressions, tc.wantRegressions)
+			}
+			if tc.wantRegressions > 0 && cmp.Regressions[0].Metric != tc.wantMetric {
+				t.Fatalf("metric %q, want %q", cmp.Regressions[0].Metric, tc.wantMetric)
+			}
+			if tc.wantRegressions > 0 == cmp.OK() {
+				t.Fatal("OK() disagrees with regression list")
+			}
+		})
+	}
+}
+
+func TestCompareMissingAndNewCells(t *testing.T) {
+	oldR := mkReport("w/gone", 0.5, 1)
+	newR := mkReport("w/fresh", 0.5, 1)
+	cmp := Compare(oldR, newR, Thresholds{})
+	if len(cmp.Regressions) != 1 || cmp.Regressions[0].Metric != "cell_missing" {
+		t.Fatalf("want cell_missing regression, got %+v", cmp.Regressions)
+	}
+	if len(cmp.Warnings) != 1 || !strings.Contains(cmp.Warnings[0], "w/fresh") {
+		t.Fatalf("want new-cell warning, got %+v", cmp.Warnings)
+	}
+}
+
+func TestCompareSpecDigestWarning(t *testing.T) {
+	oldR, newR := mkReport("w/c", 0.5, 1), mkReport("w/c", 0.5, 1)
+	oldR.SpecDigest, newR.SpecDigest = "aaa", "bbb"
+	cmp := Compare(oldR, newR, Thresholds{})
+	if !cmp.OK() {
+		t.Fatalf("digest mismatch must not gate: %+v", cmp.Regressions)
+	}
+	if len(cmp.Warnings) == 0 || !strings.Contains(cmp.Warnings[0], "spec digest") {
+		t.Fatalf("want digest warning, got %+v", cmp.Warnings)
+	}
+}
+
+func TestCompareRender(t *testing.T) {
+	oldR := mkReport("w/c", 0.5, 1)
+	newR := mkReport("w/c", 0.2, 1)
+	var buf bytes.Buffer
+	Compare(oldR, newR, Thresholds{}).Render(&buf)
+	if !strings.Contains(buf.String(), "REGRESSION w/c: bug_rate") {
+		t.Fatalf("render output %q", buf.String())
+	}
+}

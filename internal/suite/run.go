@@ -1,0 +1,272 @@
+// Suite execution: cells shard across the campaign engine's worker
+// pool, trials run parallel within a cell, and results stream to JSONL
+// in plan order while the aggregated report accumulates. Every cell is
+// deterministic in (spec, cell ID), so the canonical report is
+// byte-identical across reruns at any parallelism.
+package suite
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/chess"
+	"repro/internal/clock"
+	"repro/internal/committee"
+	"repro/internal/contest"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/pcore"
+	"repro/internal/pfa"
+	"repro/internal/report"
+)
+
+// Run expands the spec and executes every cell. When jsonl is non-nil,
+// each completed cell is appended to it as one JSON line, in plan order
+// regardless of which worker finishes first. The returned report's
+// cells are likewise in plan order. The spec is defaulted and validated
+// here too, so hand-built specs (the ptest.RunSuite facade path) get
+// the same checks as parsed ones.
+func Run(spec *Spec, jsonl io.Writer) (*report.Report, error) {
+	s := *spec
+	s.applyDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	spec = &s
+	cells := spec.Expand()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("suite: spec %q expands to zero cells", spec.Name)
+	}
+	start := time.Now()
+	compilesBefore := pfa.CompileCount()
+	emit := newOrderedEmitter(jsonl)
+
+	results, runErr := engine.Run(len(cells), spec.CellParallelism,
+		func(i int) (report.Cell, error) {
+			rc, err := runCell(spec, cells[i])
+			if err != nil {
+				return report.Cell{}, fmt.Errorf("suite: cell %s: %w", cells[i].ID, err)
+			}
+			emit.emit(i, rc)
+			return rc, nil
+		}, nil)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := emit.err(); err != nil {
+		return nil, fmt.Errorf("suite: streaming JSONL: %w", err)
+	}
+
+	rep := &report.Report{
+		SchemaVersion: report.SchemaVersion,
+		Suite:         spec.Name,
+		SpecDigest:    spec.Digest(),
+		Cells:         results,
+		PFACompiles:   pfa.CompileCount() - compilesBefore,
+		WallMS:        float64(time.Since(start).Microseconds()) / 1000,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+	}
+	rep.Aggregate()
+	return rep, nil
+}
+
+// runCell executes one matrix point through its tool's campaign runner.
+func runCell(spec *Spec, c Cell) (report.Cell, error) {
+	start := time.Now()
+	newFactory, err := c.Workload.NewFactory(c.Point.N)
+	if err != nil {
+		return report.Cell{}, err
+	}
+	kernel := c.Workload.kernel()
+
+	var sum report.CampaignSummary
+	switch c.Tool.Name {
+	case "adaptive":
+		base := core.Config{
+			RE: spec.RE, PD: c.PD.Distribution(),
+			N: c.Point.N, S: c.Point.S, Op: c.Op, Seed: c.Seed,
+			Dedup: spec.Dedup, CommandGap: spec.CommandGap,
+			Kernel: kernel, NewFactory: newFactory, MaxSteps: spec.MaxSteps,
+		}
+		if c.Tool.Refine {
+			res, err := core.RunAdaptiveCampaign(core.AdaptiveCampaignConfig{
+				Base: base, Trials: spec.Trials,
+				Alpha: c.Tool.Alpha, Window: c.Tool.Window,
+				KeepGoing: spec.KeepGoing, Parallelism: spec.TrialParallelism,
+			})
+			if err != nil {
+				return report.Cell{}, err
+			}
+			sum = res.Summary()
+		} else {
+			res, err := core.RunCampaign(core.CampaignConfig{
+				Base: base, Trials: spec.Trials,
+				KeepGoing: spec.KeepGoing, Parallelism: spec.TrialParallelism,
+			})
+			if err != nil {
+				return report.Cell{}, err
+			}
+			sum = res.Summary()
+		}
+	case "contest":
+		res, err := contest.RunCampaign(contest.Config{
+			Seed: c.Seed, NoiseP: c.Tool.NoiseP, Tasks: c.Point.N,
+			NewFactory: newFactory, Kernel: kernel, MaxSteps: spec.MaxSteps,
+			Parallelism: spec.TrialParallelism,
+		}, spec.Trials, spec.KeepGoing)
+		if err != nil {
+			return report.Cell{}, err
+		}
+		sum = res.Summary()
+	case "chess":
+		bound := 1
+		if c.Tool.PreemptionBound != nil {
+			bound = *c.Tool.PreemptionBound
+		}
+		maxSchedules := c.Tool.MaxSchedules
+		if maxSchedules == 0 {
+			// Bounded schedule spaces still explode combinatorially; an
+			// unconfigured cell gets a budget comparable to a campaign,
+			// not the whole space.
+			maxSchedules = 64
+		}
+		res, err := chess.Explore(chess.Config{
+			Run: core.Config{
+				RE: spec.RE, PD: c.PD.Distribution(),
+				N: c.Point.N, S: c.Point.S, Seed: c.Seed,
+				CommandGap: spec.CommandGap,
+				Kernel:     kernel, NewFactory: newFactory, MaxSteps: spec.MaxSteps,
+			},
+			PreemptionBound: bound, MaxSchedules: maxSchedules,
+			ExploreAll: spec.KeepGoing, Parallelism: spec.TrialParallelism,
+		})
+		if err != nil {
+			return report.Cell{}, err
+		}
+		sum = res.Summary()
+	default:
+		return report.Cell{}, fmt.Errorf("unknown tool %q", c.Tool.Name)
+	}
+
+	return report.Cell{
+		ID:       c.ID,
+		Workload: c.Workload.Name,
+		Op:       c.OpName,
+		N:        c.Point.N,
+		S:        c.Point.S,
+		PD:       c.PD.Name,
+		Tool:     c.Tool.label(),
+		Seed:     c.Seed,
+		Summary:  sum,
+		WallMS:   float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+// kernel builds the slave configuration, faults armed.
+func (w WorkloadSpec) kernel() pcore.Config {
+	k := pcore.Config{
+		MaxTasks:  w.MaxTasks,
+		StackSize: w.StackSize,
+		GCEvery:   w.GCEvery,
+		Faults: pcore.FaultPlan{
+			GCLeakEvery:           w.GCLeakEvery,
+			DropResumeEvery:       w.DropResumeEvery,
+			MisplacePriorityEvery: w.MisplacePriorityEvery,
+		},
+	}
+	if w.Quantum > 0 {
+		k.Quantum = clock.Cycles(w.Quantum)
+	}
+	return k
+}
+
+// NewFactory builds the per-trial workload factory constructor — the
+// single place workload names resolve to factories (spec validation and
+// the CLI both route through it). Every trial gets a fresh factory so
+// workloads with shared mutable state stay independent across trials
+// and across parallel workers. n sizes task-count-dependent workloads
+// (philosophers).
+func (w WorkloadSpec) NewFactory(n int) (func() committee.Factory, error) {
+	rounds := w.Rounds
+	if rounds <= 0 {
+		rounds = 100000
+	}
+	items := w.Items
+	if items <= 0 {
+		items = 10
+	}
+	hogBursts := w.HogBursts
+	if hogBursts <= 0 {
+		hogBursts = 100000
+	}
+	switch w.Name {
+	case "spin":
+		return app.SpinFactory, nil
+	case "quicksort":
+		seed := w.Seed
+		return func() committee.Factory { return app.QuicksortFactory(seed) }, nil
+	case "philosophers":
+		return func() committee.Factory {
+			f, _ := app.Philosophers(max(n, 2), rounds, false)
+			return f
+		}, nil
+	case "ordered-philosophers":
+		return func() committee.Factory {
+			f, _ := app.Philosophers(max(n, 2), rounds, true)
+			return f
+		}, nil
+	case "prodcons":
+		return func() committee.Factory { return app.ProducerConsumer(items) }, nil
+	case "inversion":
+		return func() committee.Factory { return app.PriorityInversion(hogBursts) }, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", w.Name)
+}
+
+// orderedEmitter writes cells to the JSONL stream in plan order even
+// when parallel workers complete out of order: results arriving early
+// buffer until every lower index has flushed.
+type orderedEmitter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	next    int
+	pending map[int]report.Cell
+	failed  error
+}
+
+func newOrderedEmitter(w io.Writer) *orderedEmitter {
+	return &orderedEmitter{w: w, pending: map[int]report.Cell{}}
+}
+
+func (e *orderedEmitter) emit(i int, c report.Cell) {
+	if e.w == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.failed != nil {
+		return
+	}
+	e.pending[i] = c
+	for {
+		cell, ok := e.pending[e.next]
+		if !ok {
+			return
+		}
+		delete(e.pending, e.next)
+		if err := report.WriteJSONL(e.w, cell); err != nil {
+			e.failed = err
+			return
+		}
+		e.next++
+	}
+}
+
+func (e *orderedEmitter) err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failed
+}

@@ -1,0 +1,439 @@
+// Package suite is the campaign orchestrator: it expands a declarative
+// matrix spec (workloads × merge ops × (n,s) points × PD variants ×
+// tools) into a deterministic run plan, executes every cell through the
+// shared campaign engine, and emits the machine-readable reports CI
+// diffs run-over-run. The paper evaluates pTest exactly this way —
+// sweeping workloads and configurations and comparing detection rates
+// against ConTest- and CHESS-style baselines — and before this layer
+// existed every sweep was a hand-rolled shell loop with no persisted
+// results.
+package suite
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/pfa"
+)
+
+// Point is one (n, s) coordinate: n test patterns of size s.
+type Point struct {
+	N int `json:"n"`
+	S int `json:"s"`
+}
+
+// WorkloadSpec names a slave workload plus its kernel configuration,
+// including the fault plan that seeds the bugs campaigns hunt.
+type WorkloadSpec struct {
+	// Name selects the workload: spin | quicksort | philosophers |
+	// ordered-philosophers | prodcons | inversion.
+	Name string `json:"name"`
+	// Seed is the workload's own data seed (quicksort input).
+	Seed uint64 `json:"seed,omitempty"`
+	// Rounds is the philosophers' eating-round budget.
+	Rounds int `json:"rounds,omitempty"`
+	// Items is the producer/consumer item count.
+	Items int `json:"items,omitempty"`
+	// HogBursts is the priority-inversion hog's burst count.
+	HogBursts int `json:"hog_bursts,omitempty"`
+
+	// Kernel knobs.
+	GCEvery   int `json:"gc_every,omitempty"`
+	Quantum   int `json:"quantum,omitempty"`
+	MaxTasks  int `json:"max_tasks,omitempty"`
+	StackSize int `json:"stack_size,omitempty"`
+
+	// Fault plan.
+	GCLeakEvery           int `json:"gc_leak_every,omitempty"`
+	DropResumeEvery       int `json:"drop_resume_every,omitempty"`
+	MisplacePriorityEvery int `json:"misplace_priority_every,omitempty"`
+}
+
+// PDSpec names a probability-distribution variant: a builtin or an
+// inline distribution.
+type PDSpec struct {
+	Name string `json:"name"`
+	// Builtin selects a named distribution: pcore (the paper's Figure 5),
+	// figure3, or uniform. Empty with a nil Dist also means uniform.
+	Builtin string `json:"builtin,omitempty"`
+	// Dist is an inline from→symbol→probability table ("^" = start).
+	Dist map[string]map[string]float64 `json:"dist,omitempty"`
+}
+
+// ToolSpec names a testing tool and its knobs. Axes a tool does not
+// consume (op for chess, op/s/pd for contest) are collapsed during
+// expansion rather than multiplying identical cells.
+type ToolSpec struct {
+	// Name selects the tool: adaptive (pTest) | contest | chess.
+	Name string `json:"name"`
+	// Label distinguishes two variants of the same tool in cell IDs
+	// (e.g. adaptive with and without refinement); defaults to Name.
+	Label string `json:"label,omitempty"`
+
+	// Adaptive: Refine enables coverage-guided distribution refinement
+	// with aggressiveness Alpha (default 0.5) over windows of Window
+	// trials (default 1).
+	Refine bool    `json:"refine,omitempty"`
+	Alpha  float64 `json:"alpha,omitempty"`
+	Window int     `json:"window,omitempty"`
+
+	// ConTest: per-continuation-point yield probability (default 0.2).
+	NoiseP float64 `json:"noise_p,omitempty"`
+
+	// CHESS: preemption bound (nil: 1; negative: unbounded) and schedule
+	// cap (default 64 — systematic spaces explode combinatorially).
+	PreemptionBound *int `json:"preemption_bound,omitempty"`
+	MaxSchedules    int  `json:"max_schedules,omitempty"`
+}
+
+// Spec is the declarative matrix: the axes plus the shared campaign
+// configuration. Parse validates every field up front so a bad spec
+// fails with one greppable message instead of mid-sweep.
+type Spec struct {
+	Name string `json:"name"`
+	// RE is the service regular expression (default: the paper's pCore
+	// expression (2)).
+	RE string `json:"re,omitempty"`
+	// Seed is folded into every cell's derived seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Trials per cell (default 5). The CHESS tool bounds schedules with
+	// MaxSchedules instead.
+	Trials int `json:"trials,omitempty"`
+	// KeepGoing scans every trial instead of stopping a cell's campaign
+	// at its first bug.
+	KeepGoing bool `json:"keep_going,omitempty"`
+	// MaxSteps bounds each run's co-simulation (default 2,000,000).
+	MaxSteps int `json:"max_steps,omitempty"`
+	// CommandGap is the master-side inter-command delay in cycles.
+	CommandGap int `json:"command_gap,omitempty"`
+	// Dedup discards replicated patterns before merging.
+	Dedup bool `json:"dedup,omitempty"`
+	// CellParallelism shards cells across workers (0/1 sequential,
+	// negative: one worker per CPU); TrialParallelism does the same for
+	// the trials inside each cell. Reports are identical at any setting.
+	CellParallelism  int `json:"cell_parallelism,omitempty"`
+	TrialParallelism int `json:"trial_parallelism,omitempty"`
+
+	Workloads []WorkloadSpec `json:"workloads"`
+	Ops       []string       `json:"ops"`
+	Points    []Point        `json:"points"`
+	// PDs defaults to the paper's Figure 5 distribution.
+	PDs   []PDSpec   `json:"pds,omitempty"`
+	Tools []ToolSpec `json:"tools"`
+}
+
+// Parse decodes, defaults and validates a spec. Unknown fields are
+// rejected so a typoed axis name cannot silently shrink the matrix.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("suite: spec: %w", err)
+	}
+	s.applyDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseFile loads and validates a spec from path.
+func ParseFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("suite: %w", err)
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("suite: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+func (s *Spec) applyDefaults() {
+	if s.RE == "" {
+		s.RE = pfa.PCoreRE
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Trials <= 0 {
+		s.Trials = 5
+	}
+	if len(s.PDs) == 0 {
+		s.PDs = []PDSpec{{Name: "figure5", Builtin: "pcore"}}
+	}
+}
+
+// Validate checks every axis and collects all problems into one error,
+// so a CI failure names everything wrong with the spec at once.
+func (s *Spec) Validate() error {
+	var probs []string
+	bad := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		bad("name: required")
+	}
+	if len(s.Workloads) == 0 {
+		bad("workloads: at least one required")
+	}
+	seenWorkload := map[string]bool{}
+	for i, w := range s.Workloads {
+		// NewFactory is the single source of truth for workload names.
+		if _, err := w.NewFactory(1); err != nil {
+			bad("workloads[%d]: %v", i, err)
+		}
+		// Cell IDs key on the workload name, so two variants of one
+		// workload would silently collapse to a single cell.
+		if seenWorkload[w.Name] {
+			bad("workloads[%d]: duplicate workload %q (one config per workload)", i, w.Name)
+		}
+		seenWorkload[w.Name] = true
+	}
+	if len(s.Ops) == 0 {
+		bad("ops: at least one required")
+	}
+	seenOp := map[pattern.Op]bool{}
+	for i, name := range s.Ops {
+		op, err := pattern.ParseOp(name)
+		if err != nil {
+			bad("ops[%d]: %v", i, err)
+			continue
+		}
+		// Aliases ("rr", "roundrobin") parse to the same op; listing
+		// both would duplicate every cell under two names.
+		if seenOp[op] {
+			bad("ops[%d]: duplicate op %q", i, op)
+		}
+		seenOp[op] = true
+	}
+	if len(s.Points) == 0 {
+		bad("points: at least one required")
+	}
+	for i, p := range s.Points {
+		if p.N <= 0 || p.S <= 0 {
+			bad("points[%d]: n and s must be positive (got n=%d s=%d)", i, p.N, p.S)
+		}
+	}
+	seenPD := map[string]bool{}
+	for i, pd := range s.PDs {
+		if pd.Name == "" {
+			bad("pds[%d]: name required", i)
+		}
+		if seenPD[pd.Name] {
+			bad("pds[%d]: duplicate name %q", i, pd.Name)
+		}
+		seenPD[pd.Name] = true
+		switch pd.Builtin {
+		case "", "pcore", "figure3", "uniform":
+		default:
+			bad("pds[%d]: unknown builtin %q (want pcore|figure3|uniform)", i, pd.Builtin)
+		}
+		if pd.Builtin != "" && pd.Dist != nil {
+			bad("pds[%d]: builtin and dist are mutually exclusive", i)
+		}
+	}
+	if len(s.Tools) == 0 {
+		bad("tools: at least one required")
+	}
+	seenTool := map[string]bool{}
+	for i, t := range s.Tools {
+		switch t.Name {
+		case "adaptive", "contest", "chess":
+		default:
+			bad("tools[%d]: unknown tool %q (want adaptive|contest|chess)", i, t.Name)
+		}
+		label := t.label()
+		if seenTool[label] {
+			bad("tools[%d]: duplicate tool label %q (set label to distinguish variants)", i, label)
+		}
+		seenTool[label] = true
+		if t.Alpha < 0 || t.Alpha > 1 {
+			bad("tools[%d]: alpha must be in [0,1]", i)
+		}
+		if t.NoiseP < 0 || t.NoiseP > 1 {
+			bad("tools[%d]: noise_p must be in [0,1]", i)
+		}
+		// A knob on the wrong tool is silently ignored at execution
+		// time, mislabeling the results — reject it up front.
+		switch t.Name {
+		case "adaptive":
+			if t.NoiseP != 0 || t.PreemptionBound != nil || t.MaxSchedules != 0 {
+				bad("tools[%d] (%s): noise_p/preemption_bound/max_schedules are not adaptive knobs", i, label)
+			}
+			if !t.Refine && (t.Alpha != 0 || t.Window != 0) {
+				bad("tools[%d] (%s): alpha/window require \"refine\": true", i, label)
+			}
+		case "contest":
+			if t.Refine || t.Alpha != 0 || t.Window != 0 || t.PreemptionBound != nil || t.MaxSchedules != 0 {
+				bad("tools[%d] (%s): contest only takes noise_p", i, label)
+			}
+		case "chess":
+			if t.Refine || t.Alpha != 0 || t.Window != 0 || t.NoiseP != 0 {
+				bad("tools[%d] (%s): chess only takes preemption_bound/max_schedules", i, label)
+			}
+		}
+	}
+	if _, err := pfa.Compile(s.RE, nil); err != nil {
+		bad("re: %v", err)
+	} else {
+		// Every PD variant must compile against the RE up front — an
+		// unnormalized inline dist failing mid-sweep after minutes of
+		// completed cells is exactly what Validate exists to prevent.
+		for i, pd := range s.PDs {
+			if _, err := pfa.Compile(s.RE, pd.Distribution()); err != nil {
+				bad("pds[%d] (%s): %v", i, pd.Name, err)
+			}
+		}
+	}
+	if len(probs) > 0 {
+		return fmt.Errorf("suite: invalid spec: %s", strings.Join(probs, "; "))
+	}
+	return nil
+}
+
+// Distribution resolves the PD variant to the machine form.
+func (p PDSpec) Distribution() pfa.Distribution {
+	switch p.Builtin {
+	case "pcore":
+		return pfa.PCoreDistribution()
+	case "figure3":
+		return pfa.Figure3Distribution()
+	case "uniform":
+		return nil
+	}
+	if p.Dist == nil {
+		return nil
+	}
+	d := pfa.Distribution{}
+	for from, cond := range p.Dist {
+		c := map[string]float64{}
+		for sym, prob := range cond {
+			c[sym] = prob
+		}
+		d[from] = c
+	}
+	return d
+}
+
+// Digest fingerprints the validated spec (canonical JSON, SHA-256
+// truncated to 12 hex chars). Reports carry it so the comparator can
+// warn when a baseline was produced from a different spec. Execution
+// knobs that cannot change results (parallelism) are excluded, so the
+// same matrix digests identically at any worker count.
+func (s *Spec) Digest() string {
+	d := *s
+	d.CellParallelism, d.TrialParallelism = 0, 0
+	data, err := json.Marshal(&d)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:6])
+}
+
+// Cell is one expanded matrix point, ready to execute. Axes the cell's
+// tool does not consume hold zero values.
+type Cell struct {
+	ID       string
+	Workload WorkloadSpec
+	OpName   string
+	Op       pattern.Op
+	Point    Point
+	PD       PDSpec
+	Tool     ToolSpec
+	// Seed derives from the cell ID and the spec seed — stable under
+	// reordering or growth of the matrix, so adding a workload never
+	// shifts existing cells' results.
+	Seed uint64
+}
+
+// Expand flattens the matrix into the deterministic run plan. Iteration
+// order is fixed (workload, point, pd, op, tool) and tools that ignore
+// an axis collapse it: chess drops op, contest drops op/s/pd — the
+// plan never contains two cells that would execute identically.
+func (s *Spec) Expand() []Cell {
+	var cells []Cell
+	seen := map[string]bool{}
+	for _, w := range s.Workloads {
+		for _, pt := range s.Points {
+			for _, pd := range s.PDs {
+				for _, opName := range s.Ops {
+					op, _ := pattern.ParseOp(opName)
+					for _, tool := range s.Tools {
+						c := Cell{Workload: w, Point: pt, PD: pd, Tool: tool}
+						switch tool.Name {
+						case "adaptive":
+							// The canonical name, not the spec's spelling:
+							// "rr" and "roundrobin" must produce one cell
+							// with one stable ID and seed.
+							c.OpName, c.Op = op.String(), op
+						case "chess":
+							// Systematic enumeration explores every
+							// interleaving; the merge op is meaningless.
+						case "contest":
+							// Noise injection only needs a task count.
+							c.Point.S = 0
+							c.PD = PDSpec{}
+						}
+						c.ID = cellID(c)
+						if seen[c.ID] {
+							continue
+						}
+						seen[c.ID] = true
+						c.Seed = deriveSeed(s.Seed, c.ID)
+						cells = append(cells, c)
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// cellID renders the cell's consumed axes: e.g.
+// "quicksort/cyclic/n4s12/figure5/adaptive", "quicksort/n4s12/figure5/chess",
+// "quicksort/n4/contest".
+func cellID(c Cell) string {
+	parts := []string{c.Workload.Name}
+	if c.OpName != "" {
+		parts = append(parts, c.OpName)
+	}
+	if c.Point.S > 0 {
+		parts = append(parts, fmt.Sprintf("n%ds%d", c.Point.N, c.Point.S))
+	} else {
+		parts = append(parts, fmt.Sprintf("n%d", c.Point.N))
+	}
+	if c.PD.Name != "" {
+		parts = append(parts, c.PD.Name)
+	}
+	parts = append(parts, c.Tool.label())
+	return strings.Join(parts, "/")
+}
+
+// label is the tool's identity in cell IDs and reports.
+func (t ToolSpec) label() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return t.Name
+}
+
+// deriveSeed hashes the cell identity into the 64-bit seed space and
+// folds in the spec's base seed, so (spec seed, cell ID) alone fix
+// every random choice the cell makes.
+func deriveSeed(base uint64, id string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return h.Sum64() ^ (base * 0x9e3779b97f4a7c15)
+}

@@ -53,6 +53,8 @@ import (
 	"repro/internal/pfa"
 	"repro/internal/profile"
 	"repro/internal/replay"
+	"repro/internal/report"
+	"repro/internal/suite"
 )
 
 // Config configures one adaptive test run; see core.Config for the full
@@ -256,3 +258,28 @@ func NewReproFile(cfg Config, out *Outcome, workload string, workloadSeed uint64
 
 // LoadRepro reads a reproduction file.
 func LoadRepro(r io.Reader) (*ReproFile, error) { return replay.Load(r) }
+
+// --- suite orchestration ---------------------------------------------------
+
+// SuiteSpec is the declarative campaign matrix: workloads × merge ops ×
+// (n,s) points × PD variants × tools, expanded into a deterministic run
+// plan and executed through the campaign engine.
+type SuiteSpec = suite.Spec
+
+// SuiteReport is the aggregated machine-readable result of a suite run.
+type SuiteReport = report.Report
+
+// ParseSuiteSpec decodes, defaults and validates a matrix spec.
+func ParseSuiteSpec(r io.Reader) (*SuiteSpec, error) { return suite.Parse(r) }
+
+// RunSuite executes every cell of the spec; when jsonl is non-nil each
+// completed cell streams to it as one JSON line in plan order.
+func RunSuite(spec *SuiteSpec, jsonl io.Writer) (*SuiteReport, error) {
+	return suite.Run(spec, jsonl)
+}
+
+// CompareReports diffs a baseline report against a new one and returns
+// the regressions beyond the thresholds — the CI gate's core.
+func CompareReports(oldR, newR *SuiteReport, th report.Thresholds) *report.Comparison {
+	return report.Compare(oldR, newR, th)
+}
