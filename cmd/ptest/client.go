@@ -1,0 +1,201 @@
+// ptest client: talk to a running ptestd. Five verbs, one shared
+// -server flag, the usual single validation-error path:
+//
+//	ptest client submit -spec sweep.json [-priority 5] [-wait]
+//	ptest client status [job-id]
+//	ptest client watch  <job-id>
+//	ptest client report <job-id> [-canonical] [-out report.json]
+//	ptest client cancel <job-id>
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/server"
+)
+
+const defaultServer = "http://127.0.0.1:8321"
+
+func cmdClient(args []string) error {
+	if len(args) == 0 {
+		return usagef("client: want submit|status|watch|report|cancel")
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "submit":
+		return clientSubmit(rest)
+	case "status":
+		return clientStatus(rest)
+	case "watch":
+		return clientWatch(rest)
+	case "report":
+		return clientReport(rest)
+	case "cancel":
+		return clientCancel(rest)
+	}
+	return usagef("client: unknown verb %q (want submit|status|watch|report|cancel)", verb)
+}
+
+// serverFlag registers the shared -server flag.
+func serverFlag(fs *flag.FlagSet) *string {
+	return fs.String("server", defaultServer, "ptestd base URL")
+}
+
+func clientSubmit(args []string) error {
+	fs := flag.NewFlagSet("ptest client submit", flag.ContinueOnError)
+	srv := serverFlag(fs)
+	var (
+		specPath = fs.String("spec", "", "suite spec JSON file (required)")
+		priority = fs.Int("priority", 0, "queue priority (higher runs first)")
+		wait     = fs.Bool("wait", false, "stream progress and wait for the job to finish")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return usagef("client submit: -spec is required")
+	}
+	f, err := os.Open(*specPath)
+	if err != nil {
+		return usageError{err}
+	}
+	defer f.Close()
+
+	cli := server.NewClient(*srv)
+	info, err := cli.Submit(context.Background(), f, *priority)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s: suite %s, %d cells, status %s\n",
+		info.ID, info.Suite, info.TotalCells, info.Status)
+	if !*wait {
+		return nil
+	}
+	return watchJob(cli, info.ID)
+}
+
+func clientStatus(args []string) error {
+	fs := flag.NewFlagSet("ptest client status", flag.ContinueOnError)
+	srv := serverFlag(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	cli := server.NewClient(*srv)
+	if fs.NArg() > 1 {
+		return usagef("client status: want at most one job id")
+	}
+	if fs.NArg() == 1 {
+		info, err := cli.Job(context.Background(), fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		printJob(info)
+		return nil
+	}
+	jobs, err := cli.Jobs(context.Background())
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Println("no jobs")
+		return nil
+	}
+	for _, info := range jobs {
+		printJob(info)
+	}
+	return nil
+}
+
+func printJob(info server.JobInfo) {
+	extra := ""
+	if info.Status == server.JobRunning || info.Status.Terminal() {
+		extra = fmt.Sprintf("  %d/%d cells", info.DoneCells, info.TotalCells)
+		if info.StoreHits > 0 {
+			extra += fmt.Sprintf(" (%d cached)", info.StoreHits)
+		}
+	}
+	if info.Error != "" {
+		extra += "  error: " + info.Error
+	}
+	fmt.Printf("%s  %-9s  prio=%d  %s%s\n", info.ID, info.Status, info.Priority, info.Suite, extra)
+}
+
+func clientWatch(args []string) error {
+	fs := flag.NewFlagSet("ptest client watch", flag.ContinueOnError)
+	srv := serverFlag(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usagef("client watch: want exactly one job id")
+	}
+	return watchJob(server.NewClient(*srv), fs.Arg(0))
+}
+
+// watchJob streams plan-order cell completions and reports the terminal
+// status; a failed/cancelled job exits 1 like a failed local run.
+func watchJob(cli *server.Client, id string) error {
+	final, err := cli.Watch(context.Background(), id, func(c report.Cell) {
+		verdict := "clean"
+		if c.Summary.Bugs > 0 {
+			verdict = fmt.Sprintf("%d/%d bugs (first at trial %d)",
+				c.Summary.Bugs, c.Summary.Trials, c.Summary.FirstBugTrial)
+		}
+		fmt.Printf("cell %-45s %s\n", c.ID, verdict)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s: %s, %d/%d cells (%d cached, %d executed)\n",
+		final.ID, final.Status, final.DoneCells, final.TotalCells,
+		final.StoreHits, final.CellsExecuted)
+	if final.Status != server.JobDone {
+		return errFailed
+	}
+	return nil
+}
+
+func clientReport(args []string) error {
+	fs := flag.NewFlagSet("ptest client report", flag.ContinueOnError)
+	srv := serverFlag(fs)
+	var (
+		canonical = fs.Bool("canonical", false, "fetch the canonical (timing-zeroed) report")
+		outPath   = fs.String("out", "", "write the report here (default: stdout)")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usagef("client report: want exactly one job id")
+	}
+	raw, err := server.NewClient(*srv).ReportBytes(context.Background(), fs.Arg(0), *canonical)
+	if err != nil {
+		return err
+	}
+	if *outPath == "" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(*outPath, raw, 0o644)
+}
+
+func clientCancel(args []string) error {
+	fs := flag.NewFlagSet("ptest client cancel", flag.ContinueOnError)
+	srv := serverFlag(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usagef("client cancel: want exactly one job id")
+	}
+	info, err := server.NewClient(*srv).Cancel(context.Background(), fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s: %s\n", info.ID, info.Status)
+	return nil
+}

@@ -1,5 +1,5 @@
 // Command ptest is the reproduction's CLI. It grew from a single
-// campaign runner into three subcommands:
+// campaign runner into a small toolbox:
 //
 //	ptest run      one campaign against the simulated platform (the
 //	               original behavior; "ptest -pcore ..." still works)
@@ -7,13 +7,20 @@
 //	               execute every cell, and emit machine-readable reports
 //	ptest compare  diff two suite reports and fail on regressions —
 //	               the CI gate
+//	ptest serve    run ptestd, the campaign job server: HTTP submissions,
+//	               bounded priority queue, worker pool, SSE progress,
+//	               content-addressed result store, graceful drain
+//	ptest client   talk to a ptestd: submit|status|watch|report|cancel
 //
 // Usage:
 //
 //	ptest run -pcore -n 16 -s 24 -workload quicksort -gc-leak-every 2
 //	ptest run -re 'TC (TS TR)+ TD$' -n 3 -s 41 -op cyclic -workload philosophers
 //	ptest suite -spec examples/suite/smoke.json -out report.json -jsonl cells.jsonl
+//	ptest suite -spec sweep.json -store ~/.cache/ptest-store   # warm cells skip execution
 //	ptest compare -max-rate-drop 0.05 baseline.json report.json
+//	ptest serve -addr :8321 -store /var/lib/ptestd/store
+//	ptest client submit -spec sweep.json -priority 5 -wait
 //
 // Exit codes: 0 success, 1 failure found / regression / runtime error,
 // 2 flag or spec validation error. All errors print one greppable
@@ -62,10 +69,14 @@ func main() {
 		err = cmdSuite(args)
 	case "compare":
 		err = cmdCompare(args)
+	case "serve":
+		err = cmdServe(args)
+	case "client":
+		err = cmdClient(args)
 	case "help":
 		usage(os.Stdout)
 	default:
-		err = usagef("unknown subcommand %q (want run|suite|compare|help)", cmd)
+		err = usagef("unknown subcommand %q (want run|suite|compare|serve|client|help)", cmd)
 	}
 
 	switch {
@@ -105,6 +116,8 @@ subcommands:
   run      run one campaign (default when the first argument is a flag)
   suite    expand a matrix spec, run every cell, write JSON/JSONL reports
   compare  diff two suite reports; exit non-zero on regression
+  serve    run ptestd, the campaign job server (HTTP + SSE + result store)
+  client   talk to a ptestd: submit|status|watch|report|cancel
   help     print this text
 
 run "ptest <subcommand> -h" for that subcommand's flags.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/report"
+	"repro/internal/store"
 )
 
 func wantUsageError(t *testing.T, err error) {
@@ -30,6 +31,15 @@ func TestRunValidationRoutesThroughUsageError(t *testing.T) {
 	wantUsageError(t, cmdSuite(nil))                                         // missing -spec
 	wantUsageError(t, cmdSuite([]string{"-spec", "/nonexistent/spec.json"})) // unreadable spec
 	wantUsageError(t, cmdCompare([]string{"only-one.json"}))                 // wrong arity
+	wantUsageError(t, cmdServe([]string{"-queue", "0"}))                     // unbounded queue
+	wantUsageError(t, cmdClient(nil))                                        // missing verb
+	wantUsageError(t, cmdClient([]string{"bogus"}))                          // unknown verb
+	wantUsageError(t, cmdClient([]string{"submit"}))                         // missing -spec
+	wantUsageError(t, cmdClient([]string{"submit", "-spec", "/nonexistent/spec.json"}))
+	wantUsageError(t, cmdClient([]string{"watch"}))                               // missing job id
+	wantUsageError(t, cmdClient([]string{"report", "a", "b"}))                    // wrong arity
+	wantUsageError(t, cmdClient([]string{"cancel"}))                              // missing job id
+	wantUsageError(t, cmdRun([]string{"-pcore", "-store", "x", "-dump-journal"})) // store vs journal
 }
 
 func TestHelpRequestIsNotAnError(t *testing.T) {
@@ -53,6 +63,28 @@ func TestRunFaultyWorkloadExitsFailed(t *testing.T) {
 		"-gc-leak-every", "2", "-trials", "3", "-json"})
 	if !errors.Is(err, errFailed) {
 		t.Fatalf("want errFailed (exit 1), got %v", err)
+	}
+}
+
+func TestRunViaStoreCachesAcrossInvocations(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	args := []string{"-pcore", "-n", "8", "-s", "16", "-workload", "quicksort",
+		"-gc-leak-every", "2", "-trials", "2", "-keep-going", "-json", "-store", dir}
+	// Cold: executes and stores; the faulty workload exits 1.
+	if err := cmdRun(args); !errors.Is(err, errFailed) {
+		t.Fatalf("cold run: want errFailed, got %v", err)
+	}
+	// Warm: the cached cell must reproduce the verdict without executing.
+	if err := cmdRun(args); !errors.Is(err, errFailed) {
+		t.Fatalf("warm run: want errFailed, got %v", err)
+	}
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Stats(); got.DiskEntries != 1 {
+		t.Fatalf("two identical runs stored %d cells, want 1", got.DiskEntries)
 	}
 }
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -78,7 +79,7 @@ func cmdRun(args []string) error {
 		dedup     = fs.Bool("dedup", false, "discard replicated patterns before merging")
 		gap       = fs.Int("gap", 0, "inter-command gap in cycles (stress density)")
 		workload  = fs.String("workload", "spin", "spin | quicksort | philosophers | ordered-philosophers | prodcons | inversion")
-		rounds    = fs.Int("rounds", 100000, "philosopher eating rounds")
+		rounds    = fs.Int("rounds", suite.DefaultRounds, "philosopher eating rounds")
 		quantum   = fs.Int("quantum", 0, "slave quantum in cycles")
 		gcLeak    = fs.Int("gc-leak-every", 0, "arm the GC leak fault")
 		dropTR    = fs.Int("drop-resume-every", 0, "arm the lost-wakeup fault")
@@ -87,6 +88,8 @@ func cmdRun(args []string) error {
 		dumpJ     = fs.Bool("dump-journal", false, "print the Definition 2 record journal of the failing run")
 		saveRepro = fs.String("save-repro", "", "write a reproduction file for the first failing run")
 		replayF   = fs.String("replay", "", "re-execute a reproduction file instead of generating patterns")
+		storeDir  = fs.String("store", "", "content-addressed result store directory: execute as a one-cell suite, skipping cells already computed by run/suite/ptestd (campaign seeds derive from the cell identity, not -seed directly)")
+		storeMem  = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -94,6 +97,11 @@ func cmdRun(args []string) error {
 
 	if *replayF != "" {
 		return runReplay(*replayF, *rounds)
+	}
+	if *storeDir != "" && (*saveRepro != "" || *dumpJ) {
+		// Cached cells carry only the campaign summary, not per-trial
+		// outcomes — a stored hit could not honor either flag.
+		return usagef("run: -store is incompatible with -save-repro/-dump-journal")
 	}
 
 	expr, pd := *re, pfa.Distribution(nil)
@@ -142,6 +150,24 @@ func cmdRun(args []string) error {
 	if parallelism <= 0 {
 		parallelism = -1 // engine: one worker per CPU
 	}
+
+	if *storeDir != "" {
+		// The suite seed space reserves 0 for "default": a literal seed 0
+		// would silently collapse onto seed 1's cell.
+		if *seed == 0 {
+			return usagef("run: -store requires -seed >= 1")
+		}
+		return runViaStore(runSpecArgs{
+			usePcore: *usePcore, re: expr, pdSpec: *pdSpec, pd: pd,
+			n: *n, s: *s, opName: *opName, seed: *seed, trials: *trials,
+			keepGoing: *keepGoing, dedup: *dedup, gap: *gap,
+			workload: *workload, rounds: *rounds, quantum: *quantum,
+			gcLeak: *gcLeak, dropTR: *dropTR, misprio: *misprio,
+			parallelism: parallelism, jsonOut: *jsonOut,
+			storeDir: *storeDir, storeMem: *storeMem,
+		})
+	}
+
 	res, err := core.RunCampaign(core.CampaignConfig{
 		Base: base, Trials: *trials, KeepGoing: *keepGoing, Parallelism: parallelism,
 	})
@@ -209,6 +235,96 @@ func printCampaign(expr string, n, s int, op pattern.Op, res *core.CampaignResul
 		fmt.Printf("FAILURES: %d of %d trials (first at trial %d)\n",
 			len(res.Bugs), res.Trials, res.FirstBugTrial)
 	}
+}
+
+// runSpecArgs carries cmdRun's resolved flags into the store-backed path.
+type runSpecArgs struct {
+	usePcore bool
+	// re is the resolved expression (after -pcore override), so -store
+	// and direct execution always run the same RE.
+	re, pdSpec, opName        string
+	workload, storeDir        string
+	pd                        pfa.Distribution
+	n, s, trials, rounds      int
+	quantum, gap              int
+	gcLeak, dropTR, misprio   int
+	seed                      uint64
+	keepGoing, dedup, jsonOut bool
+	parallelism, storeMem     int
+}
+
+// runViaStore executes the run as a one-cell suite through the
+// content-addressed result store. The cell identity — and therefore the
+// derived campaign seed — is exactly what `ptest suite` or a ptestd job
+// would compute for the same configuration, so all three entry points
+// share results: a cell any of them computed is never recomputed.
+func runViaStore(a runSpecArgs) error {
+	pds := []suite.PDSpec{{Name: "uniform", Builtin: "uniform"}}
+	switch {
+	case a.pdSpec != "":
+		pds = []suite.PDSpec{{Name: "custom", Dist: a.pd}}
+	case a.usePcore:
+		// The same name/builtin pair a suite spec defaults to, so the
+		// paper-configuration cells are shared with paper-style sweeps.
+		pds = []suite.PDSpec{{Name: "figure5", Builtin: "pcore"}}
+	}
+	// Only quicksort consumes the workload data seed; stamping it on
+	// seed-insensitive workloads would needlessly re-key cells that a
+	// suite spec (which omits it) computes identically. The other knobs
+	// (rounds etc.) are normalized by the spec's applyDefaults, so the
+	// flag default and an omitted spec field already key the same.
+	var workloadSeed uint64
+	if a.workload == "quicksort" {
+		workloadSeed = a.seed
+	}
+	spec := &suite.Spec{
+		Name: "run", RE: a.re, Seed: a.seed, Trials: a.trials,
+		KeepGoing: a.keepGoing, Dedup: a.dedup, CommandGap: a.gap,
+		TrialParallelism: a.parallelism,
+		Workloads: []suite.WorkloadSpec{{
+			Name: a.workload, Seed: workloadSeed, Rounds: a.rounds, Quantum: a.quantum,
+			GCLeakEvery: a.gcLeak, DropResumeEvery: a.dropTR, MisplacePriorityEvery: a.misprio,
+		}},
+		Ops:    []string{a.opName},
+		Points: []suite.Point{{N: a.n, S: a.s}},
+		PDs:    pds,
+		Tools:  []suite.ToolSpec{{Name: "adaptive"}},
+	}
+
+	st, err := openStoreFlag(a.storeDir, a.storeMem)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	rep, err := suite.RunContext(context.Background(), spec, nil, suite.Options{Store: st})
+	if err != nil {
+		return err
+	}
+	cell := rep.Cells[0]
+	if a.jsonOut {
+		if err := report.Write(os.Stdout, rep); err != nil {
+			return err
+		}
+	} else {
+		source := "executed"
+		if rep.StoreHits > 0 {
+			source = "served from store"
+		}
+		sum := cell.Summary
+		fmt.Printf("pTest: cell %s (%s)\n", cell.ID, source)
+		fmt.Printf("trials=%d bugs=%d bug_rate=%.2f clean_finishes=%d commands=%d virtual_cycles=%d\n",
+			sum.Trials, sum.Bugs, sum.BugRate, sum.CleanFinishes, sum.TotalCommands, sum.TotalCycles)
+		if sum.FirstBug != "" {
+			fmt.Printf("first failure (trial %d): %s\n", sum.FirstBugTrial, sum.FirstBug)
+		}
+	}
+	if cell.Summary.Bugs > 0 {
+		return errFailed
+	}
+	if !a.jsonOut {
+		fmt.Println("no failures detected")
+	}
+	return nil
 }
 
 // saveReproduction locates the first failing outcome and writes its

@@ -1,0 +1,95 @@
+// ptest serve: run ptestd, the campaign job server. Suite specs arrive
+// over HTTP, queue on a bounded priority queue, execute on the shared
+// campaign engine, and memoize every cell in the content-addressed
+// result store; SIGTERM/SIGINT drains gracefully (running jobs finish,
+// queued ones are cancelled, nothing dies mid-write).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// openStoreFlag builds the store shared by serve, suite and run: a
+// disk-backed one when -store names a directory, memory-only otherwise.
+func openStoreFlag(dir string, memEntries int) (*store.Store, error) {
+	return store.Open(store.Config{Dir: dir, MemEntries: memEntries})
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("ptest serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8321", "listen address")
+		workers  = fs.Int("workers", 0, "concurrent jobs (0 = one per CPU)")
+		queueCap = fs.Int("queue", 64, "job queue capacity (submissions past it get 503)")
+		maxJobs  = fs.Int("max-jobs", 512, "retained job records (oldest finished jobs pruned past this)")
+		storeDir = fs.String("store", "", "result-store directory (empty: memory-only, lost on exit)")
+		storeMem = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *queueCap <= 0 {
+		return usagef("serve: -queue must be positive")
+	}
+
+	st, err := openStoreFlag(*storeDir, *storeMem)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	srv, err := server.New(server.Config{
+		Workers: *workers, QueueCap: *queueCap, MaxJobs: *maxJobs, Store: st,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	defer close(done)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		select {
+		case <-sigc:
+			// Release the handler: a second signal kills a stuck drain.
+			signal.Stop(sigc)
+			fmt.Fprintln(os.Stderr, "ptestd: draining (running jobs finish, queued jobs cancel; signal again to abort hard)")
+			shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(shutCtx)
+		case <-done:
+		}
+	}()
+
+	srv.Start()
+	fmt.Fprintf(os.Stderr, "ptestd: listening on %s (workers=%d queue=%d store=%s)\n",
+		*addr, *workers, *queueCap, storeDesc(*storeDir))
+	err = httpSrv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	srv.Drain()
+	fmt.Fprintln(os.Stderr, "ptestd: drained")
+	return nil
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}

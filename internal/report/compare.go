@@ -61,6 +61,13 @@ func (c *Comparison) OK() bool { return len(c.Regressions) == 0 }
 // gate silently. Cells only in the new report are a warning.
 func Compare(oldR, newR *Report, th Thresholds) *Comparison {
 	cmp := &Comparison{}
+	if oldR.Interrupted {
+		cmp.Warnings = append(cmp.Warnings, "baseline report is partial (interrupted run)")
+	}
+	if newR.Interrupted {
+		cmp.Warnings = append(cmp.Warnings,
+			"new report is partial (interrupted run): cells it never reached gate as missing")
+	}
 	if oldR.SpecDigest != "" && newR.SpecDigest != "" && oldR.SpecDigest != newR.SpecDigest {
 		cmp.Warnings = append(cmp.Warnings,
 			fmt.Sprintf("spec digest differs (baseline %s, new %s): cells are matched by ID only",

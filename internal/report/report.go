@@ -102,10 +102,21 @@ type Report struct {
 	Cells      []Cell `json:"cells"`
 	Totals     Totals `json:"totals"`
 
+	// Interrupted marks a partial report: the run was cancelled (SIGINT,
+	// job cancellation, server drain) after a plan-order prefix of its
+	// cells completed. Semantic, not environmental — Canonical keeps it.
+	Interrupted bool `json:"interrupted,omitempty"`
+
 	// PFACompiles is the number of full PFA constructions the run paid
 	// (cache misses). Environment-sensitive under parallel cell races,
 	// so Canonical zeroes it alongside the timing fields.
 	PFACompiles uint64 `json:"pfa_compiles,omitempty"`
+	// StoreHits / StoreMisses count cells served from / absent from the
+	// content-addressed result store. Warm-cache dependent (a rerun hits
+	// where the first run missed), so Canonical zeroes them with the
+	// timing fields.
+	StoreHits   uint64 `json:"store_hits,omitempty"`
+	StoreMisses uint64 `json:"store_misses,omitempty"`
 	// WallMS / CreatedAt are timing fields, zeroed by Canonical.
 	WallMS    float64 `json:"wall_ms"`
 	CreatedAt string  `json:"created_at,omitempty"`
@@ -138,6 +149,7 @@ func Canonical(r *Report) *Report {
 	out.WallMS = 0
 	out.CreatedAt = ""
 	out.PFACompiles = 0
+	out.StoreHits, out.StoreMisses = 0, 0
 	out.Cells = make([]Cell, len(r.Cells))
 	for i, c := range r.Cells {
 		c.WallMS = 0

@@ -1,0 +1,187 @@
+// Client is the Go consumer of the ptestd HTTP API — what `ptest
+// client …` and the public facade drive. One method per endpoint plus
+// Watch, which consumes the SSE stream: replayed plan-order cells, then
+// live ones, then the terminal JobInfo.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Client talks to one ptestd base URL (e.g. "http://127.0.0.1:8321").
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client. The default http.Client has no timeout —
+// Watch streams indefinitely; bound individual calls with contexts.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiError decodes the server's single JSON error shape.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s: %w", c.base, err)
+	}
+	if resp.StatusCode >= 400 {
+		return nil, apiError(resp)
+	}
+	return resp, nil
+}
+
+func decodeInto[T any](resp *http.Response) (T, error) {
+	var v T
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return v, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return v, nil
+}
+
+// Submit posts a suite spec (raw JSON) and returns the accepted job.
+func (c *Client) Submit(ctx context.Context, spec io.Reader, priority int) (JobInfo, error) {
+	path := "/api/v1/jobs"
+	if priority != 0 {
+		path += "?priority=" + strconv.Itoa(priority)
+	}
+	resp, err := c.do(ctx, http.MethodPost, path, spec)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return decodeInto[JobInfo](resp)
+}
+
+// Jobs lists every job the daemon knows, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeInto[[]JobInfo](resp)
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return decodeInto[JobInfo](resp)
+}
+
+// Cancel requests cancellation and returns the (possibly still
+// running) job state.
+func (c *Client) Cancel(ctx context.Context, id string) (JobInfo, error) {
+	resp, err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return decodeInto[JobInfo](resp)
+}
+
+// Report fetches a finished (or partial) job report.
+func (c *Client) Report(ctx context.Context, id string, canonical bool) (*report.Report, error) {
+	raw, err := c.ReportBytes(ctx, id, canonical)
+	if err != nil {
+		return nil, err
+	}
+	return report.Read(bytes.NewReader(raw))
+}
+
+// ReportBytes fetches the report exactly as the server rendered it —
+// the byte-identity the e2e tests assert lives on this path.
+func (c *Client) ReportBytes(ctx context.Context, id string, canonical bool) ([]byte, error) {
+	path := "/api/v1/jobs/" + url.PathEscape(id) + "/report"
+	if canonical {
+		path += "?canonical=1"
+	}
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading report: %w", err)
+	}
+	return raw, nil
+}
+
+// Watch follows the job's SSE stream, invoking onCell (if non-nil) for
+// every completed cell in plan order — including cells completed before
+// Watch connected, which the server replays — and returns the terminal
+// JobInfo from the done event.
+func (c *Client) Watch(ctx context.Context, id string, onCell func(report.Cell)) (JobInfo, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	defer resp.Body.Close()
+
+	var event, data string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			switch event {
+			case "cell":
+				if onCell != nil {
+					var cell report.Cell
+					if err := json.Unmarshal([]byte(data), &cell); err != nil {
+						return JobInfo{}, fmt.Errorf("client: bad cell event: %w", err)
+					}
+					onCell(cell)
+				}
+			case "done":
+				var info JobInfo
+				if err := json.Unmarshal([]byte(data), &info); err != nil {
+					return JobInfo{}, fmt.Errorf("client: bad done event: %w", err)
+				}
+				return info, nil
+			}
+			event, data = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobInfo{}, fmt.Errorf("client: event stream: %w", err)
+	}
+	return JobInfo{}, fmt.Errorf("client: event stream ended without a done event")
+}

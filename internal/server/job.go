@@ -1,0 +1,205 @@
+// Job state: one submitted suite spec moving through queued → running
+// → done|failed|cancelled, with a plan-order progress log that any
+// number of SSE watchers replay-then-follow.
+package server
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/suite"
+)
+
+// JobStatus is the lifecycle state of a job.
+type JobStatus string
+
+const (
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobFailed    JobStatus = "failed"
+	JobCancelled JobStatus = "cancelled"
+)
+
+// Terminal reports whether the status can no longer change.
+func (s JobStatus) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobInfo is the wire representation of a job — what list/status
+// endpoints return and what the done SSE event carries.
+type JobInfo struct {
+	ID         string    `json:"id"`
+	Suite      string    `json:"suite"`
+	SpecDigest string    `json:"spec_digest"`
+	Priority   int       `json:"priority"`
+	Status     JobStatus `json:"status"`
+	// TotalCells is the expanded plan size; DoneCells counts completed
+	// (streamed) cells — the progress fraction.
+	TotalCells int `json:"total_cells"`
+	DoneCells  int `json:"done_cells"`
+	// StoreHits / CellsExecuted split DoneCells into served-from-cache
+	// and actually computed (final values arrive with the report).
+	StoreHits     uint64 `json:"store_hits,omitempty"`
+	CellsExecuted uint64 `json:"cells_executed,omitempty"`
+	// Interrupted marks a cancelled job whose partial report was kept.
+	Interrupted bool   `json:"interrupted,omitempty"`
+	Error       string `json:"error,omitempty"`
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+}
+
+// Job is the server-side state. All fields behind mu; watchers block
+// on the generation channel, which is closed and replaced on every
+// mutation.
+type Job struct {
+	mu      sync.Mutex
+	info    JobInfo
+	spec    *suite.Spec
+	rep     *report.Report
+	lines   []string // completed cells as JSONL, plan order
+	updated chan struct{}
+	cancel  context.CancelFunc // non-nil while running
+}
+
+func newJob(id string, spec *suite.Spec, priority int) *Job {
+	return &Job{
+		info: JobInfo{
+			ID:          id,
+			Suite:       spec.Name,
+			SpecDigest:  spec.Digest(),
+			Priority:    priority,
+			Status:      JobQueued,
+			TotalCells:  len(spec.Expand()),
+			SubmittedAt: time.Now().UTC().Format(time.RFC3339),
+		},
+		spec:    spec,
+		updated: make(chan struct{}),
+	}
+}
+
+// notifyLocked wakes every watcher. Callers hold mu.
+func (j *Job) notifyLocked() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// Info snapshots the wire representation.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info
+}
+
+// Report returns the finished (or partial, when cancelled) report.
+func (j *Job) Report() *report.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rep
+}
+
+// start transitions queued → running. False when the job was cancelled
+// while queued — the worker skips it.
+func (j *Job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.info.Status != JobQueued {
+		return false
+	}
+	j.info.Status = JobRunning
+	j.info.StartedAt = time.Now().UTC().Format(time.RFC3339)
+	j.cancel = cancel
+	j.notifyLocked()
+	return true
+}
+
+// finish records the terminal state and the report (which may be a
+// partial, Interrupted one).
+func (j *Job) finish(status JobStatus, rep *report.Report, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.info.Status.Terminal() {
+		return
+	}
+	j.info.Status = status
+	j.info.FinishedAt = time.Now().UTC().Format(time.RFC3339)
+	j.cancel = nil
+	if rep != nil {
+		j.rep = rep
+		j.info.StoreHits = rep.StoreHits
+		j.info.CellsExecuted = rep.StoreMisses
+		j.info.Interrupted = rep.Interrupted
+		j.info.DoneCells = len(rep.Cells)
+	}
+	if err != nil {
+		j.info.Error = err.Error()
+	}
+	j.notifyLocked()
+}
+
+// requestCancel cancels a queued job immediately or signals a running
+// one to stop at its next cell boundary. ok is false when already
+// terminal; wasQueued tells the caller which path ran (a queued
+// cancellation is terminal here, a running one becomes terminal when
+// the worker observes the interrupt).
+func (j *Job) requestCancel() (ok, wasQueued bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.info.Status == JobQueued:
+		j.info.Status = JobCancelled
+		j.info.FinishedAt = time.Now().UTC().Format(time.RFC3339)
+		j.notifyLocked()
+		return true, true
+	case j.info.Status == JobRunning:
+		if j.cancel != nil {
+			j.cancel() // the worker observes ErrInterrupted and finishes the job
+		}
+		return true, false
+	}
+	return false, false
+}
+
+// appendCell records one completed cell's JSONL line, in plan order.
+func (j *Job) appendCell(line string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.lines = append(j.lines, line)
+	j.info.DoneCells = len(j.lines)
+	j.notifyLocked()
+}
+
+// watch returns the lines past from, the current generation channel to
+// wait on, the latest info, and whether the job is terminal.
+func (j *Job) watch(from int) (lines []string, upd <-chan struct{}, info JobInfo, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.lines) {
+		lines = append(lines, j.lines[from:]...)
+	}
+	return lines, j.updated, j.info, j.info.Status.Terminal()
+}
+
+// jsonlSplitter adapts the suite runner's JSONL stream (io.Writer) to
+// per-cell appendCell calls. The ordered emitter serializes writes, so
+// no internal locking is needed beyond the job's own.
+type jsonlSplitter struct {
+	j    *Job
+	pend []byte
+}
+
+func (w *jsonlSplitter) Write(p []byte) (int, error) {
+	w.pend = append(w.pend, p...)
+	for {
+		i := bytes.IndexByte(w.pend, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		w.j.appendCell(string(w.pend[:i]))
+		w.pend = w.pend[i+1:]
+	}
+}

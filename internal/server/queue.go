@@ -1,0 +1,118 @@
+// The bounded priority job queue feeding the worker pool. Higher
+// priority pops first; within a priority, submission order (FIFO).
+// Bounded so a traffic burst degrades to fast 503s instead of
+// unbounded memory growth — the client retries, the daemon survives.
+package server
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+var (
+	// ErrQueueFull rejects a submission when the queue is at capacity.
+	ErrQueueFull = errors.New("server: queue full")
+	// ErrQueueClosed rejects submissions after drain began.
+	ErrQueueClosed = errors.New("server: queue closed")
+)
+
+type queueItem struct {
+	job      *Job
+	priority int
+	seq      uint64
+}
+
+type jobHeap []queueItem
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority // higher priority first
+	}
+	return h[i].seq < h[j].seq // FIFO within a priority
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(queueItem)) }
+func (h *jobHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// jobQueue is the blocking bounded priority queue.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  jobHeap
+	cap    int
+	seq    uint64
+	closed bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job or rejects it when the queue is full or closed.
+func (q *jobQueue) Push(j *Job, priority int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.items) >= q.cap {
+		return ErrQueueFull
+	}
+	q.seq++
+	heap.Push(&q.items, queueItem{job: j, priority: priority, seq: q.seq})
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until a job is available or the queue is closed and
+// drained; ok=false means the worker should exit.
+func (q *jobQueue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	it := heap.Pop(&q.items).(queueItem)
+	return it.job, true
+}
+
+// Remove drops a still-queued job so cancelled jobs stop occupying
+// capacity. False when a worker already popped it (harmless: the
+// worker skips non-queued jobs).
+func (q *jobQueue) Remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.items {
+		if it.job == j {
+			heap.Remove(&q.items, i)
+			return true
+		}
+	}
+	return false
+}
+
+// Close wakes every blocked worker; queued items already present can
+// still be popped (the server cancels them first during drain).
+func (q *jobQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Depth reports the current backlog.
+func (q *jobQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,414 @@
+// Package server is ptestd: the campaign job server. It accepts suite
+// specs (the exact JSON `ptest suite` takes) over HTTP, queues them on
+// a bounded priority queue, executes them on a worker pool through the
+// shared campaign engine, and memoizes every cell in the
+// content-addressed result store — so a warm daemon answers a repeated
+// sweep without executing a single cell. Progress streams per job over
+// SSE in plan order; /metrics exposes the counters; SIGTERM drains
+// gracefully (running jobs finish, queued ones are cancelled, partial
+// work is preserved as Interrupted reports).
+//
+//	POST   /api/v1/jobs            submit a spec (?priority=N), 202 + JobInfo
+//	GET    /api/v1/jobs            list jobs, newest first
+//	GET    /api/v1/jobs/{id}        one job's JobInfo
+//	DELETE /api/v1/jobs/{id}        cancel (queued: immediate; running: next cell)
+//	GET    /api/v1/jobs/{id}/report the finished report (?canonical=1)
+//	GET    /api/v1/jobs/{id}/events SSE: replay + follow `cell` events, final `done`
+//	GET    /metrics                 plain-text counters
+//	GET    /healthz                 liveness
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/store"
+	"repro/internal/suite"
+)
+
+// Config sizes the daemon. Zero values default sensibly.
+type Config struct {
+	// Workers is the job concurrency (default: one per CPU). Each job
+	// additionally parallelizes inside itself per its spec's
+	// cell_parallelism/trial_parallelism.
+	Workers int
+	// QueueCap bounds the backlog (default 64); past it submissions get
+	// 503 and ErrQueueFull.
+	QueueCap int
+	// MaxJobs bounds retained job state (default 512): once exceeded,
+	// the oldest terminal jobs — their reports and progress logs — are
+	// pruned so a long-lived daemon's memory stays bounded. Queued and
+	// running jobs are never pruned.
+	MaxJobs int
+	// Store memoizes cells across jobs. Nil gets a private memory-only
+	// store so the daemon always deduplicates repeated work.
+	Store *store.Store
+}
+
+// metrics are the /metrics counters. Monotonic totals plus two gauges
+// derived at render time.
+type metrics struct {
+	submitted, rejected, completed, failed, cancelled atomic.Uint64
+	cellsExecuted, cellsCached                        atomic.Uint64
+}
+
+// Server is the daemon. Construct with New, serve Handler() on any
+// net/http server, Start() the workers, and Drain() on shutdown.
+type Server struct {
+	cfg      Config
+	store    *store.Store
+	queue    *jobQueue
+	mux      *http.ServeMux
+	met      metrics
+	draining atomic.Bool
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	wg       sync.WaitGroup
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	ord  []string // submission order
+	seq  uint64
+}
+
+// New builds a server. It does not start workers or listen.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = engine.Normalize(-1)
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 512
+	}
+	if cfg.Store == nil {
+		st, err := store.Open(store.Config{})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = st
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: cfg.Store,
+		queue: newJobQueue(cfg.QueueCap),
+		jobs:  map[string]*Job{},
+	}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// Handler is the HTTP surface, mountable on net/http or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j, ok := s.queue.Pop()
+				if !ok {
+					return
+				}
+				// A submission can slip past the draining check and into
+				// the queue just before it closes; drain semantics say
+				// queued jobs cancel, so resolve it here instead of
+				// running a full sweep during shutdown.
+				if s.draining.Load() {
+					if ok, wasQueued := j.requestCancel(); ok && wasQueued {
+						s.met.cancelled.Add(1)
+					}
+					continue
+				}
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Drain is the graceful-shutdown path: refuse new submissions, cancel
+// still-queued jobs, let running jobs finish, and wait for the pool to
+// exit. Call after the HTTP listener has stopped accepting.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for _, id := range s.ord {
+		if j := s.jobs[id]; j.Info().Status == JobQueued {
+			if ok, wasQueued := j.requestCancel(); ok && wasQueued {
+				s.met.cancelled.Add(1)
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.queue.Close()
+	s.wg.Wait()
+	s.baseStop()
+}
+
+// runJob executes one popped job end to end.
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.start(cancel) {
+		return // cancelled while queued
+	}
+	rep, err := suite.RunContext(ctx, j.spec, &jsonlSplitter{j: j}, suite.Options{Store: s.store})
+	if rep != nil {
+		s.met.cellsCached.Add(rep.StoreHits)
+		s.met.cellsExecuted.Add(rep.StoreMisses)
+	}
+	switch {
+	case err == nil:
+		s.met.completed.Add(1)
+		j.finish(JobDone, rep, nil)
+	case errors.Is(err, suite.ErrInterrupted):
+		// Cancelled mid-run: the plan-order prefix is preserved as a
+		// partial, Interrupted report.
+		s.met.cancelled.Add(1)
+		j.finish(JobCancelled, rep, err)
+	default:
+		s.met.failed.Add(1)
+		j.finish(JobFailed, nil, err)
+	}
+}
+
+// --- HTTP handlers ---------------------------------------------------------
+
+// httpError writes the single JSON error shape every endpoint uses.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	priority := 0
+	if p := r.URL.Query().Get("priority"); p != "" {
+		var err error
+		if priority, err = strconv.Atoi(p); err != nil {
+			httpError(w, http.StatusBadRequest, "bad priority %q", p)
+			return
+		}
+	}
+	// suite.Parse is the same single validation path the CLI uses: a bad
+	// spec comes back as one greppable message, here with status 400.
+	// Specs are small; a body past 8 MiB is abuse, not a matrix.
+	spec, err := suite.Parse(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	j := newJob(id, spec, priority)
+	s.jobs[id] = j
+	s.ord = append(s.ord, id)
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	if err := s.queue.Push(j, priority); err != nil {
+		// Keep the job registered but resolve it as failed — deleting it
+		// would leave a watcher that attached in the registration window
+		// parked forever on a phantom job. Pruning bounds the leftovers.
+		j.finish(JobFailed, nil, err)
+		s.met.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.met.submitted.Add(1)
+	writeJSON(w, http.StatusAccepted, j.Info())
+}
+
+// pruneLocked drops the oldest terminal jobs past MaxJobs so reports
+// and progress logs don't accumulate forever. Callers hold s.mu.
+func (s *Server) pruneLocked() {
+	if len(s.ord) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.ord[:0]
+	excess := len(s.ord) - s.cfg.MaxJobs
+	for _, id := range s.ord {
+		if excess > 0 && s.jobs[id].Info().Status.Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.ord = kept
+}
+
+func (s *Server) lookup(r *http.Request) (*Job, string) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id], id
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	infos := make([]JobInfo, 0, len(s.ord))
+	for _, id := range s.ord {
+		infos = append(infos, s.jobs[id].Info())
+	}
+	s.mu.Unlock()
+	// Newest first: the natural "what is my daemon doing" view.
+	sort.SliceStable(infos, func(i, k int) bool { return infos[i].ID > infos[k].ID })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, id := s.lookup(r)
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, id := s.lookup(r)
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	ok, wasQueued := j.requestCancel()
+	if !ok {
+		httpError(w, http.StatusConflict, "job %s already %s", id, j.Info().Status)
+		return
+	}
+	// A running job's cancelled counter ticks in runJob when the worker
+	// observes the interrupt; a queued job's ticks here — and its queue
+	// slot is freed immediately instead of waiting for a worker to pop
+	// and discard it.
+	if wasQueued {
+		s.queue.Remove(j)
+		s.met.cancelled.Add(1)
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, id := s.lookup(r)
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	rep := j.Report()
+	if rep == nil {
+		httpError(w, http.StatusConflict, "job %s is %s: no report yet", id, j.Info().Status)
+		return
+	}
+	if r.URL.Query().Get("canonical") != "" {
+		rep = report.Canonical(rep)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = report.Write(w, rep)
+}
+
+// handleEvents is the SSE stream: replay the completed plan-order
+// prefix, then follow live cells, then one terminal `done` event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, id := s.lookup(r)
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// Push the headers out before potentially parking on an idle job, so
+	// watchers (and proxies with header timeouts) see a live stream.
+	fl.Flush()
+
+	from := 0
+	for {
+		lines, upd, info, terminal := j.watch(from)
+		for _, line := range lines {
+			fmt.Fprintf(w, "event: cell\ndata: %s\n\n", line)
+		}
+		from += len(lines)
+		if len(lines) > 0 {
+			fl.Flush()
+		}
+		if terminal {
+			data, _ := json.Marshal(info)
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-upd:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.store.Stats()
+	s.mu.Lock()
+	var running int
+	for _, j := range s.jobs {
+		if j.Info().Status == JobRunning {
+			running++
+		}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "ptestd_jobs_submitted_total %d\n", s.met.submitted.Load())
+	fmt.Fprintf(w, "ptestd_jobs_rejected_total %d\n", s.met.rejected.Load())
+	fmt.Fprintf(w, "ptestd_jobs_completed_total %d\n", s.met.completed.Load())
+	fmt.Fprintf(w, "ptestd_jobs_failed_total %d\n", s.met.failed.Load())
+	fmt.Fprintf(w, "ptestd_jobs_cancelled_total %d\n", s.met.cancelled.Load())
+	fmt.Fprintf(w, "ptestd_jobs_running %d\n", running)
+	fmt.Fprintf(w, "ptestd_queue_depth %d\n", s.queue.Depth())
+	fmt.Fprintf(w, "ptestd_cells_executed_total %d\n", s.met.cellsExecuted.Load())
+	fmt.Fprintf(w, "ptestd_cells_cached_total %d\n", s.met.cellsCached.Load())
+	fmt.Fprintf(w, "ptestd_store_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "ptestd_store_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "ptestd_store_puts_total %d\n", st.Puts)
+	fmt.Fprintf(w, "ptestd_store_mem_entries %d\n", st.MemEntries)
+	fmt.Fprintf(w, "ptestd_store_disk_entries %d\n", st.DiskEntries)
+}

@@ -1,0 +1,376 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+)
+
+// tinySpec is a fast one-cell spec for lifecycle tests.
+const tinySpec = `{
+	"name": "tiny",
+	"trials": 1,
+	"max_steps": 100000,
+	"workloads": [{"name": "spin"}],
+	"ops": ["roundrobin"],
+	"points": [{"n": 2, "s": 4}],
+	"tools": [{"name": "adaptive"}]
+}`
+
+func TestQueuePriorityAndFIFO(t *testing.T) {
+	q := newJobQueue(8)
+	mk := func(id string) *Job { return &Job{info: JobInfo{ID: id}} }
+	for _, sub := range []struct {
+		id   string
+		prio int
+	}{{"low", 0}, {"high", 5}, {"mid", 1}, {"high2", 5}} {
+		if err := q.Push(mk(sub.id), sub.prio); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for i := 0; i < 4; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		got = append(got, j.info.ID)
+	}
+	want := []string{"high", "high2", "mid", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueBoundedAndClosed(t *testing.T) {
+	q := newJobQueue(2)
+	j := &Job{info: JobInfo{ID: "x"}}
+	if err := q.Push(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(j, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(j, 0); err != ErrQueueFull {
+		t.Fatalf("overflow push: want ErrQueueFull, got %v", err)
+	}
+	q.Close()
+	if err := q.Push(j, 0); err != ErrQueueClosed {
+		t.Fatalf("post-close push: want ErrQueueClosed, got %v", err)
+	}
+	// Items queued before Close still pop; then workers get ok=false.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pre-close item lost")
+	}
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pre-close item lost")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("closed empty queue returned a job")
+	}
+}
+
+// newTestServer builds a started server + httptest frontend + client.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Drain)
+	return s, NewClient(ts.URL)
+}
+
+func TestSubmitWatchReportLifecycle(t *testing.T) {
+	_, cli := newTestServer(t, Config{Workers: 2, QueueCap: 8})
+	ctx := context.Background()
+
+	info, err := cli.Submit(ctx, strings.NewReader(tinySpec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != JobQueued && info.Status != JobRunning {
+		t.Fatalf("fresh job status %q", info.Status)
+	}
+	if info.TotalCells != 1 || info.Suite != "tiny" || info.SpecDigest == "" {
+		t.Fatalf("submit info incomplete: %+v", info)
+	}
+
+	var cells []report.Cell
+	final, err := cli.Watch(ctx, info.ID, func(c report.Cell) { cells = append(cells, c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != JobDone || final.DoneCells != 1 {
+		t.Fatalf("final info: %+v", final)
+	}
+	if len(cells) != 1 || cells[0].Workload != "spin" {
+		t.Fatalf("watch streamed %d cells: %+v", len(cells), cells)
+	}
+
+	// A second watcher on the finished job replays the full stream.
+	cells = nil
+	if _, err := cli.Watch(ctx, info.ID, func(c report.Cell) { cells = append(cells, c) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("replay watch got %d cells", len(cells))
+	}
+
+	rep, err := cli.Report(ctx, info.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 || rep.Suite != "tiny" {
+		t.Fatalf("report wrong: %+v", rep)
+	}
+	jobs, err := cli.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != info.ID {
+		t.Fatalf("job list wrong: %+v", jobs)
+	}
+}
+
+func TestSubmitValidationErrorIs400(t *testing.T) {
+	_, cli := newTestServer(t, Config{Workers: 1, QueueCap: 2})
+	_, err := cli.Submit(context.Background(), strings.NewReader(`{"name": "bad", "ops": ["bogus"]}`), 0)
+	if err == nil || !strings.Contains(err.Error(), "HTTP 400") || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want greppable 400 validation error, got %v", err)
+	}
+}
+
+func TestQueueFullIs503AndCancelQueued(t *testing.T) {
+	// No Start(): jobs stay queued, so the bound and queued-cancel paths
+	// are deterministic.
+	s, err := New(Config{Workers: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	cli := NewClient(ts.URL)
+	ctx := context.Background()
+
+	a, err := cli.Submit(ctx, strings.NewReader(tinySpec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Submit(ctx, strings.NewReader(tinySpec), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Submit(ctx, strings.NewReader(tinySpec), 0); err == nil ||
+		!strings.Contains(err.Error(), "HTTP 503") {
+		t.Fatalf("want 503 on full queue, got %v", err)
+	}
+
+	info, err := cli.Cancel(ctx, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != JobCancelled {
+		t.Fatalf("queued cancel: status %q", info.Status)
+	}
+	// Cancelling a terminal job conflicts.
+	if _, err := cli.Cancel(ctx, a.ID); err == nil || !strings.Contains(err.Error(), "HTTP 409") {
+		t.Fatalf("double cancel: want 409, got %v", err)
+	}
+	// The watcher of a cancelled queued job gets an immediate done event.
+	final, err := cli.Watch(ctx, a.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != JobCancelled {
+		t.Fatalf("watch of cancelled job: %+v", final)
+	}
+	// The cancelled job freed its queue slot: a new submission fits.
+	if _, err := cli.Submit(ctx, strings.NewReader(tinySpec), 0); err != nil {
+		t.Fatalf("cancelled job still occupies queue capacity: %v", err)
+	}
+}
+
+func TestUnknownJobIs404(t *testing.T) {
+	_, cli := newTestServer(t, Config{Workers: 1, QueueCap: 2})
+	ctx := context.Background()
+	for name, call := range map[string]func() error{
+		"status": func() error { _, err := cli.Job(ctx, "jnope"); return err },
+		"report": func() error { _, err := cli.Report(ctx, "jnope", false); return err },
+		"cancel": func() error { _, err := cli.Cancel(ctx, "jnope"); return err },
+		"watch":  func() error { _, err := cli.Watch(ctx, "jnope", nil); return err },
+	} {
+		if err := call(); err == nil || !strings.Contains(err.Error(), "HTTP 404") {
+			t.Fatalf("%s of unknown job: want 404, got %v", name, err)
+		}
+	}
+}
+
+func TestCancelRunningJobKeepsPartialReport(t *testing.T) {
+	// A many-cell sequential job so cancellation lands mid-sweep.
+	spec := `{
+		"name": "slow",
+		"trials": 2,
+		"max_steps": 400000,
+		"workloads": [{"name": "quicksort", "gc_every": 4, "gc_leak_every": 2}],
+		"ops": ["roundrobin", "cyclic", "random", "priority", "sequential"],
+		"points": [{"n": 4, "s": 8}, {"n": 6, "s": 10}, {"n": 8, "s": 12}],
+		"tools": [{"name": "adaptive"}],
+		"keep_going": true
+	}`
+	_, cli := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	ctx := context.Background()
+	info, err := cli.Submit(ctx, strings.NewReader(spec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first cell to stream, then cancel.
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	go func() {
+		first := true
+		_, _ = cli.Watch(watchCtx, info.ID, func(report.Cell) {
+			if first {
+				first = false
+				if _, err := cli.Cancel(ctx, info.ID); err != nil {
+					t.Errorf("cancel: %v", err)
+				}
+			}
+		})
+	}()
+
+	final := waitTerminal(t, cli, info.ID, 60*time.Second)
+	if final.Status != JobCancelled || !final.Interrupted {
+		t.Fatalf("want cancelled+interrupted, got %+v", final)
+	}
+	rep, err := cli.Report(ctx, info.ID, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Interrupted {
+		t.Fatal("partial report not marked interrupted")
+	}
+	if len(rep.Cells) == 0 || len(rep.Cells) >= final.TotalCells {
+		t.Fatalf("partial report has %d/%d cells", len(rep.Cells), final.TotalCells)
+	}
+}
+
+// waitTerminal polls job status until it is terminal.
+func waitTerminal(t *testing.T, cli *Client, id string, timeout time.Duration) JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		info, err := cli.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Status.Terminal() {
+			return info
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s not terminal after %v", id, timeout)
+	return JobInfo{}
+}
+
+func TestDrainRefusesNewWorkAndFinishesRunning(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	cli := NewClient(ts.URL)
+	ctx := context.Background()
+
+	info, err := cli.Submit(ctx, strings.NewReader(tinySpec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drain() // blocks until the worker pool exits
+
+	final, err := cli.Job(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The in-flight (or still-queued) job is resolved, never abandoned.
+	if !final.Status.Terminal() {
+		t.Fatalf("job left in %q after drain", final.Status)
+	}
+	if _, err := cli.Submit(ctx, strings.NewReader(tinySpec), 0); err == nil ||
+		!strings.Contains(err.Error(), "HTTP 503") {
+		t.Fatalf("submit after drain: want 503, got %v", err)
+	}
+}
+
+func TestOldTerminalJobsArePruned(t *testing.T) {
+	_, cli := newTestServer(t, Config{Workers: 1, QueueCap: 8, MaxJobs: 2})
+	ctx := context.Background()
+	var ids []string
+	for i := 0; i < 4; i++ {
+		info, err := cli.Submit(ctx, strings.NewReader(tinySpec), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cli.Watch(ctx, info.ID, nil); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	jobs, err := cli.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) > 3 {
+		t.Fatalf("retention not bounded: %d jobs listed (MaxJobs=2)", len(jobs))
+	}
+	// The earliest job was pruned entirely.
+	if _, err := cli.Job(ctx, ids[0]); err == nil || !strings.Contains(err.Error(), "HTTP 404") {
+		t.Fatalf("oldest job not pruned: %v", err)
+	}
+	// The newest survives with its report.
+	if _, err := cli.Report(ctx, ids[3], false); err != nil {
+		t.Fatalf("newest job's report lost: %v", err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, cli := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	ctx := context.Background()
+	info, err := cli.Submit(ctx, strings.NewReader(tinySpec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Watch(ctx, info.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(strings.TrimRight(cli.base, "/") + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"ptestd_jobs_submitted_total 1",
+		"ptestd_jobs_completed_total 1",
+		"ptestd_cells_executed_total 1",
+		"ptestd_queue_depth 0",
+		fmt.Sprintf("ptestd_store_puts_total %d", s.store.Stats().Puts),
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable: the store still
+// works, but the one-process-per-directory rule is by convention only.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,14 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive flock on f, enforcing the
+// one-process-per-directory rule. The lock is released when f closes.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,436 @@
+// Package store is the content-addressed result store behind the
+// memoizing service layer: every suite cell is deterministic in its
+// canonical identity (the suite layer hashes the cell's full execution
+// configuration into a key), so a result computed once — by `ptest
+// run`, `ptest suite`, or a ptestd job — never needs recomputing. The
+// store answers Get/Put on that key with an in-memory LRU front and an
+// append-only on-disk segment log behind it: evicted entries stay
+// readable from disk, a reopened store serves every record ever
+// written, and a torn tail record (crash mid-append) is truncated on
+// open instead of poisoning the log.
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/report"
+)
+
+// Config sizes the store. The zero value of every field takes a
+// sensible default; Dir == "" means memory-only (evicted entries are
+// simply lost — fine for tests and short-lived CLI runs).
+type Config struct {
+	// Dir is the segment directory. Created if missing. Empty disables
+	// the disk layer.
+	Dir string
+	// MemEntries caps the LRU front (default 4096 cells).
+	MemEntries int
+	// SegMaxBytes rotates the active segment past this size (default
+	// 8 MiB). Rotation bounds the cost of the open-time scan per file,
+	// not correctness — every segment is replayed into the index.
+	SegMaxBytes int64
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits/Misses count Get outcomes (a disk hit is still a hit);
+	// Puts counts accepted inserts (duplicate keys are not re-stored).
+	Hits, Misses, Puts uint64
+	// MemEntries/DiskEntries are current sizes of the two layers.
+	MemEntries, DiskEntries int
+}
+
+// Store is safe for concurrent use by the server worker pool and any
+// number of goroutines within one process. Cross-process sharing of
+// one Dir is not supported — the daemon owns its directory, and Open
+// enforces that with an exclusive flock so a second process fails
+// loudly instead of interleaving appends.
+type Store struct {
+	hits, misses, puts atomic.Uint64
+
+	mu       sync.Mutex
+	cap      int
+	order    *list.List               // LRU: front = most recent
+	mem      map[string]*list.Element // key → entry
+	dir      string
+	segMax   int64
+	index    map[string]diskRef // key → record location
+	readers  map[int]*os.File   // segment id → read handle
+	active   *os.File           // append handle of the newest segment
+	actID    int
+	actSize  int64
+	lock     *os.File // flock holder: one process per Dir
+	diskDead bool     // disk layer failed; serve memory-only
+	closed   bool
+}
+
+type entry struct {
+	key  string
+	cell report.Cell
+}
+
+type diskRef struct {
+	seg int
+	off int64 // offset of the payload (past the header)
+	n   int   // payload length
+}
+
+// record is the persisted form: the key travels with the cell so the
+// index can be rebuilt from the log alone.
+type record struct {
+	Key  string      `json:"key"`
+	Cell report.Cell `json:"cell"`
+}
+
+const recordHeaderLen = 8 // u32 LE payload length + u32 LE CRC32(payload)
+
+// maxRecordBytes bounds a single record independently of the segment
+// rotation size: replay uses it to reject corrupt length headers
+// without multi-GiB allocations, and Put refuses to write anything
+// bigger — so reopening with a different SegMaxBytes can never
+// misclassify valid records as corrupt.
+const maxRecordBytes = 64 << 20
+
+// Open builds the store, replaying any existing segments in Dir into
+// the index. A torn final record (crash mid-append) is truncated away.
+func Open(cfg Config) (*Store, error) {
+	if cfg.MemEntries <= 0 {
+		cfg.MemEntries = 4096
+	}
+	if cfg.SegMaxBytes <= 0 {
+		cfg.SegMaxBytes = 8 << 20
+	}
+	s := &Store{
+		cap:     cfg.MemEntries,
+		order:   list.New(),
+		mem:     map[string]*list.Element{},
+		dir:     cfg.Dir,
+		segMax:  cfg.SegMaxBytes,
+		index:   map[string]diskRef{},
+		readers: map[int]*os.File{},
+	}
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(cfg.Dir, "store.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		_ = lock.Close()
+		return nil, fmt.Errorf("store: locking %s: %w (is another run/suite/ptestd using this store directory?)", cfg.Dir, err)
+	}
+	s.lock = lock
+	ids, err := segmentIDs(cfg.Dir)
+	if err != nil {
+		s.closeLocked()
+		return nil, err
+	}
+	for _, id := range ids {
+		if err := s.replaySegment(id, id == ids[len(ids)-1]); err != nil {
+			s.closeLocked()
+			return nil, err
+		}
+	}
+	if len(ids) > 0 {
+		s.actID = ids[len(ids)-1]
+	} else {
+		s.actID = 1
+	}
+	if err := s.openActive(); err != nil {
+		s.closeLocked()
+		return nil, err
+	}
+	return s, nil
+}
+
+// segmentIDs lists the numeric ids of every segment file in dir,
+// ascending.
+func segmentIDs(dir string) ([]int, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "store-*.seg"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []int
+	for _, name := range names {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(name), "store-%d.seg", &id); err == nil && id > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+func (s *Store) segPath(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("store-%06d.seg", id))
+}
+
+// replaySegment scans one segment into the index. Persistent
+// corruption (torn tail, bad CRC, bad length) stops the scan — and,
+// when the segment is the active (last) one, truncates the file to the
+// last good record so the next append lands on a clean boundary. A
+// transient read error instead fails Open: truncating on it would
+// permanently destroy records a retry could have read.
+func (s *Store) replaySegment(id int, isLast bool) error {
+	f, err := os.Open(s.segPath(id))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.readers[id] = f
+	var off int64
+	hdr := make([]byte, recordHeaderLen)
+	for {
+		if n, err := f.ReadAt(hdr, off); err != nil {
+			if err == io.EOF && n == 0 {
+				return nil // clean end on a record boundary
+			}
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				return fmt.Errorf("store: reading segment %d: %w", id, err)
+			}
+			break // torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordBytes {
+			break // corrupt length field — don't allocate gigabytes on Open
+		}
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, off+recordHeaderLen); err != nil {
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				return fmt.Errorf("store: reading segment %d: %w", id, err)
+			}
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			break // corrupt payload
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Key == "" {
+			break
+		}
+		s.index[rec.Key] = diskRef{seg: id, off: off + recordHeaderLen, n: int(n)}
+		off += recordHeaderLen + int64(n)
+	}
+	// Reached only after corruption: drop the tail of the active
+	// segment; a corrupt middle segment just loses its tail records.
+	if isLast {
+		if err := os.Truncate(s.segPath(id), off); err != nil {
+			return fmt.Errorf("store: truncating torn segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// openActive opens (or creates) the append handle for segment actID
+// and records its current size.
+func (s *Store) openActive() error {
+	f, err := os.OpenFile(s.segPath(s.actID), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.active, s.actSize = f, st.Size()
+	if s.readers[s.actID] == nil {
+		r, err := os.Open(s.segPath(s.actID))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.readers[s.actID] = r
+	}
+	return nil
+}
+
+// Get returns the stored cell for key. A miss in the LRU front falls
+// through to the segment index; disk hits are promoted back into
+// memory.
+func (s *Store) Get(key string) (report.Cell, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.mem[key]; ok {
+		s.order.MoveToFront(el)
+		s.hits.Add(1)
+		return el.Value.(*entry).cell, true
+	}
+	if ref, ok := s.index[key]; ok {
+		cell, err := s.readLocked(ref)
+		if err == nil {
+			s.insertLocked(key, cell)
+			s.hits.Add(1)
+			return cell, true
+		}
+	}
+	s.misses.Add(1)
+	return report.Cell{}, false
+}
+
+func (s *Store) readLocked(ref diskRef) (report.Cell, error) {
+	f := s.readers[ref.seg]
+	if f == nil {
+		return report.Cell{}, fmt.Errorf("store: no reader for segment %d", ref.seg)
+	}
+	payload := make([]byte, ref.n)
+	if _, err := f.ReadAt(payload, ref.off); err != nil {
+		return report.Cell{}, fmt.Errorf("store: %w", err)
+	}
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return report.Cell{}, fmt.Errorf("store: %w", err)
+	}
+	return rec.Cell, nil
+}
+
+// Put stores the cell under key. Re-putting a known key is a no-op —
+// the content address guarantees the value is identical. The memory
+// layer is updated even when the disk append fails, so a full disk
+// degrades to memory-only caching with an error the caller can log.
+func (s *Store) Put(key string, cell report.Cell) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, inMem := s.mem[key]; inMem {
+		return nil
+	}
+	_, onDisk := s.index[key]
+	s.puts.Add(1)
+	// Always (re)insert into memory: if the key is indexed on disk but
+	// its record became unreadable, the LRU still serves the recomputed
+	// cell instead of forcing a re-execution on every future run.
+	s.insertLocked(key, cell)
+	if s.dir == "" || onDisk {
+		return nil
+	}
+	return s.appendLocked(key, cell)
+}
+
+func (s *Store) insertLocked(key string, cell report.Cell) {
+	if el, ok := s.mem[key]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	s.mem[key] = s.order.PushFront(&entry{key: key, cell: cell})
+	for s.order.Len() > s.cap {
+		last := s.order.Back()
+		s.order.Remove(last)
+		delete(s.mem, last.Value.(*entry).key)
+	}
+}
+
+func (s *Store) appendLocked(key string, cell report.Cell) error {
+	if s.diskDead {
+		return fmt.Errorf("store: disk layer disabled after an append failure")
+	}
+	payload, err := json.Marshal(record{Key: key, Cell: cell})
+	if err != nil {
+		return fmt.Errorf("store: encoding %s: %w", key, err)
+	}
+	if len(payload)+recordHeaderLen > maxRecordBytes {
+		// Never write what replay would refuse to read back.
+		return fmt.Errorf("store: record for %s is %d bytes (max %d); kept memory-only", key, len(payload), maxRecordBytes)
+	}
+	if s.actSize >= s.segMax {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderLen:], payload)
+	n, werr := s.active.Write(buf)
+	// Track the real end of file even on a short write (O_APPEND, single
+	// writer), so later records are indexed at their true offsets.
+	s.actSize += int64(n)
+	if werr != nil {
+		// The segment tail may now be torn. Move the append point to a
+		// fresh segment so records written after the failure stay
+		// replayable — recovery truncates only the torn tail of the old
+		// one. If even rotation fails the disk layer is dead; degrade to
+		// memory-only instead of corrupting the log.
+		if rerr := s.rotateLocked(); rerr != nil {
+			s.diskDead = true
+		}
+		return fmt.Errorf("store: appending %s: %w", key, werr)
+	}
+	s.index[key] = diskRef{seg: s.actID, off: s.actSize - int64(len(payload)), n: len(payload)}
+	return nil
+}
+
+func (s *Store) rotateLocked() error {
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("store: rotating: %w", err)
+	}
+	s.actID++
+	return s.openActive()
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		MemEntries:  s.order.Len(),
+		DiskEntries: len(s.index),
+	}
+}
+
+// Close releases every file handle. The memory layer stays readable in
+// principle but Put rejects a closed store; Close is for shutdown.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+func (s *Store) closeLocked() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.active != nil {
+		if err := s.active.Close(); err != nil {
+			first = err
+		}
+		s.active = nil
+	}
+	for id, f := range s.readers {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.readers, id)
+	}
+	if s.lock != nil {
+		// Closing releases the flock.
+		if err := s.lock.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.lock = nil
+	}
+	if first != nil {
+		return fmt.Errorf("store: close: %w", first)
+	}
+	return nil
+}

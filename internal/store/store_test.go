@@ -1,0 +1,238 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func cellFor(i int) report.Cell {
+	return report.Cell{
+		ID:       fmt.Sprintf("w/op/n%ds8/pd/adaptive", i),
+		Workload: "w", Tool: "adaptive", N: i, S: 8, Seed: uint64(i),
+		Summary: report.CampaignSummary{Trials: 5, Bugs: i % 2, BugRate: float64(i%2) / 5},
+		WallMS:  1.5,
+	}
+}
+
+func key(i int) string { return fmt.Sprintf("key-%04d", i) }
+
+func TestMemoryOnlyRoundtrip(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put(key(1), cellFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key(1))
+	if !ok || got.ID != cellFor(1).ID || got.Summary.Bugs != 1 {
+		t.Fatalf("roundtrip lost the cell: %+v ok=%v", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("counters off: %+v", st)
+	}
+}
+
+func TestDuplicatePutIsNoop(t *testing.T) {
+	s, _ := Open(Config{})
+	_ = s.Put(key(1), cellFor(1))
+	_ = s.Put(key(1), cellFor(1))
+	if st := s.Stats(); st.Puts != 1 || st.MemEntries != 1 {
+		t.Fatalf("duplicate put not deduplicated: %+v", st)
+	}
+}
+
+func TestEvictedEntriesServeFromDisk(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), MemEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(key(i), cellFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.MemEntries != 2 || st.DiskEntries != 10 {
+		t.Fatalf("layers wrong after eviction: %+v", st)
+	}
+	// key(0) was evicted from the LRU long ago; the segment still has it.
+	got, ok := s.Get(key(0))
+	if !ok || got.N != 0 {
+		t.Fatalf("evicted key lost: %+v ok=%v", got, ok)
+	}
+	if st := s.Stats(); st.Hits != 1 {
+		t.Fatalf("disk hit not counted as hit: %+v", st)
+	}
+}
+
+func TestReopenServesEverythingEverWritten(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, MemEntries: 4, SegMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25 // tiny SegMaxBytes forces several rotations
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), cellFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segmentIDs(dir)
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation to several segments, got %v", segs)
+	}
+
+	s2, err := Open(Config{Dir: dir, MemEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.DiskEntries != n {
+		t.Fatalf("reopen lost records: %+v", st)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := s2.Get(key(i))
+		if !ok || got.N != i {
+			t.Fatalf("key %d lost across reopen: %+v ok=%v", i, got, ok)
+		}
+	}
+	// New appends land after the replayed records, on a clean boundary.
+	if err := s2.Put(key(n), cellFor(n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key(n)); !ok {
+		t.Fatal("post-reopen append lost")
+	}
+}
+
+func TestReopenWithSmallerSegMaxKeepsRecords(t *testing.T) {
+	// SegMaxBytes is a rotation knob, not a record bound: reopening with
+	// a cap smaller than existing records must not classify them as
+	// corrupt (which would truncate the segment and destroy data).
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(key(i), cellFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = s.Close()
+	s2, err := Open(Config{Dir: dir, SegMaxBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.DiskEntries != 5 {
+		t.Fatalf("records destroyed by smaller SegMaxBytes: %+v", st)
+	}
+}
+
+func TestTornTailRecordIsTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key(i), cellFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage half-record at the tail.
+	segs, _ := segmentIDs(dir)
+	path := filepath.Join(dir, fmt.Sprintf("store-%06d.seg", segs[len(segs)-1]))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("torn tail must not fail open: %v", err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.DiskEntries != 3 {
+		t.Fatalf("records before the tear lost: %+v", st)
+	}
+	// The tail was truncated, so the next append parses on reopen.
+	if err := s2.Put(key(9), cellFor(9)); err != nil {
+		t.Fatal(err)
+	}
+	_ = s2.Close()
+	s3, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, ok := s3.Get(key(9)); !ok {
+		t.Fatal("append after torn-tail recovery lost")
+	}
+}
+
+func TestDirectoryLockIsExclusive(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("second Open on a live store directory must fail")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open after Close must succeed: %v", err)
+	}
+	_ = s2.Close()
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), MemEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(i % 20)
+				if _, ok := s.Get(k); !ok {
+					_ = s.Put(k, cellFor(i%20))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.DiskEntries != 20 {
+		t.Fatalf("concurrent puts produced %d disk entries, want 20", st.DiskEntries)
+	}
+}

@@ -1,0 +1,181 @@
+package suite
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/store"
+)
+
+func memStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCellKeyCanonical(t *testing.T) {
+	s := smokeSpec()
+	cells := s.Expand()
+	// Identity: same spec, same cell, same key; distinct cells differ.
+	seen := map[string]string{}
+	for _, c := range cells {
+		k := s.CellKey(c)
+		if len(k) != 64 {
+			t.Fatalf("key %q is not a sha256 hex digest", k)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("cells %s and %s share key %s", prev, c.ID, k)
+		}
+		seen[k] = c.ID
+	}
+	// Execution knobs that cannot change results must not re-key.
+	par := smokeSpec()
+	par.CellParallelism, par.TrialParallelism = -1, 4
+	if s.CellKey(cells[0]) != par.CellKey(par.Expand()[0]) {
+		t.Fatal("parallelism re-keyed a cell")
+	}
+	// The spec's display name must not either: overlapping sweeps share.
+	renamed := smokeSpec()
+	renamed.Name = "other-sweep"
+	if s.CellKey(cells[0]) != renamed.CellKey(renamed.Expand()[0]) {
+		t.Fatal("spec name re-keyed a cell")
+	}
+	// Result-bearing knobs must re-key.
+	trials := smokeSpec()
+	trials.Trials = 9
+	if s.CellKey(cells[0]) == trials.CellKey(trials.Expand()[0]) {
+		t.Fatal("trial count did not re-key")
+	}
+	// A different base seed shifts derived seeds and must re-key.
+	seeded := smokeSpec()
+	seeded.Seed = 77
+	if s.CellKey(cells[0]) == seeded.CellKey(seeded.Expand()[0]) {
+		t.Fatal("base seed did not re-key")
+	}
+}
+
+func TestRunWithStoreSecondRunExecutesZeroCells(t *testing.T) {
+	st := memStore(t)
+	spec := smokeSpec()
+
+	r1, err := RunContext(context.Background(), spec, nil, Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.StoreHits != 0 || r1.StoreMisses != uint64(len(r1.Cells)) {
+		t.Fatalf("cold run counters wrong: hits=%d misses=%d cells=%d",
+			r1.StoreHits, r1.StoreMisses, len(r1.Cells))
+	}
+
+	r2, err := RunContext(context.Background(), spec, nil, Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StoreMisses != 0 || r2.StoreHits != uint64(len(r2.Cells)) {
+		t.Fatalf("warm run executed cells: hits=%d misses=%d cells=%d",
+			r2.StoreHits, r2.StoreMisses, len(r2.Cells))
+	}
+	if got := st.Stats(); got.Misses != uint64(len(r1.Cells)) {
+		t.Fatalf("store-level miss counter grew on the warm run: %+v", got)
+	}
+
+	// The cached report is byte-identical to the computed one, canonically.
+	var a, b bytes.Buffer
+	if err := report.Write(&a, report.Canonical(r1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Write(&b, report.Canonical(r2)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("cached canonical report differs from computed one")
+	}
+}
+
+func TestOverlappingSweepReusesSharedCells(t *testing.T) {
+	st := memStore(t)
+	spec := smokeSpec()
+	if _, err := RunContext(context.Background(), spec, nil, Options{Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	// A grown matrix (one extra point) re-executes only the new cells.
+	grown := smokeSpec()
+	grown.Name = "grown"
+	grown.Points = append(grown.Points, Point{N: 2, S: 4})
+	rep, err := RunContext(context.Background(), grown, nil, Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := len(spec.Expand())
+	extra := len(grown.Expand()) - base
+	if extra <= 0 {
+		t.Fatalf("test spec did not grow: base=%d grown=%d", base, len(grown.Expand()))
+	}
+	if rep.StoreHits != uint64(base) || rep.StoreMisses != uint64(extra) {
+		t.Fatalf("overlap not reused: hits=%d misses=%d want %d/%d",
+			rep.StoreHits, rep.StoreMisses, base, extra)
+	}
+}
+
+// cancelAfterFirstLine is a JSONL sink that cancels the run's context
+// as soon as the first cell flushes — a deterministic mid-sweep SIGINT.
+type cancelAfterFirstLine struct {
+	cancel context.CancelFunc
+	buf    bytes.Buffer
+	lines  int
+}
+
+func (w *cancelAfterFirstLine) Write(p []byte) (int, error) {
+	w.lines++
+	w.cancel()
+	return w.buf.Write(p)
+}
+
+func TestRunContextInterruptEmitsPartialPrefix(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelAfterFirstLine{cancel: cancel}
+
+	spec := smokeSpec() // sequential: cells run in plan order
+	rep, err := RunContext(ctx, spec, sink, Options{})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if rep == nil || !rep.Interrupted {
+		t.Fatalf("partial report missing or unmarked: %+v", rep)
+	}
+	if len(rep.Cells) != 1 || sink.lines != 1 {
+		t.Fatalf("prefix wrong: %d cells in report, %d JSONL lines (want 1/1)",
+			len(rep.Cells), sink.lines)
+	}
+	// The JSONL prefix and the report agree cell for cell.
+	full, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells[0].ID != full.Cells[0].ID {
+		t.Fatalf("partial prefix is not the plan prefix: %s vs %s",
+			rep.Cells[0].ID, full.Cells[0].ID)
+	}
+	if rep.Totals.Cells != 1 {
+		t.Fatalf("totals not re-aggregated over the prefix: %+v", rep.Totals)
+	}
+}
+
+func TestCanonicalKeepsInterruptedMark(t *testing.T) {
+	r := &report.Report{SchemaVersion: report.SchemaVersion, Interrupted: true,
+		StoreHits: 3, StoreMisses: 4, WallMS: 9}
+	c := report.Canonical(r)
+	if !c.Interrupted {
+		t.Fatal("Canonical dropped the semantic Interrupted mark")
+	}
+	if c.StoreHits != 0 || c.StoreMisses != 0 || c.WallMS != 0 {
+		t.Fatalf("Canonical kept environmental fields: %+v", c)
+	}
+}

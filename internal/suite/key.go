@@ -1,0 +1,74 @@
+// Cell identity: the canonical content address of one cell's result.
+// Every knob that can change what the cell computes — and every field
+// the cached report.Cell carries back out (names, labels, IDs) — is
+// folded into one hash, so the content-addressed store can serve a
+// cell computed by any entry point (ptest run, ptest suite, a ptestd
+// job) to any other. Knobs that cannot change results (parallelism,
+// the spec's display name) are deliberately excluded: overlapping
+// sweeps with different names share cells.
+package suite
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/report"
+)
+
+// cellKeyEnvelope is the serialization the key hashes. Field set and
+// json tags are part of the on-disk cache contract: changing either
+// (or the report schema) re-keys the world, which is exactly the safe
+// failure mode — stale entries become unreachable instead of wrong.
+type cellKeyEnvelope struct {
+	Schema     int          `json:"schema"`
+	RE         string       `json:"re"`
+	Trials     int          `json:"trials"`
+	KeepGoing  bool         `json:"keep_going"`
+	MaxSteps   int          `json:"max_steps"`
+	CommandGap int          `json:"command_gap"`
+	Dedup      bool         `json:"dedup"`
+	Workload   WorkloadSpec `json:"workload"`
+	Op         string       `json:"op"`
+	N          int          `json:"n"`
+	S          int          `json:"s"`
+	PD         PDSpec       `json:"pd"`
+	Tool       ToolSpec     `json:"tool"`
+	// Seed is the cell's derived seed, which already folds in the
+	// spec-level base seed — two specs with different base seeds never
+	// share a key.
+	Seed uint64 `json:"seed"`
+}
+
+// CellKey returns the content address of c's result under this spec:
+// the SHA-256 of the canonical JSON of the cell's full execution
+// configuration. Call it on a defaulted spec (Run does) so implicit
+// and explicit defaults key identically.
+func (s *Spec) CellKey(c Cell) string {
+	env := cellKeyEnvelope{
+		Schema:     report.SchemaVersion,
+		RE:         s.RE,
+		Trials:     s.Trials,
+		KeepGoing:  s.KeepGoing,
+		MaxSteps:   s.MaxSteps,
+		CommandGap: s.CommandGap,
+		Dedup:      s.Dedup,
+		Workload:   c.Workload,
+		Op:         c.OpName,
+		N:          c.Point.N,
+		S:          c.Point.S,
+		PD:         c.PD,
+		Tool:       c.Tool,
+		Seed:       c.Seed,
+	}
+	// Marshal sorts map keys (inline PD distributions), so the
+	// serialization is canonical.
+	data, err := json.Marshal(env)
+	if err != nil {
+		// Every field is a plain value type; Marshal cannot fail. Keep a
+		// deterministic fallback rather than a panic in the hot path.
+		data = []byte(c.ID)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

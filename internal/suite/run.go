@@ -6,9 +6,12 @@
 package suite
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/app"
@@ -21,7 +24,22 @@ import (
 	"repro/internal/pcore"
 	"repro/internal/pfa"
 	"repro/internal/report"
+	"repro/internal/store"
 )
+
+// ErrInterrupted is returned (wrapped) by RunContext when its context
+// is cancelled mid-sweep. The accompanying report is still valid: a
+// plan-order prefix of the matrix, marked Interrupted, with the JSONL
+// stream flushed to exactly the same prefix.
+var ErrInterrupted = errors.New("suite: interrupted")
+
+// Options tunes a run beyond the spec itself.
+type Options struct {
+	// Store is the content-addressed result store: each cell is looked
+	// up by its CellKey before executing and stored after. Nil disables
+	// memoization.
+	Store *store.Store
+}
 
 // Run expands the spec and executes every cell. When jsonl is non-nil,
 // each completed cell is appended to it as one JSON line, in plan order
@@ -30,6 +48,15 @@ import (
 // here too, so hand-built specs (the ptest.RunSuite facade path) get
 // the same checks as parsed ones.
 func Run(spec *Spec, jsonl io.Writer) (*report.Report, error) {
+	return RunContext(context.Background(), spec, jsonl, Options{})
+}
+
+// RunContext is Run with cancellation and a result store. Cancelling
+// ctx stops the sweep at the next cell boundary (trials inside a
+// running cell finish); the partial plan-order prefix comes back as an
+// Interrupted report together with ErrInterrupted, so callers can
+// persist what was computed instead of dying mid-write.
+func RunContext(ctx context.Context, spec *Spec, jsonl io.Writer, opts Options) (*report.Report, error) {
 	s := *spec
 	s.applyDefaults()
 	if err := s.Validate(); err != nil {
@@ -43,17 +70,40 @@ func Run(spec *Spec, jsonl io.Writer) (*report.Report, error) {
 	start := time.Now()
 	compilesBefore := pfa.CompileCount()
 	emit := newOrderedEmitter(jsonl)
+	var hits, misses atomic.Uint64
 
 	results, runErr := engine.Run(len(cells), spec.CellParallelism,
 		func(i int) (report.Cell, error) {
+			// The cell boundary is the interrupt granularity: a cancelled
+			// context stops new cells, and the engine keeps exactly the
+			// completed prefix a sequential scan would have.
+			if ctx.Err() != nil {
+				return report.Cell{}, fmt.Errorf("suite: cell %s: %w", cells[i].ID, ErrInterrupted)
+			}
+			var key string
+			if opts.Store != nil {
+				key = spec.CellKey(cells[i])
+				if rc, ok := opts.Store.Get(key); ok {
+					hits.Add(1)
+					emit.emit(i, rc)
+					return rc, nil
+				}
+				misses.Add(1)
+			}
 			rc, err := runCell(spec, cells[i])
 			if err != nil {
 				return report.Cell{}, fmt.Errorf("suite: cell %s: %w", cells[i].ID, err)
 			}
+			if opts.Store != nil {
+				// A failed disk append degrades the store to memory-only for
+				// this entry; the computed result is still correct.
+				_ = opts.Store.Put(key, rc)
+			}
 			emit.emit(i, rc)
 			return rc, nil
 		}, nil)
-	if runErr != nil {
+	interrupted := errors.Is(runErr, ErrInterrupted)
+	if runErr != nil && !interrupted {
 		return nil, runErr
 	}
 	if err := emit.err(); err != nil {
@@ -65,11 +115,17 @@ func Run(spec *Spec, jsonl io.Writer) (*report.Report, error) {
 		Suite:         spec.Name,
 		SpecDigest:    spec.Digest(),
 		Cells:         results,
+		Interrupted:   interrupted,
 		PFACompiles:   pfa.CompileCount() - compilesBefore,
+		StoreHits:     hits.Load(),
+		StoreMisses:   misses.Load(),
 		WallMS:        float64(time.Since(start).Microseconds()) / 1000,
 		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
 	}
 	rep.Aggregate()
+	if interrupted {
+		return rep, fmt.Errorf("suite %q after %d/%d cells: %w", spec.Name, len(results), len(cells), ErrInterrupted)
+	}
 	return rep, nil
 }
 
@@ -183,6 +239,18 @@ func (w WorkloadSpec) kernel() pcore.Config {
 	return k
 }
 
+// Workload knob defaults, applied by applyDefaults so an omitted knob
+// and its explicit default produce the same spec — and the same cell
+// identity keys. The CLI flags default to the same constants.
+const (
+	// DefaultRounds is the philosophers' eating-round budget.
+	DefaultRounds = 100000
+	// DefaultItems is the producer/consumer item count.
+	DefaultItems = 10
+	// DefaultHogBursts is the priority-inversion hog's burst count.
+	DefaultHogBursts = 100000
+)
+
 // NewFactory builds the per-trial workload factory constructor — the
 // single place workload names resolve to factories (spec validation and
 // the CLI both route through it). Every trial gets a fresh factory so
@@ -192,15 +260,15 @@ func (w WorkloadSpec) kernel() pcore.Config {
 func (w WorkloadSpec) NewFactory(n int) (func() committee.Factory, error) {
 	rounds := w.Rounds
 	if rounds <= 0 {
-		rounds = 100000
+		rounds = DefaultRounds
 	}
 	items := w.Items
 	if items <= 0 {
-		items = 10
+		items = DefaultItems
 	}
 	hogBursts := w.HogBursts
 	if hogBursts <= 0 {
-		hogBursts = 100000
+		hogBursts = DefaultHogBursts
 	}
 	switch w.Name {
 	case "spin":

@@ -159,6 +159,11 @@ func ParseFile(path string) (*Spec, error) {
 	return s, nil
 }
 
+// DefaultMaxSteps mirrors core.Config's step budget default. Applied
+// here too so an omitted max_steps and an explicit default produce the
+// same spec — and therefore the same cell-identity keys.
+const DefaultMaxSteps = 2_000_000
+
 func (s *Spec) applyDefaults() {
 	if s.RE == "" {
 		s.RE = pfa.PCoreRE
@@ -168,6 +173,30 @@ func (s *Spec) applyDefaults() {
 	}
 	if s.Trials <= 0 {
 		s.Trials = 5
+	}
+	if s.MaxSteps <= 0 {
+		s.MaxSteps = DefaultMaxSteps
+	}
+	// Workload knobs normalize to their execution defaults so omitted
+	// and explicit-default specs share cell identities. Clone the slice
+	// first: callers of RunContext get a shallow spec copy, and writing
+	// through the shared backing array would mutate their spec.
+	if len(s.Workloads) > 0 {
+		ws := make([]WorkloadSpec, len(s.Workloads))
+		copy(ws, s.Workloads)
+		s.Workloads = ws
+	}
+	for i := range s.Workloads {
+		w := &s.Workloads[i]
+		if w.Rounds <= 0 {
+			w.Rounds = DefaultRounds
+		}
+		if w.Items <= 0 {
+			w.Items = DefaultItems
+		}
+		if w.HogBursts <= 0 {
+			w.HogBursts = DefaultHogBursts
+		}
 	}
 	if len(s.PDs) == 0 {
 		s.PDs = []PDSpec{{Name: "figure5", Builtin: "pcore"}}

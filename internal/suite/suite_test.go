@@ -180,6 +180,29 @@ func TestRunValidatesHandBuiltSpec(t *testing.T) {
 	}
 }
 
+func TestRunDoesNotMutateCallerSpec(t *testing.T) {
+	// RunContext works on a shallow copy; defaulting must not write
+	// through shared backing arrays into the caller's spec.
+	s := &Spec{
+		Name:      "caller",
+		Workloads: []WorkloadSpec{{Name: "spin"}},
+		Ops:       []string{"roundrobin"},
+		Points:    []Point{{N: 1, S: 2}},
+		Tools:     []ToolSpec{{Name: "adaptive"}},
+		MaxSteps:  100000,
+	}
+	digestBefore := s.Digest()
+	if _, err := Run(s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Workloads[0].Rounds != 0 || s.Trials != 0 {
+		t.Fatalf("caller's spec mutated: %+v (trials %d)", s.Workloads[0], s.Trials)
+	}
+	if s.Digest() != digestBefore {
+		t.Fatal("caller's spec digest changed across Run")
+	}
+}
+
 func TestDigestIgnoresParallelism(t *testing.T) {
 	a, b := smokeSpec(), smokeSpec()
 	b.CellParallelism, b.TrialParallelism = -1, 4

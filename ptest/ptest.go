@@ -40,6 +40,7 @@
 package ptest
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/app"
@@ -54,6 +55,8 @@ import (
 	"repro/internal/profile"
 	"repro/internal/replay"
 	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/suite"
 )
 
@@ -283,3 +286,66 @@ func RunSuite(spec *SuiteSpec, jsonl io.Writer) (*SuiteReport, error) {
 func CompareReports(oldR, newR *SuiteReport, th report.Thresholds) *report.Comparison {
 	return report.Compare(oldR, newR, th)
 }
+
+// SuiteOptions tunes RunSuiteContext beyond the spec: currently the
+// content-addressed result store.
+type SuiteOptions = suite.Options
+
+// ErrSuiteInterrupted wraps out of RunSuiteContext when its context is
+// cancelled mid-sweep; the accompanying report is the completed
+// plan-order prefix, marked Interrupted.
+var ErrSuiteInterrupted = suite.ErrInterrupted
+
+// RunSuiteContext is RunSuite with cancellation and cell memoization.
+func RunSuiteContext(ctx context.Context, spec *SuiteSpec, jsonl io.Writer, opts SuiteOptions) (*SuiteReport, error) {
+	return suite.RunContext(ctx, spec, jsonl, opts)
+}
+
+// --- result store and job server -------------------------------------------
+
+// ResultStore is the content-addressed cell store: results keyed by the
+// canonical cell-identity hash, an in-memory LRU in front of an
+// append-only on-disk segment log. A cell computed once — by Run
+// variants, RunSuite, or a ptestd job — is never recomputed.
+type ResultStore = store.Store
+
+// StoreConfig sizes a ResultStore; the zero value is a memory-only
+// store with default capacity.
+type StoreConfig = store.Config
+
+// OpenStore opens (or creates) a result store.
+func OpenStore(cfg StoreConfig) (*ResultStore, error) { return store.Open(cfg) }
+
+// JobServer is ptestd: suite specs over HTTP onto a bounded priority
+// queue, a worker pool over the campaign engine, per-job SSE progress,
+// and the shared ResultStore. Serve Handler() on any net/http server.
+type JobServer = server.Server
+
+// JobServerConfig sizes a JobServer.
+type JobServerConfig = server.Config
+
+// NewJobServer builds a daemon (workers are started with Start, drained
+// with Drain).
+func NewJobServer(cfg JobServerConfig) (*JobServer, error) { return server.New(cfg) }
+
+// Client talks to a running ptestd over HTTP: submit suite specs,
+// list/cancel jobs, stream plan-order progress, fetch reports.
+type Client = server.Client
+
+// NewClient builds a client for a ptestd base URL.
+func NewClient(baseURL string) *Client { return server.NewClient(baseURL) }
+
+// JobInfo is the wire state of a submitted job.
+type JobInfo = server.JobInfo
+
+// JobStatus is a job's lifecycle state.
+type JobStatus = server.JobStatus
+
+// Job lifecycle states.
+const (
+	JobQueued    = server.JobQueued
+	JobRunning   = server.JobRunning
+	JobDone      = server.JobDone
+	JobFailed    = server.JobFailed
+	JobCancelled = server.JobCancelled
+)

@@ -1,6 +1,8 @@
 package ptest
 
 import (
+	"context"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -187,5 +189,49 @@ func TestPublicReportRendering(t *testing.T) {
 	}
 	if !strings.Contains(out.Bug.String(), "deadlock") {
 		t.Fatalf("report %q", out.Bug.String())
+	}
+}
+
+func TestPublicJobServerRoundtrip(t *testing.T) {
+	st, err := OpenStore(StoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewJobServer(JobServerConfig{Workers: 1, QueueCap: 4, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cli := NewClient(ts.URL)
+	spec := `{
+		"name": "facade",
+		"trials": 1,
+		"max_steps": 100000,
+		"workloads": [{"name": "spin"}],
+		"ops": ["roundrobin"],
+		"points": [{"n": 2, "s": 4}],
+		"tools": [{"name": "adaptive"}]
+	}`
+	info, err := cli.Submit(context.Background(), strings.NewReader(spec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cli.Watch(context.Background(), info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != JobDone {
+		t.Fatalf("job did not finish: %+v", final)
+	}
+	rep, err := cli.Report(context.Background(), info.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("report cells: %+v", rep.Cells)
 	}
 }
