@@ -11,6 +11,13 @@
 //	               bounded priority queue, worker pool, SSE progress,
 //	               content-addressed result store, graceful drain
 //	ptest client   talk to a ptestd: submit|status|watch|report|cancel
+//	ptest tools    list the registered testing tools and workloads
+//	ptest store    inspect a result store directory (stat)
+//
+// Every tool and workload name above resolves through the
+// internal/tool and internal/workload registries: `ptest run -tool
+// pct`, suite specs, ptestd jobs and the result store all pick up a
+// newly registered tool with no CLI edits.
 //
 // Usage:
 //
@@ -73,10 +80,14 @@ func main() {
 		err = cmdServe(args)
 	case "client":
 		err = cmdClient(args)
+	case "tools":
+		err = cmdTools(args)
+	case "store":
+		err = cmdStoreAdmin(args)
 	case "help":
 		usage(os.Stdout)
 	default:
-		err = usagef("unknown subcommand %q (want run|suite|compare|serve|client|help)", cmd)
+		err = usagef("unknown subcommand %q (want run|suite|compare|serve|client|tools|store|help)", cmd)
 	}
 
 	switch {
@@ -118,6 +129,8 @@ subcommands:
   compare  diff two suite reports; exit non-zero on regression
   serve    run ptestd, the campaign job server (HTTP + SSE + result store)
   client   talk to a ptestd: submit|status|watch|report|cancel
+  tools    list the registered testing tools and workloads
+  store    inspect a result store directory (stat)
   help     print this text
 
 run "ptest <subcommand> -h" for that subcommand's flags.

@@ -1,7 +1,11 @@
 // ptest run: one campaign against the simulated OMAP-like platform —
 // Algorithm 1 with configuration (RE, n, s, op), a slave workload,
 // optional fault injection, and the bug detector. The reproduction's
-// equivalent of running pTest on the board.
+// equivalent of running pTest on the board. -tool selects any
+// registered tool by name: the adaptive default keeps the original
+// direct campaign path (per-trial console output, -save-repro,
+// -dump-journal); every other tool runs as a one-cell suite, sharing
+// cell identities with `ptest suite` and ptestd.
 package main
 
 import (
@@ -22,6 +26,8 @@ import (
 	"repro/internal/replay"
 	"repro/internal/report"
 	"repro/internal/suite"
+	"repro/internal/tool"
+	"repro/internal/workload"
 )
 
 func parsePD(spec string) (pfa.Distribution, error) {
@@ -50,8 +56,8 @@ func parsePD(spec string) (pfa.Distribution, error) {
 }
 
 // newWorkloadFactory builds the per-trial factory constructor shared by
-// run and replay, routing through internal/suite's single
-// workload-name registry. Every trial gets a freshly built factory:
+// run and replay, routing through the internal/workload registry.
+// Every trial gets a freshly built factory:
 // workloads with shared state (philosopher forks, producer/consumer
 // buffers) must not leak it across trials — and must not share it
 // between concurrently simulated platforms when -parallel > 1.
@@ -69,6 +75,7 @@ func cmdRun(args []string) error {
 		re        = fs.String("re", "", "service regular expression")
 		pdSpec    = fs.String("pd", "", "probability distribution: from:symbol=prob,... ('^' = start)")
 		usePcore  = fs.Bool("pcore", false, "use the paper's expression (2) + Figure 5 distribution")
+		toolName  = fs.String("tool", "adaptive", "testing tool: "+tool.NamesHint()+" (non-adaptive tools run as a one-cell suite with the tool's default knobs)")
 		n         = fs.Int("n", 4, "number of test patterns (logical tasks)")
 		s         = fs.Int("s", 12, "pattern size")
 		opName    = fs.String("op", "roundrobin", "merge op: roundrobin|random|cyclic|priority|sequential")
@@ -78,7 +85,7 @@ func cmdRun(args []string) error {
 		keepGoing = fs.Bool("keep-going", false, "do not stop the campaign at the first bug")
 		dedup     = fs.Bool("dedup", false, "discard replicated patterns before merging")
 		gap       = fs.Int("gap", 0, "inter-command gap in cycles (stress density)")
-		workload  = fs.String("workload", "spin", "spin | quicksort | philosophers | ordered-philosophers | prodcons | inversion")
+		workloadF = fs.String("workload", "spin", "slave workload: "+workload.NamesHint())
 		rounds    = fs.Int("rounds", suite.DefaultRounds, "philosopher eating rounds")
 		quantum   = fs.Int("quantum", 0, "slave quantum in cycles")
 		gcLeak    = fs.Int("gc-leak-every", 0, "arm the GC leak fault")
@@ -98,18 +105,33 @@ func cmdRun(args []string) error {
 	if *replayF != "" {
 		return runReplay(*replayF, *rounds)
 	}
-	if *storeDir != "" && (*saveRepro != "" || *dumpJ) {
-		// Cached cells carry only the campaign summary, not per-trial
-		// outcomes — a stored hit could not honor either flag.
-		return usagef("run: -store is incompatible with -save-repro/-dump-journal")
+	tl, ok := tool.Lookup(*toolName)
+	if !ok {
+		return usagef("run: unknown tool %q (want %s)", *toolName, tool.NamesHint())
+	}
+	direct := tl.Name() == "adaptive" && *storeDir == ""
+	if !direct && (*saveRepro != "" || *dumpJ) {
+		// The one-cell-suite path (and cached cells) carries only the
+		// campaign summary, not per-trial outcomes — it could not honor
+		// either flag.
+		return usagef("run: -save-repro/-dump-journal require the direct adaptive path (no -store, no non-adaptive -tool)")
 	}
 
 	expr, pd := *re, pfa.Distribution(nil)
 	if *usePcore {
 		expr, pd = pfa.PCoreRE, pfa.PCoreDistribution()
 	}
-	if expr == "" {
+	if expr == "" && (direct || tl.Axes().S) {
+		// Pattern-generating tools need the service expression; pure
+		// scheduling perturbers (contest, pct) let the spec default it.
 		return usagef("provide -re or -pcore")
+	}
+	if *re != "" && !direct && !tl.Axes().S {
+		// An expression the tool never reads still sits at the spec level
+		// of the cell-identity hash: accepting it would store a second,
+		// behaviorally identical cell under a different key. (-pcore is
+		// fine — it resolves to the spec's default expression.)
+		return usagef("run: -re has no effect on tool %q (it generates no patterns)", tl.Name())
 	}
 	if *pdSpec != "" {
 		var err error
@@ -122,7 +144,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return usagef("%v", err)
 	}
-	newFactory, err := newWorkloadFactory(*workload, *n, *rounds, *seed)
+	newFactory, err := newWorkloadFactory(*workloadF, *n, *rounds, *seed)
 	if err != nil {
 		return err
 	}
@@ -151,17 +173,31 @@ func cmdRun(args []string) error {
 		parallelism = -1 // engine: one worker per CPU
 	}
 
-	if *storeDir != "" {
+	if !direct {
 		// The suite seed space reserves 0 for "default": a literal seed 0
 		// would silently collapse onto seed 1's cell.
 		if *seed == 0 {
-			return usagef("run: -store requires -seed >= 1")
+			return usagef("run: -store/-tool require -seed >= 1")
 		}
-		return runViaStore(runSpecArgs{
+		// A knob the tool ignores at execution time but that re-keys the
+		// cell (gap and dedup sit at the spec level of the identity hash)
+		// would store a second, behaviorally identical cell — reject it,
+		// mirroring the suite's knob-ownership validation. The gate is
+		// the registered axes (pattern-generating tools consume the size
+		// axis and with it patterns, gaps and dedup), not a tool name.
+		if !tl.Axes().S {
+			if *dedup {
+				return usagef("run: -dedup has no effect on tool %q (it generates no patterns)", tl.Name())
+			}
+			if *gap != 0 {
+				return usagef("run: -gap has no effect on tool %q (it issues no command pattern)", tl.Name())
+			}
+		}
+		return runViaSpec(runSpecArgs{
 			usePcore: *usePcore, re: expr, pdSpec: *pdSpec, pd: pd,
-			n: *n, s: *s, opName: *opName, seed: *seed, trials: *trials,
+			tool: tl.Name(), n: *n, s: *s, opName: *opName, seed: *seed, trials: *trials,
 			keepGoing: *keepGoing, dedup: *dedup, gap: *gap,
-			workload: *workload, rounds: *rounds, quantum: *quantum,
+			workload: *workloadF, rounds: *rounds, quantum: *quantum,
 			gcLeak: *gcLeak, dropTR: *dropTR, misprio: *misprio,
 			parallelism: parallelism, jsonOut: *jsonOut,
 			storeDir: *storeDir, storeMem: *storeMem,
@@ -180,8 +216,8 @@ func cmdRun(args []string) error {
 			SchemaVersion: report.SchemaVersion,
 			Suite:         "run",
 			Cells: []report.Cell{{
-				ID:       fmt.Sprintf("%s/%s/n%ds%d/adaptive", *workload, op, *n, *s),
-				Workload: *workload, Op: op.String(), N: *n, S: *s,
+				ID:       fmt.Sprintf("%s/%s/n%ds%d/adaptive", *workloadF, op, *n, *s),
+				Workload: *workloadF, Op: op.String(), N: *n, S: *s,
 				Tool: "adaptive", Seed: *seed,
 				Summary: res.Summary(),
 			}},
@@ -205,7 +241,7 @@ func cmdRun(args []string) error {
 			fmt.Fprint(extras, res.Bugs[0].Journal)
 		}
 		if *saveRepro != "" {
-			if err := saveReproduction(extras, *saveRepro, base, res, *workload, *seed); err != nil {
+			if err := saveReproduction(extras, *saveRepro, base, res, *workloadF, *seed); err != nil {
 				return err
 			}
 		}
@@ -237,12 +273,14 @@ func printCampaign(expr string, n, s int, op pattern.Op, res *core.CampaignResul
 	}
 }
 
-// runSpecArgs carries cmdRun's resolved flags into the store-backed path.
+// runSpecArgs carries cmdRun's resolved flags into the one-cell-suite
+// path.
 type runSpecArgs struct {
 	usePcore bool
-	// re is the resolved expression (after -pcore override), so -store
-	// and direct execution always run the same RE.
+	// re is the resolved expression (after -pcore override), so the
+	// spec path and direct execution always run the same RE.
 	re, pdSpec, opName        string
+	tool                      string
 	workload, storeDir        string
 	pd                        pfa.Distribution
 	n, s, trials, rounds      int
@@ -253,12 +291,14 @@ type runSpecArgs struct {
 	parallelism, storeMem     int
 }
 
-// runViaStore executes the run as a one-cell suite through the
-// content-addressed result store. The cell identity — and therefore the
-// derived campaign seed — is exactly what `ptest suite` or a ptestd job
-// would compute for the same configuration, so all three entry points
-// share results: a cell any of them computed is never recomputed.
-func runViaStore(a runSpecArgs) error {
+// runViaSpec executes the run as a one-cell suite — the path every
+// non-adaptive tool takes (tool dispatch lives in the registry, not
+// here), and the adaptive path too when -store is set. The cell
+// identity — and therefore the derived campaign seed — is exactly what
+// `ptest suite` or a ptestd job would compute for the same
+// configuration, so all entry points share results: a cell any of them
+// computed is never recomputed.
+func runViaSpec(a runSpecArgs) error {
 	pds := []suite.PDSpec{{Name: "uniform", Builtin: "uniform"}}
 	switch {
 	case a.pdSpec != "":
@@ -268,13 +308,14 @@ func runViaStore(a runSpecArgs) error {
 		// paper-configuration cells are shared with paper-style sweeps.
 		pds = []suite.PDSpec{{Name: "figure5", Builtin: "pcore"}}
 	}
-	// Only quicksort consumes the workload data seed; stamping it on
-	// seed-insensitive workloads would needlessly re-key cells that a
-	// suite spec (which omits it) computes identically. The other knobs
-	// (rounds etc.) are normalized by the spec's applyDefaults, so the
-	// flag default and an omitted spec field already key the same.
+	// Only data-seeded workloads (a registry property, not a name list)
+	// consume the workload data seed; stamping it on seed-insensitive
+	// workloads would needlessly re-key cells that a suite spec (which
+	// omits it) computes identically. The other knobs (rounds etc.) are
+	// normalized by the spec's applyDefaults, so the flag default and an
+	// omitted spec field already key the same.
 	var workloadSeed uint64
-	if a.workload == "quicksort" {
+	if workload.UsesDataSeed(a.workload) {
 		workloadSeed = a.seed
 	}
 	spec := &suite.Spec{
@@ -288,15 +329,19 @@ func runViaStore(a runSpecArgs) error {
 		Ops:    []string{a.opName},
 		Points: []suite.Point{{N: a.n, S: a.s}},
 		PDs:    pds,
-		Tools:  []suite.ToolSpec{{Name: "adaptive"}},
+		Tools:  []suite.ToolSpec{{Name: a.tool}},
 	}
 
-	st, err := openStoreFlag(a.storeDir, a.storeMem)
-	if err != nil {
-		return err
+	var opts suite.Options
+	if a.storeDir != "" {
+		st, err := openStoreFlag(a.storeDir, a.storeMem)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		opts.Store = st
 	}
-	defer st.Close()
-	rep, err := suite.RunContext(context.Background(), spec, nil, suite.Options{Store: st})
+	rep, err := suite.RunContext(context.Background(), spec, nil, opts)
 	if err != nil {
 		return err
 	}
@@ -312,8 +357,15 @@ func runViaStore(a runSpecArgs) error {
 		}
 		sum := cell.Summary
 		fmt.Printf("pTest: cell %s (%s)\n", cell.ID, source)
-		fmt.Printf("trials=%d bugs=%d bug_rate=%.2f clean_finishes=%d commands=%d virtual_cycles=%d\n",
-			sum.Trials, sum.Bugs, sum.BugRate, sum.CleanFinishes, sum.TotalCommands, sum.TotalCycles)
+		// CleanFinishes is adaptive-only (mirrors the JSON omitempty):
+		// printing a hard 0 for tools that never report it would read as
+		// "no trial finished clean".
+		clean := ""
+		if sum.CleanFinishes > 0 {
+			clean = fmt.Sprintf(" clean_finishes=%d", sum.CleanFinishes)
+		}
+		fmt.Printf("trials=%d bugs=%d bug_rate=%.2f%s commands=%d virtual_cycles=%d\n",
+			sum.Trials, sum.Bugs, sum.BugRate, clean, sum.TotalCommands, sum.TotalCycles)
 		if sum.FirstBug != "" {
 			fmt.Printf("first failure (trial %d): %s\n", sum.FirstBugTrial, sum.FirstBug)
 		}

@@ -1,0 +1,62 @@
+// ptest store: administration of a content-addressed result store
+// directory. `stat` reads the directory without opening it for writing
+// (no flock), so it works alongside a live daemon — the numbers
+// compaction (the ROADMAP's store GC item) will decide by.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+
+	"repro/internal/store"
+)
+
+func cmdStoreAdmin(args []string) error {
+	if len(args) == 0 {
+		return usagef("store: missing verb (want stat)")
+	}
+	verb, args := args[0], args[1:]
+	switch verb {
+	case "stat":
+		return cmdStoreStat(args)
+	}
+	return usagef("store: unknown verb %q (want stat)", verb)
+}
+
+func cmdStoreStat(args []string) error {
+	fs := flag.NewFlagSet("ptest store stat", flag.ContinueOnError)
+	var (
+		dir     = fs.String("dir", "", "result store directory (required)")
+		jsonOut = fs.Bool("json", false, "print the stats as JSON")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return usagef("store stat: -dir is required")
+	}
+	ds, err := store.Stat(*dir)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(ds, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", data)
+		return nil
+	}
+	fmt.Printf("store %s\n", *dir)
+	fmt.Printf("segments:     %d (%d bytes on disk)\n", ds.Segments, ds.TotalBytes)
+	fmt.Printf("live entries: %d (%d bytes live, %d reclaimable)\n",
+		ds.LiveEntries, ds.LiveBytes, ds.TotalBytes-ds.LiveBytes)
+	fmt.Printf("lifetime:     %d hits, %d misses, %d puts\n",
+		ds.Lifetime.Hits, ds.Lifetime.Misses, ds.Lifetime.Puts)
+	if ds.Lifetime.Hits+ds.Lifetime.Misses > 0 {
+		fmt.Printf("hit rate:     %.1f%%\n",
+			100*float64(ds.Lifetime.Hits)/float64(ds.Lifetime.Hits+ds.Lifetime.Misses))
+	}
+	return nil
+}

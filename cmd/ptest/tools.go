@@ -1,0 +1,52 @@
+// ptest tools: list the registered testing tools and workloads — the
+// vocabulary suite specs and run flags accept. The listing is registry
+// introspection, so a tool or workload registered anywhere in the
+// build (including out-of-tree files) appears here with no CLI edits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/tool"
+	"repro/internal/workload"
+)
+
+func cmdTools(args []string) error {
+	fs := flag.NewFlagSet("ptest tools", flag.ContinueOnError)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("tools: takes no arguments")
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "TOOL\tAXES\tDESCRIPTION")
+	for _, t := range tool.Registered() {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", t.Name(), axesString(t.Axes()), t.Doc())
+	}
+	fmt.Fprintln(w, "\t\t")
+	fmt.Fprintln(w, "WORKLOAD\t\tDESCRIPTION")
+	for _, name := range workload.Names() {
+		fmt.Fprintf(w, "%s\t\t%s\n", name, workload.Doc(name))
+	}
+	return w.Flush()
+}
+
+// axesString renders the matrix axes a tool consumes; every tool takes
+// the workload and n axes, so only the optional ones are listed.
+func axesString(a tool.Axes) string {
+	s := "workload,n"
+	if a.S {
+		s += ",s"
+	}
+	if a.Op {
+		s += ",op"
+	}
+	if a.PD {
+		s += ",pd"
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+// Customtool: register an out-of-tree testing tool and an out-of-tree
+// workload through the public facade, then sweep them next to the
+// built-ins — no edits to the suite, CLI or daemon. The "tool" here is
+// deliberately trivial (a fixed-priority stress variant of the
+// ConTest-style runner via the pct-like remote-command plane is left
+// to internal/tool/pct.go); what this example demonstrates is the
+// seam: Register once, use everywhere.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ptest"
+)
+
+// burstTool issues every task a burst of suspends/resumes at a fixed
+// cadence — a minimal but real scheduling perturbation implemented
+// entirely on top of the public ContestConfig runner (noise at fixed
+// probability 1 over a window is approximated here by a high noise_p).
+type burstTool struct{}
+
+func (burstTool) Name() string                              { return "burst" }
+func (burstTool) Doc() string                               { return "example: fixed high-noise burst perturbation" }
+func (burstTool) Axes() ptest.ToolAxes                      { return ptest.ToolAxes{} }
+func (burstTool) Validate(s ptest.ToolSpec) error           { return nil }
+func (burstTool) Defaulted(s ptest.ToolSpec) ptest.ToolSpec { return s }
+func (burstTool) Label(s ptest.ToolSpec) string             { return s.DisplayLabel() }
+func (burstTool) Run(env ptest.ToolEnv) (ptest.CampaignSummary, error) {
+	res, err := ptest.RunContestCampaign(ptest.ContestConfig{
+		Seed: env.Seed, NoiseP: 0.9, Tasks: env.N,
+		NewFactory: env.NewFactory, Kernel: env.Kernel,
+		MaxSteps: env.MaxSteps, Parallelism: env.Parallelism,
+	}, env.Trials, env.KeepGoing)
+	if err != nil {
+		return ptest.CampaignSummary{}, err
+	}
+	return res.Summary(), nil
+}
+
+func main() {
+	ptest.RegisterTool(burstTool{})
+	// The workload seam is the same one layer down: a registered name
+	// resolves in specs, cell IDs and the result store immediately. The
+	// spec's knobs arrive defaulted in the builder — here Items sizes a
+	// deliberately overfull producer/consumer ring.
+	ptest.RegisterWorkload("prodcons-burst", "example: producer/consumer at double item load",
+		func(s ptest.WorkloadSpec, n int) func() ptest.Factory {
+			items := 2 * s.Items
+			return func() ptest.Factory { return ptest.ProducerConsumer(items) }
+		})
+
+	spec := &ptest.SuiteSpec{
+		Name:      "customtool",
+		Trials:    3,
+		KeepGoing: true,
+		MaxSteps:  300000,
+		Workloads: []ptest.WorkloadSpec{{Name: "prodcons-burst", Items: 10}},
+		Ops:       []string{"roundrobin"},
+		Points:    []ptest.SuitePoint{{N: 4, S: 8}},
+		Tools: []ptest.ToolSpec{
+			{Name: "burst"},         // the tool registered above
+			{Name: "pct", Depth: 3}, // the built-in PCT scheduler
+			{Name: "contest"},       // the classic noise baseline
+		},
+	}
+	rep, err := ptest.RunSuite(spec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		fmt.Printf("%-24s trials=%d bugs=%d bug_rate=%.2f\n",
+			c.ID, c.Summary.Trials, c.Summary.Bugs, c.Summary.BugRate)
+	}
+}

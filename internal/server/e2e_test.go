@@ -16,8 +16,8 @@ import (
 	"repro/internal/suite"
 )
 
-// e2eSpec exercises a faulty and a clean workload across two tools —
-// representative but fast.
+// e2eSpec exercises a faulty and a clean workload across three tools
+// (including the registry-added pct) — representative but fast.
 const e2eSpec = `{
 	"name": "e2e",
 	"trials": 2,
@@ -29,7 +29,7 @@ const e2eSpec = `{
 	],
 	"ops": ["roundrobin"],
 	"points": [{"n": 4, "s": 8}],
-	"tools": [{"name": "adaptive"}, {"name": "chess", "max_schedules": 4}]
+	"tools": [{"name": "adaptive"}, {"name": "chess", "max_schedules": 4}, {"name": "pct", "depth": 2}]
 }`
 
 func TestE2EServerReportMatchesSuiteRun(t *testing.T) {

@@ -1,0 +1,72 @@
+// Read-only store-directory inspection: the data `ptest store stat`
+// prints and the groundwork for the ROADMAP's compaction/GC item —
+// deciding when a rewrite pays requires exactly these numbers (dead
+// bytes per segment, live-entry density, traffic history).
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DirStats describes a store directory at rest.
+type DirStats struct {
+	// Segments is the number of segment files; TotalBytes their summed
+	// size on disk.
+	Segments   int   `json:"segments"`
+	TotalBytes int64 `json:"total_bytes"`
+	// LiveEntries counts distinct keys readable from the log; LiveBytes
+	// the record bytes those entries occupy (headers included). The
+	// difference TotalBytes-LiveBytes is what compaction would reclaim
+	// (torn tails, superseded records).
+	LiveEntries int   `json:"live_entries"`
+	LiveBytes   int64 `json:"live_bytes"`
+	// Lifetime are the cumulative hit/miss/put counters from the
+	// stats.json sidecar, zero when no sidecar exists yet.
+	Lifetime Counters `json:"lifetime"`
+}
+
+// Stat scans a store directory without opening it for writing: no
+// flock, no truncation, no mutation — safe to run while a daemon owns
+// the directory. Records are framed by the same walkRecords that Open
+// replays, so corruption mid-segment ends that segment's scan at
+// exactly the records Open would serve.
+func Stat(dir string) (DirStats, error) {
+	var ds DirStats
+	if _, err := os.Stat(dir); err != nil {
+		return ds, fmt.Errorf("store: %w", err)
+	}
+	ids, err := segmentIDs(dir)
+	if err != nil {
+		return ds, err
+	}
+	ds.Segments = len(ids)
+	live := map[string]int64{} // key → record bytes (header + payload)
+	for _, id := range ids {
+		path := segFile(dir, id)
+		if st, err := os.Stat(path); err == nil {
+			ds.TotalBytes += st.Size()
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return ds, fmt.Errorf("store: %w", err)
+		}
+		_, _, werr := walkRecords(f, func(key string, payloadOff int64, payloadLen int) {
+			live[key] = recordHeaderLen + int64(payloadLen)
+		})
+		_ = f.Close()
+		if werr != nil {
+			return ds, fmt.Errorf("store: reading %s: %w", path, werr)
+		}
+	}
+	ds.LiveEntries = len(live)
+	for _, n := range live {
+		ds.LiveBytes += n
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, statsSidecar)); err == nil {
+		_ = json.Unmarshal(data, &ds.Lifetime)
+	}
+	return ds, nil
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestStatDescribesDirectoryAtRest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(Config{Dir: dir, SegMaxBytes: 256}) // force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), cellFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Get(key(0))    // hit
+	s.Get(key(9999)) // miss
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.LiveEntries != n {
+		t.Fatalf("live entries = %d, want %d", ds.LiveEntries, n)
+	}
+	if ds.Segments < 2 {
+		t.Fatalf("tiny SegMaxBytes produced %d segments, want rotation", ds.Segments)
+	}
+	if ds.TotalBytes <= 0 || ds.LiveBytes <= 0 || ds.LiveBytes > ds.TotalBytes {
+		t.Fatalf("byte accounting wrong: total=%d live=%d", ds.TotalBytes, ds.LiveBytes)
+	}
+	// Close persisted the session counters into the sidecar.
+	if ds.Lifetime.Hits != 1 || ds.Lifetime.Misses != 1 || ds.Lifetime.Puts != n {
+		t.Fatalf("lifetime counters wrong: %+v", ds.Lifetime)
+	}
+}
+
+func TestLifetimeCountersAccumulateAcrossReopens(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Put(key(1), cellFor(1))
+	s.Get(key(1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	s2.Get(key(1))
+	got := s2.Lifetime()
+	if got.Hits != 2 || got.Puts != 1 {
+		t.Fatalf("lifetime did not accumulate: %+v", got)
+	}
+	// Session-local Stats stay session-local: the determinism checks in
+	// the suite cache tests depend on that.
+	if st := s2.Stats(); st.Hits != 1 || st.Puts != 0 {
+		t.Fatalf("session stats polluted by history: %+v", st)
+	}
+}
+
+func TestStatOfMissingDirErrors(t *testing.T) {
+	if _, err := Stat(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing directory reported stats")
+	}
+}

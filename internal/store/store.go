@@ -41,7 +41,7 @@ type Config struct {
 	SegMaxBytes int64
 }
 
-// Stats is a point-in-time counter snapshot.
+// Stats is a point-in-time counter snapshot of the current session.
 type Stats struct {
 	// Hits/Misses count Get outcomes (a disk hit is still a hit);
 	// Puts counts accepted inserts (duplicate keys are not re-stored).
@@ -50,6 +50,21 @@ type Stats struct {
 	MemEntries, DiskEntries int
 }
 
+// Counters are cumulative lifetime Get/Put counters. For a disk-backed
+// store they persist across processes in a stats.json sidecar: Open
+// loads them, Close writes them back with the session's counts folded
+// in. The sidecar is advisory (telemetry for `ptest store stat` and
+// the compaction heuristics the ROADMAP plans), never consulted for
+// correctness — a missing or stale one costs nothing but history.
+type Counters struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+}
+
+// statsSidecar is the stats.json filename inside a store directory.
+const statsSidecar = "stats.json"
+
 // Store is safe for concurrent use by the server worker pool and any
 // number of goroutines within one process. Cross-process sharing of
 // one Dir is not supported — the daemon owns its directory, and Open
@@ -57,6 +72,7 @@ type Stats struct {
 // loudly instead of interleaving appends.
 type Store struct {
 	hits, misses, puts atomic.Uint64
+	base               Counters // lifetime counters loaded from the sidecar
 
 	mu       sync.Mutex
 	cap      int
@@ -134,6 +150,13 @@ func Open(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("store: locking %s: %w (is another run/suite/ptestd using this store directory?)", cfg.Dir, err)
 	}
 	s.lock = lock
+	// Load the counter history before anything that can fail below:
+	// closeLocked persists s.base back, so an error path through it must
+	// already hold the loaded values or it would zero the sidecar.
+	// Best-effort: a corrupt or missing sidecar only loses history.
+	if data, err := os.ReadFile(filepath.Join(cfg.Dir, statsSidecar)); err == nil {
+		_ = json.Unmarshal(data, &s.base)
+	}
 	ids, err := segmentIDs(cfg.Dir)
 	if err != nil {
 		s.closeLocked()
@@ -175,9 +198,14 @@ func segmentIDs(dir string) ([]int, error) {
 	return ids, nil
 }
 
-func (s *Store) segPath(id int) string {
-	return filepath.Join(s.dir, fmt.Sprintf("store-%06d.seg", id))
+// segFile renders the filename of segment id inside dir — the single
+// definition of the segment naming scheme (segmentIDs' glob and Sscanf
+// parse the same shape, and the read-only Stat scan shares it).
+func segFile(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("store-%06d.seg", id))
 }
+
+func (s *Store) segPath(id int) string { return segFile(s.dir, id) }
 
 // replaySegment scans one segment into the index. Persistent
 // corruption (torn tail, bad CRC, bad length) stops the scan — and,
@@ -191,48 +219,64 @@ func (s *Store) replaySegment(id int, isLast bool) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.readers[id] = f
-	var off int64
-	hdr := make([]byte, recordHeaderLen)
-	for {
-		if n, err := f.ReadAt(hdr, off); err != nil {
-			if err == io.EOF && n == 0 {
-				return nil // clean end on a record boundary
-			}
-			if err != io.EOF && err != io.ErrUnexpectedEOF {
-				return fmt.Errorf("store: reading segment %d: %w", id, err)
-			}
-			break // torn header
-		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		want := binary.LittleEndian.Uint32(hdr[4:8])
-		if n > maxRecordBytes {
-			break // corrupt length field — don't allocate gigabytes on Open
-		}
-		payload := make([]byte, n)
-		if _, err := f.ReadAt(payload, off+recordHeaderLen); err != nil {
-			if err != io.EOF && err != io.ErrUnexpectedEOF {
-				return fmt.Errorf("store: reading segment %d: %w", id, err)
-			}
-			break // torn payload
-		}
-		if crc32.ChecksumIEEE(payload) != want {
-			break // corrupt payload
-		}
-		var rec record
-		if err := json.Unmarshal(payload, &rec); err != nil || rec.Key == "" {
-			break
-		}
-		s.index[rec.Key] = diskRef{seg: id, off: off + recordHeaderLen, n: int(n)}
-		off += recordHeaderLen + int64(n)
+	off, clean, err := walkRecords(f, func(key string, payloadOff int64, n int) {
+		s.index[key] = diskRef{seg: id, off: payloadOff, n: n}
+	})
+	if err != nil {
+		return fmt.Errorf("store: reading segment %d: %w", id, err)
 	}
-	// Reached only after corruption: drop the tail of the active
-	// segment; a corrupt middle segment just loses its tail records.
-	if isLast {
+	// Corruption: drop the tail of the active segment; a corrupt middle
+	// segment just loses its tail records.
+	if !clean && isLast {
 		if err := os.Truncate(s.segPath(id), off); err != nil {
 			return fmt.Errorf("store: truncating torn segment: %w", err)
 		}
 	}
 	return nil
+}
+
+// walkRecords scans one segment's records from the start of f, calling
+// visit for every intact record with its key and payload location. It
+// is the single definition of the on-disk framing, shared by Open's
+// replay and the read-only Stat scan. The returned offset is just past
+// the last intact record; clean is false when the scan stopped on
+// persistent corruption (torn or CRC-failed tail) instead of a record
+// boundary at EOF. A transient read error comes back as err — callers
+// must not truncate on it.
+func walkRecords(f *os.File, visit func(key string, payloadOff int64, payloadLen int)) (off int64, clean bool, err error) {
+	hdr := make([]byte, recordHeaderLen)
+	for {
+		if n, err := f.ReadAt(hdr, off); err != nil {
+			if err == io.EOF && n == 0 {
+				return off, true, nil // clean end on a record boundary
+			}
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				return off, false, err
+			}
+			return off, false, nil // torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordBytes {
+			return off, false, nil // corrupt length field — don't allocate gigabytes
+		}
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, off+recordHeaderLen); err != nil {
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				return off, false, err
+			}
+			return off, false, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return off, false, nil // corrupt payload
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Key == "" {
+			return off, false, nil
+		}
+		visit(rec.Key, off+recordHeaderLen, int(n))
+		off += recordHeaderLen + int64(n)
+	}
 }
 
 // openActive opens (or creates) the append handle for segment actID
@@ -396,8 +440,19 @@ func (s *Store) Stats() Stats {
 	}
 }
 
-// Close releases every file handle. The memory layer stays readable in
-// principle but Put rejects a closed store; Close is for shutdown.
+// Lifetime returns the cumulative Get/Put counters: the sidecar history
+// plus this session's counts.
+func (s *Store) Lifetime() Counters {
+	return Counters{
+		Hits:   s.base.Hits + s.hits.Load(),
+		Misses: s.base.Misses + s.misses.Load(),
+		Puts:   s.base.Puts + s.puts.Load(),
+	}
+}
+
+// Close releases every file handle and persists the lifetime counters.
+// The memory layer stays readable in principle but Put rejects a closed
+// store; Close is for shutdown.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -409,6 +464,13 @@ func (s *Store) closeLocked() error {
 		return nil
 	}
 	s.closed = true
+	if s.dir != "" && s.lock != nil {
+		// Written while the flock is still held, so two stores never race
+		// on the sidecar. Best-effort: counter history is advisory.
+		if data, err := json.Marshal(s.Lifetime()); err == nil {
+			_ = os.WriteFile(filepath.Join(s.dir, statsSidecar), append(data, '\n'), 0o644)
+		}
+	}
 	var first error
 	if s.active != nil {
 		if err := s.active.Close(); err != nil {

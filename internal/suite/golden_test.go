@@ -1,0 +1,185 @@
+package suite
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// The pinned identity of testdata/golden-spec.json — captured from the
+// pre-registry implementation. These values are the on-disk cache
+// contract: a refactor or schema bump that changes any of them silently
+// invalidates every warm store and committed baseline, so it must fail
+// here loudly instead. If a change is *meant* to re-key the world
+// (bumping report.SchemaVersion does), regenerate the table and say so
+// in the commit message.
+const goldenDigest = "2bc8c814b1fe"
+
+var goldenCellKeys = map[string]string{
+	"quicksort/roundrobin/n4s8/figure5/adaptive":        "e43e49309b8af5d364c864083c41e2aef5b8378363f0cc9a16fa576057c72364",
+	"quicksort/roundrobin/n4s8/figure5/adaptive-refine": "1d8680477ed633dec21f8c3486d32b46d4b7377a7500072ff0776d84b0446ed1",
+	"quicksort/n4/contest":                              "be0ed67c73d17b175fde30bfeb0dc76a5efad62d49ffc1067a8225f0aafe7113",
+	"quicksort/n4s8/figure5/chess":                      "c6c6c2652ea008df2955064264ca1a63d1f970077444a9589c6a25a20e59cdb1",
+	"spin/roundrobin/n4s8/figure5/adaptive":             "d8f9bbf2a34e46c8af7050ac17267eb87a4e614edb8028eab02d3e8a81c8e661",
+	"spin/roundrobin/n4s8/figure5/adaptive-refine":      "52005666862b0f6e5c324ff1bcb3dc5e24b063c86614553ac611eeac9fad062c",
+	"spin/n4/contest":                                   "7555709dc58d12e426b8da628e9742d6cd376395e16421edb05f9d3425f21ca6",
+	"spin/n4s8/figure5/chess":                           "92a7ce59133432fa35dd48a53f997b65beb16aa2b461a85e0afefb330607cf83",
+}
+
+func goldenSpec(t *testing.T) *Spec {
+	t.Helper()
+	spec, err := ParseFile("testdata/golden-spec.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestGoldenIdentity pins CellKey and Spec.Digest for a representative
+// spec covering the three original tools (plain + refined adaptive,
+// contest, chess): existing specs must be bit-stable across registry
+// refactors so warm stores survive untouched.
+func TestGoldenIdentity(t *testing.T) {
+	spec := goldenSpec(t)
+	if got := spec.Digest(); got != goldenDigest {
+		t.Errorf("spec digest drifted: got %s, want %s", got, goldenDigest)
+	}
+	cells := spec.Expand()
+	if len(cells) != len(goldenCellKeys) {
+		t.Fatalf("expansion drifted: %d cells, want %d", len(cells), len(goldenCellKeys))
+	}
+	for _, c := range cells {
+		want, ok := goldenCellKeys[c.ID]
+		if !ok {
+			t.Errorf("cell ID drifted: %q is not in the pinned plan", c.ID)
+			continue
+		}
+		if got := spec.CellKey(c); got != want {
+			t.Errorf("cell %s re-keyed: got %s, want %s", c.ID, got, want)
+		}
+	}
+}
+
+// TestGoldenCanonicalReport executes the golden spec and compares the
+// canonical report byte for byte against the pre-refactor capture:
+// labels, seeds, summaries and encoding are all part of the committed-
+// baseline contract, not just the identity keys.
+func TestGoldenCanonicalReport(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden-report.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(goldenSpec(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := report.Write(&got, report.Canonical(rep)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("canonical report drifted from pre-refactor capture:\n--- got ---\n%s\n--- want ---\n%s",
+			got.Bytes(), want)
+	}
+}
+
+// TestGoldenWarmStoreReplays runs the golden spec against a store twice:
+// the second pass must execute zero cells — the end-to-end proof that a
+// store warmed before a refactor stays warm after it.
+func TestGoldenWarmStoreReplays(t *testing.T) {
+	st := memStore(t)
+	spec := goldenSpec(t)
+	if _, err := RunContext(t.Context(), spec, nil, Options{Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunContext(t.Context(), spec, nil, Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StoreMisses != 0 || rep.StoreHits != uint64(len(rep.Cells)) {
+		t.Fatalf("warm replay executed cells: hits=%d misses=%d", rep.StoreHits, rep.StoreMisses)
+	}
+}
+
+// TestDigestSpecMirrorsSpec enforces the digestSpec contract by
+// reflection: every Spec field except the excluded parallelism knobs
+// must appear in digestSpec with the same name, type, tag and relative
+// order. A field appended to Spec but forgotten here would silently
+// drop out of the digest, letting different matrices share a
+// spec_digest — this fails instead.
+func TestDigestSpecMirrorsSpec(t *testing.T) {
+	excluded := map[string]bool{"CellParallelism": true, "TrialParallelism": true}
+	st, dt := reflect.TypeOf(Spec{}), reflect.TypeOf(digestSpec{})
+	j := 0
+	for i := 0; i < st.NumField(); i++ {
+		sf := st.Field(i)
+		if excluded[sf.Name] {
+			continue
+		}
+		if j >= dt.NumField() {
+			t.Fatalf("Spec field %s missing from digestSpec", sf.Name)
+		}
+		df := dt.Field(j)
+		if df.Name != sf.Name || df.Type != sf.Type || df.Tag != sf.Tag {
+			t.Fatalf("digestSpec field %d drifted from Spec.%s: have %s %s %q, want %s %s %q",
+				j, sf.Name, df.Name, df.Type, df.Tag, sf.Name, sf.Type, sf.Tag)
+		}
+		j++
+	}
+	if j != dt.NumField() {
+		t.Fatalf("digestSpec has %d extra field(s) not in Spec", dt.NumField()-j)
+	}
+}
+
+// TestDigestNeverEmpty covers the satellite fix: Digest used to swallow
+// json.Marshal errors into "", collapsing every failing spec onto one
+// digest. It is now infallible — even for the one marshal failure a
+// Spec can express (non-finite floats in an inline distribution).
+func TestDigestNeverEmpty(t *testing.T) {
+	spec := goldenSpec(t)
+	if spec.Digest() == "" {
+		t.Fatal("validated spec digested to empty string")
+	}
+	// NaN in an inline dist is rejected by Validate, but Digest must not
+	// degrade even on a spec that never passed validation. The chess
+	// pointer knob rides along: the fallback must not bake pointer
+	// addresses into the hash (that would make it differ run to run).
+	bound := 1
+	broken := &Spec{
+		Name:      "broken",
+		Workloads: []WorkloadSpec{{Name: "spin"}},
+		Ops:       []string{"roundrobin"},
+		Points:    []Point{{N: 1, S: 2}},
+		PDs:       []PDSpec{{Name: "nan", Dist: map[string]map[string]float64{"^": {"TC": math.NaN()}}}},
+		Tools:     []ToolSpec{{Name: "chess", PreemptionBound: &bound}},
+	}
+	d := broken.Digest()
+	if d == "" {
+		t.Fatal("digest swallowed the marshal error into an empty string")
+	}
+	if len(d) != 12 || strings.ContainsAny(d, " \n") {
+		t.Fatalf("fallback digest malformed: %q", d)
+	}
+	if d == spec.Digest() {
+		t.Fatal("distinct specs share a digest")
+	}
+	// Deterministic: a fresh but identical spec (new pointer allocation,
+	// new maps) digests to the same value.
+	bound2 := 1
+	again := &Spec{
+		Name:      "broken",
+		Workloads: []WorkloadSpec{{Name: "spin"}},
+		Ops:       []string{"roundrobin"},
+		Points:    []Point{{N: 1, S: 2}},
+		PDs:       []PDSpec{{Name: "nan", Dist: map[string]map[string]float64{"^": {"TC": math.NaN()}}}},
+		Tools:     []ToolSpec{{Name: "chess", PreemptionBound: &bound2}},
+	}
+	if again.Digest() != d {
+		t.Fatal("fallback digest depends on allocation identity (pointer addresses)")
+	}
+}

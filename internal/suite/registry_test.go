@@ -1,0 +1,153 @@
+package suite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/tool"
+)
+
+// stubTool is an out-of-tree tool registered only by this test binary:
+// the proof that the suite layer has no per-tool dispatch left. It
+// consumes only the workload/n axes (like contest and pct) and returns
+// a synthetic summary derived from its Env, so the test can check the
+// environment the suite resolved for it.
+type stubTool struct{}
+
+func (stubTool) Name() string    { return "stub" }
+func (stubTool) Doc() string     { return "test stub" }
+func (stubTool) Axes() tool.Axes { return tool.Axes{} }
+func (stubTool) Validate(s tool.Spec) error {
+	if s.NoiseP != 0 {
+		return errStub
+	}
+	return nil
+}
+func (stubTool) Defaulted(s tool.Spec) tool.Spec {
+	if s.Depth == 0 {
+		s.Depth = 7
+	}
+	return s
+}
+func (stubTool) Label(s tool.Spec) string { return s.DisplayLabel() }
+func (stubTool) Run(env tool.Env) (report.CampaignSummary, error) {
+	return report.CampaignSummary{
+		Trials:        env.Trials,
+		TotalCommands: env.Spec.Depth, // echoes the Defaulted spec
+		TotalCycles:   env.Seed,       // echoes the derived seed
+	}, nil
+}
+
+var errStub = &stubErr{}
+
+type stubErr struct{}
+
+func (*stubErr) Error() string { return "stub only takes depth" }
+
+func init() { tool.Register(stubTool{}) }
+
+// TestRegisteredToolRunsThroughSuiteUnchanged is the seam test: a tool
+// registered by an out-of-tree file (this one) validates, expands with
+// its declared axes, executes, and reports — with zero edits to the
+// suite package.
+func TestRegisteredToolRunsThroughSuiteUnchanged(t *testing.T) {
+	s := &Spec{
+		Name:      "stub-suite",
+		Trials:    3,
+		MaxSteps:  100000,
+		Workloads: []WorkloadSpec{{Name: "spin"}},
+		Ops:       []string{"roundrobin", "cyclic"}, // collapsed: stub ignores op
+		Points:    []Point{{N: 2, S: 4}, {N: 2, S: 8}},
+		Tools:     []ToolSpec{{Name: "stub"}},
+	}
+	rep, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two ops and two sizes collapse onto one n=2 cell.
+	if len(rep.Cells) != 1 {
+		t.Fatalf("axes not collapsed: %d cells: %+v", len(rep.Cells), rep.Cells)
+	}
+	c := rep.Cells[0]
+	if c.ID != "spin/n2/stub" || c.Tool != "stub" {
+		t.Fatalf("cell identity wrong: %+v", c)
+	}
+	if c.Summary.Trials != 3 {
+		t.Fatalf("suite-level trials not delivered via Env: %+v", c.Summary)
+	}
+	if c.Summary.TotalCommands != 7 {
+		t.Fatalf("Defaulted spec not delivered via Env: %+v", c.Summary)
+	}
+	if c.Summary.TotalCycles != c.Seed {
+		t.Fatalf("derived seed not delivered via Env: %+v vs seed %d", c.Summary, c.Seed)
+	}
+
+	// The tool's own Validate gates its knobs through the shared path.
+	s.Tools = []ToolSpec{{Name: "stub", NoiseP: 0.5}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "stub only takes depth") {
+		t.Fatalf("tool-owned validation not routed: %v", err)
+	}
+}
+
+// TestUnknownToolNamesRegistry pins the error shape: the hint lists the
+// live registry (including tools registered after this package was
+// written), not a hard-coded set.
+func TestUnknownToolNamesRegistry(t *testing.T) {
+	s := smokeSpec()
+	s.Tools = []ToolSpec{{Name: "zz"}}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("unknown tool accepted")
+	}
+	for _, want := range []string{`unknown tool "zz"`, "adaptive", "chess", "contest", "pct", "stub"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q misses %q", err, want)
+		}
+	}
+}
+
+// TestPCTCellThroughSuite runs the registry-added pct tool end-to-end
+// through the orchestrator: deterministic across reruns, and able to
+// find the lost-wakeup hazard the clean spin workload does not have.
+func TestPCTCellThroughSuite(t *testing.T) {
+	s := &Spec{
+		Name:      "pct-suite",
+		Trials:    4,
+		KeepGoing: true,
+		MaxSteps:  300000,
+		Workloads: []WorkloadSpec{{Name: "prodcons", Items: 10}, {Name: "spin"}},
+		Ops:       []string{"roundrobin"},
+		Points:    []Point{{N: 4, S: 8}},
+		Tools:     []ToolSpec{{Name: "pct", Depth: 4}},
+	}
+	rep1, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep1.Cells {
+		if rep1.Cells[i].Summary != rep2.Cells[i].Summary {
+			t.Fatalf("pct cell %s nondeterministic:\n%+v\n%+v",
+				rep1.Cells[i].ID, rep1.Cells[i].Summary, rep2.Cells[i].Summary)
+		}
+	}
+	var prodcons, spin report.Cell
+	for _, c := range rep1.Cells {
+		switch c.Workload {
+		case "prodcons":
+			prodcons = c
+		case "spin":
+			spin = c
+		}
+	}
+	if prodcons.Summary.Bugs == 0 {
+		t.Fatalf("pct missed the lost-wakeup hazard: %+v", prodcons.Summary)
+	}
+	if spin.Summary.Bugs != 0 {
+		t.Fatalf("pct reported bugs on the clean workload: %+v", spin.Summary)
+	}
+}

@@ -2,7 +2,10 @@
 // pool, trials run parallel within a cell, and results stream to JSONL
 // in plan order while the aggregated report accumulates. Every cell is
 // deterministic in (spec, cell ID), so the canonical report is
-// byte-identical across reruns at any parallelism.
+// byte-identical across reruns at any parallelism. Tool dispatch is
+// entirely the internal/tool registry's: runCell resolves the cell's
+// tool, hands it the resolved execution environment, and records the
+// summary — no per-tool branching anywhere in this package.
 package suite
 
 import (
@@ -14,17 +17,11 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/app"
-	"repro/internal/chess"
-	"repro/internal/clock"
-	"repro/internal/committee"
-	"repro/internal/contest"
-	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/pcore"
 	"repro/internal/pfa"
 	"repro/internal/report"
 	"repro/internal/store"
+	"repro/internal/tool"
 )
 
 // ErrInterrupted is returned (wrapped) by RunContext when its context
@@ -129,82 +126,31 @@ func RunContext(ctx context.Context, spec *Spec, jsonl io.Writer, opts Options) 
 	return rep, nil
 }
 
-// runCell executes one matrix point through its tool's campaign runner.
+// runCell executes one matrix point through its tool's registered
+// campaign runner: resolve the workload and the tool, apply the tool's
+// execution-time defaults, run, and wrap the summary into the report
+// cell. The registry owns everything tool-specific.
 func runCell(spec *Spec, c Cell) (report.Cell, error) {
 	start := time.Now()
 	newFactory, err := c.Workload.NewFactory(c.Point.N)
 	if err != nil {
 		return report.Cell{}, err
 	}
-	kernel := c.Workload.kernel()
-
-	var sum report.CampaignSummary
-	switch c.Tool.Name {
-	case "adaptive":
-		base := core.Config{
-			RE: spec.RE, PD: c.PD.Distribution(),
-			N: c.Point.N, S: c.Point.S, Op: c.Op, Seed: c.Seed,
-			Dedup: spec.Dedup, CommandGap: spec.CommandGap,
-			Kernel: kernel, NewFactory: newFactory, MaxSteps: spec.MaxSteps,
-		}
-		if c.Tool.Refine {
-			res, err := core.RunAdaptiveCampaign(core.AdaptiveCampaignConfig{
-				Base: base, Trials: spec.Trials,
-				Alpha: c.Tool.Alpha, Window: c.Tool.Window,
-				KeepGoing: spec.KeepGoing, Parallelism: spec.TrialParallelism,
-			})
-			if err != nil {
-				return report.Cell{}, err
-			}
-			sum = res.Summary()
-		} else {
-			res, err := core.RunCampaign(core.CampaignConfig{
-				Base: base, Trials: spec.Trials,
-				KeepGoing: spec.KeepGoing, Parallelism: spec.TrialParallelism,
-			})
-			if err != nil {
-				return report.Cell{}, err
-			}
-			sum = res.Summary()
-		}
-	case "contest":
-		res, err := contest.RunCampaign(contest.Config{
-			Seed: c.Seed, NoiseP: c.Tool.NoiseP, Tasks: c.Point.N,
-			NewFactory: newFactory, Kernel: kernel, MaxSteps: spec.MaxSteps,
-			Parallelism: spec.TrialParallelism,
-		}, spec.Trials, spec.KeepGoing)
-		if err != nil {
-			return report.Cell{}, err
-		}
-		sum = res.Summary()
-	case "chess":
-		bound := 1
-		if c.Tool.PreemptionBound != nil {
-			bound = *c.Tool.PreemptionBound
-		}
-		maxSchedules := c.Tool.MaxSchedules
-		if maxSchedules == 0 {
-			// Bounded schedule spaces still explode combinatorially; an
-			// unconfigured cell gets a budget comparable to a campaign,
-			// not the whole space.
-			maxSchedules = 64
-		}
-		res, err := chess.Explore(chess.Config{
-			Run: core.Config{
-				RE: spec.RE, PD: c.PD.Distribution(),
-				N: c.Point.N, S: c.Point.S, Seed: c.Seed,
-				CommandGap: spec.CommandGap,
-				Kernel:     kernel, NewFactory: newFactory, MaxSteps: spec.MaxSteps,
-			},
-			PreemptionBound: bound, MaxSchedules: maxSchedules,
-			ExploreAll: spec.KeepGoing, Parallelism: spec.TrialParallelism,
-		})
-		if err != nil {
-			return report.Cell{}, err
-		}
-		sum = res.Summary()
-	default:
-		return report.Cell{}, fmt.Errorf("unknown tool %q", c.Tool.Name)
+	tl, ok := tool.Lookup(c.Tool.Name)
+	if !ok {
+		return report.Cell{}, fmt.Errorf("unknown tool %q (want %s)", c.Tool.Name, tool.NamesHint())
+	}
+	sum, err := tl.Run(tool.Env{
+		RE: spec.RE, PD: c.PD.Distribution(),
+		N: c.Point.N, S: c.Point.S, Op: c.Op, Seed: c.Seed,
+		Trials: spec.Trials, KeepGoing: spec.KeepGoing, Dedup: spec.Dedup,
+		MaxSteps: spec.MaxSteps, CommandGap: spec.CommandGap,
+		Parallelism: spec.TrialParallelism,
+		Kernel:      c.Workload.Kernel(), NewFactory: newFactory,
+		Spec: tl.Defaulted(c.Tool),
+	})
+	if err != nil {
+		return report.Cell{}, err
 	}
 
 	return report.Cell{
@@ -214,84 +160,11 @@ func runCell(spec *Spec, c Cell) (report.Cell, error) {
 		N:        c.Point.N,
 		S:        c.Point.S,
 		PD:       c.PD.Name,
-		Tool:     c.Tool.label(),
+		Tool:     tl.Label(c.Tool),
 		Seed:     c.Seed,
 		Summary:  sum,
 		WallMS:   float64(time.Since(start).Microseconds()) / 1000,
 	}, nil
-}
-
-// kernel builds the slave configuration, faults armed.
-func (w WorkloadSpec) kernel() pcore.Config {
-	k := pcore.Config{
-		MaxTasks:  w.MaxTasks,
-		StackSize: w.StackSize,
-		GCEvery:   w.GCEvery,
-		Faults: pcore.FaultPlan{
-			GCLeakEvery:           w.GCLeakEvery,
-			DropResumeEvery:       w.DropResumeEvery,
-			MisplacePriorityEvery: w.MisplacePriorityEvery,
-		},
-	}
-	if w.Quantum > 0 {
-		k.Quantum = clock.Cycles(w.Quantum)
-	}
-	return k
-}
-
-// Workload knob defaults, applied by applyDefaults so an omitted knob
-// and its explicit default produce the same spec — and the same cell
-// identity keys. The CLI flags default to the same constants.
-const (
-	// DefaultRounds is the philosophers' eating-round budget.
-	DefaultRounds = 100000
-	// DefaultItems is the producer/consumer item count.
-	DefaultItems = 10
-	// DefaultHogBursts is the priority-inversion hog's burst count.
-	DefaultHogBursts = 100000
-)
-
-// NewFactory builds the per-trial workload factory constructor — the
-// single place workload names resolve to factories (spec validation and
-// the CLI both route through it). Every trial gets a fresh factory so
-// workloads with shared mutable state stay independent across trials
-// and across parallel workers. n sizes task-count-dependent workloads
-// (philosophers).
-func (w WorkloadSpec) NewFactory(n int) (func() committee.Factory, error) {
-	rounds := w.Rounds
-	if rounds <= 0 {
-		rounds = DefaultRounds
-	}
-	items := w.Items
-	if items <= 0 {
-		items = DefaultItems
-	}
-	hogBursts := w.HogBursts
-	if hogBursts <= 0 {
-		hogBursts = DefaultHogBursts
-	}
-	switch w.Name {
-	case "spin":
-		return app.SpinFactory, nil
-	case "quicksort":
-		seed := w.Seed
-		return func() committee.Factory { return app.QuicksortFactory(seed) }, nil
-	case "philosophers":
-		return func() committee.Factory {
-			f, _ := app.Philosophers(max(n, 2), rounds, false)
-			return f
-		}, nil
-	case "ordered-philosophers":
-		return func() committee.Factory {
-			f, _ := app.Philosophers(max(n, 2), rounds, true)
-			return f
-		}, nil
-	case "prodcons":
-		return func() committee.Factory { return app.ProducerConsumer(items) }, nil
-	case "inversion":
-		return func() committee.Factory { return app.PriorityInversion(hogBursts) }, nil
-	}
-	return nil, fmt.Errorf("unknown workload %q", w.Name)
 }
 
 // orderedEmitter writes cells to the JSONL stream in plan order even

@@ -7,6 +7,13 @@
 // against ConTest- and CHESS-style baselines — and before this layer
 // existed every sweep was a hand-rolled shell loop with no persisted
 // results.
+//
+// Tools and workloads are not hard-coded here: names resolve through
+// the internal/tool and internal/workload registries, so validation,
+// labels, axis collapsing and execution all follow a registration
+// instead of a switch. The spec structs those registries define are
+// aliased below — they are part of the cell-identity cache contract,
+// and the aliases keep the suite API (and its JSON) unchanged.
 package suite
 
 import (
@@ -16,11 +23,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
 	"os"
 	"strings"
 
 	"repro/internal/pattern"
 	"repro/internal/pfa"
+	"repro/internal/tool"
+	"repro/internal/workload"
 )
 
 // Point is one (n, s) coordinate: n test patterns of size s.
@@ -30,31 +40,26 @@ type Point struct {
 }
 
 // WorkloadSpec names a slave workload plus its kernel configuration,
-// including the fault plan that seeds the bugs campaigns hunt.
-type WorkloadSpec struct {
-	// Name selects the workload: spin | quicksort | philosophers |
-	// ordered-philosophers | prodcons | inversion.
-	Name string `json:"name"`
-	// Seed is the workload's own data seed (quicksort input).
-	Seed uint64 `json:"seed,omitempty"`
-	// Rounds is the philosophers' eating-round budget.
-	Rounds int `json:"rounds,omitempty"`
-	// Items is the producer/consumer item count.
-	Items int `json:"items,omitempty"`
-	// HogBursts is the priority-inversion hog's burst count.
-	HogBursts int `json:"hog_bursts,omitempty"`
+// including the fault plan that seeds the bugs campaigns hunt. Names
+// resolve through the internal/workload registry.
+type WorkloadSpec = workload.Spec
 
-	// Kernel knobs.
-	GCEvery   int `json:"gc_every,omitempty"`
-	Quantum   int `json:"quantum,omitempty"`
-	MaxTasks  int `json:"max_tasks,omitempty"`
-	StackSize int `json:"stack_size,omitempty"`
+// ToolSpec names a testing tool and its knobs. Names resolve through
+// the internal/tool registry; axes a tool does not consume (per its
+// registered Axes) are collapsed during expansion rather than
+// multiplying identical cells.
+type ToolSpec = tool.Spec
 
-	// Fault plan.
-	GCLeakEvery           int `json:"gc_leak_every,omitempty"`
-	DropResumeEvery       int `json:"drop_resume_every,omitempty"`
-	MisplacePriorityEvery int `json:"misplace_priority_every,omitempty"`
-}
+// Workload knob defaults, re-exported so CLI flags and hand-built
+// specs share the execution constants.
+const (
+	// DefaultRounds is the philosophers' eating-round budget.
+	DefaultRounds = workload.DefaultRounds
+	// DefaultItems is the producer/consumer item count.
+	DefaultItems = workload.DefaultItems
+	// DefaultHogBursts is the priority-inversion hog's burst count.
+	DefaultHogBursts = workload.DefaultHogBursts
+)
 
 // PDSpec names a probability-distribution variant: a builtin or an
 // inline distribution.
@@ -65,32 +70,6 @@ type PDSpec struct {
 	Builtin string `json:"builtin,omitempty"`
 	// Dist is an inline from→symbol→probability table ("^" = start).
 	Dist map[string]map[string]float64 `json:"dist,omitempty"`
-}
-
-// ToolSpec names a testing tool and its knobs. Axes a tool does not
-// consume (op for chess, op/s/pd for contest) are collapsed during
-// expansion rather than multiplying identical cells.
-type ToolSpec struct {
-	// Name selects the tool: adaptive (pTest) | contest | chess.
-	Name string `json:"name"`
-	// Label distinguishes two variants of the same tool in cell IDs
-	// (e.g. adaptive with and without refinement); defaults to Name.
-	Label string `json:"label,omitempty"`
-
-	// Adaptive: Refine enables coverage-guided distribution refinement
-	// with aggressiveness Alpha (default 0.5) over windows of Window
-	// trials (default 1).
-	Refine bool    `json:"refine,omitempty"`
-	Alpha  float64 `json:"alpha,omitempty"`
-	Window int     `json:"window,omitempty"`
-
-	// ConTest: per-continuation-point yield probability (default 0.2).
-	NoiseP float64 `json:"noise_p,omitempty"`
-
-	// CHESS: preemption bound (nil: 1; negative: unbounded) and schedule
-	// cap (default 64 — systematic spaces explode combinatorially).
-	PreemptionBound *int `json:"preemption_bound,omitempty"`
-	MaxSchedules    int  `json:"max_schedules,omitempty"`
 }
 
 // Spec is the declarative matrix: the axes plus the shared campaign
@@ -183,20 +162,10 @@ func (s *Spec) applyDefaults() {
 	// through the shared backing array would mutate their spec.
 	if len(s.Workloads) > 0 {
 		ws := make([]WorkloadSpec, len(s.Workloads))
-		copy(ws, s.Workloads)
+		for i, w := range s.Workloads {
+			ws[i] = w.WithDefaults()
+		}
 		s.Workloads = ws
-	}
-	for i := range s.Workloads {
-		w := &s.Workloads[i]
-		if w.Rounds <= 0 {
-			w.Rounds = DefaultRounds
-		}
-		if w.Items <= 0 {
-			w.Items = DefaultItems
-		}
-		if w.HogBursts <= 0 {
-			w.HogBursts = DefaultHogBursts
-		}
 	}
 	if len(s.PDs) == 0 {
 		s.PDs = []PDSpec{{Name: "figure5", Builtin: "pcore"}}
@@ -218,7 +187,7 @@ func (s *Spec) Validate() error {
 	}
 	seenWorkload := map[string]bool{}
 	for i, w := range s.Workloads {
-		// NewFactory is the single source of truth for workload names.
+		// The workload registry is the single source of truth for names.
 		if _, err := w.NewFactory(1); err != nil {
 			bad("workloads[%d]: %v", i, err)
 		}
@@ -277,40 +246,21 @@ func (s *Spec) Validate() error {
 	}
 	seenTool := map[string]bool{}
 	for i, t := range s.Tools {
-		switch t.Name {
-		case "adaptive", "contest", "chess":
-		default:
-			bad("tools[%d]: unknown tool %q (want adaptive|contest|chess)", i, t.Name)
+		tl, ok := tool.Lookup(t.Name)
+		if !ok {
+			bad("tools[%d]: unknown tool %q (want %s)", i, t.Name, tool.NamesHint())
+			continue
 		}
-		label := t.label()
+		label := tl.Label(t)
 		if seenTool[label] {
 			bad("tools[%d]: duplicate tool label %q (set label to distinguish variants)", i, label)
 		}
 		seenTool[label] = true
-		if t.Alpha < 0 || t.Alpha > 1 {
-			bad("tools[%d]: alpha must be in [0,1]", i)
-		}
-		if t.NoiseP < 0 || t.NoiseP > 1 {
-			bad("tools[%d]: noise_p must be in [0,1]", i)
-		}
-		// A knob on the wrong tool is silently ignored at execution
-		// time, mislabeling the results — reject it up front.
-		switch t.Name {
-		case "adaptive":
-			if t.NoiseP != 0 || t.PreemptionBound != nil || t.MaxSchedules != 0 {
-				bad("tools[%d] (%s): noise_p/preemption_bound/max_schedules are not adaptive knobs", i, label)
-			}
-			if !t.Refine && (t.Alpha != 0 || t.Window != 0) {
-				bad("tools[%d] (%s): alpha/window require \"refine\": true", i, label)
-			}
-		case "contest":
-			if t.Refine || t.Alpha != 0 || t.Window != 0 || t.PreemptionBound != nil || t.MaxSchedules != 0 {
-				bad("tools[%d] (%s): contest only takes noise_p", i, label)
-			}
-		case "chess":
-			if t.Refine || t.Alpha != 0 || t.Window != 0 || t.NoiseP != 0 {
-				bad("tools[%d] (%s): chess only takes preemption_bound/max_schedules", i, label)
-			}
+		// Each tool validates the knobs it owns — a knob on the wrong
+		// tool is silently ignored at execution time, mislabeling the
+		// results, so the registry rejects it up front.
+		if err := tl.Validate(t); err != nil {
+			bad("tools[%d] (%s): %v", i, label, err)
 		}
 	}
 	if _, err := pfa.Compile(s.RE, nil); err != nil {
@@ -355,20 +305,104 @@ func (p PDSpec) Distribution() pfa.Distribution {
 	return d
 }
 
+// digestSpec is the serialization Digest hashes: the Spec field for
+// field, minus the execution knobs that cannot change results
+// (parallelism). A dedicated struct instead of a copy-and-zero keeps
+// the digest infallible by construction — there is no error path that
+// could silently collapse every spec onto the empty digest. Field
+// order and tags mirror Spec exactly; the rendered bytes are the
+// pre-refactor ones, pinned by TestGoldenIdentity.
+type digestSpec struct {
+	Name       string         `json:"name"`
+	RE         string         `json:"re,omitempty"`
+	Seed       uint64         `json:"seed,omitempty"`
+	Trials     int            `json:"trials,omitempty"`
+	KeepGoing  bool           `json:"keep_going,omitempty"`
+	MaxSteps   int            `json:"max_steps,omitempty"`
+	CommandGap int            `json:"command_gap,omitempty"`
+	Dedup      bool           `json:"dedup,omitempty"`
+	Workloads  []WorkloadSpec `json:"workloads"`
+	Ops        []string       `json:"ops"`
+	Points     []Point        `json:"points"`
+	PDs        []PDSpec       `json:"pds,omitempty"`
+	Tools      []ToolSpec     `json:"tools"`
+}
+
 // Digest fingerprints the validated spec (canonical JSON, SHA-256
 // truncated to 12 hex chars). Reports carry it so the comparator can
 // warn when a baseline was produced from a different spec. Execution
 // knobs that cannot change results (parallelism) are excluded, so the
-// same matrix digests identically at any worker count.
+// same matrix digests identically at any worker count. Digest never
+// returns "": a marshal failure (possible only for an unvalidatable
+// inline distribution holding NaN/Inf) falls back to hashing the Go
+// representation instead of swallowing the error into an empty string.
 func (s *Spec) Digest() string {
-	d := *s
-	d.CellParallelism, d.TrialParallelism = 0, 0
+	d := digestSpec{
+		Name: s.Name, RE: s.RE, Seed: s.Seed, Trials: s.Trials,
+		KeepGoing: s.KeepGoing, MaxSteps: s.MaxSteps,
+		CommandGap: s.CommandGap, Dedup: s.Dedup,
+		Workloads: s.Workloads, Ops: s.Ops, Points: s.Points,
+		PDs: s.PDs, Tools: s.Tools,
+	}
 	data, err := json.Marshal(&d)
 	if err != nil {
-		return ""
+		// The only marshal failure a Spec can express is a non-finite
+		// float (NaN/Inf in an inline distribution or a knob) — and such
+		// a spec can never validate, so its digest only needs to be
+		// non-empty and deterministic. Sanitize and re-marshal; pointer
+		// formatting (%#v-style) is out, it would bake in addresses.
+		data, err = json.Marshal(sanitizeNonFinite(d))
+		if err != nil {
+			data = []byte(d.Name)
+		}
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:6])
+}
+
+// sanitizeNonFinite replaces NaN/Inf floats with sentinels json.Marshal
+// accepts, deterministically in the input. Only Digest's fallback path
+// uses it; validated specs never reach it.
+func sanitizeNonFinite(d digestSpec) digestSpec {
+	fix := func(f float64) float64 {
+		switch {
+		case math.IsNaN(f):
+			return -1
+		case math.IsInf(f, 1):
+			return math.MaxFloat64
+		case math.IsInf(f, -1):
+			return -math.MaxFloat64
+		}
+		return f
+	}
+	if len(d.Tools) > 0 {
+		ts := make([]ToolSpec, len(d.Tools))
+		copy(ts, d.Tools)
+		for i := range ts {
+			ts[i].Alpha, ts[i].NoiseP = fix(ts[i].Alpha), fix(ts[i].NoiseP)
+		}
+		d.Tools = ts
+	}
+	if len(d.PDs) > 0 {
+		pds := make([]PDSpec, len(d.PDs))
+		copy(pds, d.PDs)
+		for i := range pds {
+			if pds[i].Dist == nil {
+				continue
+			}
+			dist := make(map[string]map[string]float64, len(pds[i].Dist))
+			for from, cond := range pds[i].Dist {
+				c := make(map[string]float64, len(cond))
+				for sym, p := range cond {
+					c[sym] = fix(p)
+				}
+				dist[from] = c
+			}
+			pds[i].Dist = dist
+		}
+		d.PDs = pds
+	}
+	return d
 }
 
 // Cell is one expanded matrix point, ready to execute. Axes the cell's
@@ -388,9 +422,9 @@ type Cell struct {
 }
 
 // Expand flattens the matrix into the deterministic run plan. Iteration
-// order is fixed (workload, point, pd, op, tool) and tools that ignore
-// an axis collapse it: chess drops op, contest drops op/s/pd — the
-// plan never contains two cells that would execute identically.
+// order is fixed (workload, point, pd, op, tool) and each tool's
+// registered Axes collapse the axes it ignores — the plan never
+// contains two cells that would execute identically.
 func (s *Spec) Expand() []Cell {
 	var cells []Cell
 	seen := map[string]bool{}
@@ -399,23 +433,22 @@ func (s *Spec) Expand() []Cell {
 			for _, pd := range s.PDs {
 				for _, opName := range s.Ops {
 					op, _ := pattern.ParseOp(opName)
-					for _, tool := range s.Tools {
-						c := Cell{Workload: w, Point: pt, PD: pd, Tool: tool}
-						switch tool.Name {
-						case "adaptive":
+					for _, ts := range s.Tools {
+						c := Cell{Workload: w, Point: pt, PD: pd, Tool: ts}
+						axes, label := toolAxes(ts)
+						if axes.Op {
 							// The canonical name, not the spec's spelling:
 							// "rr" and "roundrobin" must produce one cell
 							// with one stable ID and seed.
 							c.OpName, c.Op = op.String(), op
-						case "chess":
-							// Systematic enumeration explores every
-							// interleaving; the merge op is meaningless.
-						case "contest":
-							// Noise injection only needs a task count.
+						}
+						if !axes.S {
 							c.Point.S = 0
+						}
+						if !axes.PD {
 							c.PD = PDSpec{}
 						}
-						c.ID = cellID(c)
+						c.ID = cellID(c, label)
 						if seen[c.ID] {
 							continue
 						}
@@ -430,10 +463,21 @@ func (s *Spec) Expand() []Cell {
 	return cells
 }
 
+// toolAxes resolves a tool spec's consumed axes and display label. An
+// unregistered name (only reachable from an unvalidated spec; runCell
+// rejects it with a real error) conservatively keeps the size and PD
+// axes, matching the pre-registry expansion.
+func toolAxes(ts ToolSpec) (tool.Axes, string) {
+	if tl, ok := tool.Lookup(ts.Name); ok {
+		return tl.Axes(), tl.Label(ts)
+	}
+	return tool.Axes{S: true, PD: true}, ts.DisplayLabel()
+}
+
 // cellID renders the cell's consumed axes: e.g.
 // "quicksort/cyclic/n4s12/figure5/adaptive", "quicksort/n4s12/figure5/chess",
 // "quicksort/n4/contest".
-func cellID(c Cell) string {
+func cellID(c Cell, label string) string {
 	parts := []string{c.Workload.Name}
 	if c.OpName != "" {
 		parts = append(parts, c.OpName)
@@ -446,16 +490,8 @@ func cellID(c Cell) string {
 	if c.PD.Name != "" {
 		parts = append(parts, c.PD.Name)
 	}
-	parts = append(parts, c.Tool.label())
+	parts = append(parts, label)
 	return strings.Join(parts, "/")
-}
-
-// label is the tool's identity in cell IDs and reports.
-func (t ToolSpec) label() string {
-	if t.Label != "" {
-		return t.Label
-	}
-	return t.Name
 }
 
 // deriveSeed hashes the cell identity into the 64-bit seed space and

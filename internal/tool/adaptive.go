@@ -1,0 +1,73 @@
+// The adaptive tool: pTest's own PFA-guided stress testing (the paper's
+// Algorithm 1), optionally with coverage-guided distribution refinement
+// between trials. Adapter over package core.
+package tool
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func init() { Register(adaptiveTool{}) }
+
+type adaptiveTool struct{}
+
+func (adaptiveTool) Name() string { return "adaptive" }
+
+func (adaptiveTool) Doc() string {
+	return "pTest: PFA-guided pattern generation and merging (refine: coverage-guided distribution refinement)"
+}
+
+// The adaptive tool consumes every axis: patterns are generated from
+// (RE, PD) with size s and interleaved under the merge op.
+func (adaptiveTool) Axes() Axes { return Axes{Op: true, S: true, PD: true} }
+
+func (adaptiveTool) Validate(s Spec) error {
+	var probs []string
+	if s.Alpha < 0 || s.Alpha > 1 {
+		probs = append(probs, "alpha must be in [0,1]")
+	}
+	if s.NoiseP != 0 || s.PreemptionBound != nil || s.MaxSchedules != 0 || s.Depth != 0 {
+		probs = append(probs, "noise_p/preemption_bound/max_schedules/depth are not adaptive knobs")
+	}
+	if !s.Refine && (s.Alpha != 0 || s.Window != 0) {
+		probs = append(probs, `alpha/window require "refine": true`)
+	}
+	return knobError(probs)
+}
+
+// Defaulted is the identity: the campaign runners own the adaptive
+// defaults (alpha 0.5, window 1) so the facade paths share them.
+func (adaptiveTool) Defaulted(s Spec) Spec { return s }
+
+func (adaptiveTool) Label(s Spec) string { return s.DisplayLabel() }
+
+func (adaptiveTool) Run(env Env) (report.CampaignSummary, error) {
+	base := core.Config{
+		RE: env.RE, PD: env.PD,
+		N: env.N, S: env.S, Op: env.Op, Seed: env.Seed,
+		Dedup: env.Dedup, CommandGap: env.CommandGap,
+		Kernel: env.Kernel, NewFactory: env.NewFactory, MaxSteps: env.MaxSteps,
+	}
+	if env.Spec.Refine {
+		res, err := core.RunAdaptiveCampaign(core.AdaptiveCampaignConfig{
+			Base: base, Trials: env.Trials,
+			Alpha: env.Spec.Alpha, Window: env.Spec.Window,
+			KeepGoing: env.KeepGoing, Parallelism: env.Parallelism,
+		})
+		if err != nil {
+			return report.CampaignSummary{}, fmt.Errorf("adaptive: %w", err)
+		}
+		return res.Summary(), nil
+	}
+	res, err := core.RunCampaign(core.CampaignConfig{
+		Base: base, Trials: env.Trials,
+		KeepGoing: env.KeepGoing, Parallelism: env.Parallelism,
+	})
+	if err != nil {
+		return report.CampaignSummary{}, fmt.Errorf("adaptive: %w", err)
+	}
+	return res.Summary(), nil
+}

@@ -1,0 +1,73 @@
+// The chess tool: the CHESS-style preemption-bounded systematic
+// explorer. Adapter over package chess.
+package tool
+
+import (
+	"fmt"
+
+	"repro/internal/chess"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func init() { Register(chessTool{}) }
+
+type chessTool struct{}
+
+func (chessTool) Name() string { return "chess" }
+
+func (chessTool) Doc() string {
+	return "CHESS-style baseline: systematic interleaving enumeration (preemption_bound, max_schedules)"
+}
+
+// Systematic enumeration explores every interleaving of the generated
+// patterns, so the merge op is meaningless; size and distribution still
+// shape the per-task sources.
+func (chessTool) Axes() Axes { return Axes{S: true, PD: true} }
+
+func (chessTool) Validate(s Spec) error {
+	var probs []string
+	if s.Refine || s.Alpha != 0 || s.Window != 0 || s.NoiseP != 0 || s.Depth != 0 {
+		probs = append(probs, "chess only takes preemption_bound/max_schedules")
+	}
+	return knobError(probs)
+}
+
+// Defaulted absorbs the explorer's execution defaults: preemption bound
+// 1 and a 64-schedule cap. Bounded schedule spaces still explode
+// combinatorially; an unconfigured cell gets a budget comparable to a
+// campaign, not the whole space. Applied at execution time only — cell
+// identities hash the raw spec, so pre-registry keys are preserved.
+func (chessTool) Defaulted(s Spec) Spec {
+	if s.PreemptionBound == nil {
+		bound := 1
+		s.PreemptionBound = &bound
+	}
+	if s.MaxSchedules == 0 {
+		s.MaxSchedules = 64
+	}
+	return s
+}
+
+func (chessTool) Label(s Spec) string { return s.DisplayLabel() }
+
+func (t chessTool) Run(env Env) (report.CampaignSummary, error) {
+	// Self-defaulting: suite's runCell hands Run a Defaulted spec, but
+	// facade users driving a Tool directly may not — a nil preemption
+	// bound must mean "1", never a panic.
+	env.Spec = t.Defaulted(env.Spec)
+	res, err := chess.Explore(chess.Config{
+		Run: core.Config{
+			RE: env.RE, PD: env.PD,
+			N: env.N, S: env.S, Seed: env.Seed,
+			CommandGap: env.CommandGap,
+			Kernel:     env.Kernel, NewFactory: env.NewFactory, MaxSteps: env.MaxSteps,
+		},
+		PreemptionBound: *env.Spec.PreemptionBound, MaxSchedules: env.Spec.MaxSchedules,
+		ExploreAll: env.KeepGoing, Parallelism: env.Parallelism,
+	})
+	if err != nil {
+		return report.CampaignSummary{}, fmt.Errorf("chess: %w", err)
+	}
+	return res.Summary(), nil
+}

@@ -1,0 +1,53 @@
+// The contest tool: the ConTest-style random noise-injection baseline.
+// Adapter over package contest.
+package tool
+
+import (
+	"fmt"
+
+	"repro/internal/contest"
+	"repro/internal/report"
+)
+
+func init() { Register(contestTool{}) }
+
+type contestTool struct{}
+
+func (contestTool) Name() string { return "contest" }
+
+func (contestTool) Doc() string {
+	return "ConTest-style baseline: random forced yields at synchronization points (noise_p)"
+}
+
+// Noise injection only needs a task count: patterns, sizes and
+// distributions play no role, so those axes collapse.
+func (contestTool) Axes() Axes { return Axes{} }
+
+func (contestTool) Validate(s Spec) error {
+	var probs []string
+	if s.NoiseP < 0 || s.NoiseP > 1 {
+		probs = append(probs, "noise_p must be in [0,1]")
+	}
+	if s.Refine || s.Alpha != 0 || s.Window != 0 || s.PreemptionBound != nil || s.MaxSchedules != 0 || s.Depth != 0 {
+		probs = append(probs, "contest only takes noise_p")
+	}
+	return knobError(probs)
+}
+
+// Defaulted is the identity: contest.Run owns the NoiseP default (0.2)
+// so direct users of the baseline package share it.
+func (contestTool) Defaulted(s Spec) Spec { return s }
+
+func (contestTool) Label(s Spec) string { return s.DisplayLabel() }
+
+func (contestTool) Run(env Env) (report.CampaignSummary, error) {
+	res, err := contest.RunCampaign(contest.Config{
+		Seed: env.Seed, NoiseP: env.Spec.NoiseP, Tasks: env.N,
+		NewFactory: env.NewFactory, Kernel: env.Kernel, MaxSteps: env.MaxSteps,
+		Parallelism: env.Parallelism,
+	}, env.Trials, env.KeepGoing)
+	if err != nil {
+		return report.CampaignSummary{}, fmt.Errorf("contest: %w", err)
+	}
+	return res.Summary(), nil
+}

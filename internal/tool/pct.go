@@ -1,0 +1,233 @@
+// The pct tool: probabilistic concurrency testing (Burckhardt et al.,
+// "A Randomized Scheduler with Probabilistic Guarantees of Finding
+// Bugs", ASPLOS 2010), adapted to the paper's master–slave
+// architecture. PCT's scheduler assigns each thread a random priority
+// and lowers a priority at d randomly placed change points; any bug of
+// "depth" d is then found with probability ≥ 1/(n·k^(d-1)). Here the
+// master plays that scheduler through the existing remote-command
+// plane: tasks are created (TC) with a random priority permutation in a
+// high band, and each change point is a TCH command demoting a random
+// live task into a descending low band — so the priority-misplacement
+// fault class, which the noise baseline can never trigger (it issues no
+// TCH), is squarely in scope.
+//
+// This file is the registry seam's proof: a genuinely new tool in one
+// self-registering file, with no edits to the suite, store, server or
+// CLI dispatch sites.
+package tool
+
+import (
+	"fmt"
+
+	"repro/internal/bridge"
+	"repro/internal/clock"
+	"repro/internal/detector"
+	"repro/internal/engine"
+	"repro/internal/master"
+	"repro/internal/pcore"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func init() { Register(pctTool{}) }
+
+// pctDefaultDepth is d, the number of priority-change points per trial.
+const pctDefaultDepth = 3
+
+// pctMaxGap bounds the random master-side delay (in driver yields)
+// before each change point. PCT samples change points uniformly over
+// the run length k; the run length is not known up front here, so the
+// driver spreads its d demotions over d gaps of up to pctMaxGap
+// continuation points each — the same spirit, bounded so short
+// workloads still see their change points.
+const pctMaxGap = 256
+
+// pctBasePrio is the preferred start (most-urgent end) of the initial
+// random-priority band, leaving the levels above it free for
+// workload-critical tasks.
+const pctBasePrio = 8
+
+type pctTool struct{}
+
+func (pctTool) Name() string { return "pct" }
+
+func (pctTool) Doc() string {
+	return "probabilistic concurrency testing: random priorities with depth priority-change points (depth)"
+}
+
+// Like the noise baseline, PCT perturbs scheduling of the workload's
+// own execution: patterns, sizes and distributions play no role.
+func (pctTool) Axes() Axes { return Axes{} }
+
+// pctMaxDepth bounds the demotion band so it can never swallow the
+// initial priority band: the kernel has NumPriorities levels, the
+// initial band prefers to start at pctBasePrio, and at least two
+// levels must separate the bands for demotions to mean anything.
+const pctMaxDepth = pcore.NumPriorities - pctBasePrio - 2
+
+func (pctTool) Validate(s Spec) error {
+	var probs []string
+	if s.Depth < 0 || s.Depth > pctMaxDepth {
+		probs = append(probs, fmt.Sprintf("depth must be in [0,%d] (%d hardware priority levels minus the initial band)",
+			pctMaxDepth, pcore.NumPriorities))
+	}
+	if s.Refine || s.Alpha != 0 || s.Window != 0 || s.NoiseP != 0 || s.PreemptionBound != nil || s.MaxSchedules != 0 {
+		probs = append(probs, "pct only takes depth")
+	}
+	return knobError(probs)
+}
+
+func (pctTool) Defaulted(s Spec) Spec {
+	if s.Depth == 0 {
+		s.Depth = pctDefaultDepth
+	}
+	return s
+}
+
+func (pctTool) Label(s Spec) string { return s.DisplayLabel() }
+
+// pctOutcome is one PCT trial.
+type pctOutcome struct {
+	bug      *detector.Report
+	duration clock.Cycles
+	commands int
+}
+
+func (t pctTool) Run(env Env) (report.CampaignSummary, error) {
+	// Self-defaulting, like the other adapters: a facade caller that
+	// skipped Defaulted still gets depth 3, not zero change points.
+	env.Spec = t.Defaulted(env.Spec)
+	trials := env.Trials
+	if trials <= 0 {
+		trials = 10
+	}
+	outs, runErr := engine.Run(trials, env.Parallelism,
+		func(i int) (*pctOutcome, error) {
+			return pctTrial(env, env.Seed+uint64(i))
+		},
+		func(out *pctOutcome) bool { return !env.KeepGoing && out.bug != nil })
+
+	sum := report.CampaignSummary{}
+	for i, out := range outs {
+		sum.Trials++
+		sum.TotalCycles += uint64(out.duration)
+		sum.TotalCommands += out.commands
+		if out.bug != nil {
+			sum.Bugs++
+			if sum.FirstBugTrial == 0 {
+				sum.FirstBugTrial = i + 1
+				sum.FirstBug = out.bug.String()
+			}
+		}
+	}
+	if sum.Trials > 0 {
+		sum.BugRate = float64(sum.Bugs) / float64(sum.Trials)
+	}
+	if runErr != nil {
+		return report.CampaignSummary{}, fmt.Errorf("pct: %w", runErr)
+	}
+	return sum, nil
+}
+
+// pctTrial runs one PCT schedule: create env.N tasks under a random
+// priority permutation, then issue env.Spec.Depth demotions at random
+// points while the detector watches the workload run to completion or
+// failure. Deterministic in (env, seed).
+func pctTrial(env Env, seed uint64) (*pctOutcome, error) {
+	n := env.N
+	if n <= 0 {
+		n = 1
+	}
+	maxSteps := env.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 2_000_000
+	}
+	rng := stats.New(seed)
+	plat, err := platform.New(platform.Config{
+		Kernel: env.Kernel, Factory: env.NewFactory(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pct: %w", err)
+	}
+	defer plat.Shutdown()
+
+	// The demotion band is [floor, NumPriorities): change point i uses
+	// priority NumPriorities-1-i, so floor = NumPriorities-depth. The
+	// initial band sits directly above it — [base, base+n), distinct per
+	// task as PCT requires. The pCore regime (n ≤ 16 tasks, small depth)
+	// always fits with base = pctBasePrio; a larger n slides the band
+	// down, and a spec that exceeds the 32 hardware priority levels
+	// wraps (collisions: the distinct-priority invariant, and PCT's
+	// probabilistic bound with it, cannot be expressed on this kernel).
+	floor := pcore.NumPriorities - env.Spec.Depth
+	if floor < 2 {
+		floor = 2
+	}
+	base := pctBasePrio
+	if base+n > floor {
+		base = floor - n
+	}
+	if base < 1 {
+		base = 1
+	}
+	span := floor - base
+
+	commands := 0
+	plat.Master.Spawn("pct-driver", func(ctx *master.Ctx) {
+		// Initial random priorities: a permutation of the initial band.
+		perm := rng.Perm(n)
+		for logical := uint32(0); logical < uint32(n); logical++ {
+			prio := base + perm[int(logical)]%span
+			rep, err := plat.Client.Call(ctx, bridge.CodeTC, logical, uint32(prio))
+			if err != nil || rep.Status != bridge.StatusOK {
+				return
+			}
+			commands++
+		}
+		// d change points: after a random gap, demote a random live task
+		// to the i-th lowest priority — PCT's descending d-i levels, so
+		// successive victims order below each other deterministically.
+		for i := 0; i < env.Spec.Depth; i++ {
+			for gap := rng.Intn(pctMaxGap); gap > 0; gap-- {
+				ctx.Yield()
+			}
+			victim := uint32(rng.Intn(n))
+			low := pcore.NumPriorities - 1 - i
+			if low <= base {
+				low = base + 1
+			}
+			rep, err := plat.Client.Call(ctx, bridge.CodeTCH, victim, uint32(low))
+			if err != nil {
+				return
+			}
+			// A demotion landing on an already-finished task is a no-op
+			// (UnknownTask), exactly like a change point past a thread's
+			// last step in PCT.
+			if rep.Status == bridge.StatusOK {
+				commands++
+			}
+		}
+		// Fair tail: PCT's guarantee covers the perturbation window; past
+		// it, restore every live task to one common priority so the
+		// kernel's round-robin resumes. Without this, the tool's own
+		// priority assignment surfaces as "starvation" on workloads that
+		// never terminate (control loops) — a schedule artifact, not a
+		// workload bug. The restores go through TCH like any remote
+		// command, so a kernel that misapplies priorities (the
+		// misplaced-priority fault class) turns the tail itself into a
+		// detection opportunity no yield-noise baseline has.
+		for logical := uint32(0); logical < uint32(n); logical++ {
+			rep, err := plat.Client.Call(ctx, bridge.CodeTCH, logical, uint32(base))
+			if err != nil {
+				return
+			}
+			if rep.Status == bridge.StatusOK {
+				commands++
+			}
+		}
+	})
+	det := detector.New(plat, nil, detector.Options{})
+	bug := det.Run(maxSteps)
+	return &pctOutcome{bug: bug, duration: plat.Now(), commands: commands}, nil
+}

@@ -1,0 +1,140 @@
+package tool
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(adaptiveTool{})
+}
+
+func TestNamesIncludeAllBuiltins(t *testing.T) {
+	names := strings.Join(Names(), ",")
+	for _, want := range []string{"adaptive", "chess", "contest", "pct"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("registry misses %q: %s", want, names)
+		}
+	}
+	// The hint renders sorted, pipe-separated — the shape validation
+	// errors and CLI help embed.
+	if hint := NamesHint(); !strings.Contains(hint, "|") {
+		t.Errorf("NamesHint misses separators: %q", hint)
+	}
+}
+
+func TestKnobOwnership(t *testing.T) {
+	cases := []struct {
+		tool string
+		spec Spec
+		want string // "" = valid
+	}{
+		{"adaptive", Spec{Name: "adaptive"}, ""},
+		{"adaptive", Spec{Name: "adaptive", Refine: true, Alpha: 0.5, Window: 2}, ""},
+		{"adaptive", Spec{Name: "adaptive", Alpha: 0.5}, "refine"},
+		{"adaptive", Spec{Name: "adaptive", Depth: 3}, "not adaptive knobs"},
+		{"contest", Spec{Name: "contest", NoiseP: 0.3}, ""},
+		{"contest", Spec{Name: "contest", NoiseP: 1.5}, "noise_p must be in [0,1]"},
+		{"contest", Spec{Name: "contest", Depth: 3}, "contest only takes noise_p"},
+		{"chess", Spec{Name: "chess", MaxSchedules: 9}, ""},
+		{"chess", Spec{Name: "chess", Depth: 3}, "chess only takes"},
+		{"pct", Spec{Name: "pct", Depth: 5}, ""},
+		{"pct", Spec{Name: "pct", Depth: pctMaxDepth}, ""},
+		{"pct", Spec{Name: "pct", Depth: -1}, "depth must be in"},
+		{"pct", Spec{Name: "pct", Depth: pctMaxDepth + 1}, "depth must be in"},
+		{"pct", Spec{Name: "pct", NoiseP: 0.2}, "pct only takes depth"},
+		{"pct", Spec{Name: "pct", MaxSchedules: 4}, "pct only takes depth"},
+	}
+	for _, tc := range cases {
+		tl, ok := Lookup(tc.tool)
+		if !ok {
+			t.Fatalf("tool %q not registered", tc.tool)
+		}
+		err := tl.Validate(tc.spec)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: valid spec rejected: %v", tc.tool, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s %+v: got %v, want %q", tc.tool, tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestChessDefaultedAbsorbsFallbacks(t *testing.T) {
+	tl, _ := Lookup("chess")
+	d := tl.Defaulted(Spec{Name: "chess"})
+	if d.MaxSchedules != 64 || d.PreemptionBound == nil || *d.PreemptionBound != 1 {
+		t.Fatalf("chess defaults not absorbed: %+v", d)
+	}
+	// Explicit knobs survive.
+	nine := 9
+	d = tl.Defaulted(Spec{Name: "chess", PreemptionBound: &nine, MaxSchedules: 5})
+	if d.MaxSchedules != 5 || *d.PreemptionBound != 9 {
+		t.Fatalf("explicit chess knobs clobbered: %+v", d)
+	}
+}
+
+func pctEnv(t *testing.T, seed uint64, depth, trials int) Env {
+	t.Helper()
+	nf, err := workload.Spec{Name: "prodcons", Items: 10}.NewFactory(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, _ := Lookup("pct")
+	return Env{
+		N: 4, Seed: seed, Trials: trials, KeepGoing: true, MaxSteps: 300000,
+		Kernel:     workload.Spec{Name: "prodcons"}.Kernel(),
+		NewFactory: nf,
+		Spec:       tl.Defaulted(Spec{Name: "pct", Depth: depth}),
+	}
+}
+
+func TestPCTDeterministicInSeed(t *testing.T) {
+	tl, _ := Lookup("pct")
+	a, err := tl.Run(pctEnv(t, 42, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tl.Run(pctEnv(t, 42, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("pct nondeterministic in (env, seed):\n%+v\n%+v", a, b)
+	}
+	c, err := tl.Run(pctEnv(t, 43, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("pct blind to the seed")
+	}
+}
+
+func TestPCTParallelMatchesSequential(t *testing.T) {
+	tl, _ := Lookup("pct")
+	seq := pctEnv(t, 7, 3, 6)
+	par := pctEnv(t, 7, 3, 6)
+	par.Parallelism = 4
+	a, err := tl.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tl.Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("parallel pct campaign differs from sequential:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,48 @@
+// The built-in workloads: the paper's two case studies plus the
+// classic concurrency-bug scenarios the later PRs added. Each is one
+// Register call over package app — the template for out-of-tree
+// scenarios.
+package workload
+
+import (
+	"repro/internal/app"
+	"repro/internal/committee"
+)
+
+func init() {
+	Register("spin", "idle control-loop tasks (clean; pure scheduler stress)",
+		func(s Spec, n int) func() committee.Factory {
+			return app.SpinFactory
+		})
+	Register("quicksort", "case study 1: each task sorts 128 ints in a 512-byte stack (seed)",
+		func(s Spec, n int) func() committee.Factory {
+			seed := s.Seed
+			return func() committee.Factory { return app.QuicksortFactory(seed) }
+		}, DataSeeded())
+	Register("philosophers", "case study 2: dining philosophers, deadlock-prone fork order (rounds)",
+		func(s Spec, n int) func() committee.Factory {
+			rounds := s.Rounds
+			return func() committee.Factory {
+				f, _ := app.Philosophers(max(n, 2), rounds, false)
+				return f
+			}
+		})
+	Register("ordered-philosophers", "dining philosophers with a global fork order (deadlock-free control)",
+		func(s Spec, n int) func() committee.Factory {
+			rounds := s.Rounds
+			return func() committee.Factory {
+				f, _ := app.Philosophers(max(n, 2), rounds, true)
+				return f
+			}
+		})
+	Register("prodcons", "producer/consumer with a lost-wakeup hazard (items)",
+		func(s Spec, n int) func() committee.Factory {
+			items := s.Items
+			return func() committee.Factory { return app.ProducerConsumer(items) }
+		})
+	Register("inversion", "priority-inversion starvation scenario (hog_bursts)",
+		func(s Spec, n int) func() committee.Factory {
+			hogBursts := s.HogBursts
+			return func() committee.Factory { return app.PriorityInversion(hogBursts) }
+		})
+}

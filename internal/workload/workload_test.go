@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/committee"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"spin", "quicksort", "philosophers",
+		"ordered-philosophers", "prodcons", "inversion"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("builtin %q not registered (have %v)", want, names)
+		}
+		if Doc(want) == "" {
+			t.Errorf("builtin %q has no doc line", want)
+		}
+	}
+}
+
+func TestUnknownNameErrorCarriesHint(t *testing.T) {
+	_, err := Spec{Name: "nosuch"}.NewFactory(1)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	for _, want := range []string{`unknown workload "nosuch"`, "spin", "quicksort"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q misses %q", err, want)
+		}
+	}
+}
+
+func TestRegisteredWorkloadResolvesImmediately(t *testing.T) {
+	// The seam: a workload registered by an out-of-tree file (this one)
+	// resolves through Spec.NewFactory with no registry-package edits.
+	called := 0
+	Register("test-custom", "test-only", func(s Spec, n int) func() committee.Factory {
+		if s.Rounds != DefaultRounds {
+			t.Errorf("builder got an undefaulted spec: %+v", s)
+		}
+		return func() committee.Factory {
+			called++
+			return app.SpinFactory()
+		}
+	})
+	nf, err := Spec{Name: "test-custom"}.NewFactory(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf()
+	nf()
+	if called != 2 {
+		t.Fatalf("per-trial constructor called %d times, want 2", called)
+	}
+}
+
+func TestWithDefaultsNormalizesKnobs(t *testing.T) {
+	d := Spec{Name: "philosophers"}.WithDefaults()
+	if d.Rounds != DefaultRounds || d.Items != DefaultItems || d.HogBursts != DefaultHogBursts {
+		t.Fatalf("defaults not applied: %+v", d)
+	}
+	e := Spec{Name: "philosophers", Rounds: 7}.WithDefaults()
+	if e.Rounds != 7 {
+		t.Fatalf("explicit knob clobbered: %+v", e)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("spin", "dup", nil)
+}

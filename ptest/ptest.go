@@ -58,6 +58,8 @@ import (
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/suite"
+	"repro/internal/tool"
+	"repro/internal/workload"
 )
 
 // Config configures one adaptive test run; see core.Config for the full
@@ -228,6 +230,11 @@ type ContestConfig = contest.Config
 // RunContest executes one noise-injection trial.
 func RunContest(cfg ContestConfig) (*contest.Outcome, error) { return contest.Run(cfg) }
 
+// RunContestCampaign repeats RunContest over consecutive seeds.
+func RunContestCampaign(cfg ContestConfig, trials int, keepGoing bool) (*contest.CampaignResult, error) {
+	return contest.RunCampaign(cfg, trials, keepGoing)
+}
+
 // ChessConfig configures the CHESS-style systematic explorer.
 type ChessConfig = chess.Config
 
@@ -269,8 +276,15 @@ func LoadRepro(r io.Reader) (*ReproFile, error) { return replay.Load(r) }
 // plan and executed through the campaign engine.
 type SuiteSpec = suite.Spec
 
+// SuitePoint is one (n, s) matrix coordinate.
+type SuitePoint = suite.Point
+
 // SuiteReport is the aggregated machine-readable result of a suite run.
 type SuiteReport = report.Report
+
+// CampaignSummary is the tool-agnostic result of one campaign — what a
+// registered Tool's Run returns and suite reports aggregate.
+type CampaignSummary = report.CampaignSummary
 
 // ParseSuiteSpec decodes, defaults and validates a matrix spec.
 func ParseSuiteSpec(r io.Reader) (*SuiteSpec, error) { return suite.Parse(r) }
@@ -300,6 +314,60 @@ var ErrSuiteInterrupted = suite.ErrInterrupted
 func RunSuiteContext(ctx context.Context, spec *SuiteSpec, jsonl io.Writer, opts SuiteOptions) (*SuiteReport, error) {
 	return suite.RunContext(ctx, spec, jsonl, opts)
 }
+
+// --- tool & workload registries --------------------------------------------
+
+// Tool is one pluggable scheduling-perturbation strategy: validation,
+// execution-time defaults, labeling, axis collapsing and the campaign
+// runner behind one suite-matrix tool name. Register an implementation
+// and it is immediately usable in suite specs, ptestd jobs, the result
+// store and `ptest run -tool` — no dispatch-site edits anywhere.
+type Tool = tool.Tool
+
+// ToolSpec is a tool's declarative form in a suite matrix (name plus
+// knobs). Its canonical JSON is hashed into cell-identity keys, so the
+// struct only ever grows append-only omitempty fields.
+type ToolSpec = tool.Spec
+
+// ToolEnv is the resolved execution environment handed to a Tool's Run.
+type ToolEnv = tool.Env
+
+// ToolAxes declares which matrix axes a tool consumes; unconsumed axes
+// collapse during expansion instead of multiplying identical cells.
+type ToolAxes = tool.Axes
+
+// RegisterTool adds a tool to the registry (panics on a duplicate
+// name, as registration is an init-time act).
+func RegisterTool(t Tool) { tool.Register(t) }
+
+// ToolNames lists the registered tool names, sorted.
+func ToolNames() []string { return tool.Names() }
+
+// Tools returns the registered tools sorted by name.
+func Tools() []Tool { return tool.Registered() }
+
+// WorkloadSpec is a workload's declarative form in a suite matrix. Like
+// ToolSpec it is part of the cell-identity cache contract.
+type WorkloadSpec = workload.Spec
+
+// WorkloadBuilder constructs a per-trial factory constructor for a
+// defaulted workload spec; n is the cell's task count.
+type WorkloadBuilder = workload.Builder
+
+// WorkloadOption tunes a workload registration.
+type WorkloadOption = workload.Option
+
+// WorkloadDataSeeded marks a registered workload as consuming
+// WorkloadSpec.Seed as its data seed (like quicksort's input).
+func WorkloadDataSeeded() WorkloadOption { return workload.DataSeeded() }
+
+// RegisterWorkload adds a workload under name (panics on a duplicate).
+func RegisterWorkload(name, doc string, b WorkloadBuilder, opts ...WorkloadOption) {
+	workload.Register(name, doc, b, opts...)
+}
+
+// WorkloadNames lists the registered workload names, sorted.
+func WorkloadNames() []string { return workload.Names() }
 
 // --- result store and job server -------------------------------------------
 
