@@ -12,7 +12,7 @@
 //	               content-addressed result store, graceful drain
 //	ptest client   talk to a ptestd: submit|status|watch|report|cancel
 //	ptest tools    list the registered testing tools and workloads
-//	ptest store    inspect a result store directory (stat)
+//	ptest store    administer a result store directory (stat, compact)
 //
 // Every tool and workload name above resolves through the
 // internal/tool and internal/workload registries: `ptest run -tool
@@ -25,6 +25,7 @@
 //	ptest run -re 'TC (TS TR)+ TD$' -n 3 -s 41 -op cyclic -workload philosophers
 //	ptest suite -spec examples/suite/smoke.json -out report.json -jsonl cells.jsonl
 //	ptest suite -spec sweep.json -store ~/.cache/ptest-store   # warm cells skip execution
+//	ptest suite -spec sweep.json -store-url http://cache:8321  # share a ptestd fleet's cache
 //	ptest compare -max-rate-drop 0.05 baseline.json report.json
 //	ptest serve -addr :8321 -store /var/lib/ptestd/store
 //	ptest client submit -spec sweep.json -priority 5 -wait
@@ -130,7 +131,7 @@ subcommands:
   serve    run ptestd, the campaign job server (HTTP + SSE + result store)
   client   talk to a ptestd: submit|status|watch|report|cancel
   tools    list the registered testing tools and workloads
-  store    inspect a result store directory (stat)
+  store    administer a result store directory (stat, compact)
   help     print this text
 
 run "ptest <subcommand> -h" for that subcommand's flags.

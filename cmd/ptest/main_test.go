@@ -36,10 +36,15 @@ func TestRunValidationRoutesThroughUsageError(t *testing.T) {
 	wantUsageError(t, cmdClient([]string{"bogus"}))                          // unknown verb
 	wantUsageError(t, cmdClient([]string{"submit"}))                         // missing -spec
 	wantUsageError(t, cmdClient([]string{"submit", "-spec", "/nonexistent/spec.json"}))
-	wantUsageError(t, cmdClient([]string{"watch"}))                               // missing job id
-	wantUsageError(t, cmdClient([]string{"report", "a", "b"}))                    // wrong arity
-	wantUsageError(t, cmdClient([]string{"cancel"}))                              // missing job id
-	wantUsageError(t, cmdRun([]string{"-pcore", "-store", "x", "-dump-journal"})) // store vs journal
+	wantUsageError(t, cmdClient([]string{"watch"}))                                        // missing job id
+	wantUsageError(t, cmdClient([]string{"report", "a", "b"}))                             // wrong arity
+	wantUsageError(t, cmdClient([]string{"cancel"}))                                       // missing job id
+	wantUsageError(t, cmdRun([]string{"-pcore", "-store", "x", "-dump-journal"}))          // store vs journal
+	wantUsageError(t, cmdStoreAdmin(nil))                                                  // missing verb
+	wantUsageError(t, cmdStoreAdmin([]string{"bogus"}))                                    // unknown verb
+	wantUsageError(t, cmdStoreAdmin([]string{"compact"}))                                  // missing -dir
+	wantUsageError(t, cmdRun([]string{"-pcore", "-store", "a", "-store-url", "http://b"})) // mutually exclusive
+	wantUsageError(t, cmdServe([]string{"-store-autocompact", "1"}))                       // autocompact needs -store
 }
 
 func TestHelpRequestIsNotAnError(t *testing.T) {
@@ -85,6 +90,39 @@ func TestRunViaStoreCachesAcrossInvocations(t *testing.T) {
 	defer st.Close()
 	if got := st.Stats(); got.DiskEntries != 1 {
 		t.Fatalf("two identical runs stored %d cells, want 1", got.DiskEntries)
+	}
+}
+
+func TestStoreCompactCLIKeepsWarmReplay(t *testing.T) {
+	// The CLI acceptance loop: run with -store, `ptest store compact`,
+	// run again — the warm run is served entirely from the compacted
+	// store and stat shows zero reclaimable bytes.
+	dir := filepath.Join(t.TempDir(), "store")
+	args := []string{"-pcore", "-n", "8", "-s", "16", "-workload", "quicksort",
+		"-gc-leak-every", "2", "-trials", "2", "-keep-going", "-json", "-store", dir}
+	if err := cmdRun(args); !errors.Is(err, errFailed) {
+		t.Fatalf("cold run: want errFailed, got %v", err)
+	}
+	if err := cmdStoreAdmin([]string{"compact", "-dir", dir, "-json"}); err != nil {
+		t.Fatalf("store compact: %v", err)
+	}
+	ds, err := store.Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.LiveEntries != 1 || ds.TotalBytes != ds.LiveBytes {
+		t.Fatalf("stat after compact: %+v (want 1 live entry, 0 reclaimable)", ds)
+	}
+	if err := cmdRun(args); !errors.Is(err, errFailed) {
+		t.Fatalf("warm run after compact: want errFailed (cached verdict), got %v", err)
+	}
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Stats(); got.DiskEntries != 1 {
+		t.Fatalf("store grew across compact+warm run: %+v", got)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/pfa"
 	"repro/internal/replay"
 	"repro/internal/report"
+	"repro/internal/store"
 	"repro/internal/suite"
 	"repro/internal/tool"
 	"repro/internal/workload"
@@ -96,6 +97,7 @@ func cmdRun(args []string) error {
 		saveRepro = fs.String("save-repro", "", "write a reproduction file for the first failing run")
 		replayF   = fs.String("replay", "", "re-execute a reproduction file instead of generating patterns")
 		storeDir  = fs.String("store", "", "content-addressed result store directory: execute as a one-cell suite, skipping cells already computed by run/suite/ptestd (campaign seeds derive from the cell identity, not -seed directly)")
+		storeURL  = fs.String("store-url", "", "remote result store: a ptestd base URL whose cell cache this run shares (mutually exclusive with -store)")
 		storeMem  = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
 	)
 	if err := parseFlags(fs, args); err != nil {
@@ -109,7 +111,7 @@ func cmdRun(args []string) error {
 	if !ok {
 		return usagef("run: unknown tool %q (want %s)", *toolName, tool.NamesHint())
 	}
-	direct := tl.Name() == "adaptive" && *storeDir == ""
+	direct := tl.Name() == "adaptive" && *storeDir == "" && *storeURL == ""
 	if !direct && (*saveRepro != "" || *dumpJ) {
 		// The one-cell-suite path (and cached cells) carries only the
 		// campaign summary, not per-trial outcomes — it could not honor
@@ -200,7 +202,7 @@ func cmdRun(args []string) error {
 			workload: *workloadF, rounds: *rounds, quantum: *quantum,
 			gcLeak: *gcLeak, dropTR: *dropTR, misprio: *misprio,
 			parallelism: parallelism, jsonOut: *jsonOut,
-			storeDir: *storeDir, storeMem: *storeMem,
+			storeDir: *storeDir, storeURL: *storeURL, storeMem: *storeMem,
 		})
 	}
 
@@ -281,7 +283,8 @@ type runSpecArgs struct {
 	// spec path and direct execution always run the same RE.
 	re, pdSpec, opName        string
 	tool                      string
-	workload, storeDir        string
+	workload                  string
+	storeDir, storeURL        string
 	pd                        pfa.Distribution
 	n, s, trials, rounds      int
 	quantum, gap              int
@@ -333,8 +336,8 @@ func runViaSpec(a runSpecArgs) error {
 	}
 
 	var opts suite.Options
-	if a.storeDir != "" {
-		st, err := openStoreFlag(a.storeDir, a.storeMem)
+	if a.storeDir != "" || a.storeURL != "" {
+		st, err := openStoreFlag(store.Config{Dir: a.storeDir, MemEntries: a.storeMem}, a.storeURL)
 		if err != nil {
 			return err
 		}

@@ -20,10 +20,18 @@ import (
 	"repro/internal/store"
 )
 
-// openStoreFlag builds the store shared by serve, suite and run: a
-// disk-backed one when -store names a directory, memory-only otherwise.
-func openStoreFlag(dir string, memEntries int) (*store.Store, error) {
-	return store.Open(store.Config{Dir: dir, MemEntries: memEntries})
+// openStoreFlag builds the store shared by serve, suite and run behind
+// the CellStore seam: a remote client when -store-url names a serving
+// ptestd, a disk-backed local store when -store names a directory,
+// memory-only otherwise.
+func openStoreFlag(cfg store.Config, remoteURL string) (store.CellStore, error) {
+	if remoteURL != "" {
+		if cfg.Dir != "" {
+			return nil, usagef("-store and -store-url are mutually exclusive")
+		}
+		return store.OpenRemote(store.RemoteConfig{BaseURL: remoteURL, MemEntries: cfg.MemEntries})
+	}
+	return store.Open(cfg)
 }
 
 func cmdServe(args []string) error {
@@ -34,7 +42,9 @@ func cmdServe(args []string) error {
 		queueCap = fs.Int("queue", 64, "job queue capacity (submissions past it get 503)")
 		maxJobs  = fs.Int("max-jobs", 512, "retained job records (oldest finished jobs pruned past this)")
 		storeDir = fs.String("store", "", "result-store directory (empty: memory-only, lost on exit)")
+		storeURL = fs.String("store-url", "", "share another ptestd's store instead of owning one (fleet worker mode; mutually exclusive with -store)")
 		storeMem = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
+		autoGC   = fs.Int64("store-autocompact", 0, "background-compact the local store when reclaimable bytes exceed this (0 = off)")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -43,7 +53,12 @@ func cmdServe(args []string) error {
 		return usagef("serve: -queue must be positive")
 	}
 
-	st, err := openStoreFlag(*storeDir, *storeMem)
+	if *autoGC > 0 && *storeDir == "" {
+		return usagef("serve: -store-autocompact needs a local -store directory")
+	}
+	st, err := openStoreFlag(store.Config{
+		Dir: *storeDir, MemEntries: *storeMem, AutoCompactMinBytes: *autoGC,
+	}, *storeURL)
 	if err != nil {
 		return err
 	}
@@ -77,7 +92,7 @@ func cmdServe(args []string) error {
 
 	srv.Start()
 	fmt.Fprintf(os.Stderr, "ptestd: listening on %s (workers=%d queue=%d store=%s)\n",
-		*addr, *workers, *queueCap, storeDesc(*storeDir))
+		*addr, *workers, *queueCap, storeDesc(*storeDir, *storeURL))
 	err = httpSrv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
 		return err
@@ -87,9 +102,12 @@ func cmdServe(args []string) error {
 	return nil
 }
 
-func storeDesc(dir string) string {
-	if dir == "" {
-		return "memory"
+func storeDesc(dir, remoteURL string) string {
+	switch {
+	case remoteURL != "":
+		return "remote " + remoteURL
+	case dir != "":
+		return dir
 	}
-	return dir
+	return "memory"
 }

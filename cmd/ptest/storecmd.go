@@ -1,7 +1,10 @@
 // ptest store: administration of a content-addressed result store
 // directory. `stat` reads the directory without opening it for writing
-// (no flock), so it works alongside a live daemon — the numbers
-// compaction (the ROADMAP's store GC item) will decide by.
+// (no exclusive flock), so it works alongside a live daemon — and
+// reports the live-vs-reclaimable numbers `compact` decides by.
+// `compact` opens the store exclusively (it fails loudly if a daemon
+// owns the directory) and rewrites the segments down to their live
+// entries.
 package main
 
 import (
@@ -14,14 +17,16 @@ import (
 
 func cmdStoreAdmin(args []string) error {
 	if len(args) == 0 {
-		return usagef("store: missing verb (want stat)")
+		return usagef("store: missing verb (want stat|compact)")
 	}
 	verb, args := args[0], args[1:]
 	switch verb {
 	case "stat":
 		return cmdStoreStat(args)
+	case "compact":
+		return cmdStoreCompact(args)
 	}
-	return usagef("store: unknown verb %q (want stat)", verb)
+	return usagef("store: unknown verb %q (want stat|compact)", verb)
 }
 
 func cmdStoreStat(args []string) error {
@@ -58,5 +63,44 @@ func cmdStoreStat(args []string) error {
 		fmt.Printf("hit rate:     %.1f%%\n",
 			100*float64(ds.Lifetime.Hits)/float64(ds.Lifetime.Hits+ds.Lifetime.Misses))
 	}
+	return nil
+}
+
+func cmdStoreCompact(args []string) error {
+	fs := flag.NewFlagSet("ptest store compact", flag.ContinueOnError)
+	var (
+		dir     = fs.String("dir", "", "result store directory (required)")
+		jsonOut = fs.Bool("json", false, "print the compaction result as JSON")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return usagef("store compact: -dir is required")
+	}
+	// Exclusive open: compaction rewrites the log, so unlike stat it must
+	// own the directory — a live daemon makes this fail with the usual
+	// "is another run/suite/ptestd using this store directory?" hint.
+	st, err := store.Open(store.Config{Dir: *dir})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	res, err := st.Compact()
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", data)
+		return nil
+	}
+	fmt.Printf("store %s compacted\n", *dir)
+	fmt.Printf("segments: %d -> %d\n", res.SegmentsBefore, res.SegmentsAfter)
+	fmt.Printf("bytes:    %d -> %d (%d reclaimed)\n", res.BytesBefore, res.BytesAfter, res.ReclaimedBytes)
+	fmt.Printf("live:     %d entries rewritten\n", res.LiveEntries)
 	return nil
 }

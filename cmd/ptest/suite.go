@@ -18,6 +18,7 @@ import (
 	"syscall"
 
 	"repro/internal/report"
+	"repro/internal/store"
 	"repro/internal/suite"
 )
 
@@ -30,6 +31,7 @@ func cmdSuite(args []string) error {
 		canonical = fs.Bool("canonical", false, "zero timing fields in the report (for committed baselines)")
 		cells     = fs.Int("cells", 0, "cell workers: overrides the spec's cell_parallelism (0 = keep spec)")
 		storeDir  = fs.String("store", "", "content-addressed result store directory (cells found there are not re-executed)")
+		storeURL  = fs.String("store-url", "", "remote result store: a ptestd base URL whose cell cache this run shares (mutually exclusive with -store)")
 		storeMem  = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
 		quiet     = fs.Bool("quiet", false, "suppress the per-cell progress summary on stderr")
 	)
@@ -48,8 +50,8 @@ func cmdSuite(args []string) error {
 	}
 
 	var opts suite.Options
-	if *storeDir != "" {
-		st, err := openStoreFlag(*storeDir, *storeMem)
+	if *storeDir != "" || *storeURL != "" {
+		st, err := openStoreFlag(store.Config{Dir: *storeDir, MemEntries: *storeMem}, *storeURL)
 		if err != nil {
 			return err
 		}

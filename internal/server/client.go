@@ -31,6 +31,10 @@ func NewClient(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
 }
 
+// BaseURL returns the normalized base URL this client talks to — what
+// a store.Remote pointed at the same daemon should be built from.
+func (c *Client) BaseURL() string { return c.base }
+
 // apiError decodes the server's single JSON error shape.
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()

@@ -14,8 +14,15 @@
 //	DELETE /api/v1/jobs/{id}        cancel (queued: immediate; running: next cell)
 //	GET    /api/v1/jobs/{id}/report the finished report (?canonical=1)
 //	GET    /api/v1/jobs/{id}/events SSE: replay + follow `cell` events, final `done`
+//	GET    /api/v1/cells/{key}      fetch one stored cell (the fleet cache read)
+//	PUT    /api/v1/cells/{key}      store one computed cell (the fleet cache write)
 //	GET    /metrics                 plain-text counters
 //	GET    /healthz                 liveness
+//
+// The cells endpoints serve this daemon's store to other processes:
+// `ptest suite -store-url` and worker ptestds (serve -store-url) read
+// and write through them via store.Remote, so a whole fleet computes
+// each cell once, ever.
 package server
 
 import (
@@ -50,8 +57,11 @@ type Config struct {
 	// running jobs are never pruned.
 	MaxJobs int
 	// Store memoizes cells across jobs. Nil gets a private memory-only
-	// store so the daemon always deduplicates repeated work.
-	Store *store.Store
+	// store so the daemon always deduplicates repeated work. A
+	// store.Remote pointed at another ptestd turns this daemon into a
+	// fleet worker sharing that hub's cache; a local disk-backed store
+	// (plus this daemon's /api/v1/cells endpoints) makes it the hub.
+	Store store.CellStore
 }
 
 // metrics are the /metrics counters. Monotonic totals plus two gauges
@@ -65,7 +75,7 @@ type metrics struct {
 // net/http server, Start() the workers, and Drain() on shutdown.
 type Server struct {
 	cfg      Config
-	store    *store.Store
+	store    store.CellStore
 	queue    *jobQueue
 	mux      *http.ServeMux
 	met      metrics
@@ -109,6 +119,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/cells/{key}", s.handleCellGet)
+	s.mux.HandleFunc("PUT /api/v1/cells/{key}", s.handleCellPut)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -384,6 +396,68 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// refuseForwardedHop rejects a cells request that a Remote already
+// forwarded once when serving it would forward it again (this daemon's
+// own store is a Remote). Without the guard a daemon pointed at itself
+// via -store-url — or two workers pointed at each other — would
+// circular-wait every cold lookup until the HTTP timeout; with it the
+// loop resolves instantly into a miss and the caller computes locally.
+func (s *Server) refuseForwardedHop(w http.ResponseWriter, r *http.Request) bool {
+	if r.Header.Get(store.CellsHopHeader) == "" {
+		return false
+	}
+	if _, chained := s.store.(*store.Remote); !chained {
+		return false
+	}
+	httpError(w, http.StatusLoopDetected,
+		"cells request already forwarded once and this daemon's store is remote (-store-url loop or chain); compute locally")
+	return true
+}
+
+// handleCellGet serves one cell from the daemon's store — the read half
+// of the fleet-shared cache. 404 is the normal miss answer a
+// store.Remote maps back to "compute it yourself".
+func (s *Server) handleCellGet(w http.ResponseWriter, r *http.Request) {
+	if s.refuseForwardedHop(w, r) {
+		return
+	}
+	key := r.PathValue("key")
+	cell, ok := s.store.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no cell %q", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, cell)
+}
+
+// handleCellPut accepts one computed cell into the daemon's store — the
+// write half of the fleet-shared cache. Content addressing makes the
+// operation idempotent: re-putting a known key is a no-op, so racing
+// workers that both computed a cell agree by construction. Puts are
+// accepted even while draining; a worker finishing its last job must
+// not lose its results.
+func (s *Server) handleCellPut(w http.ResponseWriter, r *http.Request) {
+	if s.refuseForwardedHop(w, r) {
+		return
+	}
+	key := r.PathValue("key")
+	var cell report.Cell
+	// The wire cap is exactly the store's own record bound: any cell the
+	// store behind this endpoint would accept must be pushable to it.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, store.MaxRecordBytes)).Decode(&cell); err != nil {
+		httpError(w, http.StatusBadRequest, "bad cell body: %v", err)
+		return
+	}
+	if err := s.store.Put(key, cell); err != nil {
+		// The store degraded (full disk, closed): the computed cell is
+		// still correct on the worker's side, but this daemon could not
+		// persist it.
+		httpError(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,73 @@
+// CellStore is the seam between the memoizing consumers (suite runs,
+// ptestd, the CLI) and a concrete result-store implementation. PR 4
+// extracted tool and workload dispatch behind registries; this is the
+// same move for result storage: everything above this package depends
+// on the interface, so a local segment-log store, a remote ptestd-backed
+// store, or anything a facade user registers slots in without touching
+// the suite runner, the daemon, or the CLI.
+package store
+
+import "repro/internal/report"
+
+// CellStore answers content-addressed cell lookups. Keys are the
+// canonical cell-identity hashes the suite layer computes
+// (suite.Spec.CellKey); the contract is exactly the one consumers
+// already relied on from *Store:
+//
+//   - Get returns the stored cell and true on a hit. A miss — including
+//     any internal failure the implementation degrades over (unreadable
+//     record, unreachable remote) — returns false: the caller then
+//     recomputes the cell, which is always correct.
+//   - Put stores the cell under key. Re-putting a known key is a no-op
+//     (content addressing guarantees the value is identical). A non-nil
+//     error means the write may not persist, never that the computed
+//     cell is wrong — callers log and continue.
+//   - Stats and Lifetime are telemetry: session counters and cumulative
+//     history. Neither is consulted for correctness.
+//   - Close releases resources; Put after Close errors.
+//
+// Implementations must be safe for concurrent use by the suite worker
+// pool and the daemon's job workers.
+type CellStore interface {
+	Get(key string) (report.Cell, bool)
+	Put(key string, cell report.Cell) error
+	Stats() Stats
+	Lifetime() Counters
+	Close() error
+}
+
+// Compactor is the optional garbage-collection face of a CellStore:
+// stores whose representation accumulates dead bytes (the local
+// segment log's torn tails and superseded records) implement it; a
+// pure pass-through like Remote does not. Callers type-assert:
+//
+//	if c, ok := cs.(store.Compactor); ok { c.Compact() }
+type Compactor interface {
+	// Compact rewrites the store down to its live entries and reports
+	// what was reclaimed. Every key readable before is readable after;
+	// cell keys and the record format are unchanged (bit-stability is
+	// the store's contract with the warm-replay tests).
+	Compact() (CompactResult, error)
+}
+
+// CompactResult describes one compaction pass.
+type CompactResult struct {
+	// SegmentsBefore/After count segment files; BytesBefore/After their
+	// summed on-disk size.
+	SegmentsBefore int   `json:"segments_before"`
+	SegmentsAfter  int   `json:"segments_after"`
+	BytesBefore    int64 `json:"bytes_before"`
+	BytesAfter     int64 `json:"bytes_after"`
+	// ReclaimedBytes = BytesBefore - BytesAfter.
+	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+	// LiveEntries is the number of records rewritten — the store's
+	// entire readable content.
+	LiveEntries int `json:"live_entries"`
+}
+
+// Interface conformance pinned at compile time.
+var (
+	_ CellStore = (*Store)(nil)
+	_ Compactor = (*Store)(nil)
+	_ CellStore = (*Remote)(nil)
+)

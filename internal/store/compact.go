@@ -1,0 +1,232 @@
+// Segment compaction: rewrite the log down to its live entries. The
+// append-only design means segments accumulate dead bytes — torn tails
+// left by crashes, records superseded by a later segment (a previous
+// compaction that crashed between rename and delete), middle-segment
+// garbage that replay skips — and without a rewrite they stay on disk
+// forever. Compact copies exactly the records the index can reach into
+// fresh segments, atomically swaps them in, and deletes the old files.
+//
+// Crash safety is layered on the same replay invariants Open already
+// enforces:
+//
+//   - New segments are written as store-NNNNNN.seg.tmp and renamed into
+//     place only when complete and synced — a crash mid-write leaves
+//     only .tmp files, which Open deletes (they were never part of the
+//     log).
+//   - New segment ids are strictly greater than every old id, so a
+//     crash after some renames but before the old files are deleted
+//     leaves duplicate records whose newest copy wins during the
+//     ascending-id replay. Nothing is lost; the leftovers are dead
+//     bytes the next compaction reclaims.
+//   - Old segments are deleted only after every rename has succeeded —
+//     the point of no return is crossed with all data safely in place
+//     twice.
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Compact rewrites the store down to its live entries and reports what
+// was reclaimed. It holds the store lock for the duration, so Get/Put
+// from other goroutines block until the pass finishes — acceptable
+// because a pass costs one sequential read plus one sequential write of
+// the live data. Cell keys and the record format are untouched: a store
+// that replayed N cells before compaction replays the same N after.
+func (s *Store) Compact() (CompactResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() (res CompactResult, err error) {
+	if s.closed {
+		return res, fmt.Errorf("store: closed")
+	}
+	if s.dir == "" {
+		return res, fmt.Errorf("store: memory-only store has no segments to compact")
+	}
+	if s.diskDead {
+		return res, fmt.Errorf("store: disk layer disabled after an append failure")
+	}
+
+	oldIDs := make([]int, 0, len(s.readers))
+	for id := range s.readers {
+		oldIDs = append(oldIDs, id)
+	}
+	sort.Ints(oldIDs)
+	res.SegmentsBefore = len(oldIDs)
+	res.BytesBefore = s.totalBytes
+	res.LiveEntries = len(s.index)
+
+	// Live refs in (segment, offset) order: the copy below reads each
+	// old segment sequentially.
+	type liveRef struct {
+		key string
+		ref diskRef
+	}
+	refs := make([]liveRef, 0, len(s.index))
+	for key, ref := range s.index {
+		refs = append(refs, liveRef{key, ref})
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].ref.seg != refs[j].ref.seg {
+			return refs[i].ref.seg < refs[j].ref.seg
+		}
+		return refs[i].ref.off < refs[j].ref.off
+	})
+
+	// Phase 1: write the live records into fresh .tmp segments with ids
+	// past every existing one. Abortable — on any error the tmp files
+	// are removed and the store is untouched.
+	var (
+		newIDs   []int
+		newIndex = make(map[string]diskRef, len(refs))
+		tmpFile  *os.File
+		tmpW     *bufio.Writer
+		tmpSize  int64
+		newTotal int64
+	)
+	cleanupTmp := func() {
+		if tmpFile != nil {
+			_ = tmpFile.Close()
+			tmpFile = nil
+		}
+		for _, id := range newIDs {
+			_ = os.Remove(s.segPath(id) + ".tmp")
+		}
+	}
+	nextID := s.actID
+	openTmp := func() error {
+		nextID++
+		f, err := os.OpenFile(s.segPath(nextID)+".tmp", os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		newIDs = append(newIDs, nextID)
+		tmpFile, tmpW, tmpSize = f, bufio.NewWriterSize(f, 1<<20), 0
+		return nil
+	}
+	closeTmp := func() error {
+		if tmpFile == nil {
+			return nil
+		}
+		if err := tmpW.Flush(); err != nil {
+			return err
+		}
+		// Sync before rename: the rename must never expose a segment
+		// whose bytes could still be lost to a power cut.
+		if err := tmpFile.Sync(); err != nil {
+			return err
+		}
+		err := tmpFile.Close()
+		tmpFile = nil
+		newTotal += tmpSize
+		return err
+	}
+	buf := make([]byte, 0, 4096)
+	for _, lr := range refs {
+		// Re-read the record bytes (header + payload) verbatim: the
+		// framing is deterministic in the payload, so the rewritten
+		// record is bit-identical to the original.
+		r := s.readers[lr.ref.seg]
+		if r == nil {
+			cleanupTmp()
+			return res, fmt.Errorf("store: compact: no reader for segment %d", lr.ref.seg)
+		}
+		n := recordHeaderLen + lr.ref.n
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := r.ReadAt(buf, lr.ref.off-recordHeaderLen); err != nil {
+			cleanupTmp()
+			return res, fmt.Errorf("store: compact: reading %s: %w", lr.key, err)
+		}
+		if tmpFile == nil || tmpSize >= s.segMax {
+			if err := closeTmp(); err != nil {
+				cleanupTmp()
+				return res, fmt.Errorf("store: compact: %w", err)
+			}
+			if err := openTmp(); err != nil {
+				cleanupTmp()
+				return res, fmt.Errorf("store: compact: %w", err)
+			}
+		}
+		if _, err := tmpW.Write(buf); err != nil {
+			cleanupTmp()
+			return res, fmt.Errorf("store: compact: %w", err)
+		}
+		newIndex[lr.key] = diskRef{seg: newIDs[len(newIDs)-1], off: tmpSize + recordHeaderLen, n: lr.ref.n}
+		tmpSize += int64(n)
+	}
+	if err := closeTmp(); err != nil {
+		cleanupTmp()
+		return res, fmt.Errorf("store: compact: %w", err)
+	}
+
+	// Phase 2: atomically rename every tmp into the log. A failure here
+	// still aborts cleanly — already-renamed new segments hold only
+	// duplicates of records the old segments (all untouched) still
+	// serve, so removing them plus the remaining tmps restores the
+	// previous state exactly.
+	for i, id := range newIDs {
+		if err := os.Rename(s.segPath(id)+".tmp", s.segPath(id)); err != nil {
+			for _, done := range newIDs[:i] {
+				_ = os.Remove(s.segPath(done))
+			}
+			cleanupTmp()
+			return res, fmt.Errorf("store: compact: %w", err)
+		}
+	}
+
+	// Point of no return: every live record exists in the new segments.
+	// Swap the in-memory state, then delete the old files; a crash
+	// between deletes only leaves dead duplicates for the next pass.
+	if s.active != nil {
+		_ = s.active.Close()
+		s.active = nil
+	}
+	for id, f := range s.readers {
+		_ = f.Close()
+		delete(s.readers, id)
+	}
+	for _, id := range oldIDs {
+		_ = os.Remove(s.segPath(id))
+	}
+	s.index = newIndex
+	for _, id := range newIDs {
+		f, err := os.Open(s.segPath(id))
+		if err != nil {
+			// The segment was just written and renamed; failing to reopen
+			// it is a dying disk. Degrade to memory-only like a failed
+			// append would.
+			s.diskDead = true
+			return res, fmt.Errorf("store: compact: reopening segment %d: %w", id, err)
+		}
+		s.readers[id] = f
+	}
+	// The youngest new segment becomes the active one (or a fresh id
+	// when compaction wrote nothing); openActive reopens the append
+	// handle and a full segment simply rotates on the next Put.
+	if len(newIDs) > 0 {
+		s.actID = newIDs[len(newIDs)-1]
+	} else {
+		s.actID = nextID + 1
+	}
+	if err := s.openActive(); err != nil {
+		s.diskDead = true
+		return res, err
+	}
+	s.totalBytes, s.liveBytes = newTotal, newTotal
+	res.SegmentsAfter = len(s.readers)
+	res.BytesAfter = newTotal
+	res.ReclaimedBytes = res.BytesBefore - res.BytesAfter
+	// A compaction is a natural persistence point for the lifetime
+	// counters too.
+	s.flushStatsLocked()
+	return res, nil
+}

@@ -1,0 +1,374 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+)
+
+// appendRawRecord writes one well-framed record to path — the test's
+// way of planting superseded duplicates (what a compaction crash
+// between rename and delete leaves behind) and other dead bytes.
+func appendRawRecord(t *testing.T, path, k string, cell report.Cell) {
+	t.Helper()
+	payload, err := json.Marshal(record{Key: k, Cell: cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderLen:], payload)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactRewritesLiveEntriesOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, SegMaxBytes: 256}) // force several segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), cellFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant dead bytes: a superseding duplicate of key(0) in a fresh
+	// highest-id segment (the old record becomes reclaimable), plus a
+	// torn header at its tail.
+	segs, _ := segmentIDs(dir)
+	dupSeg := segFile(dir, segs[len(segs)-1]+1)
+	appendRawRecord(t, dupSeg, key(0), cellFor(0))
+	f, _ := os.OpenFile(dupSeg, os.O_APPEND|os.O_WRONLY, 0)
+	_, _ = f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xbe, 0xef})
+	_ = f.Close()
+
+	s2, err := Open(Config{Dir: dir, SegMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Reclaimable(); got <= 0 {
+		t.Fatalf("planted garbage not visible as reclaimable: %d", got)
+	}
+	res, err := s2.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveEntries != n || res.ReclaimedBytes <= 0 || res.BytesAfter >= res.BytesBefore {
+		t.Fatalf("compaction result wrong: %+v", res)
+	}
+	if got := s2.Reclaimable(); got != 0 {
+		t.Fatalf("reclaimable after compact = %d, want 0", got)
+	}
+	// Every key is still readable from the compacted store...
+	for i := 0; i < n; i++ {
+		if _, ok := s2.Get(key(i)); !ok {
+			t.Fatalf("key %d lost by compaction", i)
+		}
+	}
+	// ...and appends after compaction land on a clean boundary.
+	if err := s2.Put(key(n), cellFor(n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopen replays only the compacted log: same content, zero waste.
+	s3, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if st := s3.Stats(); st.DiskEntries != n+1 {
+		t.Fatalf("reopen after compact: %d disk entries, want %d", st.DiskEntries, n+1)
+	}
+	for i := 0; i <= n; i++ {
+		if _, ok := s3.Get(key(i)); !ok {
+			t.Fatalf("key %d lost across reopen after compaction", i)
+		}
+	}
+	// And the at-rest view agrees.
+	_ = s3.Close()
+	ds, err := Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.LiveEntries != n+1 || ds.TotalBytes != ds.LiveBytes {
+		t.Fatalf("stat after compact: %+v (want live==total)", ds)
+	}
+}
+
+func TestCompactMemoryOnlyErrors(t *testing.T) {
+	s, _ := Open(Config{})
+	if _, err := s.Compact(); err == nil {
+		t.Fatal("memory-only compact must error")
+	}
+}
+
+func TestCompactClosedStoreErrors(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	if _, err := s.Compact(); err == nil {
+		t.Fatal("compacting a closed store must error")
+	}
+}
+
+func TestTornCompactionTmpFilesIgnoredAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(key(i), cellFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A compaction that crashed mid-write: a half-written tmp segment.
+	stale := segFile(dir, 99) + ".tmp"
+	if err := os.WriteFile(stale, []byte("half a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("stale tmp must not fail open: %v", err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.DiskEntries != 4 {
+		t.Fatalf("records lost around stale tmp: %+v", st)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp not cleaned up: %v", err)
+	}
+}
+
+func TestTornCompactionDuplicatesResolvedNewestWins(t *testing.T) {
+	// A compaction that crashed after renaming new segments but before
+	// deleting the old ones leaves every live record twice. Replay order
+	// is ascending segment id, so the rewritten (newer-id) copy wins and
+	// nothing is lost; the duplicates are dead bytes for the next pass.
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), cellFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The "new" copy, as a crashed compaction would have renamed it —
+	// same key, higher segment id, deliberately distinguishable payload.
+	newer := cellFor(1)
+	newer.WallMS = 42
+	segs, _ := segmentIDs(dir)
+	appendRawRecord(t, segFile(dir, segs[len(segs)-1]+1), key(1), newer)
+
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.Get(key(1))
+	if !ok || got.WallMS != 42 {
+		t.Fatalf("newest duplicate did not win: %+v ok=%v", got, ok)
+	}
+	if st := s2.Stats(); st.DiskEntries != 1 {
+		t.Fatalf("duplicate counted twice: %+v", st)
+	}
+	if got := s2.Reclaimable(); got <= 0 {
+		t.Fatalf("superseded duplicate not accounted reclaimable: %d", got)
+	}
+	res, err := s2.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveEntries != 1 || s2.Reclaimable() != 0 {
+		t.Fatalf("second pass did not clean the duplicates: %+v", res)
+	}
+}
+
+func TestAutoCompactTriggersInBackground(t *testing.T) {
+	dir := t.TempDir()
+	// Seed a store with heavy dead weight: many superseded duplicates.
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), cellFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segmentIDs(dir)
+	dupSeg := segFile(dir, segs[len(segs)-1]+1)
+	for i := 0; i < 20; i++ {
+		appendRawRecord(t, dupSeg, key(1), cellFor(1))
+	}
+
+	s2, err := Open(Config{Dir: dir, AutoCompactMinBytes: 64, AutoCompactRatio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Reclaimable(); got <= 64 {
+		t.Fatalf("seeded reclaimable too small to trigger: %d", got)
+	}
+	// The trigger point is an append; the pass itself runs in the
+	// background.
+	if err := s2.Put(key(2), cellFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s2.Reclaimable() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-compaction never fired: reclaimable=%d", s2.Reclaimable())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, k := range []string{key(1), key(2)} {
+		if _, ok := s2.Get(k); !ok {
+			t.Fatalf("key %s lost by auto-compaction", k)
+		}
+	}
+}
+
+// TestConcurrentGetPutCompact is the store-race exercise: readers,
+// writers and repeated compactions interleaving on one store. Run under
+// -race in CI.
+func TestConcurrentGetPutCompact(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), MemEntries: 8, SegMaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const keys = 40
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				k := key((g*17 + i) % keys)
+				if _, ok := s.Get(k); !ok {
+					_ = s.Put(k, cellFor((g*17+i)%keys))
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := s.Compact(); err != nil {
+				t.Errorf("concurrent compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if st := s.Stats(); st.DiskEntries != keys {
+		t.Fatalf("concurrent get/put/compact lost entries: %+v", st)
+	}
+	for i := 0; i < keys; i++ {
+		if _, ok := s.Get(key(i)); !ok {
+			t.Fatalf("key %d unreadable after concurrent compactions", i)
+		}
+	}
+}
+
+// TestCompactPreservesRecordBytes pins bit-stability: the rewritten
+// record for a key is byte-identical to the original one, so cell keys,
+// the record format and everything hashed from them are untouched by
+// compaction.
+func TestCompactPreservesRecordBytes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(7), cellFor(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segmentIDs(dir)
+	before, err := os.ReadFile(segFile(dir, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	_ = s2.Close()
+	segs, _ = segmentIDs(dir)
+	if len(segs) != 1 {
+		t.Fatalf("single-record store compacted to %d segments", len(segs))
+	}
+	after, err := os.ReadFile(segFile(dir, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("compaction changed record bytes:\nbefore %x\nafter  %x", before, after)
+	}
+}
+
+func TestCompactEmptyStore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), fmt.Sprintf("empty-%d", os.Getpid()))
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveEntries != 0 {
+		t.Fatalf("empty compact rewrote %d entries", res.LiveEntries)
+	}
+	if err := s.Put(key(1), cellFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(1)); !ok {
+		t.Fatal("store unusable after empty compaction")
+	}
+}

@@ -1,0 +1,235 @@
+// Remote is the network-backed CellStore: a thin client over a ptestd's
+// /api/v1/cells endpoints, so a fleet of workers shares one
+// content-addressed cache — each cell is computed once, ever, by
+// whichever worker gets there first. A small in-process LRU front keeps
+// repeat lookups off the wire, and single-flight deduplication collapses
+// concurrent fetches of the same key (a sweep resubmitted to several
+// workers at once) into one HTTP round trip.
+//
+// Failure semantics follow the CellStore contract: an unreachable or
+// erroring remote degrades to a miss on Get (the caller recomputes,
+// which is always correct) and to a returned-but-ignorable error on Put.
+// A fleet never wedges on its cache.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/report"
+)
+
+// cellsPathPrefix is the shared-cache API the server side mounts; the
+// client and ptestd agree on this shape (pinned by tests on both sides).
+const cellsPathPrefix = "/api/v1/cells/"
+
+// CellsHopHeader marks a cells request as already forwarded once by a
+// Remote. A daemon whose own store is a Remote refuses to forward such
+// a request again (HTTP 508): a misconfigured -store-url pointing a
+// daemon at itself — or two workers at each other — would otherwise
+// circular-wait every cold lookup until the client timeout. Hub-serving
+// daemons (local store) ignore the header, so a worker → hub chain of
+// depth one works; deeper chains degrade to compute-locally, which is
+// always correct.
+const CellsHopHeader = "X-Ptest-Cells-Hop"
+
+// RemoteConfig configures a Remote store client.
+type RemoteConfig struct {
+	// BaseURL is the serving ptestd, e.g. "http://cache-host:8321".
+	BaseURL string
+	// MemEntries caps the in-process LRU front (default 4096 cells).
+	MemEntries int
+	// HTTPClient overrides the default client (30 s timeout). Tests and
+	// callers with custom transports use it.
+	HTTPClient *http.Client
+}
+
+// Remote implements CellStore over a ptestd's cells API.
+type Remote struct {
+	base string
+	hc   *http.Client
+
+	hits, misses, puts atomic.Uint64
+
+	mu      sync.Mutex
+	front   *lruCache
+	flights map[string]*flight // key → in-progress fetch
+	closed  bool
+}
+
+// flight is one in-progress remote fetch; latecomers for the same key
+// wait on done instead of issuing their own request.
+type flight struct {
+	done chan struct{}
+	cell report.Cell
+	ok   bool
+}
+
+// OpenRemote builds a client for a ptestd base URL. It does not probe
+// the server — a fleet worker may come up before its cache host, and
+// every operation degrades to a miss until the remote answers.
+func OpenRemote(cfg RemoteConfig) (*Remote, error) {
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("store: remote URL %q: want http(s)://host[:port]", cfg.BaseURL)
+	}
+	if cfg.MemEntries <= 0 {
+		cfg.MemEntries = 4096
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Remote{
+		base:    strings.TrimRight(cfg.BaseURL, "/"),
+		hc:      hc,
+		front:   newLRU(cfg.MemEntries),
+		flights: map[string]*flight{},
+	}, nil
+}
+
+// Get returns the cell for key from the LRU front or the remote. All
+// concurrent Gets for one key share a single HTTP request.
+func (r *Remote) Get(key string) (report.Cell, bool) {
+	r.mu.Lock()
+	if cell, ok := r.front.get(key); ok {
+		r.mu.Unlock()
+		r.hits.Add(1)
+		return cell, true
+	}
+	if f, inFlight := r.flights[key]; inFlight {
+		r.mu.Unlock()
+		<-f.done
+		if f.ok {
+			r.hits.Add(1)
+		} else {
+			r.misses.Add(1)
+		}
+		return f.cell, f.ok
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[key] = f
+	r.mu.Unlock()
+
+	f.cell, f.ok = r.fetch(key)
+
+	r.mu.Lock()
+	delete(r.flights, key)
+	if f.ok {
+		r.front.add(key, f.cell)
+	}
+	r.mu.Unlock()
+	close(f.done)
+	if f.ok {
+		r.hits.Add(1)
+	} else {
+		r.misses.Add(1)
+	}
+	return f.cell, f.ok
+}
+
+// fetch is the single wire read: 200 is a hit, everything else —
+// including transport errors and undecodable bodies — a miss.
+func (r *Remote) fetch(key string) (report.Cell, bool) {
+	req, err := http.NewRequest(http.MethodGet, r.base+cellsPathPrefix+url.PathEscape(key), nil)
+	if err != nil {
+		return report.Cell{}, false
+	}
+	req.Header.Set(CellsHopHeader, "1")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return report.Cell{}, false
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return report.Cell{}, false
+	}
+	var cell report.Cell
+	if err := json.NewDecoder(io.LimitReader(resp.Body, MaxRecordBytes)).Decode(&cell); err != nil {
+		return report.Cell{}, false
+	}
+	return cell, true
+}
+
+// Put stores the cell locally and pushes it to the remote. A failed
+// push returns an error the caller may log, but the LRU front already
+// serves the cell — exactly how the local store degrades to memory-only
+// on a failed disk append.
+func (r *Remote) Put(key string, cell report.Cell) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("store: closed")
+	}
+	if r.front.contains(key) {
+		r.mu.Unlock()
+		return nil
+	}
+	r.front.add(key, cell)
+	r.mu.Unlock()
+	r.puts.Add(1)
+
+	body, err := json.Marshal(cell)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s: %w", key, err)
+	}
+	req, err := http.NewRequest(http.MethodPut, r.base+cellsPathPrefix+url.PathEscape(key), bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(CellsHopHeader, "1")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: pushing %s: %w", key, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("store: pushing %s: HTTP %d", key, resp.StatusCode)
+	}
+	return nil
+}
+
+// Stats snapshots this client's session counters. DiskEntries is always
+// zero — the remote's population is the serving daemon's to report.
+func (r *Remote) Stats() Stats {
+	r.mu.Lock()
+	mem := r.front.len()
+	r.mu.Unlock()
+	return Stats{
+		Hits:       r.hits.Load(),
+		Misses:     r.misses.Load(),
+		Puts:       r.puts.Load(),
+		MemEntries: mem,
+	}
+}
+
+// Lifetime returns the session counters: a remote client keeps no
+// sidecar — cumulative history lives with the serving daemon's store.
+func (r *Remote) Lifetime() Counters {
+	return Counters{Hits: r.hits.Load(), Misses: r.misses.Load(), Puts: r.puts.Load()}
+}
+
+// Close drops idle connections. The LRU stays readable in principle but
+// Put rejects a closed store, mirroring the local Store.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.hc.CloseIdleConnections()
+	return nil
+}

@@ -1,14 +1,16 @@
 // Read-only store-directory inspection: the data `ptest store stat`
-// prints and the groundwork for the ROADMAP's compaction/GC item —
-// deciding when a rewrite pays requires exactly these numbers (dead
-// bytes per segment, live-entry density, traffic history).
+// prints and the decision inputs for compaction — dead bytes per
+// segment, live-entry density, traffic history.
 package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // DirStats describes a store directory at rest.
@@ -28,45 +30,123 @@ type DirStats struct {
 	Lifetime Counters `json:"lifetime"`
 }
 
+// statTailRetries bounds how often Stat re-scans a segment whose tail
+// looked torn: a live daemon appending concurrently produces exactly
+// that picture mid-write, and the record is whole a moment later. A
+// tail still torn after the retries is genuinely torn (crash garbage)
+// and its bytes are reported as reclaimable — which they are.
+const statTailRetries = 5
+
 // Stat scans a store directory without opening it for writing: no
-// flock, no truncation, no mutation — safe to run while a daemon owns
-// the directory. Records are framed by the same walkRecords that Open
-// replays, so corruption mid-segment ends that segment's scan at
-// exactly the records Open would serve.
+// exclusive flock, no truncation, no mutation — safe to run while a
+// daemon owns the directory. Records are framed by the same walkRecords
+// that Open replays, so corruption mid-segment ends that segment's scan
+// at exactly the records Open would serve. A scan that catches a live
+// writer mid-append sees what looks like a torn tail; those scans are
+// retried until the record completes, so a healthy in-flight append is
+// never reported as corruption. (A shared flock would give the same
+// guarantee but was rejected: holding even LOCK_SH would make a
+// concurrently *starting* daemon's exclusive lock fail spuriously.)
 func Stat(dir string) (DirStats, error) {
-	var ds DirStats
 	if _, err := os.Stat(dir); err != nil {
-		return ds, fmt.Errorf("store: %w", err)
+		return DirStats{}, fmt.Errorf("store: %w", err)
 	}
+	// A live daemon's background compaction can delete segment files
+	// between our directory listing and our scan. A vanished segment
+	// means the whole picture changed (its records were rewritten into
+	// new segments), so restart the scan from a fresh listing instead of
+	// erroring or mixing pre- and post-compaction state.
+	const scanRestarts = 5
+	var (
+		ds  DirStats
+		err error
+	)
+	for attempt := 0; ; attempt++ {
+		ds, err = statScan(dir)
+		if err == nil || !errors.Is(err, fs.ErrNotExist) || attempt >= scanRestarts {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return DirStats{}, err
+	}
+	if data, rerr := os.ReadFile(filepath.Join(dir, statsSidecar)); rerr == nil {
+		_ = json.Unmarshal(data, &ds.Lifetime)
+	}
+	return ds, nil
+}
+
+// statScan is one pass over the directory. It returns an fs.ErrNotExist
+// error when a listed segment vanished mid-scan (concurrent
+// compaction); Stat restarts on that.
+func statScan(dir string) (DirStats, error) {
+	var ds DirStats
 	ids, err := segmentIDs(dir)
 	if err != nil {
 		return ds, err
 	}
 	ds.Segments = len(ids)
 	live := map[string]int64{} // key → record bytes (header + payload)
-	for _, id := range ids {
+	for i, id := range ids {
 		path := segFile(dir, id)
-		if st, err := os.Stat(path); err == nil {
-			ds.TotalBytes += st.Size()
-		}
-		f, err := os.Open(path)
+		size, err := statSegment(path, live, i == len(ids)-1)
 		if err != nil {
-			return ds, fmt.Errorf("store: %w", err)
+			if errors.Is(err, fs.ErrNotExist) {
+				return ds, err
+			}
+			return ds, fmt.Errorf("store: reading %s: %w", path, err)
 		}
-		_, _, werr := walkRecords(f, func(key string, payloadOff int64, payloadLen int) {
-			live[key] = recordHeaderLen + int64(payloadLen)
-		})
-		_ = f.Close()
-		if werr != nil {
-			return ds, fmt.Errorf("store: reading %s: %w", path, werr)
-		}
+		ds.TotalBytes += size
 	}
 	ds.LiveEntries = len(live)
 	for _, n := range live {
 		ds.LiveBytes += n
 	}
-	if data, err := os.ReadFile(filepath.Join(dir, statsSidecar)); err == nil {
-		_ = json.Unmarshal(data, &ds.Lifetime)
-	}
 	return ds, nil
+}
+
+// statSegment scans one segment into live and returns its on-disk size.
+// For the last (possibly active) segment an unclean scan is retried:
+// the tail record may be a concurrent append caught mid-write, complete
+// on the next look.
+func statSegment(path string, live map[string]int64, isLast bool) (int64, error) {
+	attempts := 1
+	if isLast {
+		attempts += statTailRetries
+	}
+	var size int64
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		// A retry re-visits keys already recorded; the map makes that
+		// idempotent (same key, same record size).
+		_, clean, werr := walkRecords(f, func(key string, _ int64, payloadLen int) {
+			live[key] = recordHeaderLen + int64(payloadLen)
+		})
+		if werr == nil {
+			// Size is taken AFTER the walk: a record appended between a
+			// pre-walk stat and the walk's EOF would be counted in live
+			// but not in total, reporting negative reclaimable bytes.
+			// Post-walk, total can only be >= what the walk saw.
+			if st, serr := f.Stat(); serr == nil {
+				size = st.Size()
+			} else {
+				werr = serr
+			}
+		}
+		_ = f.Close()
+		if werr != nil {
+			return 0, werr
+		}
+		if clean {
+			break
+		}
+	}
+	return size, nil
 }

@@ -1,8 +1,13 @@
 package store
 
 import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestStatDescribesDirectoryAtRest(t *testing.T) {
@@ -74,5 +79,103 @@ func TestLifetimeCountersAccumulateAcrossReopens(t *testing.T) {
 func TestStatOfMissingDirErrors(t *testing.T) {
 	if _, err := Stat(filepath.Join(t.TempDir(), "nope")); err == nil {
 		t.Fatal("missing directory reported stats")
+	}
+}
+
+func TestStatRetriesMidAppendTail(t *testing.T) {
+	// A live daemon appending while stat scans produces a
+	// torn-looking tail for a moment. Stat must retry instead of
+	// reporting the in-flight record as dead bytes.
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), cellFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Split a valid record for key(2) in two: the first half lands
+	// before Stat starts (the mid-append picture), the rest while
+	// Stat's retry loop is running.
+	payload, err := json.Marshal(record{Key: key(2), Cell: cellFor(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderLen:], payload)
+	segs, _ := segmentIDs(dir)
+	path := segFile(dir, segs[len(segs)-1])
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(buf) / 2
+	if _, err := f.Write(buf[:half]); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		time.Sleep(20 * time.Millisecond) // inside the retry window
+		_, werr := f.Write(buf[half:])
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		done <- werr
+	}()
+
+	ds, err := Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if ds.LiveEntries != 2 {
+		t.Fatalf("mid-append record not picked up on retry: %+v", ds)
+	}
+	if ds.TotalBytes != ds.LiveBytes {
+		t.Fatalf("completed append still counted as dead bytes: %+v", ds)
+	}
+}
+
+func TestStatReportsGenuinelyTornTailAsReclaimable(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), cellFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segmentIDs(dir)
+	path := segFile(dir, segs[len(segs)-1])
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	// Never completed: after the bounded retries the tail is treated as
+	// what it is — dead bytes, not an error.
+	ds, err := Stat(dir)
+	if err != nil {
+		t.Fatalf("genuinely torn tail must not error stat: %v", err)
+	}
+	if ds.LiveEntries != 1 {
+		t.Fatalf("live entries = %d, want 1", ds.LiveEntries)
+	}
+	if ds.TotalBytes-ds.LiveBytes != 5 {
+		t.Fatalf("torn bytes = %d, want 5", ds.TotalBytes-ds.LiveBytes)
 	}
 }

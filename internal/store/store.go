@@ -11,7 +11,6 @@
 package store
 
 import (
-	"container/list"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -39,6 +38,24 @@ type Config struct {
 	// 8 MiB). Rotation bounds the cost of the open-time scan per file,
 	// not correctness — every segment is replayed into the index.
 	SegMaxBytes int64
+	// AutoCompactMinBytes arms opt-in background compaction: after an
+	// append, when the reclaimable byte count (total segment bytes minus
+	// live record bytes) reaches this AND exceeds AutoCompactRatio of
+	// the total, a background goroutine rewrites the log down to its
+	// live entries. 0 (the default) disables auto-compaction; explicit
+	// `ptest store compact` always works. Note the pass holds the store
+	// lock for one sequential read + synced write of the live data, so
+	// Get/Put (and a hub daemon's /api/v1/cells traffic) stall for its
+	// duration — size the threshold so a pass rewrites megabytes, not
+	// gigabytes. A pass that fails disarms auto-compaction for the rest
+	// of the session instead of re-paying the aborted rewrite on every
+	// append.
+	AutoCompactMinBytes int64
+	// AutoCompactRatio is the reclaimable/total fraction that must also
+	// be exceeded before auto-compaction fires (default 0.5 when
+	// AutoCompactMinBytes is set). It keeps a huge-but-mostly-live store
+	// from rewriting gigabytes to reclaim a fixed few megabytes.
+	AutoCompactRatio float64
 }
 
 // Stats is a point-in-time counter snapshot of the current session.
@@ -65,6 +82,13 @@ type Counters struct {
 // statsSidecar is the stats.json filename inside a store directory.
 const statsSidecar = "stats.json"
 
+// statsFlushEvery bounds how many Get/Put outcomes can sit unflushed in
+// memory: every so many operations the lifetime counters are rewritten
+// to the sidecar, so a crashed or SIGKILLed daemon loses at most this
+// much history instead of the whole session (the sidecar used to be
+// written on Close only).
+const statsFlushEvery = 256
+
 // Store is safe for concurrent use by the server worker pool and any
 // number of goroutines within one process. Cross-process sharing of
 // one Dir is not supported — the daemon owns its directory, and Open
@@ -74,25 +98,28 @@ type Store struct {
 	hits, misses, puts atomic.Uint64
 	base               Counters // lifetime counters loaded from the sidecar
 
-	mu       sync.Mutex
-	cap      int
-	order    *list.List               // LRU: front = most recent
-	mem      map[string]*list.Element // key → entry
-	dir      string
-	segMax   int64
-	index    map[string]diskRef // key → record location
-	readers  map[int]*os.File   // segment id → read handle
-	active   *os.File           // append handle of the newest segment
-	actID    int
-	actSize  int64
-	lock     *os.File // flock holder: one process per Dir
-	diskDead bool     // disk layer failed; serve memory-only
-	closed   bool
-}
-
-type entry struct {
-	key  string
-	cell report.Cell
+	mu      sync.Mutex
+	front   *lruCache
+	dir     string
+	segMax  int64
+	index   map[string]diskRef // key → record location
+	readers map[int]*os.File   // segment id → read handle
+	active  *os.File           // append handle of the newest segment
+	actID   int
+	actSize int64
+	lock    *os.File // flock holder: one process per Dir
+	// totalBytes/liveBytes track the segment-directory accounting the
+	// compaction decision needs: totalBytes is the summed segment size,
+	// liveBytes the record bytes the index can still reach. The gap is
+	// what a compaction pass would reclaim (torn tails, superseded
+	// records left by a crashed compaction).
+	totalBytes, liveBytes int64
+	autoMin               int64   // Config.AutoCompactMinBytes
+	autoRatio             float64 // Config.AutoCompactRatio
+	compacting            bool    // one background compaction at a time
+	unflushed             int     // Get/Put outcomes since the last sidecar flush
+	diskDead              bool    // disk layer failed; serve memory-only
+	closed                bool
 }
 
 type diskRef struct {
@@ -110,12 +137,16 @@ type record struct {
 
 const recordHeaderLen = 8 // u32 LE payload length + u32 LE CRC32(payload)
 
-// maxRecordBytes bounds a single record independently of the segment
+// MaxRecordBytes bounds a single record independently of the segment
 // rotation size: replay uses it to reject corrupt length headers
 // without multi-GiB allocations, and Put refuses to write anything
 // bigger — so reopening with a different SegMaxBytes can never
-// misclassify valid records as corrupt.
-const maxRecordBytes = 64 << 20
+// misclassify valid records as corrupt. Exported so the daemon's cells
+// PUT endpoint caps request bodies at exactly what the store behind it
+// would accept: a smaller wire cap would make large cells storable
+// locally but never pushable to a hub, breaking "computed once, ever"
+// for precisely the most expensive cells.
+const MaxRecordBytes = 64 << 20
 
 // Open builds the store, replaying any existing segments in Dir into
 // the index. A torn final record (crash mid-append) is truncated away.
@@ -126,14 +157,17 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.SegMaxBytes <= 0 {
 		cfg.SegMaxBytes = 8 << 20
 	}
+	if cfg.AutoCompactMinBytes > 0 && cfg.AutoCompactRatio <= 0 {
+		cfg.AutoCompactRatio = 0.5
+	}
 	s := &Store{
-		cap:     cfg.MemEntries,
-		order:   list.New(),
-		mem:     map[string]*list.Element{},
-		dir:     cfg.Dir,
-		segMax:  cfg.SegMaxBytes,
-		index:   map[string]diskRef{},
-		readers: map[int]*os.File{},
+		front:     newLRU(cfg.MemEntries),
+		dir:       cfg.Dir,
+		segMax:    cfg.SegMaxBytes,
+		autoMin:   cfg.AutoCompactMinBytes,
+		autoRatio: cfg.AutoCompactRatio,
+		index:     map[string]diskRef{},
+		readers:   map[int]*os.File{},
 	}
 	if cfg.Dir == "" {
 		return s, nil
@@ -157,6 +191,16 @@ func Open(cfg Config) (*Store, error) {
 	if data, err := os.ReadFile(filepath.Join(cfg.Dir, statsSidecar)); err == nil {
 		_ = json.Unmarshal(data, &s.base)
 	}
+	// Torn-compaction recovery, step 1: a crash mid-compaction leaves
+	// behind *.seg.tmp files that were never atomically renamed into the
+	// log. They are not segments — delete them. (A crash after some
+	// renames instead leaves duplicate records in old and new segments;
+	// the ascending-id replay below resolves those, newest segment wins.)
+	if tmps, err := filepath.Glob(filepath.Join(cfg.Dir, "store-*.seg.tmp")); err == nil {
+		for _, tmp := range tmps {
+			_ = os.Remove(tmp)
+		}
+	}
 	ids, err := segmentIDs(cfg.Dir)
 	if err != nil {
 		s.closeLocked()
@@ -176,6 +220,13 @@ func Open(cfg Config) (*Store, error) {
 	if err := s.openActive(); err != nil {
 		s.closeLocked()
 		return nil, err
+	}
+	// Sum segment sizes after replay (replay may have truncated a torn
+	// tail), completing the live-vs-total accounting replaySegment began.
+	for id := range s.readers {
+		if st, err := os.Stat(s.segPath(id)); err == nil {
+			s.totalBytes += st.Size()
+		}
 	}
 	return s, nil
 }
@@ -220,6 +271,12 @@ func (s *Store) replaySegment(id int, isLast bool) error {
 	}
 	s.readers[id] = f
 	off, clean, err := walkRecords(f, func(key string, payloadOff int64, n int) {
+		// A key replayed from an earlier segment is superseded by this
+		// record: its old bytes become reclaimable.
+		if old, dup := s.index[key]; dup {
+			s.liveBytes -= recordHeaderLen + int64(old.n)
+		}
+		s.liveBytes += recordHeaderLen + int64(n)
 		s.index[key] = diskRef{seg: id, off: payloadOff, n: n}
 	})
 	if err != nil {
@@ -257,7 +314,7 @@ func walkRecords(f *os.File, visit func(key string, payloadOff int64, payloadLen
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
-		if n > maxRecordBytes {
+		if n > MaxRecordBytes {
 			return off, false, nil // corrupt length field — don't allocate gigabytes
 		}
 		payload := make([]byte, n)
@@ -308,15 +365,15 @@ func (s *Store) openActive() error {
 func (s *Store) Get(key string) (report.Cell, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.mem[key]; ok {
-		s.order.MoveToFront(el)
+	defer s.noteOpLocked()
+	if cell, ok := s.front.get(key); ok {
 		s.hits.Add(1)
-		return el.Value.(*entry).cell, true
+		return cell, true
 	}
 	if ref, ok := s.index[key]; ok {
 		cell, err := s.readLocked(ref)
 		if err == nil {
-			s.insertLocked(key, cell)
+			s.front.add(key, cell)
 			s.hits.Add(1)
 			return cell, true
 		}
@@ -351,32 +408,20 @@ func (s *Store) Put(key string, cell report.Cell) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
-	if _, inMem := s.mem[key]; inMem {
+	if s.front.contains(key) {
 		return nil
 	}
 	_, onDisk := s.index[key]
 	s.puts.Add(1)
+	s.noteOpLocked()
 	// Always (re)insert into memory: if the key is indexed on disk but
 	// its record became unreadable, the LRU still serves the recomputed
 	// cell instead of forcing a re-execution on every future run.
-	s.insertLocked(key, cell)
+	s.front.add(key, cell)
 	if s.dir == "" || onDisk {
 		return nil
 	}
 	return s.appendLocked(key, cell)
-}
-
-func (s *Store) insertLocked(key string, cell report.Cell) {
-	if el, ok := s.mem[key]; ok {
-		s.order.MoveToFront(el)
-		return
-	}
-	s.mem[key] = s.order.PushFront(&entry{key: key, cell: cell})
-	for s.order.Len() > s.cap {
-		last := s.order.Back()
-		s.order.Remove(last)
-		delete(s.mem, last.Value.(*entry).key)
-	}
 }
 
 func (s *Store) appendLocked(key string, cell report.Cell) error {
@@ -387,9 +432,9 @@ func (s *Store) appendLocked(key string, cell report.Cell) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding %s: %w", key, err)
 	}
-	if len(payload)+recordHeaderLen > maxRecordBytes {
+	if len(payload)+recordHeaderLen > MaxRecordBytes {
 		// Never write what replay would refuse to read back.
-		return fmt.Errorf("store: record for %s is %d bytes (max %d); kept memory-only", key, len(payload), maxRecordBytes)
+		return fmt.Errorf("store: record for %s is %d bytes (max %d); kept memory-only", key, len(payload), MaxRecordBytes)
 	}
 	if s.actSize >= s.segMax {
 		if err := s.rotateLocked(); err != nil {
@@ -404,6 +449,7 @@ func (s *Store) appendLocked(key string, cell report.Cell) error {
 	// Track the real end of file even on a short write (O_APPEND, single
 	// writer), so later records are indexed at their true offsets.
 	s.actSize += int64(n)
+	s.totalBytes += int64(n)
 	if werr != nil {
 		// The segment tail may now be torn. Move the append point to a
 		// fresh segment so records written after the failure stay
@@ -416,7 +462,40 @@ func (s *Store) appendLocked(key string, cell report.Cell) error {
 		return fmt.Errorf("store: appending %s: %w", key, werr)
 	}
 	s.index[key] = diskRef{seg: s.actID, off: s.actSize - int64(len(payload)), n: len(payload)}
+	s.liveBytes += int64(len(buf))
+	s.maybeAutoCompactLocked()
 	return nil
+}
+
+// maybeAutoCompactLocked fires the opt-in background compaction when
+// the reclaimable byte count clears both thresholds. One pass at a
+// time; the goroutine serializes on s.mu with every other operation, so
+// a racing Close simply wins the lock first and the pass no-ops.
+func (s *Store) maybeAutoCompactLocked() {
+	if s.autoMin <= 0 || s.compacting || s.diskDead {
+		return
+	}
+	reclaimable := s.totalBytes - s.liveBytes
+	if reclaimable < s.autoMin || float64(reclaimable) < s.autoRatio*float64(s.totalBytes) {
+		return
+	}
+	s.compacting = true
+	go func() {
+		_, err := s.Compact()
+		s.mu.Lock()
+		s.compacting = false
+		if err != nil && !s.closed {
+			// A failed pass is non-fatal — the store keeps serving from
+			// the uncompacted log — but whatever broke it (unreadable
+			// record, full disk) will still be broken on the next append,
+			// and reclaimable bytes stay above the thresholds. Without
+			// this disarm every subsequent Put would pay a full aborted
+			// rewrite. Auto-compaction stays off for the session; manual
+			// `ptest store compact` still works and a reopen re-arms.
+			s.autoMin = 0
+		}
+		s.mu.Unlock()
+	}()
 }
 
 func (s *Store) rotateLocked() error {
@@ -435,9 +514,17 @@ func (s *Store) Stats() Stats {
 		Hits:        s.hits.Load(),
 		Misses:      s.misses.Load(),
 		Puts:        s.puts.Load(),
-		MemEntries:  s.order.Len(),
+		MemEntries:  s.front.len(),
 		DiskEntries: len(s.index),
 	}
+}
+
+// Reclaimable reports the byte count a Compact pass would free: total
+// segment bytes minus the record bytes the index can still reach.
+func (s *Store) Reclaimable() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalBytes - s.liveBytes
 }
 
 // Lifetime returns the cumulative Get/Put counters: the sidecar history
@@ -464,13 +551,7 @@ func (s *Store) closeLocked() error {
 		return nil
 	}
 	s.closed = true
-	if s.dir != "" && s.lock != nil {
-		// Written while the flock is still held, so two stores never race
-		// on the sidecar. Best-effort: counter history is advisory.
-		if data, err := json.Marshal(s.Lifetime()); err == nil {
-			_ = os.WriteFile(filepath.Join(s.dir, statsSidecar), append(data, '\n'), 0o644)
-		}
-	}
+	s.flushStatsLocked()
 	var first error
 	if s.active != nil {
 		if err := s.active.Close(); err != nil {
@@ -495,4 +576,40 @@ func (s *Store) closeLocked() error {
 		return fmt.Errorf("store: close: %w", first)
 	}
 	return nil
+}
+
+// noteOpLocked counts one Get/Put outcome toward the periodic sidecar
+// flush, so lifetime counters survive a crash or SIGKILL instead of
+// existing only in memory until Close.
+func (s *Store) noteOpLocked() {
+	if s.dir == "" || s.lock == nil {
+		return
+	}
+	s.unflushed++
+	if s.unflushed >= statsFlushEvery {
+		s.flushStatsLocked()
+	}
+}
+
+// flushStatsLocked rewrites the stats.json sidecar with the cumulative
+// counters. Written only while the flock is held, so two stores never
+// race on it — but the lockless Stat path reads it concurrently, so the
+// replace must be atomic (write-temp + rename): a truncate-then-write
+// would hand Stat an empty or partial file, and a crash between the
+// two would destroy exactly the history the periodic flush exists to
+// preserve. Best-effort: counter history is advisory.
+func (s *Store) flushStatsLocked() {
+	s.unflushed = 0
+	if s.dir == "" || s.lock == nil {
+		return
+	}
+	data, err := json.Marshal(s.Lifetime())
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(s.dir, statsSidecar+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(s.dir, statsSidecar))
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -191,6 +192,138 @@ func TestTornTailRecordIsTruncatedOnOpen(t *testing.T) {
 	if _, ok := s3.Get(key(9)); !ok {
 		t.Fatal("append after torn-tail recovery lost")
 	}
+}
+
+func TestTornTailAtSegmentRotationBoundary(t *testing.T) {
+	// The nastiest torn-tail shape: the crash lands exactly at a
+	// rotation boundary — the LAST record of a now-full segment is torn,
+	// and the NEXT segment already exists with intact records. Recovery
+	// must keep everything except the one torn record: the torn segment
+	// is a middle segment (not the active one), so it is not truncated,
+	// merely scanned up to the tear, and the later segment's records all
+	// survive.
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, SegMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25 // forces several rotations at 256-byte segments
+	for i := 0; i < n; i++ {
+		if err := s.Put(key(i), cellFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segmentIDs(dir)
+	if len(segs) < 3 {
+		t.Fatalf("need several segments, got %v", segs)
+	}
+	full := segs[len(segs)-2] // a full, rotated-away segment
+
+	// Identify the keys in the full segment and tear its LAST record by
+	// chopping half of it off.
+	f, err := os.Open(segFile(dir, full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		key string
+		off int64
+		n   int
+	}
+	var recs []rec
+	if _, _, err := walkRecords(f, func(k string, off int64, n int) {
+		recs = append(recs, rec{k, off, n})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if len(recs) < 2 {
+		t.Fatalf("full segment has %d records, need >= 2", len(recs))
+	}
+	last := recs[len(recs)-1]
+	if err := os.Truncate(segFile(dir, full), last.off+int64(last.n)/2); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{Dir: dir, SegMaxBytes: 256})
+	if err != nil {
+		t.Fatalf("torn rotation boundary must not fail open: %v", err)
+	}
+	// Exactly one record is gone: the torn one.
+	if st := s2.Stats(); st.DiskEntries != n-1 {
+		t.Fatalf("disk entries = %d, want %d (only the torn record lost)", st.DiskEntries, n-1)
+	}
+	if _, ok := s2.Get(last.key); ok {
+		t.Fatalf("torn record %s still served", last.key)
+	}
+	for i := 0; i < n; i++ {
+		if key(i) == last.key {
+			continue
+		}
+		if _, ok := s2.Get(key(i)); !ok {
+			t.Fatalf("key %d lost (only %s was torn)", i, last.key)
+		}
+	}
+	// New appends land on the active segment, untouched by the tear.
+	if err := s2.Put(key(n), cellFor(n)); err != nil {
+		t.Fatal(err)
+	}
+	// The middle segment is not truncated on open — the dead half-record
+	// is reclaimable garbage...
+	if got := s2.Reclaimable(); got <= 0 {
+		t.Fatalf("torn middle-segment bytes not reclaimable: %d", got)
+	}
+	// ...which compaction removes for good.
+	if _, err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Reclaimable(); got != 0 {
+		t.Fatalf("reclaimable after compact = %d", got)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if st := s3.Stats(); st.DiskEntries != n {
+		t.Fatalf("entries after tear+append+compact+reopen = %d, want %d", st.DiskEntries, n)
+	}
+}
+
+func TestStatsFlushSurvivesCrashWithoutClose(t *testing.T) {
+	// The sidecar used to be written on Close only — a SIGKILLed daemon
+	// lost its whole session's counters. Now every statsFlushEvery
+	// operations rewrite it, so a crash loses at most the tail.
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), cellFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < statsFlushEvery; i++ {
+		s.Get(key(1))
+	}
+	// No Close — simulate the crash by reading the sidecar directly.
+	data, err := os.ReadFile(filepath.Join(dir, statsSidecar))
+	if err != nil {
+		t.Fatalf("sidecar not flushed before Close: %v", err)
+	}
+	var c Counters
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Puts != 1 || c.Hits < uint64(statsFlushEvery)-1 {
+		t.Fatalf("flushed counters wrong: %+v", c)
+	}
+	_ = s.Close()
 }
 
 func TestDirectoryLockIsExclusive(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/report"
@@ -120,6 +121,63 @@ func TestOverlappingSweepReusesSharedCells(t *testing.T) {
 	if rep.StoreHits != uint64(base) || rep.StoreMisses != uint64(extra) {
 		t.Fatalf("overlap not reused: hits=%d misses=%d want %d/%d",
 			rep.StoreHits, rep.StoreMisses, base, extra)
+	}
+}
+
+func TestCompactedStoreStillReplaysWarm(t *testing.T) {
+	// The acceptance criterion for store compaction: after a compact, a
+	// warm suite run replays with 0 executed cells (cell keys and record
+	// bytes are untouched by the rewrite) and the directory shows ≈0
+	// reclaimable bytes.
+	dir := filepath.Join(t.TempDir(), "store")
+	spec := smokeSpec()
+
+	open := func() *store.Store {
+		t.Helper()
+		st, err := store.Open(store.Config{Dir: dir, SegMaxBytes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := open()
+	if _, err := RunContext(context.Background(), spec, nil, Options{Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// What `ptest store compact -dir` does: exclusive open, compact.
+	st2 := open()
+	res, err := st2.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveEntries != len(spec.Expand()) {
+		t.Fatalf("compact rewrote %d entries, plan has %d", res.LiveEntries, len(spec.Expand()))
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TotalBytes != ds.LiveBytes {
+		t.Fatalf("reclaimable after compact = %d, want 0", ds.TotalBytes-ds.LiveBytes)
+	}
+
+	st3 := open()
+	defer st3.Close()
+	rep, err := RunContext(context.Background(), spec, nil, Options{Store: st3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StoreMisses != 0 || rep.StoreHits != uint64(len(rep.Cells)) {
+		t.Fatalf("warm run after compact executed cells: hits=%d misses=%d",
+			rep.StoreHits, rep.StoreMisses)
 	}
 }
 

@@ -34,8 +34,9 @@ var ErrInterrupted = errors.New("suite: interrupted")
 type Options struct {
 	// Store is the content-addressed result store: each cell is looked
 	// up by its CellKey before executing and stored after. Nil disables
-	// memoization.
-	Store *store.Store
+	// memoization. Any CellStore implementation slots in — the local
+	// segment-log store, a remote ptestd-backed one, or a caller's own.
+	Store store.CellStore
 }
 
 // Run expands the spec and executes every cell. When jsonl is non-nil,

@@ -371,18 +371,46 @@ func WorkloadNames() []string { return workload.Names() }
 
 // --- result store and job server -------------------------------------------
 
-// ResultStore is the content-addressed cell store: results keyed by the
-// canonical cell-identity hash, an in-memory LRU in front of an
-// append-only on-disk segment log. A cell computed once — by Run
-// variants, RunSuite, or a ptestd job — is never recomputed.
+// CellStore is the pluggable result-store seam: anything answering
+// content-addressed Get/Put (plus the telemetry methods) slots into
+// SuiteOptions.Store, JobServerConfig.Store and the rest of the stack.
+// ResultStore and RemoteStore are the built-in implementations.
+type CellStore = store.CellStore
+
+// StoreCompactor is the optional garbage-collection face of a
+// CellStore; type-assert a CellStore to it to trigger compaction.
+type StoreCompactor = store.Compactor
+
+// StoreCompactResult describes one compaction pass: segments and bytes
+// before/after, bytes reclaimed, live entries rewritten.
+type StoreCompactResult = store.CompactResult
+
+// ResultStore is the local content-addressed cell store: results keyed
+// by the canonical cell-identity hash, an in-memory LRU in front of an
+// append-only on-disk segment log with compaction/GC. A cell computed
+// once — by Run variants, RunSuite, or a ptestd job — is never
+// recomputed.
 type ResultStore = store.Store
 
 // StoreConfig sizes a ResultStore; the zero value is a memory-only
-// store with default capacity.
+// store with default capacity. AutoCompactMinBytes arms background
+// compaction.
 type StoreConfig = store.Config
 
 // OpenStore opens (or creates) a result store.
 func OpenStore(cfg StoreConfig) (*ResultStore, error) { return store.Open(cfg) }
+
+// RemoteStore is the network-backed CellStore: a client over a ptestd's
+// /api/v1/cells endpoints with an in-process LRU front and single-flight
+// fetch deduplication, so a worker fleet shares one cache and computes
+// each cell once, ever.
+type RemoteStore = store.Remote
+
+// RemoteStoreConfig points a RemoteStore at a serving ptestd.
+type RemoteStoreConfig = store.RemoteConfig
+
+// OpenRemoteStore builds a client for a ptestd's shared cell cache.
+func OpenRemoteStore(cfg RemoteStoreConfig) (*RemoteStore, error) { return store.OpenRemote(cfg) }
 
 // JobServer is ptestd: suite specs over HTTP onto a bounded priority
 // queue, a worker pool over the campaign engine, per-job SSE progress,
