@@ -1,11 +1,12 @@
-// ptest client: talk to a running ptestd. Five verbs, one shared
+// ptest client: talk to a running ptestd. Six verbs, one shared
 // -server flag, the usual single validation-error path:
 //
-//	ptest client submit -spec sweep.json [-priority 5] [-wait]
-//	ptest client status [job-id]
-//	ptest client watch  <job-id>
-//	ptest client report <job-id> [-canonical] [-out report.json]
-//	ptest client cancel <job-id>
+//	ptest client submit  -spec sweep.json [-priority 5] [-wait]
+//	ptest client status  [job-id]
+//	ptest client watch   <job-id>
+//	ptest client report  <job-id> [-canonical] [-out report.json]
+//	ptest client cancel  <job-id>
+//	ptest client workers
 package main
 
 import (
@@ -22,7 +23,7 @@ const defaultServer = "http://127.0.0.1:8321"
 
 func cmdClient(args []string) error {
 	if len(args) == 0 {
-		return usagef("client: want submit|status|watch|report|cancel")
+		return usagef("client: want submit|status|watch|report|cancel|workers")
 	}
 	verb, rest := args[0], args[1:]
 	switch verb {
@@ -36,8 +37,10 @@ func cmdClient(args []string) error {
 		return clientReport(rest)
 	case "cancel":
 		return clientCancel(rest)
+	case "workers":
+		return clientWorkers(rest)
 	}
-	return usagef("client: unknown verb %q (want submit|status|watch|report|cancel)", verb)
+	return usagef("client: unknown verb %q (want submit|status|watch|report|cancel|workers)", verb)
 }
 
 // serverFlag registers the shared -server flag.
@@ -181,6 +184,36 @@ func clientReport(args []string) error {
 		return err
 	}
 	return os.WriteFile(*outPath, raw, 0o644)
+}
+
+// clientWorkers lists the hub's fleet: who is registered, who is live,
+// what they hold and what they have finished.
+func clientWorkers(args []string) error {
+	fs := flag.NewFlagSet("ptest client workers", flag.ContinueOnError)
+	srv := serverFlag(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("client workers: no arguments")
+	}
+	workers, err := server.NewClient(*srv).Workers(context.Background())
+	if err != nil {
+		return err
+	}
+	if len(workers) == 0 {
+		fmt.Println("no workers registered (jobs run in-process on the hub)")
+		return nil
+	}
+	for _, wk := range workers {
+		state := "live"
+		if !wk.Live {
+			state = "expired"
+		}
+		fmt.Printf("%s  %-8s  %-20s  in-flight=%d  completed=%d  last-seen=%dms ago\n",
+			wk.ID, state, wk.Name, wk.InFlight, wk.Completed, wk.LastSeenAgoMS)
+	}
+	return nil
 }
 
 func clientCancel(args []string) error {

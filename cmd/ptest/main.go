@@ -9,8 +9,10 @@
 //	               the CI gate
 //	ptest serve    run ptestd, the campaign job server: HTTP submissions,
 //	               bounded priority queue, worker pool, SSE progress,
-//	               content-addressed result store, graceful drain
-//	ptest client   talk to a ptestd: submit|status|watch|report|cancel
+//	               content-addressed result store, graceful drain — or,
+//	               with -hub-url, join another ptestd's fleet as a
+//	               lease-polling cell worker
+//	ptest client   talk to a ptestd: submit|status|watch|report|cancel|workers
 //	ptest tools    list the registered testing tools and workloads
 //	ptest store    administer a result store directory (stat, compact)
 //
@@ -28,7 +30,9 @@
 //	ptest suite -spec sweep.json -store-url http://cache:8321  # share a ptestd fleet's cache
 //	ptest compare -max-rate-drop 0.05 baseline.json report.json
 //	ptest serve -addr :8321 -store /var/lib/ptestd/store
+//	ptest serve -hub-url http://hub:8321 -name rack3   # fleet cell worker
 //	ptest client submit -spec sweep.json -priority 5 -wait
+//	ptest client workers                               # fleet membership
 //
 // Exit codes: 0 success, 1 failure found / regression / runtime error,
 // 2 flag or spec validation error. All errors print one greppable
@@ -128,8 +132,9 @@ subcommands:
   run      run one campaign (default when the first argument is a flag)
   suite    expand a matrix spec, run every cell, write JSON/JSONL reports
   compare  diff two suite reports; exit non-zero on regression
-  serve    run ptestd, the campaign job server (HTTP + SSE + result store)
-  client   talk to a ptestd: submit|status|watch|report|cancel
+  serve    run ptestd, the campaign job server (HTTP + SSE + result store);
+           with -hub-url, join a hub's fleet as a cell worker instead
+  client   talk to a ptestd: submit|status|watch|report|cancel|workers
   tools    list the registered testing tools and workloads
   store    administer a result store directory (stat, compact)
   help     print this text

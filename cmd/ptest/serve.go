@@ -3,6 +3,12 @@
 // campaign engine, and memoize every cell in the content-addressed
 // result store; SIGTERM/SIGINT drains gracefully (running jobs finish,
 // queued ones are cancelled, nothing dies mid-write).
+//
+// With -hub-url the same subcommand becomes a fleet worker instead: no
+// listener, no queue — it registers with the hub ptestd, heartbeats,
+// leases cells, executes them, and posts completions. SIGTERM finishes
+// in-flight cells and deregisters; a worker that simply dies is
+// recovered by the hub's lease expiry.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -45,9 +52,30 @@ func cmdServe(args []string) error {
 		storeURL = fs.String("store-url", "", "share another ptestd's store instead of owning one (fleet worker mode; mutually exclusive with -store)")
 		storeMem = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
 		autoGC   = fs.Int64("store-autocompact", 0, "background-compact the local store when reclaimable bytes exceed this (0 = off)")
+		hubURL   = fs.String("hub-url", "", "join a hub ptestd's fleet as a cell worker instead of serving (no listener)")
+		hubName  = fs.String("name", "", "worker name shown by `ptest client workers` (default: hostname; -hub-url only)")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *hubURL != "" {
+		// Worker mode executes leased cells for the hub; it owns no
+		// listener, queue, or store, so the server-side flags make no
+		// sense here — reject any that were set explicitly.
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "addr", "queue", "max-jobs", "store", "store-url", "store-mem", "store-autocompact":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return usagef("serve: -%s does not apply in -hub-url worker mode", conflict)
+		}
+		return serveWorker(*hubURL, *hubName, *workers)
+	}
+	if *hubName != "" {
+		return usagef("serve: -name only applies with -hub-url")
 	}
 	if *queueCap <= 0 {
 		return usagef("serve: -queue must be positive")
@@ -99,6 +127,32 @@ func cmdServe(args []string) error {
 	}
 	srv.Drain()
 	fmt.Fprintln(os.Stderr, "ptestd: drained")
+	return nil
+}
+
+// serveWorker is `ptest serve -hub-url`: one fleet worker process.
+// Graceful shutdown (SIGTERM/SIGINT) finishes the cells it holds and
+// deregisters; the hub recovers anything less graceful via lease
+// expiry.
+func serveWorker(hubURL, name string, parallel int) error {
+	w, err := dispatch.NewWorker(dispatch.WorkerConfig{
+		HubURL:      hubURL,
+		Name:        name,
+		Parallelism: parallel,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return usageError{err}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "ptestd worker: joining fleet at %s\n", hubURL)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ptestd worker: drained after %d cells\n", w.Completed())
 	return nil
 }
 

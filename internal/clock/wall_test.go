@@ -1,0 +1,68 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeWallAdvanceFiresDueTimersInDeadlineOrder(t *testing.T) {
+	fw := NewFakeWall(time.Time{})
+	start := fw.Now()
+
+	late := fw.After(3 * time.Second)
+	early := fw.After(1 * time.Second)
+	never := fw.After(time.Hour)
+
+	fw.Advance(5 * time.Second)
+
+	select {
+	case at := <-early:
+		if want := start.Add(1 * time.Second); !at.Equal(want) {
+			t.Errorf("early timer fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("1s timer did not fire after a 5s advance")
+	}
+	select {
+	case at := <-late:
+		if want := start.Add(3 * time.Second); !at.Equal(want) {
+			t.Errorf("late timer fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("3s timer did not fire after a 5s advance")
+	}
+	select {
+	case <-never:
+		t.Fatal("1h timer fired after only 5s")
+	default:
+	}
+	if got := fw.Waiters(); got != 1 {
+		t.Errorf("Waiters() = %d, want 1 (the 1h timer)", got)
+	}
+}
+
+func TestFakeWallNonPositiveAfterFiresImmediately(t *testing.T) {
+	fw := NewFakeWall(time.Time{})
+	select {
+	case <-fw.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-fw.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) did not fire immediately")
+	}
+}
+
+func TestFakeWallNowOnlyMovesOnAdvance(t *testing.T) {
+	fw := NewFakeWall(time.Time{})
+	t0 := fw.Now()
+	if !fw.Now().Equal(t0) {
+		t.Fatal("Now moved without Advance")
+	}
+	fw.Advance(42 * time.Minute)
+	if want := t0.Add(42 * time.Minute); !fw.Now().Equal(want) {
+		t.Fatalf("Now = %v after Advance, want %v", fw.Now(), want)
+	}
+}

@@ -1,0 +1,292 @@
+// Fake-clock unit tests for the hub-side dispatcher: lease expiry and
+// retry, attempt budgets, work stealing, duplicate and orphan
+// completions, dead-worker reaping and empty-fleet degradation — all
+// stepped deterministically, no sleeps.
+package dispatch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/report"
+)
+
+// newTestDispatcher builds a dispatcher on a fake wall clock with
+// short, round TTLs. The reaper goroutine is stopped immediately so
+// every expiry pass in a test is an explicit, deterministic Reap call.
+func newTestDispatcher(t *testing.T, cfg Config) (*Dispatcher, *clock.FakeWall) {
+	t.Helper()
+	fw := clock.NewFakeWall(time.Time{})
+	cfg.Clock = fw
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.WorkerTTL == 0 {
+		cfg.WorkerTTL = 30 * time.Second
+	}
+	if cfg.RetryBaseDelay == 0 {
+		cfg.RetryBaseDelay = time.Second
+	}
+	if cfg.RetryMaxDelay == 0 {
+		cfg.RetryMaxDelay = 4 * time.Second
+	}
+	if cfg.StealAge == 0 {
+		cfg.StealAge = 5 * time.Second
+	}
+	d := New(cfg)
+	d.Close()
+	t.Cleanup(d.Close)
+	return d, fw
+}
+
+func mustAcquire(t *testing.T, d *Dispatcher, workerID string) Grant {
+	t.Helper()
+	g, ok, err := d.Acquire(workerID)
+	if err != nil {
+		t.Fatalf("Acquire(%s): %v", workerID, err)
+	}
+	if !ok {
+		t.Fatalf("Acquire(%s): no grant, want one", workerID)
+	}
+	return g
+}
+
+func resolved(u *unit) bool {
+	select {
+	case <-u.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func TestExpiredLeaseRetriesOnAnotherWorker(t *testing.T) {
+	d, fw := newTestDispatcher(t, Config{})
+	w1 := d.Register("first").WorkerID
+	w2 := d.Register("second").WorkerID
+	u := d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+
+	g1 := mustAcquire(t, d, w1)
+	if g1.CellID != "cell-1" || g1.Stolen {
+		t.Fatalf("grant = %+v, want primary lease on cell-1", g1)
+	}
+
+	// The worker crashes: its lease deadline passes with no completion.
+	fw.Advance(11 * time.Second)
+	d.Reap()
+	if m := d.Metrics(); m.LeasesExpired != 1 || m.LeaseRetries != 1 {
+		t.Fatalf("after expiry: %+v, want 1 expired / 1 retried", m)
+	}
+	if resolved(u) {
+		t.Fatal("unit resolved by expiry alone")
+	}
+
+	// The requeue is backoff-gated: an immediate poll gets nothing.
+	if _, ok, _ := d.Acquire(w2); ok {
+		t.Fatal("granted before the retry backoff elapsed")
+	}
+	fw.Advance(2 * time.Second) // past the ≤1.25s jittered base delay
+	g2 := mustAcquire(t, d, w2)
+	if g2.CellID != "cell-1" || g2.LeaseID == g1.LeaseID {
+		t.Fatalf("retry grant = %+v, want a fresh lease on cell-1", g2)
+	}
+
+	cell := report.Cell{ID: "cell-1"}
+	if st := d.Complete(w2, CompleteRequest{LeaseID: g2.LeaseID, JobID: "j1", CellID: "cell-1", Cell: cell}); st != CompleteAccepted {
+		t.Fatalf("Complete = %s, want %s", st, CompleteAccepted)
+	}
+	if !resolved(u) || u.localize || u.result.ID != "cell-1" {
+		t.Fatalf("unit not resolved remotely: localize=%v result=%+v", u.localize, u.result)
+	}
+}
+
+func TestAttemptBudgetExhaustionFallsBackToLocal(t *testing.T) {
+	d, fw := newTestDispatcher(t, Config{MaxAttempts: 2})
+	w1 := d.Register("flaky").WorkerID
+	u := d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		g := mustAcquire(t, d, w1)
+		if g.CellID != "cell-1" {
+			t.Fatalf("attempt %d granted %q", attempt, g.CellID)
+		}
+		fw.Advance(11 * time.Second) // past LeaseTTL
+		if !d.Heartbeat(w1) {        // the worker is alive, just never finishing
+			t.Fatalf("worker expired on attempt %d", attempt)
+		}
+		d.Reap()
+		if attempt == 1 {
+			fw.Advance(2 * time.Second) // clear the retry backoff
+		}
+	}
+
+	if !resolved(u) || !u.localize {
+		t.Fatalf("budget exhausted but unit not localized (resolved=%v localize=%v)", resolved(u), u.localize)
+	}
+	m := d.Metrics()
+	if m.LeasesExpired != 2 || m.LeaseRetries != 1 {
+		t.Fatalf("metrics = %+v, want 2 expired / 1 retried", m)
+	}
+}
+
+func TestStolenLeaseAndDuplicateCompletionFirstWriterWins(t *testing.T) {
+	d, fw := newTestDispatcher(t, Config{})
+	w1 := d.Register("slow").WorkerID
+	w2 := d.Register("idle").WorkerID
+	u := d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+
+	g1 := mustAcquire(t, d, w1)
+
+	// Too young to steal: the idle worker gets nothing.
+	fw.Advance(3 * time.Second)
+	d.Heartbeat(w1)
+	if _, ok, _ := d.Acquire(w2); ok {
+		t.Fatal("stole a lease younger than StealAge")
+	}
+
+	// Old enough: the idle worker gets a redundant copy.
+	fw.Advance(3 * time.Second)
+	d.Heartbeat(w1)
+	g2 := mustAcquire(t, d, w2)
+	if !g2.Stolen || g2.CellID != "cell-1" {
+		t.Fatalf("grant = %+v, want a stolen copy of cell-1", g2)
+	}
+	if m := d.Metrics(); m.LeasesStolen != 1 {
+		t.Fatalf("LeasesStolen = %d, want 1", m.LeasesStolen)
+	}
+
+	// The thief completes first; the original holder's completion is a
+	// deterministic duplicate (real executions are bit-identical — the
+	// markers here only prove which writer won).
+	first := report.Cell{ID: "cell-1", WallMS: 111}
+	second := report.Cell{ID: "cell-1", WallMS: 222}
+	if st := d.Complete(w2, CompleteRequest{LeaseID: g2.LeaseID, JobID: "j1", CellID: "cell-1", Cell: first}); st != CompleteAccepted {
+		t.Fatalf("first Complete = %s", st)
+	}
+	if st := d.Complete(w1, CompleteRequest{LeaseID: g1.LeaseID, JobID: "j1", CellID: "cell-1", Cell: second}); st != CompleteDuplicate {
+		t.Fatalf("second Complete = %s, want %s", st, CompleteDuplicate)
+	}
+	if u.result.WallMS != 111 {
+		t.Fatalf("result WallMS = %v, want the first writer's 111", u.result.WallMS)
+	}
+	if m := d.Metrics(); m.RemoteCompletions != 1 || m.DuplicateCompletions != 1 {
+		t.Fatalf("metrics = %+v, want 1 remote / 1 duplicate completion", m)
+	}
+}
+
+func TestDeadWorkerIsReapedAndItsLeaseReassigned(t *testing.T) {
+	d, fw := newTestDispatcher(t, Config{WorkerTTL: 6 * time.Second, LeaseTTL: time.Minute}) // liveness beats deadline here
+	w1 := d.Register("dying").WorkerID
+	w2 := d.Register("healthy").WorkerID
+	d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	mustAcquire(t, d, w1)
+
+	// Only the healthy worker heartbeats across the TTL window.
+	fw.Advance(4 * time.Second)
+	d.Heartbeat(w2)
+	fw.Advance(4 * time.Second)
+	d.Heartbeat(w2)
+
+	if d.Heartbeat(w1) {
+		t.Fatal("dead worker still heartbeats successfully, want unknown")
+	}
+	if _, _, err := d.Acquire(w1); err == nil {
+		t.Fatal("dead worker still acquires, want unknown-worker error")
+	}
+	workers := d.Workers()
+	if len(workers) != 1 || workers[0].ID != w2 {
+		t.Fatalf("Workers() = %+v, want only %s", workers, w2)
+	}
+	if m := d.Metrics(); m.LeasesExpired != 1 || m.WorkersLive != 1 {
+		t.Fatalf("metrics = %+v, want the dead worker's lease expired", m)
+	}
+
+	// The lease died with its worker long before its own deadline; after
+	// backoff the healthy worker picks the cell up.
+	fw.Advance(2 * time.Second)
+	g := mustAcquire(t, d, w2)
+	if g.CellID != "cell-1" || g.Stolen {
+		t.Fatalf("reassigned grant = %+v, want primary lease on cell-1", g)
+	}
+}
+
+func TestEmptyFleetLocalizesPendingCells(t *testing.T) {
+	d, _ := newTestDispatcher(t, Config{})
+	u := d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	d.Reap()
+	if !resolved(u) || !u.localize {
+		t.Fatalf("pending cell with zero workers not localized (resolved=%v localize=%v)", resolved(u), u.localize)
+	}
+	if m := d.Metrics(); m.LeasesGranted != 0 {
+		t.Fatalf("granted %d leases with no workers", m.LeasesGranted)
+	}
+}
+
+func TestGracefulDeregisterRequeuesImmediately(t *testing.T) {
+	d, _ := newTestDispatcher(t, Config{})
+	w1 := d.Register("leaving").WorkerID
+	w2 := d.Register("staying").WorkerID
+	d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	mustAcquire(t, d, w1)
+
+	if !d.Deregister(w1) {
+		t.Fatal("Deregister(known) = false")
+	}
+	if d.Deregister(w1) {
+		t.Fatal("Deregister(gone) = true")
+	}
+	// No TTL wait: the lease expired with the deregistration, and only
+	// the backoff gate stands between the cell and the next worker.
+	d.clockAdvanceForBackoff(t, 2*time.Second)
+	g := mustAcquire(t, d, w2)
+	if g.CellID != "cell-1" {
+		t.Fatalf("grant after deregister = %+v", g)
+	}
+}
+
+// clockAdvanceForBackoff advances the dispatcher's fake wall — a helper
+// so tests that only need "backoff has passed" read as intent.
+func (d *Dispatcher) clockAdvanceForBackoff(t *testing.T, dur time.Duration) {
+	t.Helper()
+	fw, ok := d.cfg.Clock.(*clock.FakeWall)
+	if !ok {
+		t.Fatal("dispatcher not on a FakeWall")
+	}
+	fw.Advance(dur)
+}
+
+func TestCompletionsForUnknownOrReleasedUnitsAreOrphans(t *testing.T) {
+	d, _ := newTestDispatcher(t, Config{})
+	w1 := d.Register("w").WorkerID
+
+	if st := d.Complete(w1, CompleteRequest{LeaseID: "l999999", JobID: "jX", CellID: "cell-9"}); st != CompleteOrphan {
+		t.Fatalf("Complete(unknown unit) = %s, want %s", st, CompleteOrphan)
+	}
+
+	// A released unit (job cancelled, waiter gone) orphans late arrivals.
+	u := d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	g := mustAcquire(t, d, w1)
+	d.release(u)
+	if st := d.Complete(w1, CompleteRequest{LeaseID: g.LeaseID, JobID: "j1", CellID: "cell-1"}); st != CompleteOrphan {
+		t.Fatalf("Complete(released unit) = %s, want %s", st, CompleteOrphan)
+	}
+	if m := d.Metrics(); m.OrphanCompletions != 2 {
+		t.Fatalf("OrphanCompletions = %d, want 2", m.OrphanCompletions)
+	}
+}
+
+func TestBackoffIsCappedAndJittered(t *testing.T) {
+	d, _ := newTestDispatcher(t, Config{RetryBaseDelay: time.Second, RetryMaxDelay: 4 * time.Second})
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for attempts := 1; attempts <= 10; attempts++ {
+		got := d.backoffLocked(attempts)
+		if max := time.Duration(float64(4*time.Second) * 1.25); got > max {
+			t.Fatalf("backoff(%d) = %v, exceeds jittered cap %v", attempts, got, max)
+		}
+		if min := time.Duration(float64(time.Second) * 0.75); got < min {
+			t.Fatalf("backoff(%d) = %v, below jittered base %v", attempts, got, min)
+		}
+	}
+}

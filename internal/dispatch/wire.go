@@ -1,0 +1,117 @@
+// Wire types of the dispatch protocol — what a fleet worker and its
+// hub exchange over /api/v1/workers. Both halves of the protocol live
+// in this package (the Dispatcher serves it, the Worker speaks it), so
+// the shapes are pinned in one place and internal/server only mounts
+// handlers around them.
+package dispatch
+
+import (
+	"encoding/json"
+
+	"repro/internal/report"
+)
+
+// RegisterRequest announces a worker to the hub.
+type RegisterRequest struct {
+	// Name is a human-readable worker label (hostname, usually). Not
+	// unique — the hub assigns the identity.
+	Name string `json:"name"`
+}
+
+// Registration is the hub's answer: the assigned worker identity plus
+// the timing contract the worker must honor to stay live.
+type Registration struct {
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLMS is how long a granted lease stays valid; a worker that
+	// cannot finish a cell inside it should expect a duplicate.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// WorkerTTLMS is the liveness window: no heartbeat (or poll) for
+	// this long and the hub declares the worker dead and reassigns its
+	// leases.
+	WorkerTTLMS int64 `json:"worker_ttl_ms"`
+	// HeartbeatMS is the cadence the hub suggests (a third of the TTL).
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// Grant is one leased cell: everything a worker needs to execute it
+// deterministically and report back.
+type Grant struct {
+	LeaseID string `json:"lease_id"`
+	JobID   string `json:"job_id"`
+	CellID  string `json:"cell_id"`
+	// SpecDigest keys the worker's parsed-spec cache; Spec is the full
+	// defaulted suite spec (small — the 8 MiB submission cap bounds it).
+	SpecDigest string          `json:"spec_digest"`
+	Spec       json.RawMessage `json:"spec"`
+	// TTLMS is the lease's remaining validity at grant time.
+	TTLMS int64 `json:"ttl_ms"`
+	// Stolen marks a work-stealing duplicate of a straggler's lease —
+	// informational; execution is identical either way.
+	Stolen bool `json:"stolen,omitempty"`
+}
+
+// CompleteRequest reports one executed cell. It carries the unit
+// coordinates alongside the lease so a completion that outlived its
+// lease (expiry raced the result) still lands — re-execution is
+// bit-identical, so any completion of an outstanding cell is correct.
+type CompleteRequest struct {
+	LeaseID string      `json:"lease_id"`
+	JobID   string      `json:"job_id"`
+	CellID  string      `json:"cell_id"`
+	Cell    report.Cell `json:"cell"`
+}
+
+// CompleteStatus is the hub's disposition of a completion.
+type CompleteStatus string
+
+const (
+	// CompleteAccepted: the result resolved the cell.
+	CompleteAccepted CompleteStatus = "accepted"
+	// CompleteDuplicate: another execution (retry, steal, or local
+	// fallback) already resolved the cell; the results are bit-identical
+	// by construction, so the duplicate is dropped, not conflicting.
+	CompleteDuplicate CompleteStatus = "duplicate"
+	// CompleteOrphan: the hub no longer tracks the cell (job finished,
+	// cancelled, or never existed). Harmless.
+	CompleteOrphan CompleteStatus = "orphan"
+)
+
+// CompleteResponse acknowledges a completion.
+type CompleteResponse struct {
+	Status CompleteStatus `json:"status"`
+}
+
+// WorkerInfo is the fleet-membership view `ptest client workers`
+// renders.
+type WorkerInfo struct {
+	ID           string `json:"id"`
+	Name         string `json:"name"`
+	Live         bool   `json:"live"`
+	RegisteredAt string `json:"registered_at"`
+	// LastSeenAgoMS is the age of the last heartbeat or poll at render
+	// time.
+	LastSeenAgoMS int64 `json:"last_seen_ago_ms"`
+	// InFlight counts leases currently held; Completed counts cells this
+	// worker resolved over its registration's lifetime.
+	InFlight  int    `json:"in_flight"`
+	Completed uint64 `json:"completed"`
+}
+
+// Metrics is a snapshot of the dispatcher's counters — served under
+// /metrics and asserted by the chaos tests ("the expired lease was
+// retried").
+type Metrics struct {
+	WorkersRegistered    uint64 `json:"workers_registered"`
+	WorkersLive          int    `json:"workers_live"`
+	LeasesGranted        uint64 `json:"leases_granted"`
+	LeasesExpired        uint64 `json:"leases_expired"`
+	LeasesStolen         uint64 `json:"leases_stolen"`
+	LeaseRetries         uint64 `json:"lease_retries"`
+	RemoteCompletions    uint64 `json:"remote_completions"`
+	DuplicateCompletions uint64 `json:"duplicate_completions"`
+	OrphanCompletions    uint64 `json:"orphan_completions"`
+	// LocalCells counts cells the hub executed itself: zero live
+	// workers, a marshalling failure, or an exhausted attempt budget —
+	// the graceful-degradation paths.
+	LocalCells uint64 `json:"local_cells"`
+}

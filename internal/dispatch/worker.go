@@ -1,0 +1,472 @@
+// Worker is the fleet side of the dispatch protocol: register with the
+// hub, heartbeat, poll for leased cells, execute them through the
+// deterministic suite runner, and report completions. Every failure
+// mode degrades instead of corrupting: a lost hub means the worker
+// finishes in-flight cells, retries their completions with backoff,
+// and re-registers when the hub answers again; an expired registration
+// (hub restart) is just a fresh Register; a completion the hub no
+// longer wants is acknowledged as an orphan and forgotten.
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dispatch/faultinject"
+	"repro/internal/report"
+	"repro/internal/suite"
+)
+
+// workersPathPrefix is the dispatch API the hub mounts.
+const workersPathPrefix = "/api/v1/workers"
+
+// WorkerConfig points a worker at its hub.
+type WorkerConfig struct {
+	// HubURL is the hub ptestd, e.g. "http://hub:8321".
+	HubURL string
+	// Name labels the worker in `ptest client workers` (default: the
+	// hostname).
+	Name string
+	// Parallelism is how many leased cells execute concurrently
+	// (default 1; each cell additionally parallelizes its trials per
+	// the spec).
+	Parallelism int
+	// PollInterval is the idle re-poll cadence (default 500ms).
+	PollInterval time.Duration
+	// HTTPClient overrides the default 30s-timeout client.
+	HTTPClient *http.Client
+	// Clock abstracts sleeps and backoff for tests (default: system).
+	Clock clock.Wall
+	// Hooks inject faults for chaos tests; nil in production.
+	Hooks *faultinject.Hooks
+	// Logf, when non-nil, receives one line per notable event
+	// (registration, hub loss, re-registration, kill).
+	Logf func(format string, args ...any)
+}
+
+// Worker runs the lease-polling loop against one hub.
+type Worker struct {
+	cfg  WorkerConfig
+	base string
+	hc   *http.Client
+
+	mu    sync.Mutex
+	reg   Registration
+	specs map[string]*specPlan // spec digest → parsed plan
+
+	killed atomic.Bool
+	killc  chan struct{}
+
+	// Completed counts cells this worker executed and successfully
+	// reported — the chaos e2e sums it across the fleet.
+	completedCount atomic.Uint64
+}
+
+// specPlan caches one parsed spec and its expanded cells so a sweep's
+// worth of leases parses the spec once.
+type specPlan struct {
+	spec  *suite.Spec
+	cells map[string]suite.Cell
+}
+
+// NewWorker validates the config and builds a worker. It does not
+// contact the hub — Run registers, and keeps retrying until the hub
+// answers, so workers and hub can start in any order.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	u, err := url.Parse(cfg.HubURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("dispatch: hub URL %q: want http(s)://host[:port]", cfg.HubURL)
+	}
+	if cfg.Name == "" {
+		if host, err := os.Hostname(); err == nil {
+			cfg.Name = host
+		} else {
+			cfg.Name = "worker"
+		}
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Worker{
+		cfg:   cfg,
+		base:  strings.TrimRight(cfg.HubURL, "/"),
+		hc:    cfg.HTTPClient,
+		specs: map[string]*specPlan{},
+		killc: make(chan struct{}),
+	}, nil
+}
+
+// Completed returns how many cells this worker executed and reported.
+func (w *Worker) Completed() uint64 { return w.completedCount.Load() }
+
+// Run registers and serves leases until ctx is cancelled (graceful:
+// in-flight cells finish and the worker deregisters) or a fault hook
+// kills it (abrupt: everything is abandoned and Run returns
+// faultinject.ErrKilled).
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	loopCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	go w.heartbeatLoop(loopCtx)
+
+	var wg sync.WaitGroup
+	for i := 0; i < w.cfg.Parallelism; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.executorLoop(loopCtx)
+		}()
+	}
+
+	select {
+	case <-w.killc:
+		// Simulated process death: no completion, no deregistration, no
+		// waiting. The hub finds out through lease expiry.
+		stop()
+		return faultinject.ErrKilled
+	case <-ctx.Done():
+	}
+	// Graceful: executors notice ctx at their next poll boundary and
+	// finish the cell they hold first.
+	wg.Wait()
+	w.deregister()
+	return ctx.Err()
+}
+
+// register obtains a fresh identity, retrying with backoff until the
+// hub answers or ctx ends.
+func (w *Worker) register(ctx context.Context) error {
+	delay := 100 * time.Millisecond
+	for {
+		var reg Registration
+		err := w.doJSON(ctx, http.MethodPost, workersPathPrefix,
+			RegisterRequest{Name: w.cfg.Name}, &reg)
+		if err == nil {
+			w.mu.Lock()
+			w.reg = reg
+			w.mu.Unlock()
+			w.cfg.Logf("dispatch worker %s: registered as %s", w.cfg.Name, reg.WorkerID)
+			return nil
+		}
+		w.cfg.Logf("dispatch worker %s: registration failed (%v), retrying", w.cfg.Name, err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-w.cfg.Clock.After(delay):
+		}
+		if delay < 5*time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// registration snapshots the current identity.
+func (w *Worker) registration() Registration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reg
+}
+
+// deregister tells the hub this worker is gone — best effort; expiry
+// covers the failure case.
+func (w *Worker) deregister() {
+	reg := w.registration()
+	if reg.WorkerID == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = w.doJSON(ctx, http.MethodDelete, workersPathPrefix+"/"+url.PathEscape(reg.WorkerID), nil, nil)
+}
+
+// heartbeatLoop keeps the registration live at the hub-suggested
+// cadence, honoring the drop/delay fault hooks.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		reg := w.registration()
+		interval := time.Duration(reg.HeartbeatMS) * time.Millisecond
+		if interval <= 0 {
+			interval = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.cfg.Clock.After(interval):
+		}
+		if d := w.cfg.Hooks.Delay(); d > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-w.cfg.Clock.After(d):
+			}
+		}
+		if w.cfg.Hooks.Drop() {
+			continue
+		}
+		err := w.doJSON(ctx, http.MethodPost,
+			workersPathPrefix+"/"+url.PathEscape(reg.WorkerID)+"/heartbeat", nil, nil)
+		if isUnknownWorker(err) {
+			w.cfg.Logf("dispatch worker %s: hub forgot us, re-registering", w.cfg.Name)
+			_ = w.register(ctx)
+		}
+	}
+}
+
+// executorLoop is one lease-execution slot: poll, execute, complete,
+// repeat. Transient hub failures back off; an unknown-worker answer
+// re-registers; a kill hook stops everything.
+func (w *Worker) executorLoop(ctx context.Context) {
+	backoff := w.cfg.PollInterval
+	for {
+		if ctx.Err() != nil || w.killed.Load() {
+			return
+		}
+		g, ok, err := w.poll(ctx)
+		switch {
+		case isUnknownWorker(err):
+			if w.register(ctx) != nil {
+				return
+			}
+			continue
+		case err != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			w.cfg.Logf("dispatch worker %s: hub unreachable (%v), backing off", w.cfg.Name, err)
+			select {
+			case <-ctx.Done():
+				return
+			case <-w.cfg.Clock.After(backoff):
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = w.cfg.PollInterval
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return
+			case <-w.cfg.Clock.After(w.cfg.PollInterval):
+			}
+			continue
+		}
+		w.execute(ctx, g)
+	}
+}
+
+// poll asks for one lease. ok=false means no work right now.
+func (w *Worker) poll(ctx context.Context) (Grant, bool, error) {
+	reg := w.registration()
+	var g Grant
+	err := w.doJSON(ctx, http.MethodPost,
+		workersPathPrefix+"/"+url.PathEscape(reg.WorkerID)+"/lease", nil, &g)
+	if err != nil {
+		if errors.Is(err, errNoContent) {
+			return Grant{}, false, nil
+		}
+		return Grant{}, false, err
+	}
+	return g, true, nil
+}
+
+// execute runs one leased cell and reports it, consulting the fault
+// hooks at the seams real failures strike.
+func (w *Worker) execute(ctx context.Context, g Grant) {
+	if w.cfg.Hooks.Kill(g.CellID) {
+		w.kill()
+		return
+	}
+	plan, err := w.plan(g)
+	if err != nil {
+		// An undecodable spec cannot be executed here; say so and let
+		// the lease expire into a retry or the hub's local fallback.
+		w.cfg.Logf("dispatch worker %s: lease %s spec unusable: %v", w.cfg.Name, g.LeaseID, err)
+		return
+	}
+	cell, ok := plan.cells[g.CellID]
+	if !ok {
+		w.cfg.Logf("dispatch worker %s: lease %s names unknown cell %s", w.cfg.Name, g.LeaseID, g.CellID)
+		return
+	}
+	res, err := suite.ExecuteCell(plan.spec, cell)
+	if err != nil {
+		w.cfg.Logf("dispatch worker %s: cell %s failed: %v", w.cfg.Name, g.CellID, err)
+		return
+	}
+	if w.cfg.Hooks.Sever(g.CellID) {
+		return // the network ate the result; expiry recovers it
+	}
+	if w.killed.Load() {
+		return // dead workers post nothing
+	}
+	w.complete(ctx, g, res)
+}
+
+// plan parses and caches the grant's spec.
+func (w *Worker) plan(g Grant) (*specPlan, error) {
+	w.mu.Lock()
+	if p, ok := w.specs[g.SpecDigest]; ok {
+		w.mu.Unlock()
+		return p, nil
+	}
+	w.mu.Unlock()
+
+	spec, err := suite.Parse(bytes.NewReader(g.Spec))
+	if err != nil {
+		return nil, err
+	}
+	p := &specPlan{spec: spec, cells: map[string]suite.Cell{}}
+	for _, c := range spec.Expand() {
+		p.cells[c.ID] = c
+	}
+	w.mu.Lock()
+	w.specs[g.SpecDigest] = p
+	w.mu.Unlock()
+	return p, nil
+}
+
+// complete posts the result, retrying transient failures so a briefly
+// absent hub doesn't discard finished work. Past the budget the result
+// is dropped — expiry reassigns the cell, and re-execution is
+// bit-identical, so only cycles are lost.
+func (w *Worker) complete(ctx context.Context, g Grant, cell report.Cell) {
+	req := CompleteRequest{LeaseID: g.LeaseID, JobID: g.JobID, CellID: g.CellID, Cell: cell}
+	delay := 100 * time.Millisecond
+	for attempt := 0; attempt < 5; attempt++ {
+		reg := w.registration()
+		var resp CompleteResponse
+		err := w.doJSON(ctx, http.MethodPost,
+			workersPathPrefix+"/"+url.PathEscape(reg.WorkerID)+"/complete", req, &resp)
+		if err == nil {
+			if resp.Status == CompleteAccepted {
+				w.completedCount.Add(1)
+			}
+			return
+		}
+		if ctx.Err() != nil {
+			// Graceful shutdown mid-retry: one last detached attempt so a
+			// finished cell survives the worker's own exit.
+			dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if w.doJSON(dctx, http.MethodPost,
+				workersPathPrefix+"/"+url.PathEscape(reg.WorkerID)+"/complete", req, &resp) == nil &&
+				resp.Status == CompleteAccepted {
+				w.completedCount.Add(1)
+			}
+			cancel()
+			return
+		}
+		w.cfg.Logf("dispatch worker %s: completion of %s failed (%v), retrying", w.cfg.Name, g.CellID, err)
+		select {
+		case <-ctx.Done():
+		case <-w.cfg.Clock.After(delay):
+		}
+		if delay < 2*time.Second {
+			delay *= 2
+		}
+	}
+	w.cfg.Logf("dispatch worker %s: dropping completion of %s — hub will reassign", w.cfg.Name, g.CellID)
+}
+
+// kill flips the worker into the dead state (fault injection only).
+func (w *Worker) kill() {
+	if w.killed.CompareAndSwap(false, true) {
+		w.cfg.Logf("dispatch worker %s: killed by fault injection", w.cfg.Name)
+		close(w.killc)
+	}
+}
+
+// --- tiny HTTP client -------------------------------------------------------
+
+// errNoContent marks a 204 answer — "no work" on the lease endpoint.
+var errNoContent = errors.New("dispatch: no content")
+
+// httpStatusError carries the status code so callers can classify
+// unknown-worker answers.
+type httpStatusError struct {
+	code int
+	msg  string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("dispatch: hub answered %d: %s", e.code, e.msg)
+}
+
+// isUnknownWorker reports a 404 — the hub does not know this worker ID
+// (expired or hub restart); the cure is re-registration.
+func isUnknownWorker(err error) bool {
+	var se *httpStatusError
+	return errors.As(err, &se) && se.code == http.StatusNotFound
+}
+
+// doJSON is one round trip: optional JSON body out, optional JSON body
+// in. 204 comes back as errNoContent so poll can distinguish "no work"
+// from a grant.
+func (w *Worker) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("dispatch: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("dispatch: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dispatch: %s: %w", w.base, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNoContent {
+		return errNoContent
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
+		return &httpStatusError{code: resp.StatusCode, msg: e.Error}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("dispatch: decoding response: %w", err)
+		}
+	}
+	return nil
+}

@@ -2,6 +2,12 @@
 // client …` and the public facade drive. One method per endpoint plus
 // Watch, which consumes the SSE stream: replayed plan-order cells, then
 // live ones, then the terminal JobInfo.
+//
+// The client is built for an imperfect network: idempotent calls retry
+// transient failures (connection refused, 502/503/504) with exponential
+// backoff, a queue-full 503 waits exactly the server's Retry-After, and
+// a dropped Watch stream reconnects with Last-Event-ID so the caller
+// sees every cell exactly once.
 package server
 
 import (
@@ -15,7 +21,10 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/clock"
+	"repro/internal/dispatch"
 	"repro/internal/report"
 )
 
@@ -23,12 +32,25 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// retries is how many times an idempotent call re-attempts after a
+	// transient failure; retryBase seeds the exponential backoff between
+	// attempts. wall abstracts the waits for tests.
+	retries   int
+	retryBase time.Duration
+	wall      clock.Wall
 }
 
 // NewClient builds a client. The default http.Client has no timeout —
 // Watch streams indefinitely; bound individual calls with contexts.
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	return &Client{
+		base:      strings.TrimRight(base, "/"),
+		hc:        &http.Client{},
+		retries:   2,
+		retryBase: 100 * time.Millisecond,
+		wall:      clock.System(),
+	}
 }
 
 // BaseURL returns the normalized base URL this client talks to — what
@@ -47,22 +69,75 @@ func apiError(resp *http.Response) error {
 	return fmt.Errorf("server: HTTP %d", resp.StatusCode)
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+// transientStatus reports whether a status is a temporary server-side
+// condition worth retrying: a dead/overloaded hop (502/504) or an
+// explicitly-try-again 503 (queue full, draining).
+func transientStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// retryAfter honors the server's Retry-After (delta-seconds form): on a
+// queue-full 503 the server states when a slot should free up, which
+// beats guessing.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return time.Duration(n) * time.Second
+		}
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	return 0
+}
+
+// do is one API call. body is a byte slice, not a Reader, so retried
+// attempts can resend it. retry=false is for non-idempotent calls
+// (Cancel): a lost response there must surface, not silently re-fire.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, retry bool) (*http.Response, error) {
+	attempts := 1
+	if retry {
+		attempts += c.retries
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("client: %s: %w", c.base, err)
+	delay := c.retryBase
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		wait := delay
+		switch {
+		case err != nil:
+			lastErr = fmt.Errorf("client: %s: %w", c.base, err)
+		case transientStatus(resp.StatusCode):
+			if ra := retryAfter(resp); ra > 0 {
+				wait = ra
+			}
+			lastErr = apiError(resp) // closes the body
+		case resp.StatusCode >= 400:
+			return nil, apiError(resp)
+		default:
+			return resp, nil
+		}
+		if attempt+1 >= attempts || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, lastErr
+		case <-c.wall.After(wait):
+		}
+		delay *= 2
 	}
-	if resp.StatusCode >= 400 {
-		return nil, apiError(resp)
-	}
-	return resp, nil
+	return nil, lastErr
 }
 
 func decodeInto[T any](resp *http.Response) (T, error) {
@@ -75,12 +150,19 @@ func decodeInto[T any](resp *http.Response) (T, error) {
 }
 
 // Submit posts a suite spec (raw JSON) and returns the accepted job.
+// Transient failures — the daemon restarting, its queue momentarily
+// full — are retried; a queue-full rejection waits the server's own
+// Retry-After before re-submitting.
 func (c *Client) Submit(ctx context.Context, spec io.Reader, priority int) (JobInfo, error) {
+	raw, err := io.ReadAll(spec)
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("client: reading spec: %w", err)
+	}
 	path := "/api/v1/jobs"
 	if priority != 0 {
 		path += "?priority=" + strconv.Itoa(priority)
 	}
-	resp, err := c.do(ctx, http.MethodPost, path, spec)
+	resp, err := c.do(ctx, http.MethodPost, path, raw, true)
 	if err != nil {
 		return JobInfo{}, err
 	}
@@ -89,7 +171,7 @@ func (c *Client) Submit(ctx context.Context, spec io.Reader, priority int) (JobI
 
 // Jobs lists every job the daemon knows, newest first.
 func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil)
+	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, true)
 	if err != nil {
 		return nil, err
 	}
@@ -98,17 +180,29 @@ func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
 
 // Job fetches one job's status.
 func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id), nil)
+	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id), nil, true)
 	if err != nil {
 		return JobInfo{}, err
 	}
 	return decodeInto[JobInfo](resp)
 }
 
+// Workers lists the hub's fleet: registered workers, their liveness,
+// in-flight leases and completion counts.
+func (c *Client) Workers(ctx context.Context) ([]dispatch.WorkerInfo, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/api/v1/workers", nil, true)
+	if err != nil {
+		return nil, err
+	}
+	return decodeInto[[]dispatch.WorkerInfo](resp)
+}
+
 // Cancel requests cancellation and returns the (possibly still
-// running) job state.
+// running) job state. Not retried: a cancel whose response was lost may
+// have landed, and silently re-firing would turn that ambiguity into a
+// misleading "already cancelled" conflict.
 func (c *Client) Cancel(ctx context.Context, id string) (JobInfo, error) {
-	resp, err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+url.PathEscape(id), nil)
+	resp, err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+url.PathEscape(id), nil, false)
 	if err != nil {
 		return JobInfo{}, err
 	}
@@ -131,7 +225,7 @@ func (c *Client) ReportBytes(ctx context.Context, id string, canonical bool) ([]
 	if canonical {
 		path += "?canonical=1"
 	}
-	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	resp, err := c.do(ctx, http.MethodGet, path, nil, true)
 	if err != nil {
 		return nil, err
 	}
@@ -147,19 +241,78 @@ func (c *Client) ReportBytes(ctx context.Context, id string, canonical bool) ([]
 // every completed cell in plan order — including cells completed before
 // Watch connected, which the server replays — and returns the terminal
 // JobInfo from the done event.
+//
+// A dropped connection reconnects with the standard Last-Event-ID
+// header, so the server resumes the stream right after the last cell
+// this client saw: onCell observes each cell exactly once no matter how
+// many times the stream breaks. Only consecutive failures count against
+// the retry budget; any received event resets it.
 func (c *Client) Watch(ctx context.Context, id string, onCell func(report.Cell)) (JobInfo, error) {
-	resp, err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	lastID := 0
+	fails := 0
+	delay := c.retryBase
+	for {
+		info, done, err := c.watchOnce(ctx, id, &lastID, &fails, onCell)
+		switch {
+		case err != nil:
+			return JobInfo{}, err
+		case done:
+			return info, nil
+		}
+		if ctx.Err() != nil {
+			return JobInfo{}, fmt.Errorf("client: event stream: %w", ctx.Err())
+		}
+		fails++
+		if fails > c.retries+1 {
+			return JobInfo{}, fmt.Errorf("client: event stream for %s dropped %d times in a row; giving up", id, fails)
+		}
+		select {
+		case <-ctx.Done():
+			return JobInfo{}, fmt.Errorf("client: event stream: %w", ctx.Err())
+		case <-c.wall.After(delay):
+		}
+		delay *= 2
+	}
+}
+
+// watchOnce is one SSE connection attempt. done=true carries the
+// terminal JobInfo; err is fatal (bad job, malformed event); the
+// remaining case — stream dropped or connect failed — asks Watch to
+// reconnect. lastID tracks the server's event numbering for resumption;
+// fails resets whenever an event actually arrives.
+func (c *Client) watchOnce(ctx context.Context, id string, lastID, fails *int, onCell func(report.Cell)) (JobInfo, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/api/v1/jobs/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
-		return JobInfo{}, err
+		return JobInfo{}, false, fmt.Errorf("client: %w", err)
+	}
+	if *lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*lastID))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return JobInfo{}, false, nil // connect failed: reconnect
+	}
+	if transientStatus(resp.StatusCode) {
+		_ = apiError(resp) // drain and close
+		return JobInfo{}, false, nil
+	}
+	if resp.StatusCode >= 400 {
+		return JobInfo{}, false, apiError(resp)
 	}
 	defer resp.Body.Close()
 
 	var event, data string
+	eventID := *lastID
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.Atoi(strings.TrimPrefix(line, "id: ")); err == nil {
+				eventID = n
+			}
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
@@ -170,22 +323,22 @@ func (c *Client) Watch(ctx context.Context, id string, onCell func(report.Cell))
 				if onCell != nil {
 					var cell report.Cell
 					if err := json.Unmarshal([]byte(data), &cell); err != nil {
-						return JobInfo{}, fmt.Errorf("client: bad cell event: %w", err)
+						return JobInfo{}, false, fmt.Errorf("client: bad cell event: %w", err)
 					}
 					onCell(cell)
 				}
+				*lastID = eventID
+				*fails = 0
 			case "done":
 				var info JobInfo
 				if err := json.Unmarshal([]byte(data), &info); err != nil {
-					return JobInfo{}, fmt.Errorf("client: bad done event: %w", err)
+					return JobInfo{}, false, fmt.Errorf("client: bad done event: %w", err)
 				}
-				return info, nil
+				return info, true, nil
 			}
 			event, data = "", ""
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return JobInfo{}, fmt.Errorf("client: event stream: %w", err)
-	}
-	return JobInfo{}, fmt.Errorf("client: event stream ended without a done event")
+	// EOF or read error without a done event: the stream dropped.
+	return JobInfo{}, false, nil
 }

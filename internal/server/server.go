@@ -16,13 +16,17 @@
 //	GET    /api/v1/jobs/{id}/events SSE: replay + follow `cell` events, final `done`
 //	GET    /api/v1/cells/{key}      fetch one stored cell (the fleet cache read)
 //	PUT    /api/v1/cells/{key}      store one computed cell (the fleet cache write)
+//	POST   /api/v1/workers          register a fleet worker (see workers.go)
 //	GET    /metrics                 plain-text counters
 //	GET    /healthz                 liveness
 //
 // The cells endpoints serve this daemon's store to other processes:
 // `ptest suite -store-url` and worker ptestds (serve -store-url) read
 // and write through them via store.Remote, so a whole fleet computes
-// each cell once, ever.
+// each cell once, ever. The workers endpoints (workers.go) are the
+// dispatch half: registered workers lease cells, the hub survives
+// their crashes via lease expiry and retry, and with zero workers
+// every job simply runs in-process.
 package server
 
 import (
@@ -36,6 +40,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/dispatch"
 	"repro/internal/engine"
 	"repro/internal/report"
 	"repro/internal/store"
@@ -62,6 +67,11 @@ type Config struct {
 	// fleet worker sharing that hub's cache; a local disk-backed store
 	// (plus this daemon's /api/v1/cells endpoints) makes it the hub.
 	Store store.CellStore
+	// Dispatch tunes the fleet dispatcher (lease TTLs, heartbeat
+	// expiry, retry budget). The dispatcher always exists — with no
+	// registered workers its executor short-circuits to in-process
+	// execution, so a solo daemon behaves exactly as before.
+	Dispatch dispatch.Config
 }
 
 // metrics are the /metrics counters. Monotonic totals plus two gauges
@@ -76,6 +86,7 @@ type metrics struct {
 type Server struct {
 	cfg      Config
 	store    store.CellStore
+	disp     *dispatch.Dispatcher
 	queue    *jobQueue
 	mux      *http.ServeMux
 	met      metrics
@@ -108,6 +119,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		store: cfg.Store,
+		disp:  dispatch.New(cfg.Dispatch),
 		queue: newJobQueue(cfg.QueueCap),
 		jobs:  map[string]*Job{},
 	}
@@ -121,6 +133,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /api/v1/cells/{key}", s.handleCellGet)
 	s.mux.HandleFunc("PUT /api/v1/cells/{key}", s.handleCellPut)
+	s.mux.HandleFunc("POST /api/v1/workers", s.handleWorkerRegister)
+	s.mux.HandleFunc("GET /api/v1/workers", s.handleWorkerList)
+	s.mux.HandleFunc("DELETE /api/v1/workers/{id}", s.handleWorkerDeregister)
+	s.mux.HandleFunc("POST /api/v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+	s.mux.HandleFunc("POST /api/v1/workers/{id}/lease", s.handleWorkerLease)
+	s.mux.HandleFunc("POST /api/v1/workers/{id}/complete", s.handleWorkerComplete)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -175,6 +193,7 @@ func (s *Server) Drain() {
 	s.queue.Close()
 	s.wg.Wait()
 	s.baseStop()
+	s.disp.Close()
 }
 
 // runJob executes one popped job end to end.
@@ -184,7 +203,13 @@ func (s *Server) runJob(j *Job) {
 	if !j.start(cancel) {
 		return // cancelled while queued
 	}
-	rep, err := suite.RunContext(ctx, j.spec, &jsonlSplitter{j: j}, suite.Options{Store: s.store})
+	rep, err := suite.RunContext(ctx, j.spec, &jsonlSplitter{j: j}, suite.Options{
+		Store: s.store,
+		// The dispatcher decides per cell: farmed to a live fleet worker
+		// under a lease, or — zero workers, exhausted retry budget —
+		// executed right here. Store hits never reach it.
+		Exec: s.disp.Executor(j.info.ID, j.spec),
+	})
 	if rep != nil {
 		s.met.cellsCached.Add(rep.StoreHits)
 		s.met.cellsExecuted.Add(rep.StoreMisses)
@@ -258,6 +283,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// parked forever on a phantom job. Pruning bounds the leftovers.
 		j.finish(JobFailed, nil, err)
 		s.met.rejected.Add(1)
+		// Queue-full is transient by nature — a worker will pop soon. Tell
+		// retrying clients when to come back rather than letting them guess.
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -374,11 +402,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// watchers (and proxies with header timeouts) see a live stream.
 	fl.Flush()
 
+	// Cell events are numbered 1..n in plan order, and Last-Event-ID (the
+	// standard SSE resume header) restarts the replay right after the last
+	// event the client saw — a reconnecting watcher never re-reads the
+	// prefix and never misses a cell.
 	from := 0
+	if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+		n, err := strconv.Atoi(lastID)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad Last-Event-ID %q", lastID)
+			return
+		}
+		from = n
+	}
 	for {
 		lines, upd, info, terminal := j.watch(from)
-		for _, line := range lines {
-			fmt.Fprintf(w, "event: cell\ndata: %s\n\n", line)
+		for i, line := range lines {
+			fmt.Fprintf(w, "id: %d\nevent: cell\ndata: %s\n\n", from+i+1, line)
 		}
 		from += len(lines)
 		if len(lines) > 0 {
@@ -485,4 +525,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "ptestd_store_puts_total %d\n", st.Puts)
 	fmt.Fprintf(w, "ptestd_store_mem_entries %d\n", st.MemEntries)
 	fmt.Fprintf(w, "ptestd_store_disk_entries %d\n", st.DiskEntries)
+	dm := s.disp.Metrics()
+	fmt.Fprintf(w, "ptestd_workers_live %d\n", dm.WorkersLive)
+	fmt.Fprintf(w, "ptestd_workers_registered_total %d\n", dm.WorkersRegistered)
+	fmt.Fprintf(w, "ptestd_dispatch_leases_granted_total %d\n", dm.LeasesGranted)
+	fmt.Fprintf(w, "ptestd_dispatch_leases_expired_total %d\n", dm.LeasesExpired)
+	fmt.Fprintf(w, "ptestd_dispatch_leases_stolen_total %d\n", dm.LeasesStolen)
+	fmt.Fprintf(w, "ptestd_dispatch_lease_retries_total %d\n", dm.LeaseRetries)
+	fmt.Fprintf(w, "ptestd_dispatch_completions_remote_total %d\n", dm.RemoteCompletions)
+	fmt.Fprintf(w, "ptestd_dispatch_completions_duplicate_total %d\n", dm.DuplicateCompletions)
+	fmt.Fprintf(w, "ptestd_dispatch_completions_orphan_total %d\n", dm.OrphanCompletions)
+	fmt.Fprintf(w, "ptestd_dispatch_cells_local_total %d\n", dm.LocalCells)
 }

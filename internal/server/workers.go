@@ -1,0 +1,86 @@
+// The dispatch API: ptestd's hub face for fleet workers. Thin HTTP
+// shims over dispatch.Dispatcher — registration, heartbeat, lease
+// polling, completion, and the membership listing `ptest client
+// workers` renders. The protocol shapes live in internal/dispatch;
+// this file only maps them onto routes and status codes:
+//
+//	POST   /api/v1/workers                 register → 201 Registration
+//	GET    /api/v1/workers                 fleet membership listing
+//	DELETE /api/v1/workers/{id}            graceful deregistration
+//	POST   /api/v1/workers/{id}/heartbeat  liveness → 204 | 404 (re-register)
+//	POST   /api/v1/workers/{id}/lease      acquire → 200 Grant | 204 no work | 404
+//	POST   /api/v1/workers/{id}/complete   report a cell → 200 CompleteResponse
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/dispatch"
+)
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	var req dispatch.RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad register body: %v", err)
+		return
+	}
+	if req.Name == "" {
+		req.Name = "worker"
+	}
+	writeJSON(w, http.StatusCreated, s.disp.Register(req.Name))
+}
+
+func (s *Server) handleWorkerList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.disp.Workers())
+}
+
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	if !s.disp.Deregister(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "unknown worker %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.disp.Heartbeat(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, "unknown worker %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
+	g, ok, err := s.disp.Acquire(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+// handleWorkerComplete accepts a result even from a worker the hub no
+// longer tracks: a worker that lost the hub, finished its in-flight
+// cell, and re-registered must not have its work discarded. The
+// dispatcher resolves raced duplicates deterministically (executions
+// are bit-identical), so there is no wrong answer to accept.
+func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
+	var req dispatch.CompleteRequest
+	// Completions carry one report.Cell; the store's record bound is the
+	// natural cap here too.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad completion body: %v", err)
+		return
+	}
+	status := s.disp.Complete(r.PathValue("id"), req)
+	writeJSON(w, http.StatusOK, dispatch.CompleteResponse{Status: status})
+}

@@ -9,14 +9,21 @@
 // Failure semantics follow the CellStore contract: an unreachable or
 // erroring remote degrades to a miss on Get (the caller recomputes,
 // which is always correct) and to a returned-but-ignorable error on Put.
-// A fleet never wedges on its cache.
+// A fleet never wedges on its cache. Three layers keep that degradation
+// cheap: transient wire failures retry a bounded number of times with
+// jittered exponential backoff; a circuit breaker trips after enough
+// consecutive failures so a dead cache host costs nothing per lookup
+// instead of a timeout each; and after a cooldown a single half-open
+// probe decides whether to close the circuit again.
 package store
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -24,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/report"
 )
 
@@ -50,14 +58,38 @@ type RemoteConfig struct {
 	// HTTPClient overrides the default client (30 s timeout). Tests and
 	// callers with custom transports use it.
 	HTTPClient *http.Client
+	// Retries is how many extra wire attempts follow a transient failure
+	// (default 2; negative disables retries). Authoritative answers —
+	// a 404 miss, a 508 loop refusal — never retry.
+	Retries int
+	// RetryBase seeds the jittered exponential backoff between attempts
+	// (default 50ms, doubling, ±25% jitter).
+	RetryBase time.Duration
+	// BreakerThreshold trips the circuit after this many consecutive
+	// wire failures (default 5): while open, Gets miss and Puts error
+	// instantly instead of each paying a timeout.
+	BreakerThreshold int
+	// BreakerCooldown is how long the open circuit fails fast before
+	// letting one half-open probe through (default 5s).
+	BreakerCooldown time.Duration
+	// Clock abstracts backoff waits and cooldown time for tests
+	// (default: system).
+	Clock clock.Wall
 }
 
 // Remote implements CellStore over a ptestd's cells API.
 type Remote struct {
-	base string
-	hc   *http.Client
+	base      string
+	hc        *http.Client
+	retries   int
+	retryBase time.Duration
+	wall      clock.Wall
+	brk       breaker
 
 	hits, misses, puts atomic.Uint64
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand
 
 	mu      sync.Mutex
 	front   *lruCache
@@ -88,9 +120,36 @@ func OpenRemote(cfg RemoteConfig) (*Remote, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 30 * time.Second}
 	}
+	switch {
+	case cfg.Retries == 0:
+		cfg.Retries = 2
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
 	return &Remote{
-		base:    strings.TrimRight(cfg.BaseURL, "/"),
-		hc:      hc,
+		base:      strings.TrimRight(cfg.BaseURL, "/"),
+		hc:        hc,
+		retries:   cfg.Retries,
+		retryBase: cfg.RetryBase,
+		wall:      cfg.Clock,
+		brk: breaker{
+			threshold: cfg.BreakerThreshold,
+			cooldown:  cfg.BreakerCooldown,
+			wall:      cfg.Clock,
+		},
+		rnd:     rand.New(rand.NewSource(1)),
 		front:   newLRU(cfg.MemEntries),
 		flights: map[string]*flight{},
 	}, nil
@@ -136,36 +195,84 @@ func (r *Remote) Get(key string) (report.Cell, bool) {
 	return f.cell, f.ok
 }
 
-// fetch is the single wire read: 200 is a hit, everything else —
-// including transport errors and undecodable bodies — a miss.
+// fetch is the retrying wire read: transient failures back off and try
+// again, the breaker short-circuits a dead remote, and anything still
+// failing after the budget is a miss (the caller recomputes).
 func (r *Remote) fetch(key string) (report.Cell, bool) {
+	if !r.brk.allow() {
+		return report.Cell{}, false
+	}
+	delay := r.retryBase
+	for attempt := 0; ; attempt++ {
+		cell, found, err := r.fetchOnce(key)
+		if err == nil {
+			r.brk.success()
+			return cell, found
+		}
+		r.brk.failure()
+		if attempt >= r.retries || !r.brk.allow() {
+			return report.Cell{}, false
+		}
+		<-r.wall.After(r.jitter(delay))
+		delay *= 2
+	}
+}
+
+// fetchOnce is a single round trip. found only on 200; a non-nil error
+// marks the failure transient (worth retrying): transport errors and
+// 5xx gateway-ish answers. A 404 is the authoritative miss, and other
+// client-side answers (508 loop refusal, 4xx) are final too.
+func (r *Remote) fetchOnce(key string) (report.Cell, bool, error) {
 	req, err := http.NewRequest(http.MethodGet, r.base+cellsPathPrefix+url.PathEscape(key), nil)
 	if err != nil {
-		return report.Cell{}, false
+		return report.Cell{}, false, nil
 	}
 	req.Header.Set(CellsHopHeader, "1")
 	resp, err := r.hc.Do(req)
 	if err != nil {
-		return report.Cell{}, false
+		return report.Cell{}, false, fmt.Errorf("store: %s: %w", r.base, err)
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
 		_ = resp.Body.Close()
 	}()
+	if transientStoreStatus(resp.StatusCode) {
+		return report.Cell{}, false, fmt.Errorf("store: %s: HTTP %d", r.base, resp.StatusCode)
+	}
 	if resp.StatusCode != http.StatusOK {
-		return report.Cell{}, false
+		return report.Cell{}, false, nil
 	}
 	var cell report.Cell
 	if err := json.NewDecoder(io.LimitReader(resp.Body, MaxRecordBytes)).Decode(&cell); err != nil {
-		return report.Cell{}, false
+		return report.Cell{}, false, nil
 	}
-	return cell, true
+	return cell, true, nil
+}
+
+// transientStoreStatus reports a status worth retrying: the remote (or
+// a proxy in front of it) is momentarily unhealthy rather than giving
+// an authoritative answer.
+func transientStoreStatus(code int) bool {
+	return code == http.StatusInternalServerError ||
+		code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// jitter spreads a backoff delay ±25% so a fleet of workers whose cache
+// host died does not retry in lockstep.
+func (r *Remote) jitter(d time.Duration) time.Duration {
+	r.rndMu.Lock()
+	f := 0.75 + 0.5*r.rnd.Float64()
+	r.rndMu.Unlock()
+	return time.Duration(float64(d) * f)
 }
 
 // Put stores the cell locally and pushes it to the remote. A failed
 // push returns an error the caller may log, but the LRU front already
 // serves the cell — exactly how the local store degrades to memory-only
-// on a failed disk append.
+// on a failed disk append. Transient push failures retry within the
+// same budget as Get; an open breaker fails the push instantly.
 func (r *Remote) Put(key string, cell report.Cell) error {
 	r.mu.Lock()
 	if r.closed {
@@ -184,6 +291,40 @@ func (r *Remote) Put(key string, cell report.Cell) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding %s: %w", key, err)
 	}
+	if !r.brk.allow() {
+		return fmt.Errorf("store: pushing %s: circuit open (remote failing)", key)
+	}
+	delay := r.retryBase
+	for attempt := 0; ; attempt++ {
+		err := r.putOnce(key, body)
+		if err == nil {
+			r.brk.success()
+			return nil
+		}
+		var te *transientPutError
+		if !errors.As(err, &te) {
+			// An authoritative refusal (507 store full, 508 loop): the
+			// remote answered; the breaker stays closed.
+			r.brk.success()
+			return err
+		}
+		r.brk.failure()
+		if attempt >= r.retries || !r.brk.allow() {
+			return te.err
+		}
+		<-r.wall.After(r.jitter(delay))
+		delay *= 2
+	}
+}
+
+// transientPutError wraps a push failure worth retrying.
+type transientPutError struct{ err error }
+
+func (e *transientPutError) Error() string { return e.err.Error() }
+func (e *transientPutError) Unwrap() error { return e.err }
+
+// putOnce is a single push round trip.
+func (r *Remote) putOnce(key string, body []byte) error {
 	req, err := http.NewRequest(http.MethodPut, r.base+cellsPathPrefix+url.PathEscape(key), bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -192,12 +333,15 @@ func (r *Remote) Put(key string, cell report.Cell) error {
 	req.Header.Set(CellsHopHeader, "1")
 	resp, err := r.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("store: pushing %s: %w", key, err)
+		return &transientPutError{fmt.Errorf("store: pushing %s: %w", key, err)}
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		_ = resp.Body.Close()
 	}()
+	if transientStoreStatus(resp.StatusCode) {
+		return &transientPutError{fmt.Errorf("store: pushing %s: HTTP %d", key, resp.StatusCode)}
+	}
 	if resp.StatusCode >= 300 {
 		return fmt.Errorf("store: pushing %s: HTTP %d", key, resp.StatusCode)
 	}
@@ -224,6 +368,10 @@ func (r *Remote) Lifetime() Counters {
 	return Counters{Hits: r.hits.Load(), Misses: r.misses.Load(), Puts: r.puts.Load()}
 }
 
+// BreakerState exposes the circuit state ("closed", "open",
+// "half-open") for tests and operators.
+func (r *Remote) BreakerState() string { return r.brk.stateName() }
+
 // Close drops idle connections. The LRU stays readable in principle but
 // Put rejects a closed store, mirroring the local Store.
 func (r *Remote) Close() error {
@@ -232,4 +380,79 @@ func (r *Remote) Close() error {
 	r.mu.Unlock()
 	r.hc.CloseIdleConnections()
 	return nil
+}
+
+// --- circuit breaker --------------------------------------------------------
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the classic three-state circuit breaker: closed counts
+// consecutive failures, open fails fast until the cooldown passes, and
+// half-open admits exactly one probe whose outcome decides the next
+// state.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	wall      clock.Wall
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+}
+
+// allow reports whether a wire attempt may proceed, transitioning
+// open → half-open when the cooldown has elapsed (the caller becomes
+// the probe).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.wall.Now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is already out
+		return false
+	}
+}
+
+// success closes the circuit and clears the failure streak.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// failure extends the streak; at the threshold — or instantly when a
+// half-open probe fails — the circuit opens.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.wall.Now()
+	}
+	b.mu.Unlock()
+}
+
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
 }

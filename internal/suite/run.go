@@ -30,6 +30,14 @@ import (
 // stream flushed to exactly the same prefix.
 var ErrInterrupted = errors.New("suite: interrupted")
 
+// CellExec is a pluggable per-cell executor: given the resolved spec
+// and one expanded cell, produce the completed report cell. The
+// dispatch layer implements it to lease cells out to a worker fleet;
+// the default executes in-process via ExecuteCell. Implementations
+// must be deterministic in (spec, cell) — the per-cell seed already is
+// — so where a cell runs can never change what it reports.
+type CellExec func(ctx context.Context, spec *Spec, c Cell) (report.Cell, error)
+
 // Options tunes a run beyond the spec itself.
 type Options struct {
 	// Store is the content-addressed result store: each cell is looked
@@ -37,6 +45,12 @@ type Options struct {
 	// memoization. Any CellStore implementation slots in — the local
 	// segment-log store, a remote ptestd-backed one, or a caller's own.
 	Store store.CellStore
+	// Exec overrides how a cell that missed the store executes. Nil runs
+	// it in-process. The store check, the put of the computed result and
+	// the plan-order stream all stay on the caller's side, so an Exec
+	// that farms cells out to a fleet inherits memoization and ordering
+	// unchanged.
+	Exec CellExec
 }
 
 // Run expands the spec and executes every cell. When jsonl is non-nil,
@@ -88,7 +102,13 @@ func RunContext(ctx context.Context, spec *Spec, jsonl io.Writer, opts Options) 
 				}
 				misses.Add(1)
 			}
-			rc, err := runCell(spec, cells[i])
+			var rc report.Cell
+			var err error
+			if opts.Exec != nil {
+				rc, err = opts.Exec(ctx, spec, cells[i])
+			} else {
+				rc, err = runCell(spec, cells[i])
+			}
 			if err != nil {
 				return report.Cell{}, fmt.Errorf("suite: cell %s: %w", cells[i].ID, err)
 			}
@@ -125,6 +145,28 @@ func RunContext(ctx context.Context, spec *Spec, jsonl io.Writer, opts Options) 
 		return rep, fmt.Errorf("suite %q after %d/%d cells: %w", spec.Name, len(results), len(cells), ErrInterrupted)
 	}
 	return rep, nil
+}
+
+// ExecuteCell runs one expanded cell in-process — the lease-scoped
+// unit of work a fleet worker performs on a hub's behalf, and the local
+// fallback a degraded hub runs itself. Deterministic in (spec, cell):
+// the cell's seed derives from its identity, so every execution of the
+// same lease — original, retry after an expiry, or a stolen duplicate —
+// produces a bit-identical result.
+func ExecuteCell(spec *Spec, c Cell) (report.Cell, error) {
+	return runCell(spec, c)
+}
+
+// CellByID finds one cell of the spec's expanded plan. Fleet workers
+// resolve leased cell IDs through it; expanding the whole plan is cheap
+// next to executing even one cell, and callers cache per spec digest.
+func (s *Spec) CellByID(id string) (Cell, bool) {
+	for _, c := range s.Expand() {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Cell{}, false
 }
 
 // runCell executes one matrix point through its tool's registered

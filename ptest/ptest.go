@@ -49,6 +49,7 @@ import (
 	"repro/internal/contest"
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/dispatch"
 	"repro/internal/pattern"
 	"repro/internal/pcore"
 	"repro/internal/pfa"
@@ -445,3 +446,34 @@ const (
 	JobFailed    = server.JobFailed
 	JobCancelled = server.JobCancelled
 )
+
+// --- fleet dispatch ---------------------------------------------------------
+
+// DispatchConfig tunes a JobServer's fleet dispatcher: lease and worker
+// TTLs, the per-cell retry budget and backoff, and the work-stealing
+// age threshold. The zero value defaults sensibly; set it on
+// JobServerConfig.Dispatch.
+type DispatchConfig = dispatch.Config
+
+// FleetWorker is one lease-polling cell executor: it registers with a
+// hub JobServer, heartbeats, executes granted cells through the
+// deterministic suite runner, and reports completions — surviving hub
+// loss by finishing in-flight cells and re-registering. `ptest serve
+// -hub-url` wraps exactly this type.
+type FleetWorker = dispatch.Worker
+
+// FleetWorkerConfig points a FleetWorker at its hub.
+type FleetWorkerConfig = dispatch.WorkerConfig
+
+// NewFleetWorker validates the config and builds a worker; Run drives
+// it until its context ends.
+func NewFleetWorker(cfg FleetWorkerConfig) (*FleetWorker, error) { return dispatch.NewWorker(cfg) }
+
+// FleetWorkerInfo is one row of the hub's fleet membership listing —
+// what Client.Workers and `ptest client workers` return.
+type FleetWorkerInfo = dispatch.WorkerInfo
+
+// DispatchMetrics snapshots the hub's dispatch counters: registrations,
+// leases granted/expired/stolen, retries, completions and local
+// fallbacks.
+type DispatchMetrics = dispatch.Metrics
