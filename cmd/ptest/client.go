@@ -1,5 +1,5 @@
-// ptest client: talk to a running ptestd. Six verbs, one shared
-// -server flag, the usual single validation-error path:
+// ptest client: talk to a running ptestd. Six verbs, shared -server
+// and -api-key flags, the usual single validation-error path:
 //
 //	ptest client submit  -spec sweep.json [-priority 5] [-wait]
 //	ptest client status  [job-id]
@@ -43,14 +43,25 @@ func cmdClient(args []string) error {
 	return usagef("client: unknown verb %q (want submit|status|watch|report|cancel|workers)", verb)
 }
 
-// serverFlag registers the shared -server flag.
-func serverFlag(fs *flag.FlagSet) *string {
-	return fs.String("server", defaultServer, "ptestd base URL")
+// clientConn registers the shared -server and -api-key flags and
+// returns a constructor for the configured client; credentials attach
+// via server.WithAPIKey only when a key was actually supplied, so an
+// anonymous hub sees byte-identical requests.
+func clientConn(fs *flag.FlagSet) func() *server.Client {
+	srv := fs.String("server", defaultServer, "ptestd base URL")
+	key := apiKeyFlag(fs)
+	return func() *server.Client {
+		var opts []server.ClientOption
+		if *key != "" {
+			opts = append(opts, server.WithAPIKey(*key))
+		}
+		return server.NewClient(*srv, opts...)
+	}
 }
 
 func clientSubmit(args []string) error {
 	fs := flag.NewFlagSet("ptest client submit", flag.ContinueOnError)
-	srv := serverFlag(fs)
+	conn := clientConn(fs)
 	var (
 		specPath = fs.String("spec", "", "suite spec JSON file (required)")
 		priority = fs.Int("priority", 0, "queue priority (higher runs first)")
@@ -68,7 +79,7 @@ func clientSubmit(args []string) error {
 	}
 	defer f.Close()
 
-	cli := server.NewClient(*srv)
+	cli := conn()
 	info, err := cli.Submit(context.Background(), f, *priority)
 	if err != nil {
 		return err
@@ -83,11 +94,11 @@ func clientSubmit(args []string) error {
 
 func clientStatus(args []string) error {
 	fs := flag.NewFlagSet("ptest client status", flag.ContinueOnError)
-	srv := serverFlag(fs)
+	conn := clientConn(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	cli := server.NewClient(*srv)
+	cli := conn()
 	if fs.NArg() > 1 {
 		return usagef("client status: want at most one job id")
 	}
@@ -129,14 +140,14 @@ func printJob(info server.JobInfo) {
 
 func clientWatch(args []string) error {
 	fs := flag.NewFlagSet("ptest client watch", flag.ContinueOnError)
-	srv := serverFlag(fs)
+	conn := clientConn(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return usagef("client watch: want exactly one job id")
 	}
-	return watchJob(server.NewClient(*srv), fs.Arg(0))
+	return watchJob(conn(), fs.Arg(0))
 }
 
 // watchJob streams plan-order cell completions and reports the terminal
@@ -164,7 +175,7 @@ func watchJob(cli *server.Client, id string) error {
 
 func clientReport(args []string) error {
 	fs := flag.NewFlagSet("ptest client report", flag.ContinueOnError)
-	srv := serverFlag(fs)
+	conn := clientConn(fs)
 	var (
 		canonical = fs.Bool("canonical", false, "fetch the canonical (timing-zeroed) report")
 		outPath   = fs.String("out", "", "write the report here (default: stdout)")
@@ -175,7 +186,7 @@ func clientReport(args []string) error {
 	if fs.NArg() != 1 {
 		return usagef("client report: want exactly one job id")
 	}
-	raw, err := server.NewClient(*srv).ReportBytes(context.Background(), fs.Arg(0), *canonical)
+	raw, err := conn().ReportBytes(context.Background(), fs.Arg(0), *canonical)
 	if err != nil {
 		return err
 	}
@@ -190,14 +201,14 @@ func clientReport(args []string) error {
 // what they hold and what they have finished.
 func clientWorkers(args []string) error {
 	fs := flag.NewFlagSet("ptest client workers", flag.ContinueOnError)
-	srv := serverFlag(fs)
+	conn := clientConn(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return usagef("client workers: no arguments")
 	}
-	workers, err := server.NewClient(*srv).Workers(context.Background())
+	workers, err := conn().Workers(context.Background())
 	if err != nil {
 		return err
 	}
@@ -218,14 +229,14 @@ func clientWorkers(args []string) error {
 
 func clientCancel(args []string) error {
 	fs := flag.NewFlagSet("ptest client cancel", flag.ContinueOnError)
-	srv := serverFlag(fs)
+	conn := clientConn(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return usagef("client cancel: want exactly one job id")
 	}
-	info, err := server.NewClient(*srv).Cancel(context.Background(), fs.Arg(0))
+	info, err := conn().Cancel(context.Background(), fs.Arg(0))
 	if err != nil {
 		return err
 	}

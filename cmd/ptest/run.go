@@ -99,6 +99,7 @@ func cmdRun(args []string) error {
 		storeDir  = fs.String("store", "", "content-addressed result store directory: execute as a one-cell suite, skipping cells already computed by run/suite/ptestd (campaign seeds derive from the cell identity, not -seed directly)")
 		storeURL  = fs.String("store-url", "", "remote result store: a ptestd base URL whose cell cache this run shares (mutually exclusive with -store)")
 		storeMem  = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
+		apiKey    = apiKeyFlag(fs)
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -203,6 +204,7 @@ func cmdRun(args []string) error {
 			gcLeak: *gcLeak, dropTR: *dropTR, misprio: *misprio,
 			parallelism: parallelism, jsonOut: *jsonOut,
 			storeDir: *storeDir, storeURL: *storeURL, storeMem: *storeMem,
+			apiKey: *apiKey,
 		})
 	}
 
@@ -285,6 +287,7 @@ type runSpecArgs struct {
 	tool                      string
 	workload                  string
 	storeDir, storeURL        string
+	apiKey                    string
 	pd                        pfa.Distribution
 	n, s, trials, rounds      int
 	quantum, gap              int
@@ -337,7 +340,7 @@ func runViaSpec(a runSpecArgs) error {
 
 	var opts suite.Options
 	if a.storeDir != "" || a.storeURL != "" {
-		st, err := openStoreFlag(store.Config{Dir: a.storeDir, MemEntries: a.storeMem}, a.storeURL)
+		st, err := openStoreFlag(store.Config{Dir: a.storeDir, MemEntries: a.storeMem}, a.storeURL, a.apiKey)
 		if err != nil {
 			return err
 		}

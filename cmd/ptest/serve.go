@@ -25,20 +25,29 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // openStoreFlag builds the store shared by serve, suite and run behind
 // the CellStore seam: a remote client when -store-url names a serving
 // ptestd, a disk-backed local store when -store names a directory,
-// memory-only otherwise.
-func openStoreFlag(cfg store.Config, remoteURL string) (store.CellStore, error) {
+// memory-only otherwise. apiKey authenticates the remote path against
+// a hub running -auth-keys.
+func openStoreFlag(cfg store.Config, remoteURL, apiKey string) (store.CellStore, error) {
 	if remoteURL != "" {
 		if cfg.Dir != "" {
 			return nil, usagef("-store and -store-url are mutually exclusive")
 		}
-		return store.OpenRemote(store.RemoteConfig{BaseURL: remoteURL, MemEntries: cfg.MemEntries})
+		return store.OpenRemote(store.RemoteConfig{BaseURL: remoteURL, MemEntries: cfg.MemEntries, APIKey: apiKey})
 	}
 	return store.Open(cfg)
+}
+
+// apiKeyFlag registers the shared -api-key flag; $PTEST_API_KEY is the
+// default so shared-hub credentials stay out of shell history.
+func apiKeyFlag(fs *flag.FlagSet) *string {
+	return fs.String("api-key", os.Getenv("PTEST_API_KEY"),
+		"API key for a ptestd running -auth-keys (default: $PTEST_API_KEY)")
 }
 
 func cmdServe(args []string) error {
@@ -54,6 +63,15 @@ func cmdServe(args []string) error {
 		autoGC   = fs.Int64("store-autocompact", 0, "background-compact the local store when reclaimable bytes exceed this (0 = off)")
 		hubURL   = fs.String("hub-url", "", "join a hub ptestd's fleet as a cell worker instead of serving (no listener)")
 		hubName  = fs.String("name", "", "worker name shown by `ptest client workers` (default: hostname; -hub-url only)")
+
+		authKeys    = fs.String("auth-keys", "", "keyfile of `key tenant role` lines; set to require auth on /api/v1 (empty: anonymous mode)")
+		submitRate  = fs.Float64("submit-rate", 0, "per-tenant job submissions per second (0 = unlimited)")
+		submitBurst = fs.Int("submit-burst", 1, "per-tenant submission burst (with -submit-rate)")
+		cellsRate   = fs.Float64("cells-rate", 0, "per-tenant cells requests per second (0 = unlimited)")
+		cellsBurst  = fs.Int("cells-burst", 1, "per-tenant cells burst (with -cells-rate)")
+		maxInflight = fs.Int("max-inflight", 0, "per-tenant concurrently running jobs (0 = uncapped; admins exempt)")
+		maxQueued   = fs.Int("max-queued", 0, "per-tenant queued-job backlog (0 = uncapped; admins exempt)")
+		apiKey      = apiKeyFlag(fs)
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -65,14 +83,15 @@ func cmdServe(args []string) error {
 		var conflict string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "addr", "queue", "max-jobs", "store", "store-url", "store-mem", "store-autocompact":
+			case "addr", "queue", "max-jobs", "store", "store-url", "store-mem", "store-autocompact",
+				"auth-keys", "submit-rate", "submit-burst", "cells-rate", "cells-burst", "max-inflight", "max-queued":
 				conflict = f.Name
 			}
 		})
 		if conflict != "" {
 			return usagef("serve: -%s does not apply in -hub-url worker mode", conflict)
 		}
-		return serveWorker(*hubURL, *hubName, *workers)
+		return serveWorker(*hubURL, *hubName, *workers, *apiKey)
 	}
 	if *hubName != "" {
 		return usagef("serve: -name only applies with -hub-url")
@@ -84,9 +103,21 @@ func cmdServe(args []string) error {
 	if *autoGC > 0 && *storeDir == "" {
 		return usagef("serve: -store-autocompact needs a local -store directory")
 	}
+	tenancy := tenant.Config{
+		SubmitRate: *submitRate, SubmitBurst: *submitBurst,
+		CellsRate: *cellsRate, CellsBurst: *cellsBurst,
+		MaxInFlight: *maxInflight, MaxQueued: *maxQueued,
+	}
+	if *authKeys != "" {
+		keys, err := tenant.LoadKeyfile(*authKeys)
+		if err != nil {
+			return fmt.Errorf("serve: -auth-keys: %w", err)
+		}
+		tenancy.Keys = keys
+	}
 	st, err := openStoreFlag(store.Config{
 		Dir: *storeDir, MemEntries: *storeMem, AutoCompactMinBytes: *autoGC,
-	}, *storeURL)
+	}, *storeURL, *apiKey)
 	if err != nil {
 		return err
 	}
@@ -94,6 +125,7 @@ func cmdServe(args []string) error {
 
 	srv, err := server.New(server.Config{
 		Workers: *workers, QueueCap: *queueCap, MaxJobs: *maxJobs, Store: st,
+		Tenancy: tenancy,
 	})
 	if err != nil {
 		return err
@@ -118,9 +150,13 @@ func cmdServe(args []string) error {
 		}
 	}()
 
+	auth := "anonymous"
+	if len(tenancy.Keys) > 0 {
+		auth = fmt.Sprintf("enforced (%d keys)", len(tenancy.Keys))
+	}
 	srv.Start()
-	fmt.Fprintf(os.Stderr, "ptestd: listening on %s (workers=%d queue=%d store=%s)\n",
-		*addr, *workers, *queueCap, storeDesc(*storeDir, *storeURL))
+	fmt.Fprintf(os.Stderr, "ptestd: listening on %s (workers=%d queue=%d store=%s auth=%s)\n",
+		*addr, *workers, *queueCap, storeDesc(*storeDir, *storeURL), auth)
 	err = httpSrv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
 		return err
@@ -134,11 +170,12 @@ func cmdServe(args []string) error {
 // Graceful shutdown (SIGTERM/SIGINT) finishes the cells it holds and
 // deregisters; the hub recovers anything less graceful via lease
 // expiry.
-func serveWorker(hubURL, name string, parallel int) error {
+func serveWorker(hubURL, name string, parallel int, apiKey string) error {
 	w, err := dispatch.NewWorker(dispatch.WorkerConfig{
 		HubURL:      hubURL,
 		Name:        name,
 		Parallelism: parallel,
+		APIKey:      apiKey,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

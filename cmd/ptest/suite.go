@@ -33,6 +33,7 @@ func cmdSuite(args []string) error {
 		storeDir  = fs.String("store", "", "content-addressed result store directory (cells found there are not re-executed)")
 		storeURL  = fs.String("store-url", "", "remote result store: a ptestd base URL whose cell cache this run shares (mutually exclusive with -store)")
 		storeMem  = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
+		apiKey    = apiKeyFlag(fs)
 		quiet     = fs.Bool("quiet", false, "suppress the per-cell progress summary on stderr")
 	)
 	if err := parseFlags(fs, args); err != nil {
@@ -51,7 +52,7 @@ func cmdSuite(args []string) error {
 
 	var opts suite.Options
 	if *storeDir != "" || *storeURL != "" {
-		st, err := openStoreFlag(store.Config{Dir: *storeDir, MemEntries: *storeMem}, *storeURL)
+		st, err := openStoreFlag(store.Config{Dir: *storeDir, MemEntries: *storeMem}, *storeURL, *apiKey)
 		if err != nil {
 			return err
 		}

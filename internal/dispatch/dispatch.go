@@ -96,6 +96,7 @@ func (c Config) withDefaults() Config {
 type unit struct {
 	key    string // jobID + "/" + cellID
 	jobID  string
+	tenant string // submitting tenant name; labels lease metrics
 	cellID string
 	digest string
 	spec   json.RawMessage
@@ -519,12 +520,20 @@ func (d *Dispatcher) LiveWorkers() int {
 	return len(d.workers)
 }
 
-// Metrics snapshots the counters.
+// Metrics snapshots the counters. LeasesByTenant is derived live from
+// the outstanding lease table — a gauge of whose cells currently hold
+// fleet capacity.
 func (d *Dispatcher) Metrics() Metrics {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	m := d.met
 	m.WorkersLive = len(d.workers)
+	if len(d.leases) > 0 {
+		m.LeasesByTenant = map[string]int{}
+		for _, l := range d.leases {
+			m.LeasesByTenant[l.u.tenant]++
+		}
+	}
 	return m
 }
 
@@ -535,7 +544,7 @@ func (d *Dispatcher) Metrics() Metrics {
 // workers, an unmarshalable spec, or an exhausted attempt budget all
 // fall back to in-process execution — the exact code path a
 // dispatcher-less daemon runs.
-func (d *Dispatcher) Executor(jobID string, spec *suite.Spec) suite.CellExec {
+func (d *Dispatcher) Executor(jobID, tenantName string, spec *suite.Spec) suite.CellExec {
 	specJSON, err := json.Marshal(spec)
 	digest := spec.Digest()
 	if err != nil {
@@ -546,7 +555,7 @@ func (d *Dispatcher) Executor(jobID string, spec *suite.Spec) suite.CellExec {
 			d.countLocal()
 			return suite.ExecuteCell(sp, c)
 		}
-		u := d.enqueue(jobID, digest, specJSON, c.ID)
+		u := d.enqueue(jobID, tenantName, digest, specJSON, c.ID)
 		defer d.release(u)
 		select {
 		case <-u.done:
@@ -568,12 +577,12 @@ func (d *Dispatcher) countLocal() {
 }
 
 // enqueue adds one cell to the lease table as pending work.
-func (d *Dispatcher) enqueue(jobID, digest string, spec json.RawMessage, cellID string) *unit {
+func (d *Dispatcher) enqueue(jobID, tenantName, digest string, spec json.RawMessage, cellID string) *unit {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	u := &unit{
 		key:   jobID + "/" + cellID,
-		jobID: jobID, cellID: cellID,
+		jobID: jobID, tenant: tenantName, cellID: cellID,
 		digest: digest, spec: spec,
 		leases: map[string]*lease{},
 		done:   make(chan struct{}),

@@ -65,7 +65,7 @@ func TestExpiredLeaseRetriesOnAnotherWorker(t *testing.T) {
 	d, fw := newTestDispatcher(t, Config{})
 	w1 := d.Register("first").WorkerID
 	w2 := d.Register("second").WorkerID
-	u := d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	u := d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-1")
 
 	g1 := mustAcquire(t, d, w1)
 	if g1.CellID != "cell-1" || g1.Stolen {
@@ -104,7 +104,7 @@ func TestExpiredLeaseRetriesOnAnotherWorker(t *testing.T) {
 func TestAttemptBudgetExhaustionFallsBackToLocal(t *testing.T) {
 	d, fw := newTestDispatcher(t, Config{MaxAttempts: 2})
 	w1 := d.Register("flaky").WorkerID
-	u := d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	u := d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-1")
 
 	for attempt := 1; attempt <= 2; attempt++ {
 		g := mustAcquire(t, d, w1)
@@ -134,7 +134,7 @@ func TestStolenLeaseAndDuplicateCompletionFirstWriterWins(t *testing.T) {
 	d, fw := newTestDispatcher(t, Config{})
 	w1 := d.Register("slow").WorkerID
 	w2 := d.Register("idle").WorkerID
-	u := d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	u := d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-1")
 
 	g1 := mustAcquire(t, d, w1)
 
@@ -179,7 +179,7 @@ func TestDeadWorkerIsReapedAndItsLeaseReassigned(t *testing.T) {
 	d, fw := newTestDispatcher(t, Config{WorkerTTL: 6 * time.Second, LeaseTTL: time.Minute}) // liveness beats deadline here
 	w1 := d.Register("dying").WorkerID
 	w2 := d.Register("healthy").WorkerID
-	d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-1")
 	mustAcquire(t, d, w1)
 
 	// Only the healthy worker heartbeats across the TTL window.
@@ -213,7 +213,7 @@ func TestDeadWorkerIsReapedAndItsLeaseReassigned(t *testing.T) {
 
 func TestEmptyFleetLocalizesPendingCells(t *testing.T) {
 	d, _ := newTestDispatcher(t, Config{})
-	u := d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	u := d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-1")
 	d.Reap()
 	if !resolved(u) || !u.localize {
 		t.Fatalf("pending cell with zero workers not localized (resolved=%v localize=%v)", resolved(u), u.localize)
@@ -227,7 +227,7 @@ func TestGracefulDeregisterRequeuesImmediately(t *testing.T) {
 	d, _ := newTestDispatcher(t, Config{})
 	w1 := d.Register("leaving").WorkerID
 	w2 := d.Register("staying").WorkerID
-	d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-1")
 	mustAcquire(t, d, w1)
 
 	if !d.Deregister(w1) {
@@ -265,7 +265,7 @@ func TestCompletionsForUnknownOrReleasedUnitsAreOrphans(t *testing.T) {
 	}
 
 	// A released unit (job cancelled, waiter gone) orphans late arrivals.
-	u := d.enqueue("j1", "dg", []byte(`{}`), "cell-1")
+	u := d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-1")
 	g := mustAcquire(t, d, w1)
 	d.release(u)
 	if st := d.Complete(w1, CompleteRequest{LeaseID: g.LeaseID, JobID: "j1", CellID: "cell-1"}); st != CompleteOrphan {

@@ -114,4 +114,8 @@ type Metrics struct {
 	// workers, a marshalling failure, or an exhausted attempt budget —
 	// the graceful-degradation paths.
 	LocalCells uint64 `json:"local_cells"`
+	// LeasesByTenant gauges outstanding leases per submitting tenant —
+	// who is holding fleet capacity right now. Nil when no leases are
+	// outstanding.
+	LeasesByTenant map[string]int `json:"leases_by_tenant,omitempty"`
 }

@@ -47,6 +47,9 @@ type WorkerConfig struct {
 	PollInterval time.Duration
 	// HTTPClient overrides the default 30s-timeout client.
 	HTTPClient *http.Client
+	// APIKey authenticates against a hub running with -auth-keys; sent
+	// as `Authorization: Bearer <key>`. Empty means anonymous.
+	APIKey string
 	// Clock abstracts sleeps and backoff for tests (default: system).
 	Clock clock.Wall
 	// Hooks inject faults for chaos tests; nil in production.
@@ -445,6 +448,9 @@ func (w *Worker) doJSON(ctx context.Context, method, path string, body, out any)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if w.cfg.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+w.cfg.APIKey)
+	}
 	resp, err := w.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("dispatch: %s: %w", w.base, err)
@@ -457,11 +463,14 @@ func (w *Worker) doJSON(ctx context.Context, method, path string, body, out any)
 		return errNoContent
 	}
 	if resp.StatusCode >= 400 {
+		// The hub's error envelope: {"error":{"code","message",...}}.
 		var e struct {
-			Error string `json:"error"`
+			Error struct {
+				Message string `json:"message"`
+			} `json:"error"`
 		}
 		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
-		return &httpStatusError{code: resp.StatusCode, msg: e.Error}
+		return &httpStatusError{code: resp.StatusCode, msg: e.Error.Message}
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

@@ -1,0 +1,83 @@
+// The uniform API error surface. Every refusal any /api/v1 endpoint
+// issues — bad spec, unknown job, missing key, throttle, full queue —
+// renders as one JSON envelope:
+//
+//	{"error": {"code": "rate_limited", "message": "...", "retry_after_s": 2}}
+//
+// Machine-stable codes let clients branch without parsing prose; the
+// client maps them back to typed errors (ErrUnauthorized,
+// ErrRateLimited, ErrQuotaExceeded) switchable with errors.Is.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// errorEnvelope is the wire shape of every API error response.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	// Code is the machine-stable discriminator (see defaultCode).
+	Code string `json:"code"`
+	// Message is the human-readable cause, same prose as before the
+	// envelope existed.
+	Message string `json:"message"`
+	// RetryAfterS mirrors the Retry-After header for clients that only
+	// see the body (SSE libraries, logged responses).
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+}
+
+// defaultCode infers the envelope code a status implies, so the many
+// existing httpError call sites gain codes without being rewritten.
+// Paths that need a more specific code (quota_exceeded vs rate_limited
+// on 429) call httpErrorCode directly.
+func defaultCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInsufficientStorage:
+		return "store_degraded"
+	case http.StatusLoopDetected:
+		return "loop_detected"
+	default:
+		return "internal"
+	}
+}
+
+// httpError writes the envelope with the status's default code. This is
+// the signature every handler (and the scripted test servers) already
+// uses; only the body shape changed.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	httpErrorCode(w, status, defaultCode(status), 0, format, args...)
+}
+
+// httpErrorCode writes the envelope with an explicit code and, when
+// retryAfterS > 0, a matching Retry-After header — the single place the
+// header and the body are kept in agreement.
+func httpErrorCode(w http.ResponseWriter, status int, code string, retryAfterS int, format string, args ...any) {
+	if retryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterS))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorDetail{
+		Code:        code,
+		Message:     fmt.Sprintf(format, args...),
+		RetryAfterS: retryAfterS,
+	}})
+}

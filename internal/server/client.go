@@ -3,11 +3,15 @@
 // Watch, which consumes the SSE stream: replayed plan-order cells, then
 // live ones, then the terminal JobInfo.
 //
-// The client is built for an imperfect network: idempotent calls retry
-// transient failures (connection refused, 502/503/504) with exponential
-// backoff, a queue-full 503 waits exactly the server's Retry-After, and
-// a dropped Watch stream reconnects with Last-Event-ID so the caller
-// sees every cell exactly once.
+// The client is built for an imperfect network and a shared hub:
+// idempotent calls retry transient failures (connection refused,
+// 502/503/504, 429 throttles) with exponential backoff, a queue-full
+// 503 or a rate-limit 429 waits exactly the server's Retry-After, and a
+// dropped Watch stream reconnects with Last-Event-ID so the caller sees
+// every cell exactly once. Refusals decode into *APIError; branch on
+// them with errors.Is(err, ErrUnauthorized | ErrRateLimited |
+// ErrQuotaExceeded). Credentials come from WithAPIKey — a 401 fails
+// immediately, never retried.
 package server
 
 import (
@@ -15,6 +19,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,8 +35,9 @@ import (
 
 // Client talks to one ptestd base URL (e.g. "http://127.0.0.1:8321").
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	apiKey string
 
 	// retries is how many times an idempotent call re-attempts after a
 	// transient failure; retryBase seeds the exponential backoff between
@@ -41,41 +47,146 @@ type Client struct {
 	wall      clock.Wall
 }
 
-// NewClient builds a client. The default http.Client has no timeout —
-// Watch streams indefinitely; bound individual calls with contexts.
-func NewClient(base string) *Client {
-	return &Client{
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithAPIKey sends the key as `Authorization: Bearer <key>` on every
+// request — required against a hub running with -auth-keys.
+func WithAPIKey(key string) ClientOption {
+	return func(c *Client) { c.apiKey = key }
+}
+
+// WithHTTPClient substitutes the underlying http.Client (custom
+// transports, proxies, TLS). The default has no timeout — Watch streams
+// indefinitely; bound individual calls with contexts.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithRetryPolicy sets how many times idempotent calls re-attempt after
+// transient failures and the base delay the exponential backoff grows
+// from. retries 0 means one attempt, no retries.
+func WithRetryPolicy(retries int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		if retries >= 0 {
+			c.retries = retries
+		}
+		if base > 0 {
+			c.retryBase = base
+		}
+	}
+}
+
+// NewClient builds a client for one ptestd base URL. With no options it
+// behaves exactly as it always has: anonymous, default http.Client, two
+// retries on transient failures.
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
 		base:      strings.TrimRight(base, "/"),
 		hc:        &http.Client{},
 		retries:   2,
 		retryBase: 100 * time.Millisecond,
 		wall:      clock.System(),
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // BaseURL returns the normalized base URL this client talks to — what
 // a store.Remote pointed at the same daemon should be built from.
 func (c *Client) BaseURL() string { return c.base }
 
-// apiError decodes the server's single JSON error shape.
+// Sentinel errors for the envelope codes callers branch on. Match with
+// errors.Is against any error a Client method returns.
+var (
+	// ErrUnauthorized: the hub enforces auth and the key was missing or
+	// unknown. Never retried — a bad credential does not heal.
+	ErrUnauthorized = errors.New("server: unauthorized")
+	// ErrRateLimited: the tenant ran over a rate limit. Retried,
+	// honoring the server's Retry-After.
+	ErrRateLimited = errors.New("server: rate limited")
+	// ErrQuotaExceeded: the tenant's backlog quota is full. Retried —
+	// the backlog drains as workers pop jobs.
+	ErrQuotaExceeded = errors.New("server: quota exceeded")
+)
+
+// APIError is the typed client-side view of the server's error
+// envelope: the HTTP status, the machine-stable code, the human
+// message, and the server-stated retry delay (zero when absent).
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("server: HTTP %d", e.StatusCode)
+}
+
+// Is maps envelope codes onto the sentinels so call sites switch with
+// errors.Is instead of comparing strings or status numbers.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrUnauthorized:
+		return e.StatusCode == http.StatusUnauthorized
+	case ErrRateLimited:
+		return e.Code == "rate_limited"
+	case ErrQuotaExceeded:
+		return e.Code == "quota_exceeded"
+	}
+	return false
+}
+
+// apiError decodes an error response into an *APIError. It understands
+// the envelope's object form and, for compatibility with older
+// daemons, the pre-envelope bare-string form.
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()
-	var e struct {
-		Error string `json:"error"`
+	e := &APIError{
+		StatusCode: resp.StatusCode,
+		RetryAfter: retryAfter(resp),
 	}
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
-		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	var env struct {
+		Error json.RawMessage `json:"error"`
 	}
-	return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&env); err == nil && len(env.Error) > 0 {
+		var det struct {
+			Code        string `json:"code"`
+			Message     string `json:"message"`
+			RetryAfterS int    `json:"retry_after_s"`
+		}
+		if json.Unmarshal(env.Error, &det) == nil && det.Message != "" {
+			e.Code = det.Code
+			e.Message = det.Message
+			if e.RetryAfter == 0 && det.RetryAfterS > 0 {
+				e.RetryAfter = time.Duration(det.RetryAfterS) * time.Second
+			}
+		} else {
+			_ = json.Unmarshal(env.Error, &e.Message) // legacy {"error":"..."}
+		}
+	}
+	return e
 }
 
 // transientStatus reports whether a status is a temporary server-side
-// condition worth retrying: a dead/overloaded hop (502/504) or an
-// explicitly-try-again 503 (queue full, draining).
+// condition worth retrying: a dead/overloaded hop (502/504), an
+// explicitly-try-again 503 (queue full, draining), or a 429 throttle —
+// the tenant's bucket refills on the server's stated schedule.
 func transientStatus(code int) bool {
 	return code == http.StatusBadGateway ||
 		code == http.StatusServiceUnavailable ||
-		code == http.StatusGatewayTimeout
+		code == http.StatusGatewayTimeout ||
+		code == http.StatusTooManyRequests
 }
 
 // retryAfter honors the server's Retry-After (delta-seconds form): on a
@@ -111,6 +222,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, retry
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.apiKey != "" {
+			req.Header.Set("Authorization", "Bearer "+c.apiKey)
 		}
 		resp, err := c.hc.Do(req)
 		wait := delay
@@ -288,6 +402,9 @@ func (c *Client) watchOnce(ctx context.Context, id string, lastID, fails *int, o
 	}
 	if *lastID > 0 {
 		req.Header.Set("Last-Event-ID", strconv.Itoa(*lastID))
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

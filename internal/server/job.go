@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/report"
 	"repro/internal/suite"
+	"repro/internal/tenant"
 )
 
 // JobStatus is the lifecycle state of a job.
@@ -32,11 +33,16 @@ func (s JobStatus) Terminal() bool {
 // JobInfo is the wire representation of a job — what list/status
 // endpoints return and what the done SSE event carries.
 type JobInfo struct {
-	ID         string    `json:"id"`
-	Suite      string    `json:"suite"`
-	SpecDigest string    `json:"spec_digest"`
-	Priority   int       `json:"priority"`
-	Status     JobStatus `json:"status"`
+	ID         string `json:"id"`
+	Suite      string `json:"suite"`
+	SpecDigest string `json:"spec_digest"`
+	// Tenant is the submitting tenant's name; omitted in anonymous mode
+	// so pre-tenancy daemons and clients agree on the wire shape.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the effective queue priority: the tenant role's band
+	// plus the clamped client adjustment.
+	Priority int       `json:"priority"`
+	Status   JobStatus `json:"status"`
 	// TotalCells is the expanded plan size; DoneCells counts completed
 	// (streamed) cells — the progress fraction.
 	TotalCells int `json:"total_cells"`
@@ -60,24 +66,31 @@ type Job struct {
 	mu      sync.Mutex
 	info    JobInfo
 	spec    *suite.Spec
+	tenant  tenant.Tenant // immutable after newJob
 	rep     *report.Report
 	lines   []string // completed cells as JSONL, plan order
 	updated chan struct{}
 	cancel  context.CancelFunc // non-nil while running
 }
 
-func newJob(id string, spec *suite.Spec, priority int) *Job {
+func newJob(id string, spec *suite.Spec, priority int, t tenant.Tenant) *Job {
+	wireTenant := t.Name
+	if t == tenant.Anonymous {
+		wireTenant = "" // omitted: anonymous daemons keep the old shape
+	}
 	return &Job{
 		info: JobInfo{
 			ID:          id,
 			Suite:       spec.Name,
 			SpecDigest:  spec.Digest(),
+			Tenant:      wireTenant,
 			Priority:    priority,
 			Status:      JobQueued,
 			TotalCells:  len(spec.Expand()),
 			SubmittedAt: time.Now().UTC().Format(time.RFC3339),
 		},
 		spec:    spec,
+		tenant:  t,
 		updated: make(chan struct{}),
 	}
 }

@@ -7,6 +7,7 @@ package server
 import (
 	"container/heap"
 	"errors"
+	"sort"
 	"sync"
 )
 
@@ -71,19 +72,64 @@ func (q *jobQueue) Push(j *Job, priority int) error {
 	return nil
 }
 
-// Pop blocks until a job is available or the queue is closed and
-// drained; ok=false means the worker should exit.
-func (q *jobQueue) Pop() (*Job, bool) {
+// Pop blocks until an eligible job is available or the queue is closed
+// and drained; ok=false means the worker should exit.
+//
+// acquire (may be nil = always eligible) is consulted in strict
+// priority order and must atomically claim whatever resource gates the
+// job — the per-tenant in-flight slot. It runs under the queue lock, so
+// the claim and the dequeue are one step: two workers cannot both
+// acquire the last slot for the same job's tenant. A job whose acquire
+// fails is skipped, not popped — lower-priority jobs from unblocked
+// tenants proceed past it (no head-of-line blocking) and the skipped
+// job is re-examined on the next Push or Kick.
+//
+// acquired reports whether acquire claimed a slot the caller must
+// release; once the queue closes, remaining items are handed out
+// unacquired — the draining server cancels rather than runs them.
+func (q *jobQueue) Pop(acquire func(*Job) bool) (j *Job, acquired, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for {
+		if q.closed {
+			if len(q.items) == 0 {
+				return nil, false, false
+			}
+			it := heap.Pop(&q.items).(queueItem)
+			return it.job, false, true
+		}
+		if i, found := q.eligibleLocked(acquire); found {
+			it := q.items[i]
+			heap.Remove(&q.items, i)
+			return it.job, acquire != nil, true
+		}
 		q.cond.Wait()
 	}
+}
+
+// eligibleLocked scans the backlog in pop order (priority desc, seq
+// asc) for the first job acquire accepts. Callers hold q.mu.
+func (q *jobQueue) eligibleLocked(acquire func(*Job) bool) (int, bool) {
 	if len(q.items) == 0 {
-		return nil, false
+		return 0, false
 	}
-	it := heap.Pop(&q.items).(queueItem)
-	return it.job, true
+	order := make([]int, len(q.items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := q.items[order[a]], q.items[order[b]]
+		if ia.priority != ib.priority {
+			return ia.priority > ib.priority
+		}
+		return ia.seq < ib.seq
+	})
+	for _, i := range order {
+		if acquire == nil || acquire(q.items[i].job) {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // Remove drops a still-queued job so cancelled jobs stop occupying
@@ -99,6 +145,16 @@ func (q *jobQueue) Remove(j *Job) bool {
 		}
 	}
 	return false
+}
+
+// Kick wakes every blocked worker to rescan the backlog — called when
+// external eligibility changes (a tenant's in-flight slot freed). The
+// broadcast happens under the lock so it cannot slip between a
+// waiter's failed scan and its Wait and be lost.
+func (q *jobQueue) Kick() {
+	q.mu.Lock()
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // Close wakes every blocked worker; queued items already present can

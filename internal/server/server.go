@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -45,6 +46,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/store"
 	"repro/internal/suite"
+	"repro/internal/tenant"
 )
 
 // Config sizes the daemon. Zero values default sensibly.
@@ -72,6 +74,10 @@ type Config struct {
 	// registered workers its executor short-circuits to in-process
 	// execution, so a solo daemon behaves exactly as before.
 	Dispatch dispatch.Config
+	// Tenancy configures auth, rate limits, and per-tenant quotas. The
+	// zero value is anonymous mode with no limits — a daemon with it is
+	// indistinguishable from one that predates multi-tenancy.
+	Tenancy tenant.Config
 }
 
 // metrics are the /metrics counters. Monotonic totals plus two gauges
@@ -87,8 +93,10 @@ type Server struct {
 	cfg      Config
 	store    store.CellStore
 	disp     *dispatch.Dispatcher
+	guard    *tenant.Guard
 	queue    *jobQueue
 	mux      *http.ServeMux
+	handler  http.Handler
 	met      metrics
 	draining atomic.Bool
 	baseCtx  context.Context
@@ -120,6 +128,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		store: cfg.Store,
 		disp:  dispatch.New(cfg.Dispatch),
+		guard: tenant.NewGuard(cfg.Tenancy),
 		queue: newJobQueue(cfg.QueueCap),
 		jobs:  map[string]*Job{},
 	}
@@ -143,20 +152,45 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.handler = s.withAuth(s.mux)
 	return s, nil
 }
 
 // Handler is the HTTP surface, mountable on net/http or httptest.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
-// Start launches the worker pool.
+// withAuth fronts every /api/v1 route with tenant resolution: in
+// anonymous mode (no keyring) every request passes as the shared
+// anonymous tenant; with a keyring, a missing or unknown key is a 401
+// envelope before any handler runs. /metrics and /healthz stay open —
+// scrapers and probes don't hold credentials.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/api/v1/") {
+			t, err := s.guard.Authenticate(r)
+			if err != nil {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="ptestd"`)
+				httpError(w, http.StatusUnauthorized, "%v", err)
+				return
+			}
+			r = r.WithContext(tenant.NewContext(r.Context(), t))
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Start launches the worker pool. Pop enforces the per-tenant
+// in-flight cap at dequeue: a tenant at its cap has its jobs skipped
+// (not rejected) until one resolves, while other tenants' jobs behind
+// them in the queue proceed — no head-of-line blocking.
 func (s *Server) Start() {
+	acquire := func(j *Job) bool { return s.guard.AcquireJob(j.tenant) }
 	for w := 0; w < s.cfg.Workers; w++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			for {
-				j, ok := s.queue.Pop()
+				j, acquired, ok := s.queue.Pop(acquire)
 				if !ok {
 					return
 				}
@@ -165,12 +199,20 @@ func (s *Server) Start() {
 				// queued jobs cancel, so resolve it here instead of
 				// running a full sweep during shutdown.
 				if s.draining.Load() {
+					if acquired {
+						s.guard.ReleaseJob(j.tenant)
+					}
 					if ok, wasQueued := j.requestCancel(); ok && wasQueued {
 						s.met.cancelled.Add(1)
 					}
 					continue
 				}
 				s.runJob(j)
+				if acquired {
+					// The freed slot may unblock a skipped job; rescan.
+					s.guard.ReleaseJob(j.tenant)
+					s.queue.Kick()
+				}
 			}
 		}()
 	}
@@ -208,7 +250,7 @@ func (s *Server) runJob(j *Job) {
 		// The dispatcher decides per cell: farmed to a live fleet worker
 		// under a lease, or — zero workers, exhausted retry budget —
 		// executed right here. Store hits never reach it.
-		Exec: s.disp.Executor(j.info.ID, j.spec),
+		Exec: s.disp.Executor(j.info.ID, j.tenant.Name, j.spec),
 	})
 	if rep != nil {
 		s.met.cellsCached.Add(rep.StoreHits)
@@ -231,13 +273,6 @@ func (s *Server) runJob(j *Job) {
 
 // --- HTTP handlers ---------------------------------------------------------
 
-// httpError writes the single JSON error shape every endpoint uses.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -251,14 +286,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
-	priority := 0
+	t := tenant.FromContext(r.Context())
+	if ra, ok := s.guard.AllowSubmit(t); !ok {
+		secs := tenant.RetryAfterSeconds(ra)
+		httpErrorCode(w, http.StatusTooManyRequests, "rate_limited", secs,
+			"tenant %s over its submission rate; retry in %ds", t.Name, secs)
+		return
+	}
+	requested := 0
 	if p := r.URL.Query().Get("priority"); p != "" {
 		var err error
-		if priority, err = strconv.Atoi(p); err != nil {
+		if requested, err = strconv.Atoi(p); err != nil {
 			httpError(w, http.StatusBadRequest, "bad priority %q", p)
 			return
 		}
 	}
+	// The effective priority is the tenant's role band plus the clamped
+	// client adjustment: an admin job always outranks a default job
+	// always outranks a batch job, whatever ?priority claims.
+	priority := t.Role.QueuePriority(requested)
 	// suite.Parse is the same single validation path the CLI uses: a bad
 	// spec comes back as one greppable message, here with status 400.
 	// Specs are small; a body past 8 MiB is abuse, not a matrix.
@@ -269,9 +315,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
+	// The backlog quota is checked under the same lock that registers
+	// the job, so concurrent submissions cannot both slip under the cap.
+	if max := s.guard.MaxQueued(t); max > 0 && s.queuedForLocked(t.Name) >= max {
+		s.mu.Unlock()
+		s.guard.CountRejected(t)
+		s.met.rejected.Add(1)
+		httpErrorCode(w, http.StatusTooManyRequests, "quota_exceeded", 0,
+			"tenant %s already has %d jobs queued (cap %d)", t.Name, max, max)
+		return
+	}
 	s.seq++
 	id := fmt.Sprintf("j%06d", s.seq)
-	j := newJob(id, spec, priority)
+	j := newJob(id, spec, priority, t)
 	s.jobs[id] = j
 	s.ord = append(s.ord, id)
 	s.pruneLocked()
@@ -285,12 +341,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.met.rejected.Add(1)
 		// Queue-full is transient by nature — a worker will pop soon. Tell
 		// retrying clients when to come back rather than letting them guess.
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		httpErrorCode(w, http.StatusServiceUnavailable, "unavailable", 1, "%v", err)
 		return
 	}
 	s.met.submitted.Add(1)
 	writeJSON(w, http.StatusAccepted, j.Info())
+}
+
+// queuedForLocked counts one tenant's still-queued jobs. Callers hold
+// s.mu.
+func (s *Server) queuedForLocked(name string) int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.tenant.Name == name && j.Info().Status == JobQueued {
+			n++
+		}
+	}
+	return n
 }
 
 // pruneLocked drops the oldest terminal jobs past MaxJobs so reports
@@ -456,11 +523,26 @@ func (s *Server) refuseForwardedHop(w http.ResponseWriter, r *http.Request) bool
 	return true
 }
 
+// throttleCells spends one cells-rate token for the request's tenant,
+// writing the 429 envelope when the bucket is empty. The cells
+// endpoints are the fleet-cache hot path, so their bucket is sized
+// independently of submission's.
+func (s *Server) throttleCells(w http.ResponseWriter, r *http.Request) bool {
+	t := tenant.FromContext(r.Context())
+	ra, ok := s.guard.AllowCells(t)
+	if !ok {
+		secs := tenant.RetryAfterSeconds(ra)
+		httpErrorCode(w, http.StatusTooManyRequests, "rate_limited", secs,
+			"tenant %s over its cells rate; retry in %ds", t.Name, secs)
+	}
+	return !ok
+}
+
 // handleCellGet serves one cell from the daemon's store — the read half
 // of the fleet-shared cache. 404 is the normal miss answer a
 // store.Remote maps back to "compute it yourself".
 func (s *Server) handleCellGet(w http.ResponseWriter, r *http.Request) {
-	if s.refuseForwardedHop(w, r) {
+	if s.throttleCells(w, r) || s.refuseForwardedHop(w, r) {
 		return
 	}
 	key := r.PathValue("key")
@@ -479,7 +561,7 @@ func (s *Server) handleCellGet(w http.ResponseWriter, r *http.Request) {
 // accepted even while draining; a worker finishing its last job must
 // not lose its results.
 func (s *Server) handleCellPut(w http.ResponseWriter, r *http.Request) {
-	if s.refuseForwardedHop(w, r) {
+	if s.throttleCells(w, r) || s.refuseForwardedHop(w, r) {
 		return
 	}
 	key := r.PathValue("key")
@@ -536,4 +618,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "ptestd_dispatch_completions_duplicate_total %d\n", dm.DuplicateCompletions)
 	fmt.Fprintf(w, "ptestd_dispatch_completions_orphan_total %d\n", dm.OrphanCompletions)
 	fmt.Fprintf(w, "ptestd_dispatch_cells_local_total %d\n", dm.LocalCells)
+	fmt.Fprintf(w, "ptestd_auth_rejected_total %d\n", s.guard.AuthFailures())
+	// Per-tenant quota accounting, one label set per tenant the guard
+	// has seen, name-ordered so scrapes are stable.
+	for _, ts := range s.guard.Snapshot() {
+		fmt.Fprintf(w, "ptestd_tenant_requests_total{tenant=%q} %d\n", ts.Name, ts.Requests)
+		fmt.Fprintf(w, "ptestd_tenant_throttled_total{tenant=%q} %d\n", ts.Name, ts.Throttled)
+		fmt.Fprintf(w, "ptestd_tenant_rejected_total{tenant=%q} %d\n", ts.Name, ts.Rejected)
+		fmt.Fprintf(w, "ptestd_tenant_deferrals_total{tenant=%q} %d\n", ts.Name, ts.Deferrals)
+		fmt.Fprintf(w, "ptestd_tenant_jobs_inflight{tenant=%q} %d\n", ts.Name, ts.InFlight)
+	}
+	tenants := make([]string, 0, len(dm.LeasesByTenant))
+	for name := range dm.LeasesByTenant {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		fmt.Fprintf(w, "ptestd_dispatch_leases_by_tenant{tenant=%q} %d\n", name, dm.LeasesByTenant[name])
+	}
 }

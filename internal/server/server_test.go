@@ -37,7 +37,7 @@ func TestQueuePriorityAndFIFO(t *testing.T) {
 	}
 	var got []string
 	for i := 0; i < 4; i++ {
-		j, ok := q.Pop()
+		j, _, ok := q.Pop(nil)
 		if !ok {
 			t.Fatal("queue drained early")
 		}
@@ -68,13 +68,13 @@ func TestQueueBoundedAndClosed(t *testing.T) {
 		t.Fatalf("post-close push: want ErrQueueClosed, got %v", err)
 	}
 	// Items queued before Close still pop; then workers get ok=false.
-	if _, ok := q.Pop(); !ok {
+	if _, _, ok := q.Pop(nil); !ok {
 		t.Fatal("pre-close item lost")
 	}
-	if _, ok := q.Pop(); !ok {
+	if _, _, ok := q.Pop(nil); !ok {
 		t.Fatal("pre-close item lost")
 	}
-	if _, ok := q.Pop(); ok {
+	if _, _, ok := q.Pop(nil); ok {
 		t.Fatal("closed empty queue returned a job")
 	}
 }

@@ -58,6 +58,9 @@ type RemoteConfig struct {
 	// HTTPClient overrides the default client (30 s timeout). Tests and
 	// callers with custom transports use it.
 	HTTPClient *http.Client
+	// APIKey authenticates against a hub running with -auth-keys; sent
+	// as `Authorization: Bearer <key>`. Empty means anonymous.
+	APIKey string
 	// Retries is how many extra wire attempts follow a transient failure
 	// (default 2; negative disables retries). Authoritative answers —
 	// a 404 miss, a 508 loop refusal — never retry.
@@ -81,6 +84,7 @@ type RemoteConfig struct {
 type Remote struct {
 	base      string
 	hc        *http.Client
+	apiKey    string
 	retries   int
 	retryBase time.Duration
 	wall      clock.Wall
@@ -141,6 +145,7 @@ func OpenRemote(cfg RemoteConfig) (*Remote, error) {
 	return &Remote{
 		base:      strings.TrimRight(cfg.BaseURL, "/"),
 		hc:        hc,
+		apiKey:    cfg.APIKey,
 		retries:   cfg.Retries,
 		retryBase: cfg.RetryBase,
 		wall:      cfg.Clock,
@@ -228,6 +233,9 @@ func (r *Remote) fetchOnce(key string) (report.Cell, bool, error) {
 		return report.Cell{}, false, nil
 	}
 	req.Header.Set(CellsHopHeader, "1")
+	if r.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+r.apiKey)
+	}
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		return report.Cell{}, false, fmt.Errorf("store: %s: %w", r.base, err)
@@ -250,13 +258,14 @@ func (r *Remote) fetchOnce(key string) (report.Cell, bool, error) {
 }
 
 // transientStoreStatus reports a status worth retrying: the remote (or
-// a proxy in front of it) is momentarily unhealthy rather than giving
-// an authoritative answer.
+// a proxy in front of it) is momentarily unhealthy — or throttling this
+// tenant (429) — rather than giving an authoritative answer.
 func transientStoreStatus(code int) bool {
 	return code == http.StatusInternalServerError ||
 		code == http.StatusBadGateway ||
 		code == http.StatusServiceUnavailable ||
-		code == http.StatusGatewayTimeout
+		code == http.StatusGatewayTimeout ||
+		code == http.StatusTooManyRequests
 }
 
 // jitter spreads a backoff delay ±25% so a fleet of workers whose cache
@@ -331,6 +340,9 @@ func (r *Remote) putOnce(key string, body []byte) error {
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(CellsHopHeader, "1")
+	if r.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+r.apiKey)
+	}
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		return &transientPutError{fmt.Errorf("store: pushing %s: %w", key, err)}

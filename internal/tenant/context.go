@@ -1,0 +1,22 @@
+// Request-context plumbing: the auth middleware resolves a tenant once
+// and every downstream handler reads it from the context instead of
+// re-parsing headers.
+package tenant
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext attaches t to ctx.
+func NewContext(ctx context.Context, t Tenant) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the tenant the middleware attached, or Anonymous
+// when none did (direct handler tests, unauthenticated surfaces).
+func FromContext(ctx context.Context) Tenant {
+	if t, ok := ctx.Value(ctxKey{}).(Tenant); ok {
+		return t
+	}
+	return Anonymous
+}

@@ -1,0 +1,206 @@
+package tenant
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	fw := clock.NewFakeWall(time.Time{})
+	l := NewLimiter(1, 3, fw) // 1 token/s, burst 3
+
+	// The full burst spends instantly.
+	for i := 0; i < 3; i++ {
+		if ra, ok := l.Allow("alice"); !ok {
+			t.Fatalf("burst token %d refused (retry %v)", i, ra)
+		}
+	}
+	// The fourth is refused with a full one-token wait.
+	ra, ok := l.Allow("alice")
+	if ok {
+		t.Fatal("empty bucket allowed a token")
+	}
+	if ra != time.Second {
+		t.Fatalf("retry-after %v, want exactly 1s at 1 token/s", ra)
+	}
+
+	// Half a second refills half a token — still refused, wait halves.
+	fw.Advance(500 * time.Millisecond)
+	if ra, ok = l.Allow("alice"); ok || ra != 500*time.Millisecond {
+		t.Fatalf("after 0.5s: ok=%v retry=%v, want refused with 500ms", ok, ra)
+	}
+	// Another half second completes the token.
+	fw.Advance(500 * time.Millisecond)
+	if _, ok = l.Allow("alice"); !ok {
+		t.Fatal("refilled token refused")
+	}
+
+	// Refill caps at the burst: a long idle stretch doesn't bank tokens.
+	fw.Advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if _, ok := l.Allow("alice"); !ok {
+			t.Fatalf("token %d after idle refused", i)
+		}
+	}
+	if _, ok := l.Allow("alice"); ok {
+		t.Fatal("idle stretch banked more than the burst")
+	}
+}
+
+func TestLimiterBucketsAreIndependent(t *testing.T) {
+	fw := clock.NewFakeWall(time.Time{})
+	l := NewLimiter(1, 1, fw)
+	if _, ok := l.Allow("alice"); !ok {
+		t.Fatal("alice's first token refused")
+	}
+	if _, ok := l.Allow("alice"); ok {
+		t.Fatal("alice's bucket did not empty")
+	}
+	// Bob's bucket is untouched by alice's spend.
+	if _, ok := l.Allow("bob"); !ok {
+		t.Fatal("bob throttled by alice's traffic")
+	}
+}
+
+func TestNilLimiterIsUnlimited(t *testing.T) {
+	var l *Limiter
+	for i := 0; i < 1000; i++ {
+		if _, ok := l.Allow("anyone"); !ok {
+			t.Fatal("nil limiter refused")
+		}
+	}
+	if NewLimiter(0, 5, nil) != nil {
+		t.Fatal("zero rate should build the unlimited (nil) limiter")
+	}
+}
+
+func TestRetryAfterSecondsRoundsUpNeverZero(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{7500 * time.Millisecond, 8},
+	} {
+		if got := RetryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestGuardAuthModes(t *testing.T) {
+	// Anonymous mode: any request, keyed or not, is the anonymous tenant.
+	anon := NewGuard(Config{})
+	for _, key := range []string{"", "whatever-key"} {
+		r := httptest.NewRequest("GET", "/api/v1/jobs", nil)
+		if key != "" {
+			r.Header.Set("Authorization", "Bearer "+key)
+		}
+		got, err := anon.Authenticate(r)
+		if err != nil || got != Anonymous {
+			t.Fatalf("anonymous mode with key %q: %+v, %v", key, got, err)
+		}
+	}
+	if anon.Enforced() {
+		t.Fatal("guard without keys claims to enforce")
+	}
+
+	// Enforced mode: the key decides.
+	g := NewGuard(Config{Keys: Keyring{"alicekey-1": {Name: "alice", Role: RoleAdmin}}})
+	if !g.Enforced() {
+		t.Fatal("guard with keys does not enforce")
+	}
+	r := httptest.NewRequest("GET", "/api/v1/jobs", nil)
+	if _, err := g.Authenticate(r); err == nil {
+		t.Fatal("keyless request authenticated in enforced mode")
+	}
+	r.Header.Set("Authorization", "Bearer wrong-key-1")
+	if _, err := g.Authenticate(r); err == nil {
+		t.Fatal("bad key authenticated")
+	}
+	r.Header.Set("Authorization", "Bearer alicekey-1")
+	got, err := g.Authenticate(r)
+	if err != nil || got.Name != "alice" || got.Role != RoleAdmin {
+		t.Fatalf("valid key: %+v, %v", got, err)
+	}
+	// X-API-Key works too.
+	r2 := httptest.NewRequest("GET", "/api/v1/jobs", nil)
+	r2.Header.Set("X-API-Key", "alicekey-1")
+	if _, err := g.Authenticate(r2); err != nil {
+		t.Fatalf("X-API-Key refused: %v", err)
+	}
+	if g.AuthFailures() != 2 {
+		t.Fatalf("AuthFailures = %d, want 2", g.AuthFailures())
+	}
+}
+
+func TestGuardInFlightCapAndAdminExemption(t *testing.T) {
+	g := NewGuard(Config{MaxInFlight: 2})
+	bob := Tenant{Name: "bob", Role: RoleDefault}
+	admin := Tenant{Name: "alice", Role: RoleAdmin}
+
+	if !g.AcquireJob(bob) || !g.AcquireJob(bob) {
+		t.Fatal("slots under the cap refused")
+	}
+	if g.AcquireJob(bob) {
+		t.Fatal("third slot acquired past MaxInFlight=2")
+	}
+	g.ReleaseJob(bob)
+	if !g.AcquireJob(bob) {
+		t.Fatal("released slot not reusable")
+	}
+	// Admins ignore the cap entirely.
+	for i := 0; i < 5; i++ {
+		if !g.AcquireJob(admin) {
+			t.Fatalf("admin acquire %d refused", i)
+		}
+	}
+
+	var bobStats Stats
+	for _, st := range g.Snapshot() {
+		if st.Name == "bob" {
+			bobStats = st
+		}
+	}
+	if bobStats.InFlight != 2 || bobStats.Deferrals != 1 {
+		t.Fatalf("bob stats = %+v, want InFlight=2 Deferrals=1", bobStats)
+	}
+}
+
+func TestGuardThrottleCountsAndAdminBypass(t *testing.T) {
+	fw := clock.NewFakeWall(time.Time{})
+	g := NewGuard(Config{
+		SubmitRate: 1, SubmitBurst: 1,
+		Keys:  Keyring{"k": {}}, // enforced, irrelevant here
+		Clock: fw,
+	})
+	bob := Tenant{Name: "bob", Role: RoleDefault}
+	admin := Tenant{Name: "alice", Role: RoleAdmin}
+
+	if _, ok := g.AllowSubmit(bob); !ok {
+		t.Fatal("first submit refused")
+	}
+	ra, ok := g.AllowSubmit(bob)
+	if ok {
+		t.Fatal("second submit allowed with empty bucket")
+	}
+	if ra != time.Second {
+		t.Fatalf("retry-after %v, want 1s", ra)
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := g.AllowSubmit(admin); !ok {
+			t.Fatal("admin throttled")
+		}
+	}
+	snap := g.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "bob" || snap[0].Throttled != 1 {
+		t.Fatalf("snapshot = %+v, want only bob with Throttled=1", snap)
+	}
+}

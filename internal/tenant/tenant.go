@@ -1,0 +1,173 @@
+// Package tenant is ptestd's multi-tenant hardening layer: who a
+// request belongs to (API-key authentication against a static keyring),
+// what it may do right now (per-tenant token-bucket rate limits,
+// per-tenant in-flight and backlog caps), and where it lands in the
+// queue (role-based priority bands). The server consults one Guard at
+// its HTTP seam; everything here is mechanism — the daemon decides the
+// status codes.
+//
+// The zero-value configuration is deliberately inert: no keyring means
+// anonymous mode (every request is the shared anonymous tenant), a zero
+// rate means unlimited, a zero cap means uncapped — so a daemon without
+// -auth-keys behaves exactly like the pre-tenant one, byte for byte.
+package tenant
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Role is a tenant's scheduling and privilege class.
+type Role string
+
+const (
+	// RoleAdmin outranks every other role in the queue and is exempt
+	// from rate limits and in-flight/backlog caps — operator tooling
+	// must work even while the tenants it is investigating are throttled.
+	RoleAdmin Role = "admin"
+	// RoleDefault is the interactive band: normal limits, normal
+	// priority.
+	RoleDefault Role = "default"
+	// RoleBatch is the background band: its jobs only run when no
+	// default or admin work is queued.
+	RoleBatch Role = "batch"
+)
+
+// ParseRole validates a keyfile role string.
+func ParseRole(s string) (Role, error) {
+	switch Role(s) {
+	case RoleAdmin, RoleDefault, RoleBatch:
+		return Role(s), nil
+	}
+	return "", fmt.Errorf("tenant: unknown role %q (want admin|default|batch)", s)
+}
+
+// Role bands are spaced wider than the client-adjustable range, so any
+// admin job outranks any default job outranks any batch job no matter
+// what ?priority the clients asked for.
+const (
+	adminBase = 1000
+	batchBase = -1000
+	// MaxPriorityAdjust bounds the client-supplied ?priority in either
+	// direction; it orders jobs within a role band only.
+	MaxPriorityAdjust = 99
+)
+
+// BasePriority is the role's band origin on the shared priority heap.
+func (r Role) BasePriority() int {
+	switch r {
+	case RoleAdmin:
+		return adminBase
+	case RoleBatch:
+		return batchBase
+	}
+	return 0
+}
+
+// ClampAdjust bounds a client-supplied priority to the within-band
+// range.
+func ClampAdjust(p int) int {
+	if p > MaxPriorityAdjust {
+		return MaxPriorityAdjust
+	}
+	if p < -MaxPriorityAdjust {
+		return -MaxPriorityAdjust
+	}
+	return p
+}
+
+// QueuePriority is the effective heap priority of a submission:
+// the role's band plus the clamped client adjustment.
+func (r Role) QueuePriority(requested int) int {
+	return r.BasePriority() + ClampAdjust(requested)
+}
+
+// Tenant is one authenticated identity.
+type Tenant struct {
+	Name string `json:"name"`
+	Role Role   `json:"role"`
+}
+
+// Anonymous is the shared identity every request maps to when no
+// keyring is configured.
+var Anonymous = Tenant{Name: "anonymous", Role: RoleDefault}
+
+// Keyring maps API keys to tenants. Lookups compare in constant time
+// across the whole ring so timing never leaks which prefix of a guessed
+// key matched.
+type Keyring map[string]Tenant
+
+// Lookup finds the tenant for a presented key. Every stored key is
+// compared with subtle.ConstantTimeCompare and the scan never
+// early-exits, so a miss costs the same as a hit.
+func (k Keyring) Lookup(presented string) (Tenant, bool) {
+	var found Tenant
+	ok := 0
+	for stored, t := range k {
+		if subtle.ConstantTimeCompare([]byte(stored), []byte(presented)) == 1 {
+			found = t
+			ok = 1
+		}
+	}
+	return found, ok == 1
+}
+
+// ParseKeyring reads the -auth-keys file format: one `key tenant
+// [role]` triple per whitespace-separated line, `#` comments, blank
+// lines ignored, role defaulting to "default".
+func ParseKeyring(r io.Reader) (Keyring, error) {
+	ring := Keyring{}
+	names := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("tenant: keyfile line %d: want `key tenant [role]`, got %d fields", line, len(fields))
+		}
+		key, name := fields[0], fields[1]
+		if len(key) < 8 {
+			return nil, fmt.Errorf("tenant: keyfile line %d: key for %q is %d chars; want at least 8", line, name, len(key))
+		}
+		if _, dup := ring[key]; dup {
+			return nil, fmt.Errorf("tenant: keyfile line %d: duplicate key", line)
+		}
+		if names[name] {
+			return nil, fmt.Errorf("tenant: keyfile line %d: tenant %q appears twice (one key per tenant)", line, name)
+		}
+		role := RoleDefault
+		if len(fields) == 3 {
+			var err error
+			if role, err = ParseRole(fields[2]); err != nil {
+				return nil, fmt.Errorf("tenant: keyfile line %d: %w", line, err)
+			}
+		}
+		ring[key] = Tenant{Name: name, Role: role}
+		names[name] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tenant: reading keyfile: %w", err)
+	}
+	return ring, nil
+}
+
+// LoadKeyfile parses the keyring at path.
+func LoadKeyfile(path string) (Keyring, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	defer f.Close()
+	ring, err := ParseKeyring(f)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %s: %w", path, err)
+	}
+	return ring, nil
+}

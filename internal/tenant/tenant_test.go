@@ -1,0 +1,93 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseKeyring(t *testing.T) {
+	ring, err := ParseKeyring(strings.NewReader(`
+# ops team
+adminkey-1  alice  admin
+
+bobkey-22   bob
+batchkey3   nightly  batch
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ring) != 3 {
+		t.Fatalf("parsed %d keys, want 3", len(ring))
+	}
+	for key, want := range map[string]Tenant{
+		"adminkey-1": {Name: "alice", Role: RoleAdmin},
+		"bobkey-22":  {Name: "bob", Role: RoleDefault},
+		"batchkey3":  {Name: "nightly", Role: RoleBatch},
+	} {
+		got, ok := ring.Lookup(key)
+		if !ok || got != want {
+			t.Errorf("Lookup(%q) = %+v ok=%v, want %+v", key, got, ok, want)
+		}
+	}
+	if _, ok := ring.Lookup("adminkey-2"); ok {
+		t.Error("near-miss key matched")
+	}
+	if _, ok := ring.Lookup(""); ok {
+		t.Error("empty key matched")
+	}
+}
+
+func TestParseKeyringRejectsMalformedLines(t *testing.T) {
+	for name, input := range map[string]string{
+		"one field":      "lonelykey1\n",
+		"four fields":    "k3y-long-1 alice admin extra\n",
+		"bad role":       "k3y-long-1 alice root\n",
+		"short key":      "k1 alice\n",
+		"duplicate key":  "samekey-1 alice\nsamekey-1 bob\n",
+		"duplicate name": "k3y-long-1 alice\nk3y-long-2 alice\n",
+	} {
+		if _, err := ParseKeyring(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: keyring parsed without error", name)
+		}
+	}
+}
+
+func TestRolePriorityBandsNeverOverlap(t *testing.T) {
+	// Any admin job outranks any default job outranks any batch job,
+	// whatever the clients put in ?priority.
+	adminFloor := RoleAdmin.QueuePriority(-1 << 30)
+	defaultCeil := RoleDefault.QueuePriority(1 << 30)
+	defaultFloor := RoleDefault.QueuePriority(-1 << 30)
+	batchCeil := RoleBatch.QueuePriority(1 << 30)
+	if adminFloor <= defaultCeil {
+		t.Errorf("worst admin priority %d does not outrank best default %d", adminFloor, defaultCeil)
+	}
+	if defaultFloor <= batchCeil {
+		t.Errorf("worst default priority %d does not outrank best batch %d", defaultFloor, batchCeil)
+	}
+	// Within a band the client adjustment still orders jobs.
+	if RoleDefault.QueuePriority(5) <= RoleDefault.QueuePriority(0) {
+		t.Error("?priority lost its within-band effect")
+	}
+	// And the clamp pins the extremes.
+	if got := ClampAdjust(500); got != MaxPriorityAdjust {
+		t.Errorf("ClampAdjust(500) = %d", got)
+	}
+	if got := ClampAdjust(-500); got != -MaxPriorityAdjust {
+		t.Errorf("ClampAdjust(-500) = %d", got)
+	}
+	if got := ClampAdjust(7); got != 7 {
+		t.Errorf("ClampAdjust(7) = %d", got)
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	for _, s := range []string{"admin", "default", "batch"} {
+		if _, err := ParseRole(s); err != nil {
+			t.Errorf("ParseRole(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseRole("superuser"); err == nil {
+		t.Error("bogus role parsed")
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/suite"
+	"repro/internal/tenant"
 	"repro/internal/tool"
 	"repro/internal/workload"
 )
@@ -429,8 +430,62 @@ func NewJobServer(cfg JobServerConfig) (*JobServer, error) { return server.New(c
 // list/cancel jobs, stream plan-order progress, fetch reports.
 type Client = server.Client
 
+// ClientOption configures a Client at construction.
+type ClientOption = server.ClientOption
+
+// Client construction options: WithAPIKey authenticates against a hub
+// running -auth-keys, WithHTTPClient swaps the transport, and
+// WithRetryPolicy tunes the transient-error retry loop.
+var (
+	WithAPIKey      = server.WithAPIKey
+	WithHTTPClient  = server.WithHTTPClient
+	WithRetryPolicy = server.WithRetryPolicy
+)
+
 // NewClient builds a client for a ptestd base URL.
-func NewClient(baseURL string) *Client { return server.NewClient(baseURL) }
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	return server.NewClient(baseURL, opts...)
+}
+
+// APIError is the decoded form of ptestd's uniform JSON error envelope
+// ({"error":{"code","message","retry_after_s"}}); match broad classes
+// with errors.Is against the sentinels below, or errors.As to inspect
+// the status, code, and Retry-After duration.
+type APIError = server.APIError
+
+// Sentinel targets for errors.Is on client call errors.
+var (
+	ErrUnauthorized  = server.ErrUnauthorized
+	ErrRateLimited   = server.ErrRateLimited
+	ErrQuotaExceeded = server.ErrQuotaExceeded
+)
+
+// TenancyConfig is a JobServer's multi-tenant policy (set it on
+// JobServerConfig.Tenancy): keyring auth, per-tenant rate limits, and
+// in-flight/backlog caps. The zero value is anonymous mode — the server
+// behaves exactly like a pre-tenant one.
+type TenancyConfig = tenant.Config
+
+// Keyring maps API keys to named, role-carrying tenants.
+type Keyring = tenant.Keyring
+
+// TenantRole is a tenant's scheduling and privilege class.
+type TenantRole = tenant.Role
+
+// Tenant roles: admins outrank and bypass limits, batch yields to
+// everyone else.
+const (
+	RoleAdmin   = tenant.RoleAdmin
+	RoleDefault = tenant.RoleDefault
+	RoleBatch   = tenant.RoleBatch
+)
+
+// ParseKeyring reads `key tenant role` lines ('#' comments, blank lines
+// skipped); LoadKeyfile does the same from a file path.
+var (
+	ParseKeyring = tenant.ParseKeyring
+	LoadKeyfile  = tenant.LoadKeyfile
+)
 
 // JobInfo is the wire state of a submitted job.
 type JobInfo = server.JobInfo
