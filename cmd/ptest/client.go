@@ -1,4 +1,4 @@
-// ptest client: talk to a running ptestd. Six verbs, shared -server
+// ptest client: talk to a running ptestd. Seven verbs, shared -server
 // and -api-key flags, the usual single validation-error path:
 //
 //	ptest client submit  -spec sweep.json [-priority 5] [-wait]
@@ -7,14 +7,17 @@
 //	ptest client report  <job-id> [-canonical] [-out report.json]
 //	ptest client cancel  <job-id>
 //	ptest client workers
+//	ptest client events  [-follow] [-since N] [-type t] [-job id] [-tenant name]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/eventlog"
 	"repro/internal/report"
 	"repro/internal/server"
 )
@@ -23,7 +26,7 @@ const defaultServer = "http://127.0.0.1:8321"
 
 func cmdClient(args []string) error {
 	if len(args) == 0 {
-		return usagef("client: want submit|status|watch|report|cancel|workers")
+		return usagef("client: want submit|status|watch|report|cancel|workers|events")
 	}
 	verb, rest := args[0], args[1:]
 	switch verb {
@@ -39,8 +42,10 @@ func cmdClient(args []string) error {
 		return clientCancel(rest)
 	case "workers":
 		return clientWorkers(rest)
+	case "events":
+		return clientEvents(rest)
 	}
-	return usagef("client: unknown verb %q (want submit|status|watch|report|cancel|workers)", verb)
+	return usagef("client: unknown verb %q (want submit|status|watch|report|cancel|workers|events)", verb)
 }
 
 // clientConn registers the shared -server and -api-key flags and
@@ -225,6 +230,55 @@ func clientWorkers(args []string) error {
 			wk.ID, state, wk.Name, wk.InFlight, wk.Completed, wk.LastSeenAgoMS)
 	}
 	return nil
+}
+
+// clientEvents tails the fleet event log as JSONL on stdout — one event
+// per line, exactly as the server recorded it, so the output pipes
+// straight into jq or a file. Without -follow it prints the buffered
+// backlog and exits; with -follow it streams live events over SSE,
+// reconnecting with Last-Event-ID so nothing is seen twice.
+func clientEvents(args []string) error {
+	fs := flag.NewFlagSet("ptest client events", flag.ContinueOnError)
+	conn := clientConn(fs)
+	var (
+		follow = fs.Bool("follow", false, "stay connected and stream live events (SSE)")
+		since  = fs.Uint64("since", 0, "skip events with sequence <= N")
+		typ    = fs.String("type", "", "filter by event type (exact or dot-prefix: `lease` matches lease.granted)")
+		jobID  = fs.String("job", "", "filter by job id")
+		tnt    = fs.String("tenant", "", "filter by tenant name")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("client events: no arguments (use flags to filter)")
+	}
+	f := server.EventsFilter{Type: *typ, Job: *jobID, Tenant: *tnt, Since: *since}
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(e eventlog.Event) { _ = enc.Encode(e) }
+	cli := conn()
+	if *follow {
+		return cli.TailEvents(context.Background(), f, emit)
+	}
+	page, err := cli.Events(context.Background(), f)
+	if err != nil {
+		return err
+	}
+	for _, e := range page.Events {
+		emit(e)
+	}
+	if page.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "note: ring has dropped %d events; oldest shown is seq %d\n",
+			page.Dropped, firstSeq(page.Events))
+	}
+	return nil
+}
+
+func firstSeq(evs []eventlog.Event) uint64 {
+	if len(evs) == 0 {
+		return 0
+	}
+	return evs[0].Seq
 }
 
 func clientCancel(args []string) error {

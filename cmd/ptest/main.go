@@ -12,7 +12,8 @@
 //	               content-addressed result store, graceful drain — or,
 //	               with -hub-url, join another ptestd's fleet as a
 //	               lease-polling cell worker
-//	ptest client   talk to a ptestd: submit|status|watch|report|cancel|workers
+//	ptest client   talk to a ptestd: submit|status|watch|report|cancel|
+//	               workers|events
 //	ptest tools    list the registered testing tools and workloads
 //	ptest store    administer a result store directory (stat, compact)
 //
@@ -31,8 +32,10 @@
 //	ptest compare -max-rate-drop 0.05 baseline.json report.json
 //	ptest serve -addr :8321 -store /var/lib/ptestd/store
 //	ptest serve -hub-url http://hub:8321 -name rack3   # fleet cell worker
+//	ptest serve -addr :8321 -events 8192               # + /api/v1/events and /ui
 //	ptest client submit -spec sweep.json -priority 5 -wait
 //	ptest client workers                               # fleet membership
+//	ptest client events -follow -type lease            # tail the event log
 //
 // Exit codes: 0 success, 1 failure found / regression / runtime error,
 // 2 flag or spec validation error. All errors print one greppable
@@ -133,8 +136,9 @@ subcommands:
   suite    expand a matrix spec, run every cell, write JSON/JSONL reports
   compare  diff two suite reports; exit non-zero on regression
   serve    run ptestd, the campaign job server (HTTP + SSE + result store);
+           -events N adds the fleet event log and /ui dashboard;
            with -hub-url, join a hub's fleet as a cell worker instead
-  client   talk to a ptestd: submit|status|watch|report|cancel|workers
+  client   talk to a ptestd: submit|status|watch|report|cancel|workers|events
   tools    list the registered testing tools and workloads
   store    administer a result store directory (stat, compact)
   help     print this text

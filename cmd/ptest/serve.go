@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/eventlog"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/tenant"
@@ -64,6 +65,9 @@ func cmdServe(args []string) error {
 		hubURL   = fs.String("hub-url", "", "join a hub ptestd's fleet as a cell worker instead of serving (no listener)")
 		hubName  = fs.String("name", "", "worker name shown by `ptest client workers` (default: hostname; -hub-url only)")
 
+		eventsCap = fs.Int("events", 0, "fleet event-log ring capacity; enables /api/v1/events and event emission (0 = off)")
+		eventsLog = fs.String("events-log", "", "append every event as JSONL to this file (needs -events)")
+
 		authKeys    = fs.String("auth-keys", "", "keyfile of `key tenant role` lines; set to require auth on /api/v1 (empty: anonymous mode)")
 		submitRate  = fs.Float64("submit-rate", 0, "per-tenant job submissions per second (0 = unlimited)")
 		submitBurst = fs.Int("submit-burst", 1, "per-tenant submission burst (with -submit-rate)")
@@ -84,6 +88,7 @@ func cmdServe(args []string) error {
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "addr", "queue", "max-jobs", "store", "store-url", "store-mem", "store-autocompact",
+				"events", "events-log",
 				"auth-keys", "submit-rate", "submit-burst", "cells-rate", "cells-burst", "max-inflight", "max-queued":
 				conflict = f.Name
 			}
@@ -115,6 +120,27 @@ func cmdServe(args []string) error {
 		}
 		tenancy.Keys = keys
 	}
+	// Event log: off by default (the daemon stays byte-identical to a
+	// build without it); -events N buys a bounded ring plus the
+	// /api/v1/events endpoint, and -events-log additionally appends
+	// every event as a JSONL audit trail.
+	var rec *eventlog.Recorder
+	if *eventsLog != "" && *eventsCap <= 0 {
+		return usagef("serve: -events-log needs -events")
+	}
+	if *eventsCap > 0 {
+		ecfg := eventlog.Config{Capacity: *eventsCap}
+		if *eventsLog != "" {
+			f, err := os.OpenFile(*eventsLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("serve: -events-log: %w", err)
+			}
+			defer f.Close()
+			ecfg.Sink = f
+		}
+		rec = eventlog.New(ecfg)
+	}
+
 	st, err := openStoreFlag(store.Config{
 		Dir: *storeDir, MemEntries: *storeMem, AutoCompactMinBytes: *autoGC,
 	}, *storeURL, *apiKey)
@@ -125,7 +151,7 @@ func cmdServe(args []string) error {
 
 	srv, err := server.New(server.Config{
 		Workers: *workers, QueueCap: *queueCap, MaxJobs: *maxJobs, Store: st,
-		Tenancy: tenancy,
+		Tenancy: tenancy, Events: rec,
 	})
 	if err != nil {
 		return err
@@ -154,9 +180,13 @@ func cmdServe(args []string) error {
 	if len(tenancy.Keys) > 0 {
 		auth = fmt.Sprintf("enforced (%d keys)", len(tenancy.Keys))
 	}
+	obs := "off"
+	if rec != nil {
+		obs = fmt.Sprintf("ring %d", *eventsCap)
+	}
 	srv.Start()
-	fmt.Fprintf(os.Stderr, "ptestd: listening on %s (workers=%d queue=%d store=%s auth=%s)\n",
-		*addr, *workers, *queueCap, storeDesc(*storeDir, *storeURL), auth)
+	fmt.Fprintf(os.Stderr, "ptestd: listening on %s (workers=%d queue=%d store=%s auth=%s events=%s); dashboard at http://%s/ui\n",
+		*addr, *workers, *queueCap, storeDesc(*storeDir, *storeURL), auth, obs, *addr)
 	err = httpSrv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/eventlog"
 	"repro/internal/report"
 	"repro/internal/suite"
 )
@@ -62,6 +63,10 @@ type Config struct {
 	StealAge time.Duration
 	// Seed fixes the backoff jitter stream (default 1).
 	Seed int64
+	// Events, when non-nil, receives the lease and worker-membership
+	// lifecycle as structured events. Nil (the zero value) emits
+	// nothing and changes nothing.
+	Events *eventlog.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +225,10 @@ func (d *Dispatcher) reapLocked(now time.Time) {
 			continue
 		}
 		delete(d.workers, id)
+		d.cfg.Events.Emit(eventlog.Event{
+			Type: eventlog.TypeWorkerReaped, Worker: id,
+			Detail: fmt.Sprintf("%s silent %s", w.name, now.Sub(w.lastSeen).Round(time.Millisecond)),
+		})
 		for _, l := range w.inFlight {
 			d.expireLeaseLocked(l, now)
 		}
@@ -236,7 +245,7 @@ func (d *Dispatcher) reapLocked(now time.Time) {
 	if len(d.workers) == 0 {
 		for _, u := range d.order {
 			if u.state == unitPending {
-				d.localizeLocked(u)
+				d.localizeLocked(u, "no live workers")
 			}
 		}
 	}
@@ -255,18 +264,26 @@ func (d *Dispatcher) expireLeaseLocked(l *lease, now time.Time) {
 	u := l.u
 	delete(u.leases, l.id)
 	d.met.LeasesExpired++
+	d.cfg.Events.Emit(eventlog.Event{
+		Type: eventlog.TypeLeaseExpired, Job: u.jobID, Tenant: u.tenant,
+		Cell: u.cellID, Lease: l.id, Worker: l.workerID,
+	})
 	if u.state != unitLeased || len(u.leases) > 0 {
 		// Already resolved, or a stolen copy is still running — nothing
 		// to requeue.
 		return
 	}
 	if u.attempts >= d.cfg.MaxAttempts {
-		d.localizeLocked(u)
+		d.localizeLocked(u, fmt.Sprintf("attempt budget exhausted (%d)", u.attempts))
 		return
 	}
 	u.state = unitPending
 	u.notBefore = now.Add(d.backoffLocked(u.attempts))
 	d.met.LeaseRetries++
+	d.cfg.Events.Emit(eventlog.Event{
+		Type: eventlog.TypeLeaseRetry, Job: u.jobID, Tenant: u.tenant,
+		Cell: u.cellID, Detail: fmt.Sprintf("attempt %d/%d, backoff until %s", u.attempts, d.cfg.MaxAttempts, u.notBefore.UTC().Format(time.RFC3339Nano)),
+	})
 }
 
 // backoffLocked is the capped, jittered exponential requeue delay after
@@ -286,13 +303,17 @@ func (d *Dispatcher) backoffLocked(attempts int) time.Duration {
 }
 
 // localizeLocked resolves a unit to local execution. Callers hold d.mu.
-func (d *Dispatcher) localizeLocked(u *unit) {
+func (d *Dispatcher) localizeLocked(u *unit, reason string) {
 	if u.state == unitResolved {
 		return
 	}
 	u.state = unitResolved
 	u.localize = true
 	close(u.done)
+	d.cfg.Events.Emit(eventlog.Event{
+		Type: eventlog.TypeLeaseLocalized, Job: u.jobID, Tenant: u.tenant,
+		Cell: u.cellID, Detail: reason,
+	})
 }
 
 // --- worker-facing API (the hub's HTTP handlers call these) ----------------
@@ -312,6 +333,9 @@ func (d *Dispatcher) Register(name string) Registration {
 		inFlight: map[string]*lease{},
 	}
 	d.met.WorkersRegistered++
+	d.cfg.Events.Emit(eventlog.Event{
+		Type: eventlog.TypeWorkerRegistered, Worker: id, Detail: name,
+	})
 	return Registration{
 		WorkerID:    id,
 		LeaseTTLMS:  d.cfg.LeaseTTL.Milliseconds(),
@@ -330,6 +354,9 @@ func (d *Dispatcher) Deregister(id string) bool {
 		return false
 	}
 	delete(d.workers, id)
+	d.cfg.Events.Emit(eventlog.Event{
+		Type: eventlog.TypeWorkerDeregistered, Worker: id, Detail: w.name,
+	})
 	now := d.cfg.Clock.Now()
 	for _, l := range w.inFlight {
 		d.expireLeaseLocked(l, now)
@@ -350,6 +377,7 @@ func (d *Dispatcher) Heartbeat(id string) bool {
 		return false
 	}
 	w.lastSeen = now
+	d.cfg.Events.Emit(eventlog.Event{Type: eventlog.TypeWorkerHeartbeat, Worker: id})
 	return true
 }
 
@@ -418,6 +446,16 @@ func (d *Dispatcher) grantLocked(u *unit, w *workerState, now time.Time, stolen 
 		u.attempts++
 	}
 	d.met.LeasesGranted++
+	typ := eventlog.TypeLeaseGranted
+	detail := fmt.Sprintf("attempt %d/%d", u.attempts, d.cfg.MaxAttempts)
+	if stolen {
+		typ = eventlog.TypeLeaseStolen
+		detail = "redundant copy of straggler"
+	}
+	d.cfg.Events.Emit(eventlog.Event{
+		Type: typ, Job: u.jobID, Tenant: u.tenant,
+		Cell: u.cellID, Lease: l.id, Worker: w.id, Detail: detail,
+	})
 	return Grant{
 		LeaseID: l.id, JobID: u.jobID, CellID: u.cellID,
 		SpecDigest: u.digest, Spec: u.spec,
@@ -462,6 +500,10 @@ func (d *Dispatcher) Complete(workerID string, req CompleteRequest) CompleteStat
 	u, ok := d.units[req.JobID+"/"+req.CellID]
 	if !ok {
 		d.met.OrphanCompletions++
+		d.cfg.Events.Emit(eventlog.Event{
+			Type: eventlog.TypeLeaseOrphan, Job: req.JobID, Cell: req.CellID,
+			Lease: req.LeaseID, Worker: workerID,
+		})
 		return CompleteOrphan
 	}
 	// Release the reporting lease regardless of outcome.
@@ -474,6 +516,11 @@ func (d *Dispatcher) Complete(workerID string, req CompleteRequest) CompleteStat
 	}
 	if u.state == unitResolved {
 		d.met.DuplicateCompletions++
+		d.cfg.Events.Emit(eventlog.Event{
+			Type: eventlog.TypeLeaseDupResolved, Job: u.jobID, Tenant: u.tenant,
+			Cell: u.cellID, Lease: req.LeaseID, Worker: workerID,
+			Detail: "first writer already won",
+		})
 		return CompleteDuplicate
 	}
 	u.result = req.Cell
@@ -483,6 +530,10 @@ func (d *Dispatcher) Complete(workerID string, req CompleteRequest) CompleteStat
 	if w := d.workers[workerID]; w != nil {
 		w.completed++
 	}
+	d.cfg.Events.Emit(eventlog.Event{
+		Type: eventlog.TypeLeaseCompleted, Job: u.jobID, Tenant: u.tenant,
+		Cell: u.cellID, Lease: req.LeaseID, Worker: workerID,
+	})
 	return CompleteAccepted
 }
 

@@ -1,0 +1,218 @@
+package eventlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestEmitAssignsMonotonicSeqAndClockTime(t *testing.T) {
+	fw := clock.NewFakeWall(time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC))
+	r := New(Config{Clock: fw})
+	r.Emit(Event{Type: TypeJobSubmitted, Job: "j1"})
+	fw.Advance(time.Second)
+	r.Emit(Event{Type: TypeJobStarted, Job: "j1"})
+
+	evs, last, dropped := r.Snapshot(0, Filter{})
+	if len(evs) != 2 || last != 2 || dropped != 0 {
+		t.Fatalf("snapshot: %d events, last=%d dropped=%d", len(evs), last, dropped)
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("seqs: %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].Time != "2026-08-07T12:00:00Z" || evs[1].Time != "2026-08-07T12:00:01Z" {
+		t.Fatalf("times: %q, %q", evs[0].Time, evs[1].Time)
+	}
+}
+
+// TestOverflowDropsOldest pins the ring's overflow semantics: capacity
+// exceeded drops the oldest events, seq ids stay monotonic, and the
+// dropped counter accounts for every eviction.
+func TestOverflowDropsOldest(t *testing.T) {
+	r := New(Config{Capacity: 3})
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Type: TypeCellStart, Cell: string(rune('a' + i))})
+	}
+	evs, last, dropped := r.Snapshot(0, Filter{})
+	if last != 5 || dropped != 2 {
+		t.Fatalf("last=%d dropped=%d, want 5, 2", last, dropped)
+	}
+	if len(evs) != 3 || evs[0].Seq != 3 || evs[2].Seq != 5 {
+		t.Fatalf("ring holds %d events, seqs %v", len(evs), evs)
+	}
+	if st := r.Stats(); st.Emitted != 5 || st.Dropped != 2 || st.ByType[TypeCellStart] != 5 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFilterMatchesTypePrefixJobTenant(t *testing.T) {
+	r := New(Config{})
+	r.Emit(Event{Type: TypeLeaseGranted, Job: "j1", Tenant: "alice"})
+	r.Emit(Event{Type: TypeLeaseExpired, Job: "j2", Tenant: "bob"})
+	r.Emit(Event{Type: TypeStoreHit, Job: "j1", Tenant: "alice"})
+
+	cases := []struct {
+		f    Filter
+		want int
+	}{
+		{Filter{}, 3},
+		{Filter{Type: "lease"}, 2},
+		{Filter{Type: "lease.granted"}, 1},
+		{Filter{Type: "lease.gr"}, 0}, // prefix match is per dot segment, not substring
+		{Filter{Job: "j1"}, 2},
+		{Filter{Tenant: "bob"}, 1},
+		{Filter{Type: "lease", Job: "j2"}, 1},
+	}
+	for _, c := range cases {
+		if evs, _, _ := r.Snapshot(0, c.f); len(evs) != c.want {
+			t.Errorf("filter %+v matched %d, want %d", c.f, len(evs), c.want)
+		}
+	}
+}
+
+func TestSnapshotSinceSkipsReplayedPrefix(t *testing.T) {
+	r := New(Config{})
+	for i := 0; i < 4; i++ {
+		r.Emit(Event{Type: TypeStorePut})
+	}
+	evs, _, _ := r.Snapshot(2, Filter{})
+	if len(evs) != 2 || evs[0].Seq != 3 {
+		t.Fatalf("since=2 returned %v", evs)
+	}
+}
+
+// TestAfterWakesOnEmit exercises the replay-then-follow loop the SSE
+// handler runs: drain, park on the generation channel, wake on emit.
+func TestAfterWakesOnEmit(t *testing.T) {
+	r := New(Config{})
+	r.Emit(Event{Type: TypeJobSubmitted})
+	evs, upd := r.After(0, Filter{})
+	if len(evs) != 1 {
+		t.Fatalf("replay: %v", evs)
+	}
+	done := make(chan struct{})
+	go func() {
+		<-upd
+		close(done)
+	}()
+	r.Emit(Event{Type: TypeJobDone})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watcher not woken by emit")
+	}
+	if evs, _ := r.After(1, Filter{}); len(evs) != 1 || evs[0].Type != TypeJobDone {
+		t.Fatalf("follow-up drain: %v", evs)
+	}
+}
+
+func TestJSONLSinkPersistsBeyondRing(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Config{Capacity: 2, Sink: &buf})
+	for i := 0; i < 4; i++ {
+		r.Emit(Event{Type: TypeWorkerRegistered, Worker: "w"})
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("sink holds %d lines, want 4 (ring cap was 2):\n%s", len(lines), buf.String())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil || e.Seq != 1 || e.Type != TypeWorkerRegistered {
+		t.Fatalf("first sink line %q: %v / %+v", lines[0], err, e)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestSinkErrorDegradesToMemoryOnly(t *testing.T) {
+	r := New(Config{Sink: &failWriter{}})
+	r.Emit(Event{Type: TypeStorePut})
+	r.Emit(Event{Type: TypeStorePut}) // sink fails here
+	r.Emit(Event{Type: TypeStorePut}) // must not panic or retry the sink
+	if st := r.Stats(); st.Emitted != 3 || st.SinkErr == "" {
+		t.Fatalf("stats after sink failure: %+v", st)
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Type: TypeJobDone}) // must not panic
+	if evs, last, dropped := r.Snapshot(0, Filter{}); evs != nil || last != 0 || dropped != 0 {
+		t.Fatal("nil snapshot not zero")
+	}
+	if evs, upd := r.After(0, Filter{}); evs != nil || upd != nil {
+		t.Fatal("nil After not zero")
+	}
+	if r.LastSeq() != 0 || r.Stats().Emitted != 0 {
+		t.Fatal("nil counters not zero")
+	}
+	Scoped{}.Emit(Event{Type: TypeCellStart}) // zero Scoped too
+}
+
+func TestScopedFillsJobTenantWithoutOverwriting(t *testing.T) {
+	r := New(Config{})
+	s := Scoped{R: r, Job: "j1", Tenant: "alice"}
+	s.Emit(Event{Type: TypeCellExecuted})
+	s.Emit(Event{Type: TypeCellExecuted, Job: "explicit", Tenant: "bob"})
+	evs, _, _ := r.Snapshot(0, Filter{})
+	if evs[0].Job != "j1" || evs[0].Tenant != "alice" {
+		t.Fatalf("scope not applied: %+v", evs[0])
+	}
+	if evs[1].Job != "explicit" || evs[1].Tenant != "bob" {
+		t.Fatalf("explicit fields overwritten: %+v", evs[1])
+	}
+}
+
+// TestConcurrentEmitSnapshot runs emitters against readers under the
+// race detector; sequence ids must come out dense and monotonic.
+func TestConcurrentEmitSnapshot(t *testing.T) {
+	r := New(Config{Capacity: 64})
+	const emitters, per = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < emitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.Emit(Event{Type: TypeStoreHit})
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot(0, Filter{Type: "store"})
+				r.Stats()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	evs, last, dropped := r.Snapshot(0, Filter{})
+	if last != emitters*per || int(dropped) != emitters*per-64 {
+		t.Fatalf("last=%d dropped=%d", last, dropped)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-dense seqs at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

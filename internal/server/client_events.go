@@ -1,0 +1,173 @@
+// Client-side consumers of the observability endpoints: Health probes
+// /healthz, Events snapshots the fleet event log, and TailEvents
+// follows it over SSE with the same Last-Event-ID reconnect discipline
+// as Watch — a dropped stream resumes right after the last sequence
+// the caller saw, so the callback observes each event exactly once.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/eventlog"
+)
+
+// EventsFilter narrows what /api/v1/events returns. Zero value means
+// everything. Type matches exactly or as a dot-hierarchy prefix
+// ("lease" matches lease.granted); Since skips events with Seq <= N.
+type EventsFilter struct {
+	Type   string
+	Job    string
+	Tenant string
+	Since  uint64
+}
+
+// query renders the filter as URL query parameters.
+func (f EventsFilter) query() string {
+	q := url.Values{}
+	if f.Type != "" {
+		q.Set("type", f.Type)
+	}
+	if f.Job != "" {
+		q.Set("job", f.Job)
+	}
+	if f.Tenant != "" {
+		q.Set("tenant", f.Tenant)
+	}
+	if f.Since > 0 {
+		q.Set("since", strconv.FormatUint(f.Since, 10))
+	}
+	return q.Encode()
+}
+
+// Health fetches the daemon's /healthz summary.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil, true)
+	if err != nil {
+		return Health{}, err
+	}
+	return decodeInto[Health](resp)
+}
+
+// Events fetches one snapshot of the fleet event log. Feed the returned
+// LastSeq back as f.Since to poll only newer events.
+func (c *Client) Events(ctx context.Context, f EventsFilter) (EventsPage, error) {
+	path := "/api/v1/events"
+	if q := f.query(); q != "" {
+		path += "?" + q
+	}
+	resp, err := c.do(ctx, http.MethodGet, path, nil, true)
+	if err != nil {
+		return EventsPage{}, err
+	}
+	return decodeInto[EventsPage](resp)
+}
+
+// TailEvents follows the fleet event log, invoking fn for every event
+// matching the filter — first the buffered backlog past f.Since, then
+// live ones as subsystems emit them. It returns only on a fatal server
+// refusal (log disabled, bad credentials), on context cancellation
+// (ctx.Err()), or after the stream drops more than the retry budget
+// allows in a row; any received event resets that budget.
+func (c *Client) TailEvents(ctx context.Context, f EventsFilter, fn func(eventlog.Event)) error {
+	since := f.Since
+	fails := 0
+	delay := c.retryBase
+	for {
+		err := c.tailOnce(ctx, f, &since, &fails, fn)
+		if err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("client: event stream: %w", ctx.Err())
+		}
+		fails++
+		if fails > c.retries+1 {
+			return fmt.Errorf("client: event stream dropped %d times in a row; giving up", fails)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("client: event stream: %w", ctx.Err())
+		case <-c.wall.After(delay):
+		}
+		delay *= 2
+	}
+}
+
+// tailOnce is one SSE connection attempt against /api/v1/events. A nil
+// return asks TailEvents to reconnect (resuming via Last-Event-ID);
+// a non-nil error is fatal. since advances past every delivered event;
+// fails resets whenever one actually arrives.
+func (c *Client) tailOnce(ctx context.Context, f EventsFilter, since *uint64, fails *int, fn func(eventlog.Event)) error {
+	q := url.Values{}
+	q.Set("follow", "1")
+	if f.Type != "" {
+		q.Set("type", f.Type)
+	}
+	if f.Job != "" {
+		q.Set("job", f.Job)
+	}
+	if f.Tenant != "" {
+		q.Set("tenant", f.Tenant)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/api/v1/events?"+q.Encode(), nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if *since > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*since, 10))
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil // connect failed: reconnect
+	}
+	if transientStatus(resp.StatusCode) {
+		_ = apiError(resp) // drain and close
+		return nil
+	}
+	if resp.StatusCode >= 400 {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+
+	var data string
+	eventID := *since
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64); err == nil {
+				eventID = n
+			}
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if data != "" {
+				var e eventlog.Event
+				if err := json.Unmarshal([]byte(data), &e); err != nil {
+					return fmt.Errorf("client: bad fleet event: %w", err)
+				}
+				if fn != nil {
+					fn(e)
+				}
+				*since = eventID
+				*fails = 0
+			}
+			data = ""
+		}
+	}
+	// EOF or read error: the stream dropped (or the server drained).
+	return nil
+}

@@ -1,0 +1,196 @@
+// Fleet-wide observability endpoints: GET /api/v1/events serves the
+// append-only event log as a JSON snapshot or an SSE follow stream
+// (Last-Event-ID resume, same contract as the per-job stream), and
+// GET /healthz answers probes with a small JSON readiness summary —
+// the one source the dashboard, load balancers, and `ptest client`
+// all share.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"repro/internal/eventlog"
+)
+
+// EventsPage is the snapshot answer of GET /api/v1/events.
+type EventsPage struct {
+	// Events is the filtered ring content, sequence-ascending.
+	Events []eventlog.Event `json:"events"`
+	// LastSeq is the newest sequence id the recorder has assigned —
+	// pass it back as ?since= (or Last-Event-ID) to read only newer.
+	LastSeq uint64 `json:"last_seq"`
+	// Dropped counts events the bounded ring has evicted; a non-zero
+	// delta between polls means the tail outran the reader.
+	Dropped uint64 `json:"dropped"`
+}
+
+// handleFleetEvents serves the event log. Query parameters: type=, job=,
+// tenant= filter (type matches dot-hierarchy prefixes: type=lease
+// matches lease.granted); since=N skips events with Seq <= N;
+// follow=1 switches to SSE replay-then-follow, where the standard
+// Last-Event-ID header overrides since on reconnect.
+func (s *Server) handleFleetEvents(w http.ResponseWriter, r *http.Request) {
+	if s.events == nil {
+		httpError(w, http.StatusNotFound, "event log disabled (run with -events)")
+		return
+	}
+	q := r.URL.Query()
+	f := eventlog.Filter{Type: q.Get("type"), Job: q.Get("job"), Tenant: q.Get("tenant")}
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad since %q", v)
+			return
+		}
+		since = n
+	}
+	if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+		n, err := strconv.ParseUint(lastID, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad Last-Event-ID %q", lastID)
+			return
+		}
+		since = n
+	}
+
+	if q.Get("follow") == "" {
+		evs, last, dropped := s.events.Snapshot(since, f)
+		if evs == nil {
+			evs = []eventlog.Event{}
+		}
+		writeJSON(w, http.StatusOK, EventsPage{Events: evs, LastSeq: last, Dropped: dropped})
+		return
+	}
+
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// Replay-then-follow on the recorder's generation channel, exactly
+	// the per-job SSE loop: drain everything past `since`, park until
+	// the next emit, repeat. Event ids are the recorder's sequence
+	// numbers, so a reconnect with Last-Event-ID replays only what this
+	// client missed. A periodic comment line keeps idle proxies from
+	// cutting the stream.
+	keepalive := 15 * time.Second
+	timer := time.NewTimer(keepalive)
+	defer timer.Stop()
+	for {
+		evs, upd := s.events.After(since, f)
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.Seq, data)
+			since = e.Seq
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(keepalive)
+		select {
+		case <-upd:
+		case <-timer.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// Health is the JSON body of GET /healthz: enough for a readiness
+// probe to gate on and for the dashboard header to render, without
+// parsing /metrics.
+type Health struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Version string `json:"version,omitempty"`
+	Commit  string `json:"commit,omitempty"`
+	UptimeS int64  `json:"uptime_s"`
+	// QueueDepth and JobsRunning summarize the pool; WorkersLive the
+	// fleet (0 means in-process execution, not unhealthy).
+	QueueDepth  int `json:"queue_depth"`
+	JobsRunning int `json:"jobs_running"`
+	WorkersLive int `json:"workers_live"`
+	// StoreDegraded is true when the cell store lost its disk layer or
+	// its remote breaker is not closed — results stay correct, caching
+	// does not persist.
+	StoreDegraded bool `json:"store_degraded"`
+	// Events reports whether the event log is enabled; LastEventSeq is
+	// its newest sequence id (a cheap liveness cursor for tailers).
+	Events       bool   `json:"events"`
+	LastEventSeq uint64 `json:"last_event_seq,omitempty"`
+}
+
+// buildVersion resolves the module version and VCS revision once.
+var buildVersion = func() (version, commit string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	version = bi.Main.Version
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			commit = kv.Value
+			if len(commit) > 12 {
+				commit = commit[:12]
+			}
+		}
+	}
+	return version, commit
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	version, commit := buildVersion()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	s.mu.Lock()
+	var running int
+	for _, j := range s.jobs {
+		if j.Info().Status == JobRunning {
+			running++
+		}
+	}
+	s.mu.Unlock()
+	degraded := false
+	if dg, ok := s.store.(interface{ Degraded() bool }); ok {
+		degraded = dg.Degraded()
+	}
+	writeJSON(w, http.StatusOK, Health{
+		Status:        status,
+		Version:       version,
+		Commit:        commit,
+		UptimeS:       int64(time.Since(s.started).Seconds()),
+		QueueDepth:    s.queue.Depth(),
+		JobsRunning:   running,
+		WorkersLive:   s.disp.LiveWorkers(),
+		StoreDegraded: degraded,
+		Events:        s.events != nil,
+		LastEventSeq:  s.events.LastSeq(),
+	})
+}

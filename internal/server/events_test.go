@@ -1,0 +1,528 @@
+// Tests for the observability plane: the fleet event endpoint
+// (snapshot, filters, SSE resume via Last-Event-ID, ring overflow),
+// /healthz, and the Prometheus exposition format of /metrics —
+// including the end-to-end assertion that a chaos fleet run leaves a
+// coherent expire→retry→complete trail in the log.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/dispatch/faultinject"
+	"repro/internal/eventlog"
+)
+
+// eventsServer builds a started daemon with an event log of the given
+// ring capacity.
+func eventsServer(t *testing.T, capacity int, cfg Config) (*Server, *Client) {
+	t.Helper()
+	cfg.Events = eventlog.New(eventlog.Config{Capacity: capacity})
+	return newTestServer(t, cfg)
+}
+
+// runTinyJob submits tinySpec and waits for it to finish.
+func runTinyJob(t *testing.T, cli *Client) JobInfo {
+	t.Helper()
+	info, err := cli.Submit(context.Background(), strings.NewReader(tinySpec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cli.Watch(context.Background(), info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final
+}
+
+// waitForEvent polls the snapshot endpoint until an event matching the
+// filter appears — job.done is emitted concurrently with the SSE done
+// frame, so tests that just watched a job may be one poll early.
+func waitForEvent(t *testing.T, cli *Client, f EventsFilter) eventlog.Event {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		page, err := cli.Events(context.Background(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Events) > 0 {
+			return page.Events[0]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no event matching %+v appeared", f)
+	return eventlog.Event{}
+}
+
+func TestFleetEventsDisabled404(t *testing.T) {
+	_, cli := newTestServer(t, Config{Workers: 1, QueueCap: 4}) // no Events
+	_, err := cli.Events(context.Background(), EventsFilter{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("events on a recorder-less daemon: want 404 APIError, got %v", err)
+	}
+	if err := cli.TailEvents(context.Background(), EventsFilter{}, nil); err == nil {
+		t.Fatal("TailEvents on a recorder-less daemon: want error, got nil")
+	}
+}
+
+func TestFleetEventsSnapshotOrderAndFilters(t *testing.T) {
+	_, cli := eventsServer(t, 1024, Config{Workers: 1, QueueCap: 4})
+	final := runTinyJob(t, cli)
+	waitForEvent(t, cli, EventsFilter{Type: eventlog.TypeJobDone})
+
+	page, err := cli.Events(context.Background(), EventsFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Dropped != 0 {
+		t.Fatalf("tiny job overflowed a 1024 ring: dropped=%d", page.Dropped)
+	}
+	// Sequence ids strictly ascend and the lifecycle appears in causal
+	// order: submitted < started < done, with the cell events between.
+	seqOf := map[string]uint64{}
+	var last uint64
+	for _, e := range page.Events {
+		if e.Seq <= last {
+			t.Fatalf("sequence not strictly ascending: %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+		if _, ok := seqOf[e.Type]; !ok {
+			seqOf[e.Type] = e.Seq
+		}
+		if e.Time == "" {
+			t.Fatalf("event %d has no timestamp", e.Seq)
+		}
+	}
+	for _, chain := range [][2]string{
+		{eventlog.TypeJobSubmitted, eventlog.TypeJobStarted},
+		{eventlog.TypeJobStarted, eventlog.TypeCellStart},
+		{eventlog.TypeCellStart, eventlog.TypeCellExecuted},
+		{eventlog.TypeCellExecuted, eventlog.TypeJobDone},
+	} {
+		a, aok := seqOf[chain[0]]
+		b, bok := seqOf[chain[1]]
+		if !aok || !bok {
+			t.Fatalf("lifecycle events missing: %q=%v %q=%v (have %v)", chain[0], aok, chain[1], bok, seqOf)
+		}
+		if a >= b {
+			t.Fatalf("%s (seq %d) should precede %s (seq %d)", chain[0], a, chain[1], b)
+		}
+	}
+
+	// type= filters by dot-hierarchy prefix; job= by exact id.
+	jobOnly, err := cli.Events(context.Background(), EventsFilter{Type: "job"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobOnly.Events) == 0 {
+		t.Fatal("type=job filter returned nothing")
+	}
+	for _, e := range jobOnly.Events {
+		if !strings.HasPrefix(e.Type, "job.") {
+			t.Fatalf("type=job filter leaked %q", e.Type)
+		}
+	}
+	byJob, err := cli.Events(context.Background(), EventsFilter{Job: final.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range byJob.Events {
+		if e.Job != final.ID {
+			t.Fatalf("job=%s filter leaked job %q", final.ID, e.Job)
+		}
+	}
+	// since= resumes after a cursor.
+	mid := page.Events[len(page.Events)/2].Seq
+	tail, err := cli.Events(context.Background(), EventsFilter{Since: mid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tail.Events {
+		if e.Seq <= mid {
+			t.Fatalf("since=%d returned seq %d", mid, e.Seq)
+		}
+	}
+}
+
+// TestFleetEventsSSEResumeLastEventID reconnects the follow stream with
+// the standard Last-Event-ID header and asserts the server replays
+// exactly the events after that cursor — the contract the dashboard
+// and `ptest client events -follow` rely on across dropped connections.
+func TestFleetEventsSSEResumeLastEventID(t *testing.T) {
+	_, cli := eventsServer(t, 1024, Config{Workers: 1, QueueCap: 4})
+	runTinyJob(t, cli)
+	waitForEvent(t, cli, EventsFilter{Type: eventlog.TypeJobDone})
+
+	page, err := cli.Events(context.Background(), EventsFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) < 4 {
+		t.Fatalf("want a few events to resume across, got %d", len(page.Events))
+	}
+	cut := page.Events[len(page.Events)/2].Seq
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		cli.BaseURL()+"/api/v1/events?follow=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", fmt.Sprintf("%d", cut))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("follow content-type %q", ct)
+	}
+
+	// The replayed stream must start exactly one past the cursor and
+	// carry ids matching the payload's Seq.
+	want := page.Events[len(page.Events)/2+1:]
+	sc := bufio.NewScanner(resp.Body)
+	var id uint64
+	var got []eventlog.Event
+	for len(got) < len(want) && sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &id)
+		case strings.HasPrefix(line, "data: "):
+			var e eventlog.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				t.Fatal(err)
+			}
+			if e.Seq != id {
+				t.Fatalf("SSE id %d does not match payload seq %d", id, e.Seq)
+			}
+			got = append(got, e)
+		}
+	}
+	for i, e := range got {
+		if e.Seq != want[i].Seq || e.Type != want[i].Type {
+			t.Fatalf("resume replay[%d] = seq %d %q, want seq %d %q",
+				i, e.Seq, e.Type, want[i].Seq, want[i].Type)
+		}
+	}
+	if got[0].Seq != cut+1 {
+		t.Fatalf("resume started at seq %d, want %d", got[0].Seq, cut+1)
+	}
+}
+
+// TestFleetEventsRingOverflow runs a job through a deliberately tiny
+// ring: the oldest events are dropped, the snapshot reports how many,
+// and /metrics exports the same counter.
+func TestFleetEventsRingOverflow(t *testing.T) {
+	_, cli := eventsServer(t, 4, Config{Workers: 1, QueueCap: 4})
+	runTinyJob(t, cli)
+	waitForEvent(t, cli, EventsFilter{Type: eventlog.TypeJobDone})
+
+	page, err := cli.Events(context.Background(), EventsFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Dropped == 0 {
+		t.Fatal("a full job through a 4-slot ring should have dropped events")
+	}
+	if len(page.Events) > 4 {
+		t.Fatalf("ring of 4 returned %d events", len(page.Events))
+	}
+	if page.Events[0].Seq == 1 {
+		t.Fatal("oldest event survived an overflowing ring")
+	}
+
+	body := fetchMetrics(t, cli)
+	if !strings.Contains(body, "ptestd_events_dropped_total "+fmt.Sprint(page.Dropped)) {
+		t.Fatalf("/metrics does not export dropped=%d:\n%s", page.Dropped, body)
+	}
+	if !strings.Contains(body, "ptestd_events_emitted_total ") {
+		t.Fatal("/metrics missing ptestd_events_emitted_total")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, cli := eventsServer(t, 256, Config{Workers: 1, QueueCap: 4})
+	h, err := cli.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("fresh daemon health %q", h.Status)
+	}
+	if !h.Events {
+		t.Fatal("healthz should report the event log enabled")
+	}
+	if h.StoreDegraded {
+		t.Fatal("memory store reported degraded")
+	}
+	runTinyJob(t, cli)
+	h, err = cli.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LastEventSeq == 0 {
+		t.Fatal("healthz last_event_seq still zero after a job")
+	}
+
+	// Without a recorder the same endpoint still answers, events:false.
+	_, bare := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	h, err = bare.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Events || h.LastEventSeq != 0 {
+		t.Fatalf("recorder-less healthz claims events: %+v", h)
+	}
+}
+
+func fetchMetrics(t *testing.T, cli *Client) string {
+	t.Helper()
+	resp, err := http.Get(cli.BaseURL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content-type %q, want text format 0.0.4", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestMetricsPrometheusFormat lints /metrics against the exposition
+// format: every family announces # HELP and # TYPE before its samples,
+// a family's samples are contiguous, names and label syntax are legal,
+// and no family appears twice.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	_, cli := eventsServer(t, 256, Config{Workers: 1, QueueCap: 4})
+	runTinyJob(t, cli)
+	body := fetchMetrics(t, cli)
+
+	var (
+		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+		helped   = map[string]bool{}
+		typed    = map[string]bool{}
+		closed   = map[string]bool{} // family ended (another began after it)
+		current  string
+	)
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || !nameRe.MatchString(parts[0]) {
+				t.Fatalf("line %d: malformed HELP %q", i+1, line)
+			}
+			if helped[parts[0]] {
+				t.Fatalf("line %d: family %s declared twice", i+1, parts[0])
+			}
+			helped[parts[0]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 || (parts[1] != "counter" && parts[1] != "gauge") {
+				t.Fatalf("line %d: malformed TYPE %q", i+1, line)
+			}
+			typed[parts[0]] = true
+		case strings.HasPrefix(line, "#"):
+			// comment: fine
+		case line == "":
+			t.Fatalf("line %d: blank line in exposition body", i+1)
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample %q", i+1, line)
+			}
+			name := m[1]
+			if !helped[name] || !typed[name] {
+				t.Fatalf("line %d: sample %s before its HELP/TYPE", i+1, name)
+			}
+			if name != current {
+				if closed[name] {
+					t.Fatalf("line %d: family %s samples are not contiguous", i+1, name)
+				}
+				if current != "" {
+					closed[current] = true
+				}
+				current = name
+			}
+		}
+	}
+
+	// The historical sample shapes survive the format upgrade.
+	for _, want := range []string{
+		"ptestd_jobs_submitted_total 1",
+		"ptestd_jobs_completed_total 1",
+		"ptestd_queue_depth 0",
+		"ptestd_uptime_seconds ",
+		`ptestd_tool_cells_total{tool="adaptive"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics lost sample %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestE2EObservability drives a two-worker fleet with a kill fault
+// through an event-logged hub and asserts the log tells the true
+// story: job lifecycle in order, leases granted before completion,
+// cell events labeled with their tool, the store being written — and
+// for the killed worker's cell, the expire→retry→complete chain.
+func TestE2EObservability(t *testing.T) {
+	_, cli := eventsServer(t, 8192, Config{
+		Workers: 1, QueueCap: 4,
+		Dispatch: dispatch.Config{
+			LeaseTTL:       1500 * time.Millisecond,
+			WorkerTTL:      time.Second,
+			RetryBaseDelay: 50 * time.Millisecond,
+			RetryMaxDelay:  250 * time.Millisecond,
+			StealAge:       time.Minute, // force the expiry-retry path
+		},
+	})
+	ctx := context.Background()
+
+	// The fault script is shared by the whole fleet so it fires exactly
+	// once no matter which worker wins which poll race: whoever is
+	// granted the sweep's first cell dies holding the lease, and the
+	// other worker carries the sweep home.
+	var killedOnce atomic.Bool
+	var killedCell atomic.Value
+	hooks := &faultinject.Hooks{
+		KillBeforeExecute: func(cellID string) bool {
+			if killedOnce.CompareAndSwap(false, true) {
+				killedCell.Store(cellID)
+				return true
+			}
+			return false
+		},
+	}
+	errc := make(chan error, 3)
+	startFleetWorker(t, cli.BaseURL(), "doomed", hooks, errc)
+	startFleetWorker(t, cli.BaseURL(), "survivor", hooks, errc)
+	waitForFleet(t, cli, 2)
+
+	info, err := cli.Submit(ctx, strings.NewReader(e2eSpec), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cli.Watch(ctx, info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != JobDone {
+		t.Fatalf("chaos job finished %s: %+v", final.Status, final)
+	}
+	waitForEvent(t, cli, EventsFilter{Type: eventlog.TypeJobDone, Job: info.ID})
+
+	page, err := cli.Events(ctx, EventsFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Dropped != 0 {
+		t.Fatalf("event ring overflowed mid-test: dropped=%d", page.Dropped)
+	}
+
+	first := map[string]uint64{}
+	grantBySeq := map[string]uint64{}    // cell → first lease.granted seq
+	completeBySeq := map[string]uint64{} // cell → first lease.completed seq
+	var sawToolCell, sawRegistered, sawPut bool
+	for _, e := range page.Events {
+		if _, ok := first[e.Type]; !ok {
+			first[e.Type] = e.Seq
+		}
+		switch e.Type {
+		case eventlog.TypeLeaseGranted:
+			if _, ok := grantBySeq[e.Cell]; !ok {
+				grantBySeq[e.Cell] = e.Seq
+			}
+		case eventlog.TypeLeaseCompleted:
+			if _, ok := completeBySeq[e.Cell]; !ok {
+				completeBySeq[e.Cell] = e.Seq
+			}
+		case eventlog.TypeWorkerRegistered:
+			sawRegistered = true
+		case eventlog.TypeStorePut:
+			sawPut = true
+		case eventlog.TypeCellStart, eventlog.TypeCellExecuted:
+			if e.Tool != "" {
+				sawToolCell = true
+			}
+		}
+	}
+	if !sawRegistered {
+		t.Fatal("no worker.registered events for a two-worker fleet")
+	}
+	if !sawPut {
+		t.Fatal("no store.put events from a full sweep")
+	}
+	if !sawToolCell {
+		t.Fatal("no cell events carrying a tool label")
+	}
+	if !(first[eventlog.TypeJobSubmitted] < first[eventlog.TypeJobStarted] &&
+		first[eventlog.TypeJobStarted] < first[eventlog.TypeJobDone]) {
+		t.Fatalf("job lifecycle out of order: %v", first)
+	}
+	for cell, g := range grantBySeq {
+		if c, ok := completeBySeq[cell]; ok && g >= c {
+			t.Fatalf("cell %s completed (seq %d) before first grant (seq %d)", cell, c, g)
+		}
+	}
+
+	// The killed worker's cell must show the recovery chain in causal
+	// order: granted → expired → retry → completed.
+	victim, _ := killedCell.Load().(string)
+	if victim == "" {
+		t.Fatal("kill hook never fired")
+	}
+	chain, err := cli.Events(ctx, EventsFilter{Type: "lease"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expiredAt, retryAt, completedAt uint64
+	for _, e := range chain.Events {
+		if e.Cell != victim {
+			continue
+		}
+		switch e.Type {
+		case eventlog.TypeLeaseExpired:
+			if expiredAt == 0 {
+				expiredAt = e.Seq
+			}
+		case eventlog.TypeLeaseRetry:
+			if retryAt == 0 {
+				retryAt = e.Seq
+			}
+		case eventlog.TypeLeaseCompleted:
+			completedAt = e.Seq
+		}
+	}
+	if expiredAt == 0 || retryAt == 0 || completedAt == 0 {
+		t.Fatalf("victim cell %s missing recovery chain: expired=%d retry=%d completed=%d",
+			victim, expiredAt, retryAt, completedAt)
+	}
+	if !(expiredAt < retryAt && retryAt < completedAt) {
+		t.Fatalf("recovery chain out of order: expired=%d retry=%d completed=%d",
+			expiredAt, retryAt, completedAt)
+	}
+}

@@ -40,13 +40,16 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dispatch"
 	"repro/internal/engine"
+	"repro/internal/eventlog"
 	"repro/internal/report"
 	"repro/internal/store"
 	"repro/internal/suite"
 	"repro/internal/tenant"
+	"repro/internal/webui"
 )
 
 // Config sizes the daemon. Zero values default sensibly.
@@ -78,6 +81,12 @@ type Config struct {
 	// zero value is anonymous mode with no limits — a daemon with it is
 	// indistinguishable from one that predates multi-tenancy.
 	Tenancy tenant.Config
+	// Events is the fleet-wide observability recorder: job, cell, lease,
+	// worker, store, and tenant lifecycle events flow into it and out
+	// through GET /api/v1/events. Nil (the zero value) disables the
+	// event log — /api/v1/events answers 404 and nothing is recorded,
+	// keeping the daemon byte-identical to a pre-observability one.
+	Events *eventlog.Recorder
 }
 
 // metrics are the /metrics counters. Monotonic totals plus two gauges
@@ -85,6 +94,33 @@ type Config struct {
 type metrics struct {
 	submitted, rejected, completed, failed, cancelled atomic.Uint64
 	cellsExecuted, cellsCached                        atomic.Uint64
+
+	// Per-tool cell accounting, fed from every finished report (fleet or
+	// local, events on or off): cells run and cells that found at least
+	// one bug, per tool label — the dashboard's bug-rate curves.
+	toolMu       sync.Mutex
+	toolCells    map[string]uint64
+	toolBugCells map[string]uint64
+}
+
+// countTool folds one finished report's cells into the per-tool
+// counters.
+func (m *metrics) countTool(rep *report.Report) {
+	if rep == nil {
+		return
+	}
+	m.toolMu.Lock()
+	defer m.toolMu.Unlock()
+	if m.toolCells == nil {
+		m.toolCells = map[string]uint64{}
+		m.toolBugCells = map[string]uint64{}
+	}
+	for _, c := range rep.Cells {
+		m.toolCells[c.Tool]++
+		if c.Summary.Bugs > 0 {
+			m.toolBugCells[c.Tool]++
+		}
+	}
 }
 
 // Server is the daemon. Construct with New, serve Handler() on any
@@ -98,6 +134,8 @@ type Server struct {
 	mux      *http.ServeMux
 	handler  http.Handler
 	met      metrics
+	events   *eventlog.Recorder // nil when the event log is disabled
+	started  time.Time
 	draining atomic.Bool
 	baseCtx  context.Context
 	baseStop context.CancelFunc
@@ -124,13 +162,26 @@ func New(cfg Config) (*Server, error) {
 		}
 		cfg.Store = st
 	}
+	// The dispatcher and store share the server's recorder: every layer
+	// emits into one sequenced stream. A nil recorder makes each of
+	// these a no-op.
+	cfg.Dispatch.Events = cfg.Events
+	if cfg.Events != nil {
+		if es, ok := cfg.Store.(interface {
+			SetEvents(*eventlog.Recorder)
+		}); ok {
+			es.SetEvents(cfg.Events)
+		}
+	}
 	s := &Server{
-		cfg:   cfg,
-		store: cfg.Store,
-		disp:  dispatch.New(cfg.Dispatch),
-		guard: tenant.NewGuard(cfg.Tenancy),
-		queue: newJobQueue(cfg.QueueCap),
-		jobs:  map[string]*Job{},
+		cfg:     cfg,
+		store:   cfg.Store,
+		disp:    dispatch.New(cfg.Dispatch),
+		guard:   tenant.NewGuard(cfg.Tenancy),
+		queue:   newJobQueue(cfg.QueueCap),
+		jobs:    map[string]*Job{},
+		events:  cfg.Events,
+		started: time.Now(),
 	}
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
@@ -148,9 +199,16 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /api/v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
 	s.mux.HandleFunc("POST /api/v1/workers/{id}/lease", s.handleWorkerLease)
 	s.mux.HandleFunc("POST /api/v1/workers/{id}/complete", s.handleWorkerComplete)
+	s.mux.HandleFunc("GET /api/v1/events", s.handleFleetEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// The embedded dashboard: static assets only — every number it
+	// renders comes over the public JSON/SSE endpoints with whatever
+	// credentials the viewer pastes in, so the UI has no privileged
+	// access path.
+	s.mux.Handle("GET /ui/", http.StripPrefix("/ui", webui.Handler()))
+	s.mux.HandleFunc("GET /ui", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/ui/", http.StatusMovedPermanently)
 	})
 	s.handler = s.withAuth(s.mux)
 	return s, nil
@@ -184,7 +242,16 @@ func (s *Server) withAuth(next http.Handler) http.Handler {
 // (not rejected) until one resolves, while other tenants' jobs behind
 // them in the queue proceed — no head-of-line blocking.
 func (s *Server) Start() {
-	acquire := func(j *Job) bool { return s.guard.AcquireJob(j.tenant) }
+	acquire := func(j *Job) bool {
+		ok := s.guard.AcquireJob(j.tenant)
+		if !ok {
+			s.events.Emit(eventlog.Event{
+				Type: eventlog.TypeTenantDeferred, Job: j.info.ID,
+				Tenant: j.tenant.Name, Detail: "in-flight cap reached; skipped at dequeue",
+			})
+		}
+		return ok
+	}
 	for w := 0; w < s.cfg.Workers; w++ {
 		s.wg.Add(1)
 		go func() {
@@ -204,6 +271,10 @@ func (s *Server) Start() {
 					}
 					if ok, wasQueued := j.requestCancel(); ok && wasQueued {
 						s.met.cancelled.Add(1)
+						s.events.Emit(eventlog.Event{
+							Type: eventlog.TypeJobCancelled, Job: j.info.ID,
+							Tenant: j.tenant.Name, Detail: "cancelled by drain",
+						})
 					}
 					continue
 				}
@@ -228,6 +299,10 @@ func (s *Server) Drain() {
 		if j := s.jobs[id]; j.Info().Status == JobQueued {
 			if ok, wasQueued := j.requestCancel(); ok && wasQueued {
 				s.met.cancelled.Add(1)
+				s.events.Emit(eventlog.Event{
+					Type: eventlog.TypeJobCancelled, Job: id,
+					Tenant: j.tenant.Name, Detail: "cancelled by drain",
+				})
 			}
 		}
 	}
@@ -245,29 +320,46 @@ func (s *Server) runJob(j *Job) {
 	if !j.start(cancel) {
 		return // cancelled while queued
 	}
+	scope := eventlog.Scoped{R: s.events, Job: j.info.ID, Tenant: j.tenant.Name}
+	scope.Emit(eventlog.Event{Type: eventlog.TypeJobStarted})
+	runStart := time.Now()
 	rep, err := suite.RunContext(ctx, j.spec, &jsonlSplitter{j: j}, suite.Options{
 		Store: s.store,
 		// The dispatcher decides per cell: farmed to a live fleet worker
 		// under a lease, or — zero workers, exhausted retry budget —
 		// executed right here. Store hits never reach it.
-		Exec: s.disp.Executor(j.info.ID, j.tenant.Name, j.spec),
+		Exec:   s.disp.Executor(j.info.ID, j.tenant.Name, j.spec),
+		Events: scope,
 	})
+	durMS := float64(time.Since(runStart).Microseconds()) / 1000
 	if rep != nil {
 		s.met.cellsCached.Add(rep.StoreHits)
 		s.met.cellsExecuted.Add(rep.StoreMisses)
 	}
+	s.met.countTool(rep)
 	switch {
 	case err == nil:
 		s.met.completed.Add(1)
 		j.finish(JobDone, rep, nil)
+		scope.Emit(eventlog.Event{
+			Type: eventlog.TypeJobDone, DurMS: durMS,
+			Detail: fmt.Sprintf("%d cells (%d cached)", len(rep.Cells), rep.StoreHits),
+		})
 	case errors.Is(err, suite.ErrInterrupted):
 		// Cancelled mid-run: the plan-order prefix is preserved as a
 		// partial, Interrupted report.
 		s.met.cancelled.Add(1)
 		j.finish(JobCancelled, rep, err)
+		scope.Emit(eventlog.Event{
+			Type: eventlog.TypeJobInterrupted, DurMS: durMS,
+			Detail: fmt.Sprintf("%d cells kept", len(rep.Cells)),
+		})
 	default:
 		s.met.failed.Add(1)
 		j.finish(JobFailed, nil, err)
+		scope.Emit(eventlog.Event{
+			Type: eventlog.TypeJobFailed, DurMS: durMS, Detail: err.Error(),
+		})
 	}
 }
 
@@ -289,6 +381,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	t := tenant.FromContext(r.Context())
 	if ra, ok := s.guard.AllowSubmit(t); !ok {
 		secs := tenant.RetryAfterSeconds(ra)
+		s.events.Emit(eventlog.Event{
+			Type: eventlog.TypeTenantThrottled, Tenant: t.Name,
+			Detail: fmt.Sprintf("submit rate; retry in %ds", secs),
+		})
 		httpErrorCode(w, http.StatusTooManyRequests, "rate_limited", secs,
 			"tenant %s over its submission rate; retry in %ds", t.Name, secs)
 		return
@@ -321,6 +417,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.guard.CountRejected(t)
 		s.met.rejected.Add(1)
+		s.events.Emit(eventlog.Event{
+			Type: eventlog.TypeTenantRejected, Tenant: t.Name,
+			Detail: fmt.Sprintf("backlog quota: %d jobs queued (cap %d)", max, max),
+		})
 		httpErrorCode(w, http.StatusTooManyRequests, "quota_exceeded", 0,
 			"tenant %s already has %d jobs queued (cap %d)", t.Name, max, max)
 		return
@@ -339,12 +439,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// parked forever on a phantom job. Pruning bounds the leftovers.
 		j.finish(JobFailed, nil, err)
 		s.met.rejected.Add(1)
+		s.events.Emit(eventlog.Event{
+			Type: eventlog.TypeJobFailed, Job: id, Tenant: t.Name, Detail: err.Error(),
+		})
 		// Queue-full is transient by nature — a worker will pop soon. Tell
 		// retrying clients when to come back rather than letting them guess.
 		httpErrorCode(w, http.StatusServiceUnavailable, "unavailable", 1, "%v", err)
 		return
 	}
 	s.met.submitted.Add(1)
+	s.events.Emit(eventlog.Event{
+		Type: eventlog.TypeJobSubmitted, Job: id, Tenant: t.Name,
+		Detail: fmt.Sprintf("%s: %d cells, priority %d", spec.Name, j.Info().TotalCells, priority),
+	})
 	writeJSON(w, http.StatusAccepted, j.Info())
 }
 
@@ -425,6 +532,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if wasQueued {
 		s.queue.Remove(j)
 		s.met.cancelled.Add(1)
+		s.events.Emit(eventlog.Event{
+			Type: eventlog.TypeJobCancelled, Job: id, Tenant: j.tenant.Name,
+			Detail: "cancelled while queued",
+		})
 	}
 	writeJSON(w, http.StatusOK, j.Info())
 }
@@ -532,6 +643,10 @@ func (s *Server) throttleCells(w http.ResponseWriter, r *http.Request) bool {
 	ra, ok := s.guard.AllowCells(t)
 	if !ok {
 		secs := tenant.RetryAfterSeconds(ra)
+		s.events.Emit(eventlog.Event{
+			Type: eventlog.TypeTenantThrottled, Tenant: t.Name,
+			Detail: fmt.Sprintf("cells rate; retry in %ds", secs),
+		})
 		httpErrorCode(w, http.StatusTooManyRequests, "rate_limited", secs,
 			"tenant %s over its cells rate; retry in %ds", t.Name, secs)
 	}
@@ -582,58 +697,5 @@ func (s *Server) handleCellPut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.store.Stats()
-	s.mu.Lock()
-	var running int
-	for _, j := range s.jobs {
-		if j.Info().Status == JobRunning {
-			running++
-		}
-	}
-	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "ptestd_jobs_submitted_total %d\n", s.met.submitted.Load())
-	fmt.Fprintf(w, "ptestd_jobs_rejected_total %d\n", s.met.rejected.Load())
-	fmt.Fprintf(w, "ptestd_jobs_completed_total %d\n", s.met.completed.Load())
-	fmt.Fprintf(w, "ptestd_jobs_failed_total %d\n", s.met.failed.Load())
-	fmt.Fprintf(w, "ptestd_jobs_cancelled_total %d\n", s.met.cancelled.Load())
-	fmt.Fprintf(w, "ptestd_jobs_running %d\n", running)
-	fmt.Fprintf(w, "ptestd_queue_depth %d\n", s.queue.Depth())
-	fmt.Fprintf(w, "ptestd_cells_executed_total %d\n", s.met.cellsExecuted.Load())
-	fmt.Fprintf(w, "ptestd_cells_cached_total %d\n", s.met.cellsCached.Load())
-	fmt.Fprintf(w, "ptestd_store_hits_total %d\n", st.Hits)
-	fmt.Fprintf(w, "ptestd_store_misses_total %d\n", st.Misses)
-	fmt.Fprintf(w, "ptestd_store_puts_total %d\n", st.Puts)
-	fmt.Fprintf(w, "ptestd_store_mem_entries %d\n", st.MemEntries)
-	fmt.Fprintf(w, "ptestd_store_disk_entries %d\n", st.DiskEntries)
-	dm := s.disp.Metrics()
-	fmt.Fprintf(w, "ptestd_workers_live %d\n", dm.WorkersLive)
-	fmt.Fprintf(w, "ptestd_workers_registered_total %d\n", dm.WorkersRegistered)
-	fmt.Fprintf(w, "ptestd_dispatch_leases_granted_total %d\n", dm.LeasesGranted)
-	fmt.Fprintf(w, "ptestd_dispatch_leases_expired_total %d\n", dm.LeasesExpired)
-	fmt.Fprintf(w, "ptestd_dispatch_leases_stolen_total %d\n", dm.LeasesStolen)
-	fmt.Fprintf(w, "ptestd_dispatch_lease_retries_total %d\n", dm.LeaseRetries)
-	fmt.Fprintf(w, "ptestd_dispatch_completions_remote_total %d\n", dm.RemoteCompletions)
-	fmt.Fprintf(w, "ptestd_dispatch_completions_duplicate_total %d\n", dm.DuplicateCompletions)
-	fmt.Fprintf(w, "ptestd_dispatch_completions_orphan_total %d\n", dm.OrphanCompletions)
-	fmt.Fprintf(w, "ptestd_dispatch_cells_local_total %d\n", dm.LocalCells)
-	fmt.Fprintf(w, "ptestd_auth_rejected_total %d\n", s.guard.AuthFailures())
-	// Per-tenant quota accounting, one label set per tenant the guard
-	// has seen, name-ordered so scrapes are stable.
-	for _, ts := range s.guard.Snapshot() {
-		fmt.Fprintf(w, "ptestd_tenant_requests_total{tenant=%q} %d\n", ts.Name, ts.Requests)
-		fmt.Fprintf(w, "ptestd_tenant_throttled_total{tenant=%q} %d\n", ts.Name, ts.Throttled)
-		fmt.Fprintf(w, "ptestd_tenant_rejected_total{tenant=%q} %d\n", ts.Name, ts.Rejected)
-		fmt.Fprintf(w, "ptestd_tenant_deferrals_total{tenant=%q} %d\n", ts.Name, ts.Deferrals)
-		fmt.Fprintf(w, "ptestd_tenant_jobs_inflight{tenant=%q} %d\n", ts.Name, ts.InFlight)
-	}
-	tenants := make([]string, 0, len(dm.LeasesByTenant))
-	for name := range dm.LeasesByTenant {
-		tenants = append(tenants, name)
-	}
-	sort.Strings(tenants)
-	for _, name := range tenants {
-		fmt.Fprintf(w, "ptestd_dispatch_leases_by_tenant{tenant=%q} %d\n", name, dm.LeasesByTenant[name])
-	}
-}
+// handleMetrics lives in prom.go: real Prometheus exposition format
+// (# HELP/# TYPE headers, escaped labels) over the same counters.

@@ -218,10 +218,12 @@ func TestUnknownJobIs404(t *testing.T) {
 }
 
 func TestCancelRunningJobKeepsPartialReport(t *testing.T) {
-	// A many-cell sequential job so cancellation lands mid-sweep.
+	// A many-cell sequential job so cancellation lands mid-sweep; enough
+	// trials per cell that the cancel round trip wins the race against
+	// the sweep even on a heavily loaded machine.
 	spec := `{
 		"name": "slow",
-		"trials": 2,
+		"trials": 8,
 		"max_steps": 400000,
 		"workloads": [{"name": "quicksort", "gc_every": 4, "gc_leak_every": 2}],
 		"ops": ["roundrobin", "cyclic", "random", "priority", "sequential"],

@@ -28,6 +28,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
+
+	"repro/internal/eventlog"
 )
 
 // Compact rewrites the store down to its live entries and reports what
@@ -39,7 +42,25 @@ import (
 func (s *Store) Compact() (CompactResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.compactLocked()
+	s.events.Emit(eventlog.Event{
+		Type:   eventlog.TypeStoreCompactStart,
+		Detail: fmt.Sprintf("reclaimable %d bytes", s.totalBytes-s.liveBytes),
+	})
+	start := time.Now()
+	res, err := s.compactLocked()
+	dur := float64(time.Since(start).Microseconds()) / 1000
+	if err != nil {
+		s.events.Emit(eventlog.Event{
+			Type: eventlog.TypeStoreCompactFail, DurMS: dur, Detail: err.Error(),
+		})
+		return res, err
+	}
+	s.events.Emit(eventlog.Event{
+		Type: eventlog.TypeStoreCompactDone, DurMS: dur,
+		Detail: fmt.Sprintf("reclaimed %d bytes, %d live entries, %d->%d segments",
+			res.ReclaimedBytes, res.LiveEntries, res.SegmentsBefore, res.SegmentsAfter),
+	})
+	return res, nil
 }
 
 func (s *Store) compactLocked() (res CompactResult, err error) {

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/eventlog"
 	"repro/internal/report"
 )
 
@@ -99,7 +100,33 @@ type Remote struct {
 	front   *lruCache
 	flights map[string]*flight // key → in-progress fetch
 	closed  bool
+	events  *eventlog.Recorder // nil emits nothing
 }
+
+// SetEvents attaches an event recorder: wire-level store.hit/miss/put
+// plus store.breaker transitions flow into it. Nil detaches.
+func (r *Remote) SetEvents(rec *eventlog.Recorder) {
+	r.mu.Lock()
+	r.events = rec
+	r.mu.Unlock()
+	r.brk.setOnTransition(func(from, to string) {
+		rec.Emit(eventlog.Event{
+			Type: eventlog.TypeStoreBreaker, Detail: from + "->" + to,
+		})
+	})
+}
+
+// recorder returns the attached recorder (nil-safe to emit on).
+func (r *Remote) recorder() *eventlog.Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events
+}
+
+// Degraded reports whether the circuit breaker is anything but closed —
+// the remote cache is failing or being probed, and lookups degrade to
+// recompute-locally.
+func (r *Remote) Degraded() bool { return r.brk.stateName() != "closed" }
 
 // flight is one in-progress remote fetch; latecomers for the same key
 // wait on done instead of issuing their own request.
@@ -165,8 +192,10 @@ func OpenRemote(cfg RemoteConfig) (*Remote, error) {
 func (r *Remote) Get(key string) (report.Cell, bool) {
 	r.mu.Lock()
 	if cell, ok := r.front.get(key); ok {
+		ev := r.events
 		r.mu.Unlock()
 		r.hits.Add(1)
+		ev.Emit(eventlog.Event{Type: eventlog.TypeStoreHit, Key: key, Detail: "lru"})
 		return cell, true
 	}
 	if f, inFlight := r.flights[key]; inFlight {
@@ -190,12 +219,16 @@ func (r *Remote) Get(key string) (report.Cell, bool) {
 	if f.ok {
 		r.front.add(key, f.cell)
 	}
+	ev := r.events
 	r.mu.Unlock()
 	close(f.done)
+	// Only the single-flight leader emits: one wire fetch, one event.
 	if f.ok {
 		r.hits.Add(1)
+		ev.Emit(eventlog.Event{Type: eventlog.TypeStoreHit, Key: key, Detail: "remote"})
 	} else {
 		r.misses.Add(1)
+		ev.Emit(eventlog.Event{Type: eventlog.TypeStoreMiss, Key: key, Detail: "remote"})
 	}
 	return f.cell, f.ok
 }
@@ -308,6 +341,7 @@ func (r *Remote) Put(key string, cell report.Cell) error {
 		err := r.putOnce(key, body)
 		if err == nil {
 			r.brk.success()
+			r.recorder().Emit(eventlog.Event{Type: eventlog.TypeStorePut, Key: key, Detail: "remote"})
 			return nil
 		}
 		var te *transientPutError
@@ -415,6 +449,38 @@ type breaker struct {
 	state    int
 	failures int
 	openedAt time.Time
+	// onTransition observes every state change (old name, new name).
+	// Called under b.mu — keep it non-blocking (the event recorder is).
+	onTransition func(from, to string)
+}
+
+func (b *breaker) setOnTransition(f func(from, to string)) {
+	b.mu.Lock()
+	b.onTransition = f
+	b.mu.Unlock()
+}
+
+// setStateLocked changes the state and notifies the observer. Callers
+// hold b.mu.
+func (b *breaker) setStateLocked(state int) {
+	if b.state == state {
+		return
+	}
+	from, to := breakerStateName(b.state), breakerStateName(state)
+	b.state = state
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+func breakerStateName(state int) string {
+	switch state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
 }
 
 // allow reports whether a wire attempt may proceed, transitioning
@@ -428,7 +494,7 @@ func (b *breaker) allow() bool {
 		return true
 	case breakerOpen:
 		if b.wall.Now().Sub(b.openedAt) >= b.cooldown {
-			b.state = breakerHalfOpen
+			b.setStateLocked(breakerHalfOpen)
 			return true
 		}
 		return false
@@ -440,7 +506,7 @@ func (b *breaker) allow() bool {
 // success closes the circuit and clears the failure streak.
 func (b *breaker) success() {
 	b.mu.Lock()
-	b.state = breakerClosed
+	b.setStateLocked(breakerClosed)
 	b.failures = 0
 	b.mu.Unlock()
 }
@@ -451,7 +517,7 @@ func (b *breaker) failure() {
 	b.mu.Lock()
 	b.failures++
 	if b.state == breakerHalfOpen || b.failures >= b.threshold {
-		b.state = breakerOpen
+		b.setStateLocked(breakerOpen)
 		b.openedAt = b.wall.Now()
 	}
 	b.mu.Unlock()
@@ -460,11 +526,5 @@ func (b *breaker) failure() {
 func (b *breaker) stateName() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	switch b.state {
-	case breakerOpen:
-		return "open"
-	case breakerHalfOpen:
-		return "half-open"
-	}
-	return "closed"
+	return breakerStateName(b.state)
 }

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/eventlog"
 	"repro/internal/report"
 )
 
@@ -120,6 +121,7 @@ type Store struct {
 	unflushed             int     // Get/Put outcomes since the last sidecar flush
 	diskDead              bool    // disk layer failed; serve memory-only
 	closed                bool
+	events                *eventlog.Recorder // nil emits nothing
 }
 
 type diskRef struct {
@@ -368,6 +370,7 @@ func (s *Store) Get(key string) (report.Cell, bool) {
 	defer s.noteOpLocked()
 	if cell, ok := s.front.get(key); ok {
 		s.hits.Add(1)
+		s.events.Emit(eventlog.Event{Type: eventlog.TypeStoreHit, Key: key, Detail: "mem"})
 		return cell, true
 	}
 	if ref, ok := s.index[key]; ok {
@@ -375,10 +378,12 @@ func (s *Store) Get(key string) (report.Cell, bool) {
 		if err == nil {
 			s.front.add(key, cell)
 			s.hits.Add(1)
+			s.events.Emit(eventlog.Event{Type: eventlog.TypeStoreHit, Key: key, Detail: "disk"})
 			return cell, true
 		}
 	}
 	s.misses.Add(1)
+	s.events.Emit(eventlog.Event{Type: eventlog.TypeStoreMiss, Key: key})
 	return report.Cell{}, false
 }
 
@@ -414,6 +419,7 @@ func (s *Store) Put(key string, cell report.Cell) error {
 	_, onDisk := s.index[key]
 	s.puts.Add(1)
 	s.noteOpLocked()
+	s.events.Emit(eventlog.Event{Type: eventlog.TypeStorePut, Key: key})
 	// Always (re)insert into memory: if the key is indexed on disk but
 	// its record became unreadable, the LRU still serves the recomputed
 	// cell instead of forcing a re-execution on every future run.
@@ -525,6 +531,23 @@ func (s *Store) Reclaimable() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.totalBytes - s.liveBytes
+}
+
+// Degraded reports whether the disk layer died (failed append or
+// compaction) and the store is serving memory-only.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diskDead
+}
+
+// SetEvents attaches an event recorder; store.hit/miss/put and
+// compaction lifecycle events flow into it. Nil detaches. Safe to call
+// concurrently with operations.
+func (s *Store) SetEvents(r *eventlog.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = r
 }
 
 // Lifetime returns the cumulative Get/Put counters: the sidecar history

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/eventlog"
 	"repro/internal/pfa"
 	"repro/internal/report"
 	"repro/internal/store"
@@ -51,6 +52,11 @@ type Options struct {
 	// that farms cells out to a fleet inherits memoization and ordering
 	// unchanged.
 	Exec CellExec
+	// Events receives per-cell lifecycle events (start/cached/executed/
+	// failed), pre-scoped to the owning job and tenant by the caller. The
+	// zero value emits nothing — the cell results and the report are
+	// byte-identical either way.
+	Events eventlog.Scoped
 }
 
 // Run expands the spec and executes every cell. When jsonl is non-nil,
@@ -92,16 +98,24 @@ func RunContext(ctx context.Context, spec *Spec, jsonl io.Writer, opts Options) 
 			if ctx.Err() != nil {
 				return report.Cell{}, fmt.Errorf("suite: cell %s: %w", cells[i].ID, ErrInterrupted)
 			}
+			opts.Events.Emit(eventlog.Event{
+				Type: eventlog.TypeCellStart, Cell: cells[i].ID, Tool: cells[i].Tool.Name,
+			})
 			var key string
 			if opts.Store != nil {
 				key = spec.CellKey(cells[i])
 				if rc, ok := opts.Store.Get(key); ok {
 					hits.Add(1)
+					opts.Events.Emit(eventlog.Event{
+						Type: eventlog.TypeCellCached, Cell: cells[i].ID,
+						Tool: cells[i].Tool.Name, Key: key,
+					})
 					emit.emit(i, rc)
 					return rc, nil
 				}
 				misses.Add(1)
 			}
+			cellStart := time.Now()
 			var rc report.Cell
 			var err error
 			if opts.Exec != nil {
@@ -110,8 +124,20 @@ func RunContext(ctx context.Context, spec *Spec, jsonl io.Writer, opts Options) 
 				rc, err = runCell(spec, cells[i])
 			}
 			if err != nil {
+				if !errors.Is(err, ErrInterrupted) {
+					opts.Events.Emit(eventlog.Event{
+						Type: eventlog.TypeCellFailed, Cell: cells[i].ID,
+						Tool: cells[i].Tool.Name, Detail: err.Error(),
+						DurMS: float64(time.Since(cellStart).Microseconds()) / 1000,
+					})
+				}
 				return report.Cell{}, fmt.Errorf("suite: cell %s: %w", cells[i].ID, err)
 			}
+			opts.Events.Emit(eventlog.Event{
+				Type: eventlog.TypeCellExecuted, Cell: cells[i].ID,
+				Tool:  cells[i].Tool.Name,
+				DurMS: float64(time.Since(cellStart).Microseconds()) / 1000,
+			})
 			if opts.Store != nil {
 				// A failed disk append degrades the store to memory-only for
 				// this entry; the computed result is still correct.

@@ -1,0 +1,28 @@
+// Package webui embeds the ptestd dashboard: one self-contained HTML
+// page (inline CSS/JS, zero external dependencies) served at /ui. The
+// page is purely a client of the daemon's public JSON/SSE endpoints —
+// /healthz, /api/v1/workers, /api/v1/jobs, /api/v1/events, /metrics —
+// with whatever API key the viewer provides, so serving it grants no
+// access the HTTP API didn't already.
+package webui
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+)
+
+//go:embed assets
+var assets embed.FS
+
+// Handler serves the embedded dashboard. Mount under a stripped
+// prefix: http.StripPrefix("/ui", webui.Handler()).
+func Handler() http.Handler {
+	sub, err := fs.Sub(assets, "assets")
+	if err != nil {
+		// The subtree is compiled in; failing to open it is a build
+		// defect, not a runtime condition.
+		panic(err)
+	}
+	return http.FileServer(http.FS(sub))
+}

@@ -50,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/dispatch"
+	"repro/internal/eventlog"
 	"repro/internal/pattern"
 	"repro/internal/pcore"
 	"repro/internal/pfa"
@@ -303,8 +304,9 @@ func CompareReports(oldR, newR *SuiteReport, th report.Thresholds) *report.Compa
 	return report.Compare(oldR, newR, th)
 }
 
-// SuiteOptions tunes RunSuiteContext beyond the spec: currently the
-// content-addressed result store.
+// SuiteOptions tunes RunSuiteContext beyond the spec: the
+// content-addressed result store, a custom executor, and a scoped
+// event emitter for per-cell observability.
 type SuiteOptions = suite.Options
 
 // ErrSuiteInterrupted wraps out of RunSuiteContext when its context is
@@ -532,3 +534,43 @@ type FleetWorkerInfo = dispatch.WorkerInfo
 // leases granted/expired/stolen, retries, completions and local
 // fallbacks.
 type DispatchMetrics = dispatch.Metrics
+
+// --- fleet observability -----------------------------------------------------
+
+// Event is one structured record in the fleet event log: what happened
+// (a dot-hierarchy Type like "lease.granted"), to which job/tenant/
+// worker/cell, when, and how long it took. Events are immutable once
+// emitted and strictly ordered by Seq.
+type Event = eventlog.Event
+
+// EventRecorder is the append-only, bounded event log every ptestd
+// subsystem emits into. Build one with NewEventRecorder, set it on
+// JobServerConfig.Events; a nil recorder disables observability with
+// zero behavioral change.
+type EventRecorder = eventlog.Recorder
+
+// EventLogConfig sizes an EventRecorder: ring capacity and an optional
+// JSONL sink every event is appended to.
+type EventLogConfig = eventlog.Config
+
+// EventFilter narrows event queries: exact or dot-prefix Type match
+// ("lease" matches lease.granted), plus Job and Tenant equality.
+type EventFilter = eventlog.Filter
+
+// ScopedEvents wraps a recorder with a job/tenant scope, so deep layers
+// emit without threading identifiers; suite.Options carries one.
+type ScopedEvents = eventlog.Scoped
+
+// NewEventRecorder builds an event recorder.
+func NewEventRecorder(cfg EventLogConfig) *EventRecorder { return eventlog.New(cfg) }
+
+// EventsPage is the snapshot answer of GET /api/v1/events — the
+// filtered events plus the cursor (LastSeq) for the next poll.
+type EventsPage = server.EventsPage
+
+// EventsFilter narrows Client.Events / Client.TailEvents server-side.
+type EventsFilter = server.EventsFilter
+
+// ServerHealth is the JSON body of GET /healthz: readiness, build info,
+// queue and fleet gauges, store degradation.
+type ServerHealth = server.Health
