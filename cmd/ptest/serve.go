@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,17 +32,37 @@ import (
 
 // openStoreFlag builds the store shared by serve, suite and run behind
 // the CellStore seam: a remote client when -store-url names a serving
-// ptestd, a disk-backed local store when -store names a directory,
-// memory-only otherwise. apiKey authenticates the remote path against
-// a hub running -auth-keys.
-func openStoreFlag(cfg store.Config, remoteURL, apiKey string) (store.CellStore, error) {
-	if remoteURL != "" {
-		if cfg.Dir != "" {
-			return nil, usagef("-store and -store-url are mutually exclusive")
-		}
-		return store.OpenRemote(store.RemoteConfig{BaseURL: remoteURL, MemEntries: cfg.MemEntries, APIKey: apiKey})
+// ptestd (a sharded client when it names several, comma-separated), a
+// disk-backed local store when -store names a directory, memory-only
+// otherwise. apiKey authenticates the remote path against a hub
+// running -auth-keys; batch enables write-through batching (cells per
+// flush, 0 = synchronous single puts) and hedge enables hedged reads
+// across shards (0 = off, single-URL ignores it).
+func openStoreFlag(cfg store.Config, remoteURL, apiKey string, batch int, hedge time.Duration) (store.CellStore, error) {
+	if remoteURL == "" {
+		return store.Open(cfg)
 	}
-	return store.Open(cfg)
+	if cfg.Dir != "" {
+		return nil, usagef("-store and -store-url are mutually exclusive")
+	}
+	var urls []string
+	for _, u := range strings.Split(remoteURL, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, usagef("-store-url: no URLs in %q", remoteURL)
+	}
+	if len(urls) == 1 {
+		return store.OpenRemote(store.RemoteConfig{
+			BaseURL: urls[0], MemEntries: cfg.MemEntries, APIKey: apiKey, BatchSize: batch,
+		})
+	}
+	return store.OpenSharded(store.ShardedConfig{
+		BaseURLs: urls, MemEntries: cfg.MemEntries, APIKey: apiKey,
+		BatchSize: batch, HedgeAfter: hedge,
+	})
 }
 
 // apiKeyFlag registers the shared -api-key flag; $PTEST_API_KEY is the
@@ -59,11 +80,16 @@ func cmdServe(args []string) error {
 		queueCap = fs.Int("queue", 64, "job queue capacity (submissions past it get 503)")
 		maxJobs  = fs.Int("max-jobs", 512, "retained job records (oldest finished jobs pruned past this)")
 		storeDir = fs.String("store", "", "result-store directory (empty: memory-only, lost on exit)")
-		storeURL = fs.String("store-url", "", "share another ptestd's store instead of owning one (fleet worker mode; mutually exclusive with -store)")
+		storeURL = fs.String("store-url", "", "share another ptestd's store instead of owning one; comma-separate several URLs for a sharded hub tier (mutually exclusive with -store)")
 		storeMem = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
 		autoGC   = fs.Int64("store-autocompact", 0, "background-compact the local store when reclaimable bytes exceed this (0 = off)")
-		hubURL   = fs.String("hub-url", "", "join a hub ptestd's fleet as a cell worker instead of serving (no listener)")
-		hubName  = fs.String("name", "", "worker name shown by `ptest client workers` (default: hostname; -hub-url only)")
+
+		storeBatch   = fs.Int("store-batch", 16, "coalesce remote store writes into batches of this many cells (0 = one PUT per cell; -store-url only)")
+		storeHedge   = fs.Duration("store-hedge", 0, "hedge slow sharded-store reads to the second-ranked hub after this long (0 = off; multi-URL -store-url only)")
+		storeMaxAge  = fs.Duration("store-max-age", 0, "GC: expire store entries older than this on autocompaction (needs -store-autocompact)")
+		storeMaxIdle = fs.Duration("store-max-idle", 0, "GC: expire store entries not hit for this long on autocompaction (needs -store-autocompact)")
+		hubURL       = fs.String("hub-url", "", "join a hub ptestd's fleet as a cell worker instead of serving (no listener)")
+		hubName      = fs.String("name", "", "worker name shown by `ptest client workers` (default: hostname; -hub-url only)")
 
 		eventsCap = fs.Int("events", 0, "fleet event-log ring capacity; enables /api/v1/events and event emission (0 = off)")
 		eventsLog = fs.String("events-log", "", "append every event as JSONL to this file (needs -events)")
@@ -88,6 +114,7 @@ func cmdServe(args []string) error {
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "addr", "queue", "max-jobs", "store", "store-url", "store-mem", "store-autocompact",
+				"store-batch", "store-hedge", "store-max-age", "store-max-idle",
 				"events", "events-log",
 				"auth-keys", "submit-rate", "submit-burst", "cells-rate", "cells-burst", "max-inflight", "max-queued":
 				conflict = f.Name
@@ -107,6 +134,12 @@ func cmdServe(args []string) error {
 
 	if *autoGC > 0 && *storeDir == "" {
 		return usagef("serve: -store-autocompact needs a local -store directory")
+	}
+	if (*storeMaxAge > 0 || *storeMaxIdle > 0) && *autoGC <= 0 {
+		// The GC policy only runs when a compaction pass runs; without
+		// autocompaction nothing would ever apply it, which reads like
+		// retention but isn't.
+		return usagef("serve: -store-max-age/-store-max-idle need -store-autocompact")
 	}
 	tenancy := tenant.Config{
 		SubmitRate: *submitRate, SubmitBurst: *submitBurst,
@@ -131,6 +164,14 @@ func cmdServe(args []string) error {
 	if *eventsCap > 0 {
 		ecfg := eventlog.Config{Capacity: *eventsCap}
 		if *eventsLog != "" {
+			// Replay an existing JSONL trail into the ring before appending
+			// to it: the daemon restarts with its recent history visible on
+			// /api/v1/events, and sequence ids continue past the old file's
+			// highest — a watcher's Last-Event-ID survives the restart.
+			if prev, err := os.Open(*eventsLog); err == nil {
+				ecfg.Replay = eventlog.ReadJSONL(prev)
+				_ = prev.Close()
+			}
 			f, err := os.OpenFile(*eventsLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return fmt.Errorf("serve: -events-log: %w", err)
@@ -143,7 +184,8 @@ func cmdServe(args []string) error {
 
 	st, err := openStoreFlag(store.Config{
 		Dir: *storeDir, MemEntries: *storeMem, AutoCompactMinBytes: *autoGC,
-	}, *storeURL, *apiKey)
+		GC: store.GCPolicy{MaxAge: *storeMaxAge, MaxIdle: *storeMaxIdle},
+	}, *storeURL, *apiKey, *storeBatch, *storeHedge)
 	if err != nil {
 		return err
 	}
@@ -225,6 +267,8 @@ func serveWorker(hubURL, name string, parallel int, apiKey string) error {
 
 func storeDesc(dir, remoteURL string) string {
 	switch {
+	case strings.Contains(remoteURL, ","):
+		return "sharded " + remoteURL
 	case remoteURL != "":
 		return "remote " + remoteURL
 	case dir != "":

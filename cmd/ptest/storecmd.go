@@ -11,6 +11,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/store"
 )
@@ -32,8 +34,11 @@ func cmdStoreAdmin(args []string) error {
 func cmdStoreStat(args []string) error {
 	fs := flag.NewFlagSet("ptest store stat", flag.ContinueOnError)
 	var (
-		dir     = fs.String("dir", "", "result store directory (required)")
-		jsonOut = fs.Bool("json", false, "print the stats as JSON")
+		dir         = fs.String("dir", "", "result store directory (required)")
+		jsonOut     = fs.Bool("json", false, "print the stats as JSON")
+		maxAge      = fs.Duration("max-age", 0, "estimate what a -max-age GC compaction would reclaim")
+		maxIdle     = fs.Duration("max-idle", 0, "estimate what a -max-idle GC compaction would reclaim")
+		schemaBelow = fs.Int("schema-below", 0, "estimate what a -schema-below GC compaction would reclaim")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -44,6 +49,11 @@ func cmdStoreStat(args []string) error {
 	ds, err := store.Stat(*dir)
 	if err != nil {
 		return err
+	}
+	pol := store.GCPolicy{MaxAge: *maxAge, MaxIdle: *maxIdle, SchemaBelow: *schemaBelow}
+	if !pol.Zero() {
+		est := ds.EstimateGC(pol, time.Now())
+		ds.GC = &est
 	}
 	if *jsonOut {
 		data, err := json.MarshalIndent(ds, "", "  ")
@@ -57,11 +67,28 @@ func cmdStoreStat(args []string) error {
 	fmt.Printf("segments:     %d (%d bytes on disk)\n", ds.Segments, ds.TotalBytes)
 	fmt.Printf("live entries: %d (%d bytes live, %d reclaimable)\n",
 		ds.LiveEntries, ds.LiveBytes, ds.TotalBytes-ds.LiveBytes)
+	fmt.Printf("records:      %d v2, %d v1 (legacy; a compaction migrates them)\n", ds.V2Records, ds.V1Records)
+	if len(ds.SchemaCounts) > 0 {
+		schemas := make([]int, 0, len(ds.SchemaCounts))
+		for sv := range ds.SchemaCounts {
+			schemas = append(schemas, sv)
+		}
+		sort.Ints(schemas)
+		fmt.Printf("schemas:     ")
+		for _, sv := range schemas {
+			fmt.Printf(" %d×schema%d", ds.SchemaCounts[sv], sv)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("lifetime:     %d hits, %d misses, %d puts\n",
 		ds.Lifetime.Hits, ds.Lifetime.Misses, ds.Lifetime.Puts)
 	if ds.Lifetime.Hits+ds.Lifetime.Misses > 0 {
 		fmt.Printf("hit rate:     %.1f%%\n",
 			100*float64(ds.Lifetime.Hits)/float64(ds.Lifetime.Hits+ds.Lifetime.Misses))
+	}
+	if ds.GC != nil {
+		fmt.Printf("gc estimate:  %d entries (%d bytes) would expire under this policy\n",
+			ds.GC.Entries, ds.GC.Bytes)
 	}
 	return nil
 }
@@ -69,8 +96,11 @@ func cmdStoreStat(args []string) error {
 func cmdStoreCompact(args []string) error {
 	fs := flag.NewFlagSet("ptest store compact", flag.ContinueOnError)
 	var (
-		dir     = fs.String("dir", "", "result store directory (required)")
-		jsonOut = fs.Bool("json", false, "print the compaction result as JSON")
+		dir         = fs.String("dir", "", "result store directory (required)")
+		jsonOut     = fs.Bool("json", false, "print the compaction result as JSON")
+		maxAge      = fs.Duration("max-age", 0, "GC: expire entries created longer ago than this (0 = keep forever; v1 records exempt until migrated)")
+		maxIdle     = fs.Duration("max-idle", 0, "GC: expire entries not hit for this long (0 = keep forever; v1 records exempt until migrated)")
+		schemaBelow = fs.Int("schema-below", 0, "GC: expire entries whose record schema is below this (v1 records count as schema 0)")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -86,7 +116,9 @@ func cmdStoreCompact(args []string) error {
 		return err
 	}
 	defer st.Close()
-	res, err := st.Compact()
+	res, err := st.CompactPolicy(store.GCPolicy{
+		MaxAge: *maxAge, MaxIdle: *maxIdle, SchemaBelow: *schemaBelow,
+	})
 	if err != nil {
 		return err
 	}
@@ -102,5 +134,11 @@ func cmdStoreCompact(args []string) error {
 	fmt.Printf("segments: %d -> %d\n", res.SegmentsBefore, res.SegmentsAfter)
 	fmt.Printf("bytes:    %d -> %d (%d reclaimed)\n", res.BytesBefore, res.BytesAfter, res.ReclaimedBytes)
 	fmt.Printf("live:     %d entries rewritten\n", res.LiveEntries)
+	if res.ExpiredEntries > 0 {
+		fmt.Printf("expired:  %d entries (%d bytes) removed by the GC policy\n", res.ExpiredEntries, res.ExpiredBytes)
+	}
+	if res.MigratedRecords > 0 {
+		fmt.Printf("migrated: %d v1 records rewritten as v2\n", res.MigratedRecords)
+	}
 	return nil
 }

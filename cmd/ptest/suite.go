@@ -25,16 +25,17 @@ import (
 func cmdSuite(args []string) error {
 	fs := flag.NewFlagSet("ptest suite", flag.ContinueOnError)
 	var (
-		specPath  = fs.String("spec", "", "suite spec JSON file (required)")
-		outPath   = fs.String("out", "", "aggregated JSON report path (default: stdout)")
-		jsonlPath = fs.String("jsonl", "", "per-cell JSONL stream path (optional)")
-		canonical = fs.Bool("canonical", false, "zero timing fields in the report (for committed baselines)")
-		cells     = fs.Int("cells", 0, "cell workers: overrides the spec's cell_parallelism (0 = keep spec)")
-		storeDir  = fs.String("store", "", "content-addressed result store directory (cells found there are not re-executed)")
-		storeURL  = fs.String("store-url", "", "remote result store: a ptestd base URL whose cell cache this run shares (mutually exclusive with -store)")
-		storeMem  = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
-		apiKey    = apiKeyFlag(fs)
-		quiet     = fs.Bool("quiet", false, "suppress the per-cell progress summary on stderr")
+		specPath   = fs.String("spec", "", "suite spec JSON file (required)")
+		outPath    = fs.String("out", "", "aggregated JSON report path (default: stdout)")
+		jsonlPath  = fs.String("jsonl", "", "per-cell JSONL stream path (optional)")
+		canonical  = fs.Bool("canonical", false, "zero timing fields in the report (for committed baselines)")
+		cells      = fs.Int("cells", 0, "cell workers: overrides the spec's cell_parallelism (0 = keep spec)")
+		storeDir   = fs.String("store", "", "content-addressed result store directory (cells found there are not re-executed)")
+		storeURL   = fs.String("store-url", "", "remote result store: a ptestd base URL whose cell cache this run shares; comma-separate several URLs for a sharded hub tier (mutually exclusive with -store)")
+		storeMem   = fs.Int("store-mem", 4096, "result-store in-memory LRU entries")
+		storeBatch = fs.Int("store-batch", 16, "coalesce remote store writes into batches of this many cells (0 = one PUT per cell; -store-url only)")
+		apiKey     = apiKeyFlag(fs)
+		quiet      = fs.Bool("quiet", false, "suppress the per-cell progress summary on stderr")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -52,7 +53,7 @@ func cmdSuite(args []string) error {
 
 	var opts suite.Options
 	if *storeDir != "" || *storeURL != "" {
-		st, err := openStoreFlag(store.Config{Dir: *storeDir, MemEntries: *storeMem}, *storeURL, *apiKey)
+		st, err := openStoreFlag(store.Config{Dir: *storeDir, MemEntries: *storeMem}, *storeURL, *apiKey, *storeBatch, 0)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@
 package eventlog
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"strings"
@@ -52,6 +53,7 @@ const (
 	TypeStoreHit          = "store.hit"
 	TypeStoreMiss         = "store.miss"
 	TypeStorePut          = "store.put"
+	TypeStoreBatch        = "store.batch"
 	TypeStoreCompactStart = "store.compact.start"
 	TypeStoreCompactDone  = "store.compact.done"
 	TypeStoreCompactFail  = "store.compact.failed"
@@ -126,6 +128,13 @@ type Config struct {
 	// degrades the recorder to memory-only (first error kept in Stats);
 	// emission never fails.
 	Sink io.Writer
+	// Replay pre-loads the ring with events from a previous run (a JSONL
+	// sink read back via ReadJSONL). Only the newest Capacity events are
+	// kept, and the sequence counter resumes past the highest replayed
+	// Seq — so a watcher's Last-Event-ID from before a restart stays
+	// meaningful and new events never reuse an old id. Replayed events
+	// keep their original Seq and Time and are NOT re-written to Sink.
+	Replay []Event
 }
 
 // Stats is a point-in-time counter snapshot.
@@ -170,13 +179,50 @@ func New(cfg Config) *Recorder {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.System()
 	}
-	return &Recorder{
+	r := &Recorder{
 		clock:   cfg.Clock,
 		sink:    cfg.Sink,
 		ring:    make([]Event, cfg.Capacity),
 		byType:  map[string]uint64{},
 		updated: make(chan struct{}),
 	}
+	replay := cfg.Replay
+	if len(replay) > cfg.Capacity {
+		r.dropped = uint64(len(replay) - cfg.Capacity)
+		replay = replay[len(replay)-cfg.Capacity:]
+	}
+	for _, e := range replay {
+		r.ring[r.count] = e
+		r.count++
+		r.byType[e.Type]++
+		if e.Seq > r.seq {
+			r.seq = e.Seq
+		}
+	}
+	return r
+}
+
+// ReadJSONL reads a JSONL event stream (a previous run's Sink file)
+// back into events for Config.Replay. Blank lines, lines that fail to
+// parse, and lines without a sequence id are skipped — a torn final
+// line from a crashed process must not poison the replay. Read errors
+// end the scan with whatever parsed cleanly before them.
+func ReadJSONL(rd io.Reader) []Event {
+	var evs []Event
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.Seq == 0 {
+			continue
+		}
+		evs = append(evs, e)
+	}
+	return evs
 }
 
 // Emit stamps e with the next sequence id and the current time, appends

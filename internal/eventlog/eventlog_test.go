@@ -216,3 +216,69 @@ func TestConcurrentEmitSnapshot(t *testing.T) {
 		}
 	}
 }
+
+func TestReplayRestoresRingAndContinuesSeq(t *testing.T) {
+	// Restart flow: a previous run's JSONL sink reads back into the new
+	// recorder's ring, and new emissions continue the sequence past the
+	// replayed maximum — a watcher's Last-Event-ID stays meaningful
+	// across the restart.
+	var sink bytes.Buffer
+	prev := New(Config{Sink: &sink})
+	prev.Emit(Event{Type: TypeJobSubmitted, Job: "j1"})
+	prev.Emit(Event{Type: TypeJobStarted, Job: "j1"})
+	prev.Emit(Event{Type: TypeJobDone, Job: "j1"})
+
+	replay := ReadJSONL(bytes.NewReader(sink.Bytes()))
+	if len(replay) != 3 {
+		t.Fatalf("ReadJSONL returned %d events, want 3", len(replay))
+	}
+	r := New(Config{Replay: replay})
+	if got := r.LastSeq(); got != 3 {
+		t.Fatalf("replayed LastSeq = %d, want 3", got)
+	}
+	evs, _, _ := r.Snapshot(0, Filter{})
+	if len(evs) != 3 || evs[0].Type != TypeJobSubmitted || evs[2].Seq != 3 {
+		t.Fatalf("replayed ring wrong: %+v", evs)
+	}
+	// Replayed events keep their original timestamps verbatim.
+	if evs[0].Time != replay[0].Time {
+		t.Fatalf("replay rewrote event time: %q vs %q", evs[0].Time, replay[0].Time)
+	}
+
+	// Seq continuity: the next emit is 4, never a reused id.
+	r.Emit(Event{Type: TypeJobSubmitted, Job: "j2"})
+	evs, last, _ := r.Snapshot(3, Filter{})
+	if last != 4 || len(evs) != 1 || evs[0].Seq != 4 {
+		t.Fatalf("post-replay emit: last=%d evs=%+v", last, evs)
+	}
+}
+
+func TestReplayKeepsNewestCapacityEvents(t *testing.T) {
+	var replay []Event
+	for i := 1; i <= 10; i++ {
+		replay = append(replay, Event{Seq: uint64(i), Type: TypeJobDone})
+	}
+	r := New(Config{Capacity: 4, Replay: replay})
+	evs, last, dropped := r.Snapshot(0, Filter{})
+	if len(evs) != 4 || evs[0].Seq != 7 || last != 10 {
+		t.Fatalf("trimmed replay: %d events, first=%d last=%d", len(evs), evs[0].Seq, last)
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6 (replay overflow counted)", dropped)
+	}
+}
+
+func TestReadJSONLSkipsGarbageLines(t *testing.T) {
+	// A crashed process can leave a torn final line; hand-edits leave
+	// blanks. Neither may poison the replay.
+	input := `{"seq":1,"time":"t","type":"job.done"}
+
+not json at all
+{"seq":0,"type":"missing-seq-dropped"}
+{"seq":2,"time":"t","type":"job.failed"}
+{"seq":3,"time":"t","ty`
+	evs := ReadJSONL(strings.NewReader(input))
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("ReadJSONL = %+v, want seqs 1,2", evs)
+	}
+}

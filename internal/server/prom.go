@@ -87,8 +87,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	family(w, "ptestd_store_hits_total", "counter", "Store lookups answered from cache.").sample(st.Hits)
 	family(w, "ptestd_store_misses_total", "counter", "Store lookups that missed.").sample(st.Misses)
 	family(w, "ptestd_store_puts_total", "counter", "Cells inserted into the store.").sample(st.Puts)
+	family(w, "ptestd_store_syncs_total", "counter", "Segment-log fsyncs (one per single put, one per whole batch).").sample(st.Syncs)
 	family(w, "ptestd_store_mem_entries", "gauge", "Cells in the in-memory LRU front.").sample(st.MemEntries)
 	family(w, "ptestd_store_disk_entries", "gauge", "Cells indexed in the segment log.").sample(st.DiskEntries)
+
+	// Cells wire traffic: round trips by verb, plus the cells the batch
+	// round trips carried — batch_cells/batch is the collapse factor the
+	// write-through batcher achieves.
+	cf := family(w, "ptestd_cells_requests_total", "counter", "Cells endpoint requests served, by verb.")
+	cf.with(s.met.cellsWireGet.Load(), "verb", "get")
+	cf.with(s.met.cellsWirePut.Load(), "verb", "put")
+	cf.with(s.met.cellsWireBatch.Load(), "verb", "batch")
+	family(w, "ptestd_cells_batch_cells_total", "counter", "Cells received inside batch requests.").sample(s.met.cellsWireBatchCells.Load())
 	// Optional store faces: the local segment-log store reports how many
 	// bytes a compaction would reclaim; local and remote stores both
 	// report degradation (dead disk / open breaker).

@@ -95,6 +95,13 @@ type metrics struct {
 	submitted, rejected, completed, failed, cancelled atomic.Uint64
 	cellsExecuted, cellsCached                        atomic.Uint64
 
+	// Wire traffic on the cells endpoints: requests by verb, plus how
+	// many cells the batch requests carried — the pair that shows the
+	// round-trip collapse batching buys (batchCells/batch ≈ cells per
+	// round trip).
+	cellsWireGet, cellsWirePut          atomic.Uint64
+	cellsWireBatch, cellsWireBatchCells atomic.Uint64
+
 	// Per-tool cell accounting, fed from every finished report (fleet or
 	// local, events on or off): cells run and cells that found at least
 	// one bug, per tool label — the dashboard's bug-rate curves.
@@ -193,6 +200,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /api/v1/cells/{key}", s.handleCellGet)
 	s.mux.HandleFunc("PUT /api/v1/cells/{key}", s.handleCellPut)
+	s.mux.HandleFunc("POST /api/v1/cells:batch", s.handleCellBatch)
 	s.mux.HandleFunc("POST /api/v1/workers", s.handleWorkerRegister)
 	s.mux.HandleFunc("GET /api/v1/workers", s.handleWorkerList)
 	s.mux.HandleFunc("DELETE /api/v1/workers/{id}", s.handleWorkerDeregister)
@@ -626,7 +634,12 @@ func (s *Server) refuseForwardedHop(w http.ResponseWriter, r *http.Request) bool
 	if r.Header.Get(store.CellsHopHeader) == "" {
 		return false
 	}
-	if _, chained := s.store.(*store.Remote); !chained {
+	chained := false
+	switch s.store.(type) {
+	case *store.Remote, *store.Sharded:
+		chained = true
+	}
+	if !chained {
 		return false
 	}
 	httpError(w, http.StatusLoopDetected,
@@ -660,6 +673,7 @@ func (s *Server) handleCellGet(w http.ResponseWriter, r *http.Request) {
 	if s.throttleCells(w, r) || s.refuseForwardedHop(w, r) {
 		return
 	}
+	s.met.cellsWireGet.Add(1)
 	key := r.PathValue("key")
 	cell, ok := s.store.Get(key)
 	if !ok {
@@ -679,6 +693,7 @@ func (s *Server) handleCellPut(w http.ResponseWriter, r *http.Request) {
 	if s.throttleCells(w, r) || s.refuseForwardedHop(w, r) {
 		return
 	}
+	s.met.cellsWirePut.Add(1)
 	key := r.PathValue("key")
 	var cell report.Cell
 	// The wire cap is exactly the store's own record bound: any cell the
@@ -691,6 +706,51 @@ func (s *Server) handleCellPut(w http.ResponseWriter, r *http.Request) {
 		// The store degraded (full disk, closed): the computed cell is
 		// still correct on the worker's side, but this daemon could not
 		// persist it.
+		httpError(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCellBatch accepts many computed cells in one request — the
+// group-commit half of the fleet cache's write path. A store.Remote
+// with write-through batching posts here, collapsing one PUT round
+// trip per cell into one POST per flush; a local segment-log store
+// behind this endpoint commits the whole batch under a single fsync
+// (store.PutBatch). Per-entry semantics are exactly handleCellPut's:
+// idempotent by content addressing, accepted while draining.
+func (s *Server) handleCellBatch(w http.ResponseWriter, r *http.Request) {
+	if s.throttleCells(w, r) || s.refuseForwardedHop(w, r) {
+		return
+	}
+	var body struct {
+		Cells []store.CellEntry `json:"cells"`
+	}
+	// Same wire cap as the single-cell endpoint: the batcher's flush
+	// sizing keeps real batches far below it, and a batch the store
+	// could not hold must not be readable into memory here either.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, store.MaxRecordBytes)).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(body.Cells) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	s.met.cellsWireBatch.Add(1)
+	s.met.cellsWireBatchCells.Add(uint64(len(body.Cells)))
+	var err error
+	if bp, ok := s.store.(store.BatchPutter); ok {
+		err = bp.PutBatch(body.Cells)
+	} else {
+		for _, e := range body.Cells {
+			if perr := s.store.Put(e.Key, e.Cell); perr != nil {
+				err = perr
+				break
+			}
+		}
+	}
+	if err != nil {
 		httpError(w, http.StatusInsufficientStorage, "%v", err)
 		return
 	}

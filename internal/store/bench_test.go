@@ -2,7 +2,9 @@ package store
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 // Store hot-path benches: Get and Put sit on every cell of every warm
@@ -57,3 +59,59 @@ func BenchmarkStoreCompact(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStorePutBatch measures the group-commit write path the
+// cells:batch endpoint rides: batchCells cells per PutBatch, one fsync
+// each. Compare ns/op against batchCells× BenchmarkStorePut to see the
+// fsync collapse.
+func BenchmarkStorePutBatch(b *testing.B) {
+	const batchCells = 16
+	s := benchStore(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries := make([]CellEntry, batchCells)
+		for j := range entries {
+			entries[j] = CellEntry{Key: fmt.Sprintf("bench-%08d-%02d", i, j), Cell: cellFor(j)}
+		}
+		if err := s.PutBatch(entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(batchCells, "cells/op")
+	b.ReportMetric(float64(s.Stats().Syncs)/float64(b.N), "fsyncs/op")
+}
+
+// benchRemote drives a Remote at an in-process hub and reports the
+// wire round trips each stored cell cost — the number Store v2's
+// write-through batching is built to collapse.
+func benchRemote(b *testing.B, batchSize int) {
+	b.Helper()
+	fake := newFakeCellServer()
+	fake.serveBatch = true
+	ts := httptest.NewServer(fake.handler())
+	b.Cleanup(ts.Close)
+	r, err := OpenRemote(RemoteConfig{
+		BaseURL: ts.URL, BatchSize: batchSize, BatchDelay: time.Hour, Retries: 0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Put(fmt.Sprintf("bench-%08d", i), cellFor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if err := r.Close(); err != nil {
+		b.Fatal(err)
+	}
+	trips := fake.puts.Load() + fake.batches.Load()
+	b.ReportMetric(float64(trips)/float64(b.N), "roundtrips/cell")
+}
+
+func BenchmarkRemotePut_Single(b *testing.B)  { benchRemote(b, 0) }
+func BenchmarkRemotePut_Batched(b *testing.B) { benchRemote(b, 16) }

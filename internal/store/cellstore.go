@@ -44,10 +44,34 @@ type CellStore interface {
 //	if c, ok := cs.(store.Compactor); ok { c.Compact() }
 type Compactor interface {
 	// Compact rewrites the store down to its live entries and reports
-	// what was reclaimed. Every key readable before is readable after;
-	// cell keys and the record format are unchanged (bit-stability is
-	// the store's contract with the warm-replay tests).
+	// what was reclaimed. Every key readable before is readable after
+	// (minus what the store's configured GC policy expired); cell keys
+	// and cell payload bytes are unchanged (bit-stability is the
+	// store's contract with the warm-replay tests), though v1 record
+	// envelopes migrate to v2.
 	Compact() (CompactResult, error)
+}
+
+// PolicyCompactor is the retention face of a compacting store: one
+// pass under an explicit GCPolicy, overriding the configured one.
+type PolicyCompactor interface {
+	CompactPolicy(p GCPolicy) (CompactResult, error)
+}
+
+// BatchPutter is the optional batched-write face of a CellStore. The
+// local Store commits the whole batch under one group fsync; Remote
+// coalesces it into one wire round trip; Sharded fans it out one
+// sub-batch per hub. Per-entry semantics are exactly Put's.
+type BatchPutter interface {
+	PutBatch(entries []CellEntry) error
+}
+
+// Flusher is the optional write-back face of a CellStore that queues
+// writes (Remote's write-through batcher). The suite runner flushes at
+// job end so a queued cell never outlives the job that computed it;
+// Close implies a final flush too.
+type Flusher interface {
+	Flush() error
 }
 
 // CompactResult describes one compaction pass.
@@ -63,11 +87,24 @@ type CompactResult struct {
 	// LiveEntries is the number of records rewritten — the store's
 	// entire readable content.
 	LiveEntries int `json:"live_entries"`
+	// ExpiredEntries/ExpiredBytes count what the GC policy discarded
+	// (record bytes, headers included); zero under the zero policy.
+	ExpiredEntries int   `json:"expired_entries,omitempty"`
+	ExpiredBytes   int64 `json:"expired_bytes,omitempty"`
+	// MigratedRecords counts v1 envelopes rewritten as v2.
+	MigratedRecords int `json:"migrated_records,omitempty"`
 }
 
 // Interface conformance pinned at compile time.
 var (
-	_ CellStore = (*Store)(nil)
-	_ Compactor = (*Store)(nil)
-	_ CellStore = (*Remote)(nil)
+	_ CellStore       = (*Store)(nil)
+	_ Compactor       = (*Store)(nil)
+	_ PolicyCompactor = (*Store)(nil)
+	_ BatchPutter     = (*Store)(nil)
+	_ CellStore       = (*Remote)(nil)
+	_ BatchPutter     = (*Remote)(nil)
+	_ Flusher         = (*Remote)(nil)
+	_ CellStore       = (*Sharded)(nil)
+	_ BatchPutter     = (*Sharded)(nil)
+	_ Flusher         = (*Sharded)(nil)
 )

@@ -55,4 +55,12 @@ func (c *lruCache) add(key string, cell report.Cell) {
 	}
 }
 
+// remove deletes key if present (GC discarding an expired entry).
+func (c *lruCache) remove(key string) {
+	if el, ok := c.mem[key]; ok {
+		c.order.Remove(el)
+		delete(c.mem, key)
+	}
+}
+
 func (c *lruCache) len() int { return c.order.Len() }

@@ -40,6 +40,12 @@ import (
 // client and ptestd agree on this shape (pinned by tests on both sides).
 const cellsPathPrefix = "/api/v1/cells/"
 
+// cellsBatchPath is the batched write endpoint: one POST carries many
+// cells and the serving store group-commits them under a single fsync.
+// An old hub answers 404 here; the client then falls back to single
+// PUTs for the rest of the session.
+const cellsBatchPath = "/api/v1/cells:batch"
+
 // CellsHopHeader marks a cells request as already forwarded once by a
 // Remote. A daemon whose own store is a Remote refuses to forward such
 // a request again (HTTP 508): a misconfigured -store-url pointing a
@@ -76,6 +82,16 @@ type RemoteConfig struct {
 	// BreakerCooldown is how long the open circuit fails fast before
 	// letting one half-open probe through (default 5s).
 	BreakerCooldown time.Duration
+	// BatchSize enables the write-through batcher: Puts queue locally
+	// (the LRU front already serves them) and flush as one
+	// POST /api/v1/cells:batch when this many entries are pending, when
+	// BatchDelay elapses, and on Flush/Close — collapsing N round trips
+	// plus N server-side fsyncs into ~N/BatchSize. 0 (the default)
+	// keeps every Put a synchronous round trip of its own.
+	BatchSize int
+	// BatchDelay bounds how long a queued entry waits for company
+	// before a time-triggered flush (default 50ms when BatchSize > 0).
+	BatchDelay time.Duration
 	// Clock abstracts backoff waits and cooldown time for tests
 	// (default: system).
 	Clock clock.Wall
@@ -101,6 +117,20 @@ type Remote struct {
 	flights map[string]*flight // key → in-progress fetch
 	closed  bool
 	events  *eventlog.Recorder // nil emits nothing
+
+	batchSize  int
+	batchDelay time.Duration
+	bmu        sync.Mutex
+	pending    []wireCell // queued write-through entries
+	timerArmed bool       // a delay-flush goroutine is waiting
+	noBatch    bool       // remote answered 404: old hub, single PUTs forever
+}
+
+// wireCell is one entry of the cells:batch body. The cell rides as the
+// raw JSON the Put already marshaled — encoded once, sent once.
+type wireCell struct {
+	Key  string          `json:"key"`
+	Cell json.RawMessage `json:"cell"`
 }
 
 // SetEvents attaches an event recorder: wire-level store.hit/miss/put
@@ -169,6 +199,12 @@ func OpenRemote(cfg RemoteConfig) (*Remote, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.System()
 	}
+	if cfg.BatchSize < 0 {
+		cfg.BatchSize = 0
+	}
+	if cfg.BatchDelay <= 0 {
+		cfg.BatchDelay = 50 * time.Millisecond
+	}
 	return &Remote{
 		base:      strings.TrimRight(cfg.BaseURL, "/"),
 		hc:        hc,
@@ -181,9 +217,11 @@ func OpenRemote(cfg RemoteConfig) (*Remote, error) {
 			cooldown:  cfg.BreakerCooldown,
 			wall:      cfg.Clock,
 		},
-		rnd:     rand.New(rand.NewSource(1)),
-		front:   newLRU(cfg.MemEntries),
-		flights: map[string]*flight{},
+		rnd:        rand.New(rand.NewSource(1)),
+		front:      newLRU(cfg.MemEntries),
+		flights:    map[string]*flight{},
+		batchSize:  cfg.BatchSize,
+		batchDelay: cfg.BatchDelay,
 	}, nil
 }
 
@@ -315,6 +353,11 @@ func (r *Remote) jitter(d time.Duration) time.Duration {
 // serves the cell — exactly how the local store degrades to memory-only
 // on a failed disk append. Transient push failures retry within the
 // same budget as Get; an open breaker fails the push instantly.
+//
+// With BatchSize configured the push is write-through batched instead:
+// the entry queues locally and goes out with its batch (size, delay, or
+// Flush/Close trigger), so a nil return only means "queued" — delivery
+// errors surface from the flush that carries the entry.
 func (r *Remote) Put(key string, cell report.Cell) error {
 	r.mu.Lock()
 	if r.closed {
@@ -333,6 +376,53 @@ func (r *Remote) Put(key string, cell report.Cell) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding %s: %w", key, err)
 	}
+	if r.batchSize > 0 && !r.batchUnsupported() {
+		return r.enqueue(key, body)
+	}
+	return r.pushSingle(key, body)
+}
+
+// PutBatch stores every entry and ships the lot as one cells:batch
+// round trip — even when write-through batching (BatchSize) is off:
+// the caller handing us a batch IS the coalescing decision. Entries
+// the LRU front already holds are skipped (content addressing), and a
+// hub without the batch endpoint degrades to sequential single PUTs
+// exactly like the write-through flush does.
+func (r *Remote) PutBatch(entries []CellEntry) error {
+	var pend []wireCell
+	var errs []error
+	for _, e := range entries {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			errs = append(errs, fmt.Errorf("store: closed"))
+			break
+		}
+		if r.front.contains(e.Key) {
+			r.mu.Unlock()
+			continue
+		}
+		r.front.add(e.Key, e.Cell)
+		r.mu.Unlock()
+		r.puts.Add(1)
+		body, err := json.Marshal(e.Cell)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("store: encoding %s: %w", e.Key, err))
+			continue
+		}
+		pend = append(pend, wireCell{Key: e.Key, Cell: body})
+	}
+	if len(pend) > 0 {
+		if err := r.flushEntries(pend); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// pushSingle is the synchronous single-record push: bounded retries
+// under the breaker, exactly the pre-batching Put wire behavior.
+func (r *Remote) pushSingle(key string, body []byte) error {
 	if !r.brk.allow() {
 		return fmt.Errorf("store: pushing %s: circuit open (remote failing)", key)
 	}
@@ -358,6 +448,166 @@ func (r *Remote) Put(key string, cell report.Cell) error {
 		<-r.wall.After(r.jitter(delay))
 		delay *= 2
 	}
+}
+
+// batchUnsupported reports whether the remote refused cells:batch.
+func (r *Remote) batchUnsupported() bool {
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	return r.noBatch
+}
+
+// enqueue adds one pre-marshaled cell to the pending batch, flushing
+// inline when the batch is full and arming the delay flush otherwise.
+func (r *Remote) enqueue(key string, body []byte) error {
+	r.bmu.Lock()
+	r.pending = append(r.pending, wireCell{Key: key, Cell: body})
+	var full []wireCell
+	if len(r.pending) >= r.batchSize {
+		full, r.pending = r.pending, nil
+	} else if !r.timerArmed {
+		r.timerArmed = true
+		go r.flushAfterDelay()
+	}
+	r.bmu.Unlock()
+	if full != nil {
+		return r.flushEntries(full)
+	}
+	return nil
+}
+
+// flushAfterDelay is the time-triggered flush: whatever queued within
+// one BatchDelay goes out together, so a trickle of Puts never strands
+// entries in the queue for longer than the delay.
+func (r *Remote) flushAfterDelay() {
+	<-r.wall.After(r.batchDelay)
+	r.bmu.Lock()
+	r.timerArmed = false
+	entries := r.pending
+	r.pending = nil
+	r.bmu.Unlock()
+	if len(entries) > 0 {
+		_ = r.flushEntries(entries)
+	}
+}
+
+// Flush pushes every queued write-through entry now. The suite runner
+// calls it at job end; Close calls it too. A no-op without batching.
+func (r *Remote) Flush() error {
+	r.bmu.Lock()
+	entries := r.pending
+	r.pending = nil
+	r.bmu.Unlock()
+	if len(entries) == 0 {
+		return nil
+	}
+	return r.flushEntries(entries)
+}
+
+// BatchPending reports queued-but-unflushed write-through entries
+// (telemetry for tests and operators).
+func (r *Remote) BatchPending() int {
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	return len(r.pending)
+}
+
+// errBatchUnsupported marks a 404 from cells:batch: the remote is an
+// old hub without the endpoint. Authoritative — not a push failure.
+var errBatchUnsupported = errors.New("store: remote has no cells:batch endpoint")
+
+// flushEntries sends one batch over the wire under the usual retry
+// budget and breaker. A 404 flips the client to single-PUT fallback for
+// good and delivers this batch that way; entries that still fail after
+// the budget are dropped from the queue (the front serves them, and a
+// recompute elsewhere is always correct) with the error returned.
+func (r *Remote) flushEntries(entries []wireCell) error {
+	if r.batchUnsupported() {
+		return r.flushSingly(entries)
+	}
+	body, err := json.Marshal(struct {
+		Cells []wireCell `json:"cells"`
+	}{entries})
+	if err != nil {
+		return fmt.Errorf("store: encoding batch: %w", err)
+	}
+	if !r.brk.allow() {
+		return fmt.Errorf("store: pushing batch of %d: circuit open (remote failing)", len(entries))
+	}
+	delay := r.retryBase
+	for attempt := 0; ; attempt++ {
+		err := r.batchOnce(body)
+		if err == nil {
+			r.brk.success()
+			r.recorder().Emit(eventlog.Event{
+				Type: eventlog.TypeStoreBatch, Detail: fmt.Sprintf("%d cells", len(entries)),
+			})
+			return nil
+		}
+		if errors.Is(err, errBatchUnsupported) {
+			// The hub answered (it is alive, just old): no breaker
+			// penalty, and never ask it for a batch again.
+			r.brk.success()
+			r.bmu.Lock()
+			r.noBatch = true
+			r.bmu.Unlock()
+			return r.flushSingly(entries)
+		}
+		var te *transientPutError
+		if !errors.As(err, &te) {
+			r.brk.success()
+			return err
+		}
+		r.brk.failure()
+		if attempt >= r.retries || !r.brk.allow() {
+			return te.err
+		}
+		<-r.wall.After(r.jitter(delay))
+		delay *= 2
+	}
+}
+
+// flushSingly delivers batch entries over the single-PUT endpoint every
+// hub has — the 404 fallback path.
+func (r *Remote) flushSingly(entries []wireCell) error {
+	var errs []error
+	for _, e := range entries {
+		if err := r.pushSingle(e.Key, e.Cell); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// batchOnce is a single cells:batch round trip.
+func (r *Remote) batchOnce(body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, r.base+cellsBatchPath, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(CellsHopHeader, "1")
+	if r.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+r.apiKey)
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return &transientPutError{fmt.Errorf("store: pushing batch: %w", err)}
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return errBatchUnsupported
+	}
+	if transientStoreStatus(resp.StatusCode) {
+		return &transientPutError{fmt.Errorf("store: pushing batch: HTTP %d", resp.StatusCode)}
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("store: pushing batch: HTTP %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // transientPutError wraps a push failure worth retrying.
@@ -418,14 +668,16 @@ func (r *Remote) Lifetime() Counters {
 // "half-open") for tests and operators.
 func (r *Remote) BreakerState() string { return r.brk.stateName() }
 
-// Close drops idle connections. The LRU stays readable in principle but
-// Put rejects a closed store, mirroring the local Store.
+// Close flushes any queued write-through entries and drops idle
+// connections. The LRU stays readable in principle but Put rejects a
+// closed store, mirroring the local Store.
 func (r *Remote) Close() error {
+	err := r.Flush()
 	r.mu.Lock()
 	r.closed = true
 	r.mu.Unlock()
 	r.hc.CloseIdleConnections()
-	return nil
+	return err
 }
 
 // --- circuit breaker --------------------------------------------------------

@@ -21,6 +21,13 @@ type fakeCellServer struct {
 	cells map[string]report.Cell
 	gets  atomic.Int64
 	puts  atomic.Int64
+	// serveBatch registers the cells:batch endpoint (a modern hub); off,
+	// the fake answers 404 there like an old hub — the fallback tests'
+	// scenario. batches/batchCells count accepted batch requests and the
+	// cells they carried.
+	serveBatch bool
+	batches    atomic.Int64
+	batchCells atomic.Int64
 	// hold, when non-nil, blocks GET handlers until closed — the
 	// single-flight test's window.
 	hold chan struct{}
@@ -58,6 +65,25 @@ func (f *fakeCellServer) handler() http.Handler {
 		f.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
 	})
+	if f.serveBatch {
+		mux.HandleFunc("POST /api/v1/cells:batch", func(w http.ResponseWriter, r *http.Request) {
+			var body struct {
+				Cells []CellEntry `json:"cells"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&body); err != nil || len(body.Cells) == 0 {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			f.batches.Add(1)
+			f.batchCells.Add(int64(len(body.Cells)))
+			f.mu.Lock()
+			for _, e := range body.Cells {
+				f.cells[e.Key] = e.Cell
+			}
+			f.mu.Unlock()
+			w.WriteHeader(http.StatusNoContent)
+		})
+	}
 	return mux
 }
 

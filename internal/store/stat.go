@@ -25,9 +25,55 @@ type DirStats struct {
 	// (torn tails, superseded records).
 	LiveEntries int   `json:"live_entries"`
 	LiveBytes   int64 `json:"live_bytes"`
+	// V1Records/V2Records split the live entries by envelope version
+	// (v1: untagged legacy records a compaction would migrate), and
+	// SchemaCounts by record schema tag — v1 records count under
+	// schema 0.
+	V1Records    int         `json:"v1_records"`
+	V2Records    int         `json:"v2_records"`
+	SchemaCounts map[int]int `json:"schema_counts,omitempty"`
 	// Lifetime are the cumulative hit/miss/put counters from the
 	// stats.json sidecar, zero when no sidecar exists yet.
 	Lifetime Counters `json:"lifetime"`
+	// GC is filled by the CLI when asked to estimate a retention
+	// policy (EstimateGC); absent otherwise.
+	GC *GCEstimate `json:"gc_estimate,omitempty"`
+
+	// recs keeps each live entry's size and envelope metadata for
+	// EstimateGC, which needs per-entry dates the aggregates above
+	// discard.
+	recs map[string]liveRec
+}
+
+// liveRec is one live entry of a Stat scan.
+type liveRec struct {
+	bytes int64
+	meta  recMeta
+}
+
+// GCEstimate is what a GC policy would reclaim, computed from a Stat
+// scan without opening the store for writing — so operators can size a
+// policy before running `store compact` with it.
+type GCEstimate struct {
+	// Entries/Bytes are the live entries (and their record bytes) the
+	// policy would discard.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// EstimateGC reports what policy p would expire at time now, by the
+// same rules a compaction pass applies (v1 records are exempt from the
+// age/idle rules; see GCPolicy).
+func (ds DirStats) EstimateGC(p GCPolicy, now time.Time) GCEstimate {
+	var est GCEstimate
+	nowUnix := now.Unix()
+	for _, lr := range ds.recs {
+		if p.expires(lr.meta, nowUnix) {
+			est.Entries++
+			est.Bytes += lr.bytes
+		}
+	}
+	return est
 }
 
 // statTailRetries bounds how often Stat re-scans a segment whose tail
@@ -87,7 +133,7 @@ func statScan(dir string) (DirStats, error) {
 		return ds, err
 	}
 	ds.Segments = len(ids)
-	live := map[string]int64{} // key → record bytes (header + payload)
+	live := map[string]liveRec{} // key → newest record seen
 	for i, id := range ids {
 		path := segFile(dir, id)
 		size, err := statSegment(path, live, i == len(ids)-1)
@@ -100,9 +146,20 @@ func statScan(dir string) (DirStats, error) {
 		ds.TotalBytes += size
 	}
 	ds.LiveEntries = len(live)
-	for _, n := range live {
-		ds.LiveBytes += n
+	ds.SchemaCounts = map[int]int{}
+	for _, lr := range live {
+		ds.LiveBytes += lr.bytes
+		if lr.meta.v == 0 {
+			ds.V1Records++
+		} else {
+			ds.V2Records++
+		}
+		ds.SchemaCounts[lr.meta.schema]++
 	}
+	if len(ds.SchemaCounts) == 0 {
+		ds.SchemaCounts = nil
+	}
+	ds.recs = live
 	return ds, nil
 }
 
@@ -110,7 +167,7 @@ func statScan(dir string) (DirStats, error) {
 // For the last (possibly active) segment an unclean scan is retried:
 // the tail record may be a concurrent append caught mid-write, complete
 // on the next look.
-func statSegment(path string, live map[string]int64, isLast bool) (int64, error) {
+func statSegment(path string, live map[string]liveRec, isLast bool) (int64, error) {
 	attempts := 1
 	if isLast {
 		attempts += statTailRetries
@@ -126,8 +183,8 @@ func statSegment(path string, live map[string]int64, isLast bool) (int64, error)
 		}
 		// A retry re-visits keys already recorded; the map makes that
 		// idempotent (same key, same record size).
-		_, clean, werr := walkRecords(f, func(key string, _ int64, payloadLen int) {
-			live[key] = recordHeaderLen + int64(payloadLen)
+		_, clean, werr := walkRecords(f, func(key string, _ int64, payloadLen int, meta recMeta) {
+			live[key] = liveRec{bytes: recordHeaderLen + int64(payloadLen), meta: meta}
 		})
 		if werr == nil {
 			// Size is taken AFTER the walk: a record appended between a

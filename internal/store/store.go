@@ -13,6 +13,7 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/clock"
 	"repro/internal/eventlog"
 	"repro/internal/report"
 )
@@ -57,6 +59,14 @@ type Config struct {
 	// AutoCompactMinBytes is set). It keeps a huge-but-mostly-live store
 	// from rewriting gigabytes to reclaim a fixed few megabytes.
 	AutoCompactRatio float64
+	// GC is the retention policy every compaction pass (manual Compact
+	// or auto-compaction) applies. The zero policy discards nothing —
+	// compaction only rewrites dead bytes away, the pre-GC behavior.
+	GC GCPolicy
+	// Clock stamps record created/last-hit times and drives the GC
+	// policy's notion of now. Nil uses the system wall clock; tests pin
+	// retention behavior with a fake.
+	Clock clock.Wall
 }
 
 // Stats is a point-in-time counter snapshot of the current session.
@@ -64,6 +74,10 @@ type Stats struct {
 	// Hits/Misses count Get outcomes (a disk hit is still a hit);
 	// Puts counts accepted inserts (duplicate keys are not re-stored).
 	Hits, Misses, Puts uint64
+	// Syncs counts fsync calls on the segment log: one per single Put,
+	// one per whole PutBatch — the group-commit collapse the batch path
+	// exists for, observable.
+	Syncs uint64
 	// MemEntries/DiskEntries are current sizes of the two layers.
 	MemEntries, DiskEntries int
 }
@@ -97,17 +111,21 @@ const statsFlushEvery = 256
 // loudly instead of interleaving appends.
 type Store struct {
 	hits, misses, puts atomic.Uint64
+	syncs              atomic.Uint64
 	base               Counters // lifetime counters loaded from the sidecar
 
 	mu      sync.Mutex
 	front   *lruCache
 	dir     string
 	segMax  int64
+	wall    clock.Wall
+	gc      GCPolicy
 	index   map[string]diskRef // key → record location
 	readers map[int]*os.File   // segment id → read handle
 	active  *os.File           // append handle of the newest segment
 	actID   int
 	actSize int64
+	scratch []byte   // grown frame buffer reused across appends
 	lock    *os.File // flock holder: one process per Dir
 	// totalBytes/liveBytes track the segment-directory accounting the
 	// compaction decision needs: totalBytes is the summed segment size,
@@ -125,14 +143,53 @@ type Store struct {
 }
 
 type diskRef struct {
-	seg int
-	off int64 // offset of the payload (past the header)
-	n   int   // payload length
+	seg  int
+	off  int64 // offset of the payload (past the header)
+	n    int   // payload length
+	meta recMeta
 }
 
-// record is the persisted form: the key travels with the cell so the
-// index can be rebuilt from the log alone.
+// recMeta is a record's envelope metadata: all zero for a v1 record,
+// the stamped values for v2. Replay carries it from disk into the
+// index; Get refreshes hit in memory; compaction persists the refreshed
+// values back and the GC policy decides by them.
+type recMeta struct {
+	v       int   // envelope version: 0 (v1, untagged) or recordVersion
+	schema  int   // report schema the cell was produced under (0: untagged)
+	created int64 // unix seconds the record was first stored
+	hit     int64 // unix seconds of the last Get hit (created if never hit)
+}
+
+// record is the v1 persisted form: the key travels with the cell so
+// the index can be rebuilt from the log alone. Kept as the legacy shape
+// mixed-version tests plant; every new write is a v2 persistRecord.
 type record struct {
+	Key  string      `json:"key"`
+	Cell report.Cell `json:"cell"`
+}
+
+// recordVersion is the envelope version new records are written with.
+const recordVersion = 2
+
+// persistRecord is the on-disk payload shape across both envelope
+// versions: a v1 record is {"key","cell"}, a v2 record adds the
+// envelope version, the report schema tag, and created/last-hit unix
+// timestamps. One decode handles both — absent fields stay zero. Cell
+// is a json.RawMessage so reads, replay and compaction carry the cell
+// payload bytes verbatim: migrating a v1 record to v2 rewraps exactly
+// the bytes the v1 envelope held, which is what keeps CellKey/Digest
+// and canonical-report goldens stable across migrations.
+type persistRecord struct {
+	Key     string          `json:"key"`
+	V       int             `json:"v,omitempty"`
+	Schema  int             `json:"schema,omitempty"`
+	Created int64           `json:"created,omitempty"`
+	Hit     int64           `json:"hit,omitempty"`
+	Cell    json.RawMessage `json:"cell"`
+}
+
+// CellEntry is one key→cell pair of a batched put.
+type CellEntry struct {
 	Key  string      `json:"key"`
 	Cell report.Cell `json:"cell"`
 }
@@ -162,10 +219,15 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.AutoCompactMinBytes > 0 && cfg.AutoCompactRatio <= 0 {
 		cfg.AutoCompactRatio = 0.5
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
 	s := &Store{
 		front:     newLRU(cfg.MemEntries),
 		dir:       cfg.Dir,
 		segMax:    cfg.SegMaxBytes,
+		wall:      cfg.Clock,
+		gc:        cfg.GC,
 		autoMin:   cfg.AutoCompactMinBytes,
 		autoRatio: cfg.AutoCompactRatio,
 		index:     map[string]diskRef{},
@@ -272,14 +334,14 @@ func (s *Store) replaySegment(id int, isLast bool) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.readers[id] = f
-	off, clean, err := walkRecords(f, func(key string, payloadOff int64, n int) {
+	off, clean, err := walkRecords(f, func(key string, payloadOff int64, n int, meta recMeta) {
 		// A key replayed from an earlier segment is superseded by this
 		// record: its old bytes become reclaimable.
 		if old, dup := s.index[key]; dup {
 			s.liveBytes -= recordHeaderLen + int64(old.n)
 		}
 		s.liveBytes += recordHeaderLen + int64(n)
-		s.index[key] = diskRef{seg: id, off: payloadOff, n: n}
+		s.index[key] = diskRef{seg: id, off: payloadOff, n: n, meta: meta}
 	})
 	if err != nil {
 		return fmt.Errorf("store: reading segment %d: %w", id, err)
@@ -295,14 +357,15 @@ func (s *Store) replaySegment(id int, isLast bool) error {
 }
 
 // walkRecords scans one segment's records from the start of f, calling
-// visit for every intact record with its key and payload location. It
-// is the single definition of the on-disk framing, shared by Open's
-// replay and the read-only Stat scan. The returned offset is just past
-// the last intact record; clean is false when the scan stopped on
-// persistent corruption (torn or CRC-failed tail) instead of a record
-// boundary at EOF. A transient read error comes back as err — callers
-// must not truncate on it.
-func walkRecords(f *os.File, visit func(key string, payloadOff int64, payloadLen int)) (off int64, clean bool, err error) {
+// visit for every intact record with its key, payload location and
+// envelope metadata (zero recMeta for v1 records). It is the single
+// definition of the on-disk framing, shared by Open's replay and the
+// read-only Stat scan. The returned offset is just past the last intact
+// record; clean is false when the scan stopped on persistent corruption
+// (torn or CRC-failed tail) instead of a record boundary at EOF. A
+// transient read error comes back as err — callers must not truncate
+// on it.
+func walkRecords(f *os.File, visit func(key string, payloadOff int64, payloadLen int, meta recMeta)) (off int64, clean bool, err error) {
 	hdr := make([]byte, recordHeaderLen)
 	for {
 		if n, err := f.ReadAt(hdr, off); err != nil {
@@ -329,11 +392,13 @@ func walkRecords(f *os.File, visit func(key string, payloadOff int64, payloadLen
 		if crc32.ChecksumIEEE(payload) != want {
 			return off, false, nil // corrupt payload
 		}
-		var rec record
+		var rec persistRecord
 		if err := json.Unmarshal(payload, &rec); err != nil || rec.Key == "" {
 			return off, false, nil
 		}
-		visit(rec.Key, off+recordHeaderLen, int(n))
+		visit(rec.Key, off+recordHeaderLen, int(n), recMeta{
+			v: rec.V, schema: rec.Schema, created: rec.Created, hit: rec.Hit,
+		})
 		off += recordHeaderLen + int64(n)
 	}
 }
@@ -363,12 +428,15 @@ func (s *Store) openActive() error {
 
 // Get returns the stored cell for key. A miss in the LRU front falls
 // through to the segment index; disk hits are promoted back into
-// memory.
+// memory. Every hit refreshes the entry's last-hit time in the index —
+// in memory only; the refreshed value persists at the next compaction,
+// which is exactly when the MaxIdle GC policy consults it.
 func (s *Store) Get(key string) (report.Cell, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.noteOpLocked()
 	if cell, ok := s.front.get(key); ok {
+		s.touchLocked(key)
 		s.hits.Add(1)
 		s.events.Emit(eventlog.Event{Type: eventlog.TypeStoreHit, Key: key, Detail: "mem"})
 		return cell, true
@@ -377,6 +445,7 @@ func (s *Store) Get(key string) (report.Cell, bool) {
 		cell, err := s.readLocked(ref)
 		if err == nil {
 			s.front.add(key, cell)
+			s.touchLocked(key)
 			s.hits.Add(1)
 			s.events.Emit(eventlog.Event{Type: eventlog.TypeStoreHit, Key: key, Detail: "disk"})
 			return cell, true
@@ -385,6 +454,14 @@ func (s *Store) Get(key string) (report.Cell, bool) {
 	s.misses.Add(1)
 	s.events.Emit(eventlog.Event{Type: eventlog.TypeStoreMiss, Key: key})
 	return report.Cell{}, false
+}
+
+// touchLocked refreshes the indexed entry's last-hit time.
+func (s *Store) touchLocked(key string) {
+	if ref, ok := s.index[key]; ok {
+		ref.meta.hit = s.wall.Now().Unix()
+		s.index[key] = ref
+	}
 }
 
 func (s *Store) readLocked(ref diskRef) (report.Cell, error) {
@@ -396,11 +473,15 @@ func (s *Store) readLocked(ref diskRef) (report.Cell, error) {
 	if _, err := f.ReadAt(payload, ref.off); err != nil {
 		return report.Cell{}, fmt.Errorf("store: %w", err)
 	}
-	var rec record
+	var rec persistRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return report.Cell{}, fmt.Errorf("store: %w", err)
 	}
-	return rec.Cell, nil
+	var cell report.Cell
+	if err := json.Unmarshal(rec.Cell, &cell); err != nil {
+		return report.Cell{}, fmt.Errorf("store: %w", err)
+	}
+	return cell, nil
 }
 
 // Put stores the cell under key. Re-putting a known key is a no-op —
@@ -431,26 +512,114 @@ func (s *Store) Put(key string, cell report.Cell) error {
 }
 
 func (s *Store) appendLocked(key string, cell report.Cell) error {
-	if s.diskDead {
-		return fmt.Errorf("store: disk layer disabled after an append failure")
-	}
-	payload, err := json.Marshal(record{Key: key, Cell: cell})
+	now := s.wall.Now().Unix()
+	pend, err := encodePending(key, cell, now)
 	if err != nil {
-		return fmt.Errorf("store: encoding %s: %w", key, err)
+		return err
+	}
+	return s.appendRecordsLocked([]pendingRecord{pend})
+}
+
+// PutBatch stores every entry with one group-commit fsync for the whole
+// batch — the durability cost a batched `cells:batch` request amortizes
+// over its cells, versus one fsync per single Put. Per-entry semantics
+// match Put exactly: known keys are skipped, the memory layer is
+// updated even when the disk append fails, and a non-nil error means
+// some entries may not persist, never that a cell is wrong.
+func (s *Store) PutBatch(entries []CellEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	now := s.wall.Now().Unix()
+	var (
+		pend      []pendingRecord
+		encodeErr error
+	)
+	for _, e := range entries {
+		if s.front.contains(e.Key) {
+			continue
+		}
+		_, onDisk := s.index[e.Key]
+		s.puts.Add(1)
+		s.noteOpLocked()
+		s.events.Emit(eventlog.Event{Type: eventlog.TypeStorePut, Key: e.Key, Detail: "batch"})
+		s.front.add(e.Key, e.Cell)
+		if s.dir == "" || onDisk {
+			continue
+		}
+		p, err := encodePending(e.Key, e.Cell, now)
+		if err != nil {
+			encodeErr = errors.Join(encodeErr, err)
+			continue
+		}
+		pend = append(pend, p)
+	}
+	if len(pend) == 0 {
+		return encodeErr
+	}
+	return errors.Join(encodeErr, s.appendRecordsLocked(pend))
+}
+
+// pendingRecord is one encoded-but-unwritten record of an append batch.
+type pendingRecord struct {
+	key     string
+	payload []byte
+	meta    recMeta
+}
+
+// encodePending marshals one cell into a framed-ready v2 payload.
+func encodePending(key string, cell report.Cell, now int64) (pendingRecord, error) {
+	cellJSON, err := json.Marshal(cell)
+	if err != nil {
+		return pendingRecord{}, fmt.Errorf("store: encoding %s: %w", key, err)
+	}
+	meta := recMeta{v: recordVersion, schema: report.SchemaVersion, created: now, hit: now}
+	payload, err := json.Marshal(persistRecord{
+		Key: key, V: meta.v, Schema: meta.schema,
+		Created: meta.created, Hit: meta.hit, Cell: cellJSON,
+	})
+	if err != nil {
+		return pendingRecord{}, fmt.Errorf("store: encoding %s: %w", key, err)
 	}
 	if len(payload)+recordHeaderLen > MaxRecordBytes {
 		// Never write what replay would refuse to read back.
-		return fmt.Errorf("store: record for %s is %d bytes (max %d); kept memory-only", key, len(payload), MaxRecordBytes)
+		return pendingRecord{}, fmt.Errorf("store: record for %s is %d bytes (max %d); kept memory-only", key, len(payload), MaxRecordBytes)
+	}
+	return pendingRecord{key: key, payload: payload, meta: meta}, nil
+}
+
+// appendRecordsLocked frames recs into the reused scratch buffer and
+// commits them with one write plus one fsync — the group commit
+// PutBatch amortizes and a single Put degenerates to. Preallocating the
+// whole frame run and reusing the grown buffer keeps the hot path free
+// of per-append allocations.
+func (s *Store) appendRecordsLocked(recs []pendingRecord) error {
+	if s.diskDead {
+		return fmt.Errorf("store: disk layer disabled after an append failure")
 	}
 	if s.actSize >= s.segMax {
 		if err := s.rotateLocked(); err != nil {
 			return err
 		}
 	}
-	buf := make([]byte, recordHeaderLen+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	copy(buf[recordHeaderLen:], payload)
+	total := 0
+	for _, r := range recs {
+		total += recordHeaderLen + len(r.payload)
+	}
+	if cap(s.scratch) < total {
+		s.scratch = make([]byte, 0, total)
+	}
+	buf := s.scratch[:total]
+	at := 0
+	for _, r := range recs {
+		binary.LittleEndian.PutUint32(buf[at:at+4], uint32(len(r.payload)))
+		binary.LittleEndian.PutUint32(buf[at+4:at+8], crc32.ChecksumIEEE(r.payload))
+		copy(buf[at+recordHeaderLen:], r.payload)
+		at += recordHeaderLen + len(r.payload)
+	}
+	start := s.actSize
 	n, werr := s.active.Write(buf)
 	// Track the real end of file even on a short write (O_APPEND, single
 	// writer), so later records are indexed at their true offsets.
@@ -465,11 +634,27 @@ func (s *Store) appendLocked(key string, cell report.Cell) error {
 		if rerr := s.rotateLocked(); rerr != nil {
 			s.diskDead = true
 		}
-		return fmt.Errorf("store: appending %s: %w", key, werr)
+		return fmt.Errorf("store: appending %s: %w", recs[0].key, werr)
 	}
-	s.index[key] = diskRef{seg: s.actID, off: s.actSize - int64(len(payload)), n: len(payload)}
-	s.liveBytes += int64(len(buf))
+	// The group commit: whatever this call wrote — one record or a whole
+	// batch — becomes durable under a single fsync.
+	serr := s.active.Sync()
+	if serr == nil {
+		s.syncs.Add(1)
+	}
+	off := start
+	for _, r := range recs {
+		s.index[r.key] = diskRef{seg: s.actID, off: off + recordHeaderLen, n: len(r.payload), meta: r.meta}
+		s.liveBytes += recordHeaderLen + int64(len(r.payload))
+		off += recordHeaderLen + int64(len(r.payload))
+	}
 	s.maybeAutoCompactLocked()
+	if serr != nil {
+		// The records are indexed (the bytes are in the page cache and
+		// readable) but durability is not guaranteed — surface that like
+		// any other degraded write.
+		return fmt.Errorf("store: fsync after appending %s: %w", recs[0].key, serr)
+	}
 	return nil
 }
 
@@ -520,6 +705,7 @@ func (s *Store) Stats() Stats {
 		Hits:        s.hits.Load(),
 		Misses:      s.misses.Load(),
 		Puts:        s.puts.Load(),
+		Syncs:       s.syncs.Load(),
 		MemEntries:  s.front.len(),
 		DiskEntries: len(s.index),
 	}

@@ -234,7 +234,7 @@ func TestTornTailAtSegmentRotationBoundary(t *testing.T) {
 		n   int
 	}
 	var recs []rec
-	if _, _, err := walkRecords(f, func(k string, off int64, n int) {
+	if _, _, err := walkRecords(f, func(k string, off int64, n int, _ recMeta) {
 		recs = append(recs, rec{k, off, n})
 	}); err != nil {
 		t.Fatal(err)

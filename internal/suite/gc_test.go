@@ -1,0 +1,76 @@
+// The acceptance loop for GC compaction: a store that expires stale
+// entries under a retention policy must keep every entry a live suite
+// still reads — so a warm replay after GC executes zero cells.
+package suite
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/report"
+	"repro/internal/store"
+)
+
+func TestGCCompactionKeepsWarmReplayAtZeroExecutions(t *testing.T) {
+	start := time.Unix(1_700_000_000, 0)
+	fw := clock.NewFakeWall(start)
+	st, err := store.Open(store.Config{Dir: t.TempDir(), Clock: fw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// A stale entry from some long-gone sweep, planted 2h before the
+	// suite runs — the one the policy should reclaim.
+	if err := st.Put("stale-other-sweep", report.Cell{ID: "old", Tool: "adaptive"}); err != nil {
+		t.Fatal(err)
+	}
+	fw.Advance(2 * time.Hour)
+
+	spec := smokeSpec()
+	cold, err := RunContext(context.Background(), spec, nil, Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.StoreMisses != uint64(len(cold.Cells)) {
+		t.Fatalf("cold run: %d misses for %d cells", cold.StoreMisses, len(cold.Cells))
+	}
+	var coldBytes bytes.Buffer
+	if err := report.Write(&coldBytes, report.Canonical(cold)); err != nil {
+		t.Fatal(err)
+	}
+
+	// GC: one hour of idle tolerance. The suite's cells were written (and
+	// hit) just now; only the planted stale entry is past the window.
+	res, err := st.CompactPolicy(store.GCPolicy{MaxIdle: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpiredEntries != 1 {
+		t.Fatalf("GC expired %d entries, want exactly the stale plant", res.ExpiredEntries)
+	}
+	if _, ok := st.Get("stale-other-sweep"); ok {
+		t.Fatal("stale entry survived the idle policy")
+	}
+
+	// Warm replay after GC: every live cell still cached, zero executed,
+	// canonical report byte-identical.
+	warm, err := RunContext(context.Background(), spec, nil, Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.StoreMisses != 0 || warm.StoreHits != uint64(len(warm.Cells)) {
+		t.Fatalf("warm replay after GC: hits=%d misses=%d of %d cells",
+			warm.StoreHits, warm.StoreMisses, len(warm.Cells))
+	}
+	var warmBytes bytes.Buffer
+	if err := report.Write(&warmBytes, report.Canonical(warm)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldBytes.Bytes(), warmBytes.Bytes()) {
+		t.Fatal("canonical report changed across GC compaction + warm replay")
+	}
+}

@@ -385,8 +385,33 @@ type CellStore = store.CellStore
 // CellStore; type-assert a CellStore to it to trigger compaction.
 type StoreCompactor = store.Compactor
 
+// StorePolicyCompactor is the retention face of a compacting store:
+// one compaction pass under an explicit StoreGCPolicy, overriding the
+// configured one.
+type StorePolicyCompactor = store.PolicyCompactor
+
+// StoreBatchPutter is the optional batched-write face of a CellStore:
+// the local store commits a whole batch under one fsync, the remote
+// client coalesces it into one round trip.
+type StoreBatchPutter = store.BatchPutter
+
+// StoreFlusher is the optional write-back face of a CellStore that
+// queues writes (the remote client's write-through batcher); flush at
+// job end so no computed cell outlives its job unpersisted.
+type StoreFlusher = store.Flusher
+
+// StoreCellEntry is one (key, cell) pair of a batched put.
+type StoreCellEntry = store.CellEntry
+
+// StoreGCPolicy is the result-store retention policy compaction
+// applies: entries past MaxAge since creation or MaxIdle since last
+// hit expire, as do records tagged with a schema below SchemaBelow.
+// The zero policy keeps everything (pure compaction).
+type StoreGCPolicy = store.GCPolicy
+
 // StoreCompactResult describes one compaction pass: segments and bytes
-// before/after, bytes reclaimed, live entries rewritten.
+// before/after, bytes reclaimed, live entries rewritten, plus what the
+// GC policy expired and how many v1 records migrated to v2.
 type StoreCompactResult = store.CompactResult
 
 // ResultStore is the local content-addressed cell store: results keyed
@@ -415,6 +440,19 @@ type RemoteStoreConfig = store.RemoteConfig
 
 // OpenRemoteStore builds a client for a ptestd's shared cell cache.
 func OpenRemoteStore(cfg RemoteStoreConfig) (*RemoteStore, error) { return store.OpenRemote(cfg) }
+
+// ShardedStore spreads the fleet cache over several hub ptestds by
+// rendezvous hashing: every client independently agrees which hub owns
+// which cell key, each shard keeps its own breaker and write-through
+// batcher, and a dead hub degrades only its slice of the key space.
+type ShardedStore = store.Sharded
+
+// ShardedStoreConfig lists the hub base URLs (one shard each) plus the
+// per-shard wire knobs and the optional hedged-read delay.
+type ShardedStoreConfig = store.ShardedConfig
+
+// OpenShardedStore builds a sharded client over several hub ptestds.
+func OpenShardedStore(cfg ShardedStoreConfig) (*ShardedStore, error) { return store.OpenSharded(cfg) }
 
 // JobServer is ptestd: suite specs over HTTP onto a bounded priority
 // queue, a worker pool over the campaign engine, per-job SSE progress,
