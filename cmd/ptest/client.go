@@ -226,8 +226,14 @@ func clientWorkers(args []string) error {
 		if !wk.Live {
 			state = "expired"
 		}
-		fmt.Printf("%s  %-8s  %-20s  in-flight=%d  completed=%d  last-seen=%dms ago\n",
-			wk.ID, state, wk.Name, wk.InFlight, wk.Completed, wk.LastSeenAgoMS)
+		// batch is the worker's live lease:batch depth; a v1 single-lease
+		// worker never batches, so it renders as "-".
+		batch := "-"
+		if wk.LastBatch > 0 {
+			batch = fmt.Sprintf("%d", wk.LastBatch)
+		}
+		fmt.Printf("%s  %-8s  %-20s  in-flight=%d  batch=%s  completed=%d  last-seen=%dms ago\n",
+			wk.ID, state, wk.Name, wk.InFlight, batch, wk.Completed, wk.LastSeenAgoMS)
 	}
 	return nil
 }

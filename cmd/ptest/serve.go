@@ -90,6 +90,8 @@ func cmdServe(args []string) error {
 		storeMaxIdle = fs.Duration("store-max-idle", 0, "GC: expire store entries not hit for this long on autocompaction (needs -store-autocompact)")
 		hubURL       = fs.String("hub-url", "", "join a hub ptestd's fleet as a cell worker instead of serving (no listener)")
 		hubName      = fs.String("name", "", "worker name shown by `ptest client workers` (default: hostname; -hub-url only)")
+		leaseBatch   = fs.Int("lease-batch", 0, "cells leased per hub round trip (0 = auto from -workers; negative = v1 single-lease wire; -hub-url only)")
+		leaseLinger  = fs.Duration("complete-linger", 0, "longest a finished cell waits to share a completion round trip (0 = 100ms default; -hub-url only)")
 
 		eventsCap = fs.Int("events", 0, "fleet event-log ring capacity; enables /api/v1/events and event emission (0 = off)")
 		eventsLog = fs.String("events-log", "", "append every event as JSONL to this file (needs -events)")
@@ -123,10 +125,16 @@ func cmdServe(args []string) error {
 		if conflict != "" {
 			return usagef("serve: -%s does not apply in -hub-url worker mode", conflict)
 		}
-		return serveWorker(*hubURL, *hubName, *workers, *apiKey)
+		return serveWorker(*hubURL, *hubName, *workers, *apiKey, *leaseBatch, *leaseLinger)
 	}
 	if *hubName != "" {
 		return usagef("serve: -name only applies with -hub-url")
+	}
+	if *leaseBatch != 0 {
+		return usagef("serve: -lease-batch only applies with -hub-url")
+	}
+	if *leaseLinger != 0 {
+		return usagef("serve: -complete-linger only applies with -hub-url")
 	}
 	if *queueCap <= 0 {
 		return usagef("serve: -queue must be positive")
@@ -242,12 +250,14 @@ func cmdServe(args []string) error {
 // Graceful shutdown (SIGTERM/SIGINT) finishes the cells it holds and
 // deregisters; the hub recovers anything less graceful via lease
 // expiry.
-func serveWorker(hubURL, name string, parallel int, apiKey string) error {
+func serveWorker(hubURL, name string, parallel int, apiKey string, leaseBatch int, linger time.Duration) error {
 	w, err := dispatch.NewWorker(dispatch.WorkerConfig{
-		HubURL:      hubURL,
-		Name:        name,
-		Parallelism: parallel,
-		APIKey:      apiKey,
+		HubURL:         hubURL,
+		Name:           name,
+		Parallelism:    parallel,
+		APIKey:         apiKey,
+		LeaseBatch:     leaseBatch,
+		CompleteLinger: linger,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -142,6 +142,9 @@ type workerState struct {
 	lastSeen     time.Time
 	inFlight     map[string]*lease
 	completed    uint64
+	// lastBatch is the grant count of the worker's most recent
+	// lease:batch call — zero for v1 single-lease workers.
+	lastBatch int
 }
 
 // Dispatcher is the hub-side scheduler. Construct with New; Close stops
@@ -397,14 +400,31 @@ func (d *Dispatcher) Acquire(workerID string) (Grant, bool, error) {
 	w.lastSeen = now // a poll proves liveness as well as a heartbeat
 
 	d.compactOrderLocked()
+	if g, ok := d.grantPendingLocked(w, now); ok {
+		return g, true, nil
+	}
+	if g, ok := d.stealLocked(w, now); ok {
+		return g, true, nil
+	}
+	return Grant{}, false, nil
+}
+
+// grantPendingLocked leases the oldest pending cell past its backoff
+// gate to w. Callers hold d.mu.
+func (d *Dispatcher) grantPendingLocked(w *workerState, now time.Time) (Grant, bool) {
 	for _, u := range d.order {
 		if u.state != unitPending || now.Before(u.notBefore) {
 			continue
 		}
-		return d.grantLocked(u, w, now, false), true, nil
+		return d.grantLocked(u, w, now, false), true
 	}
-	// Work stealing: duplicate the oldest single-lease straggler this
-	// worker isn't already running.
+	return Grant{}, false
+}
+
+// stealLocked duplicates the oldest single-lease straggler w isn't
+// already running — work stealing for an otherwise-idle worker. Callers
+// hold d.mu.
+func (d *Dispatcher) stealLocked(w *workerState, now time.Time) (Grant, bool) {
 	var victim *unit
 	var oldest time.Time
 	for _, u := range d.order {
@@ -414,18 +434,80 @@ func (d *Dispatcher) Acquire(workerID string) (Grant, bool, error) {
 		var l *lease
 		for _, l = range u.leases {
 		}
-		if l.workerID == workerID || now.Sub(l.granted) < d.cfg.StealAge {
+		if l.workerID == w.id || now.Sub(l.granted) < d.cfg.StealAge {
 			continue
 		}
 		if victim == nil || l.granted.Before(oldest) {
 			victim, oldest = u, l.granted
 		}
 	}
-	if victim != nil {
-		d.met.LeasesStolen++
-		return d.grantLocked(victim, w, now, true), true, nil
+	if victim == nil {
+		return Grant{}, false
 	}
-	return Grant{}, false, nil
+	d.met.LeasesStolen++
+	return d.grantLocked(victim, w, now, true), true
+}
+
+// LeaseBatch is the v2 steady-state entry point: settle the request's
+// piggybacked completions, then grant up to max pending cells in plan
+// order — one lock acquisition serving what the v1 wire needed
+// 2·len(comps)+max round trips for. Grants omit the spec (the worker's
+// plan cache keys on the digest). When nothing is pending and max > 0
+// the batch degrades to at most one stolen straggler copy, exactly like
+// a v1 poll. Completions are settled before the worker check so a
+// finished cell always lands (the v1 invariant); an unknown-worker
+// error after that tells the worker to re-register — the acks are lost
+// with the error, and resending is harmless (duplicates).
+func (d *Dispatcher) LeaseBatch(workerID string, max int, comps []CompleteRequest) (LeaseBatchResponse, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.cfg.Clock.Now()
+	d.reapLocked(now)
+
+	var resp LeaseBatchResponse
+	if len(comps) > 0 {
+		resp.Acks = make([]CompleteStatus, len(comps))
+		for i, c := range comps {
+			resp.Acks[i] = d.completeLocked(workerID, c)
+		}
+		d.met.PiggybackedCompletions += uint64(len(comps))
+	}
+	w, ok := d.workers[workerID]
+	if !ok {
+		return LeaseBatchResponse{}, fmt.Errorf("dispatch: unknown worker %q", workerID)
+	}
+	w.lastSeen = now
+
+	d.compactOrderLocked()
+	for len(resp.Grants) < max {
+		g, ok := d.grantPendingLocked(w, now)
+		if !ok {
+			break
+		}
+		g.Spec = nil // v2 grants carry the digest only
+		resp.Grants = append(resp.Grants, g)
+	}
+	if len(resp.Grants) == 0 && max > 0 {
+		if g, ok := d.stealLocked(w, now); ok {
+			g.Spec = nil
+			resp.Grants = append(resp.Grants, g)
+		}
+	}
+	// Record the depth only when cells were actually granted: an idle
+	// v2 worker's empty polls must not make it look like a v1 worker
+	// (lastBatch == 0) in the roster and the per-worker gauge.
+	if len(resp.Grants) > 0 {
+		w.lastBatch = len(resp.Grants)
+	}
+	if len(resp.Grants) > 0 || len(comps) > 0 {
+		d.met.LeaseBatchCalls++
+		d.met.LeaseBatchCells += uint64(len(resp.Grants))
+		d.cfg.Events.Emit(eventlog.Event{
+			Type: eventlog.TypeLeaseBatch, Worker: workerID,
+			Detail: fmt.Sprintf("granted %d, settled %d", len(resp.Grants), len(comps)),
+		})
+	}
+	return resp, nil
 }
 
 // grantLocked creates one lease on u for w. Callers hold d.mu.
@@ -493,10 +575,15 @@ func (d *Dispatcher) compactOrderLocked() {
 func (d *Dispatcher) Complete(workerID string, req CompleteRequest) CompleteStatus {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	now := d.cfg.Clock.Now()
 	if w := d.workers[workerID]; w != nil {
-		w.lastSeen = now
+		w.lastSeen = d.cfg.Clock.Now()
 	}
+	return d.completeLocked(workerID, req)
+}
+
+// completeLocked settles one completion — shared by the v1 /complete
+// endpoint and the v2 piggybacked batch. Callers hold d.mu.
+func (d *Dispatcher) completeLocked(workerID string, req CompleteRequest) CompleteStatus {
 	u, ok := d.units[req.JobID+"/"+req.CellID]
 	if !ok {
 		d.met.OrphanCompletions++
@@ -552,6 +639,7 @@ func (d *Dispatcher) Workers() []WorkerInfo {
 			LastSeenAgoMS: now.Sub(w.lastSeen).Milliseconds(),
 			InFlight:      len(w.inFlight),
 			Completed:     w.completed,
+			LastBatch:     w.lastBatch,
 		})
 	}
 	// Stable order for rendering: by assigned ID (registration order).

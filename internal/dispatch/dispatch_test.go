@@ -290,3 +290,188 @@ func TestBackoffIsCappedAndJittered(t *testing.T) {
 		}
 	}
 }
+
+func TestLeaseBatchGrantsPlanOrderAndPiggybacksCompletions(t *testing.T) {
+	d, _ := newTestDispatcher(t, Config{})
+	w1 := d.Register("batcher").WorkerID
+	var units []*unit
+	for _, id := range []string{"cell-1", "cell-2", "cell-3", "cell-4", "cell-5"} {
+		units = append(units, d.enqueue("j1", "t1", "dg", []byte(`{}`), id))
+	}
+
+	// First trip: grants come back in plan order, digest-only.
+	resp, err := d.LeaseBatch(w1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Grants) != 3 || len(resp.Acks) != 0 {
+		t.Fatalf("batch = %d grants / %d acks, want 3 / 0", len(resp.Grants), len(resp.Acks))
+	}
+	for i, g := range resp.Grants {
+		if want := units[i].cellID; g.CellID != want {
+			t.Fatalf("grant[%d] = %s, want plan order %s", i, g.CellID, want)
+		}
+		if g.Spec != nil {
+			t.Fatalf("grant[%d] carries the spec; v2 grants are digest-only", i)
+		}
+		if g.SpecDigest != "dg" {
+			t.Fatalf("grant[%d] digest = %q", i, g.SpecDigest)
+		}
+	}
+
+	// Second trip piggybacks two completions (one of them twice: the
+	// rerun is a deterministic duplicate) and refills from the plan.
+	comps := []CompleteRequest{
+		{LeaseID: resp.Grants[0].LeaseID, JobID: "j1", CellID: "cell-1", Cell: report.Cell{ID: "cell-1"}},
+		{LeaseID: resp.Grants[1].LeaseID, JobID: "j1", CellID: "cell-2", Cell: report.Cell{ID: "cell-2"}},
+		{LeaseID: resp.Grants[1].LeaseID, JobID: "j1", CellID: "cell-2", Cell: report.Cell{ID: "cell-2"}},
+		{LeaseID: "l999999", JobID: "jX", CellID: "cell-9"},
+	}
+	resp2, err := d.LeaseBatch(w1, 2, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAcks := []CompleteStatus{CompleteAccepted, CompleteAccepted, CompleteDuplicate, CompleteOrphan}
+	if len(resp2.Acks) != len(wantAcks) {
+		t.Fatalf("acks = %v, want %v", resp2.Acks, wantAcks)
+	}
+	for i, st := range resp2.Acks {
+		if st != wantAcks[i] {
+			t.Fatalf("ack[%d] = %s, want %s", i, st, wantAcks[i])
+		}
+	}
+	if !resolved(units[0]) || !resolved(units[1]) {
+		t.Fatal("piggybacked completions did not resolve their units")
+	}
+	if len(resp2.Grants) != 2 || resp2.Grants[0].CellID != "cell-4" || resp2.Grants[1].CellID != "cell-5" {
+		t.Fatalf("refill grants = %+v, want cell-4, cell-5", resp2.Grants)
+	}
+
+	m := d.Metrics()
+	if m.LeaseBatchCalls != 2 || m.LeaseBatchCells != 5 || m.PiggybackedCompletions != 4 {
+		t.Fatalf("metrics = calls %d cells %d piggybacked %d, want 2 / 5 / 4",
+			m.LeaseBatchCalls, m.LeaseBatchCells, m.PiggybackedCompletions)
+	}
+	ws := d.Workers()
+	if len(ws) != 1 || ws[0].LastBatch != 2 {
+		t.Fatalf("WorkerInfo.LastBatch = %+v, want 2 (most recent batch granted 2)", ws)
+	}
+
+	// A pure completion flush (max 0) grants nothing and does not
+	// clobber the batch-depth gauge.
+	resp3, err := d.LeaseBatch(w1, 0, []CompleteRequest{
+		{LeaseID: resp.Grants[2].LeaseID, JobID: "j1", CellID: "cell-3", Cell: report.Cell{ID: "cell-3"}},
+	})
+	if err != nil || len(resp3.Grants) != 0 || len(resp3.Acks) != 1 || resp3.Acks[0] != CompleteAccepted {
+		t.Fatalf("flush = %+v (%v), want 1 accepted ack and no grants", resp3, err)
+	}
+	if ws := d.Workers(); ws[0].LastBatch != 2 {
+		t.Fatalf("LastBatch after max=0 flush = %d, want still 2", ws[0].LastBatch)
+	}
+
+	// An idle poll (max > 0 but nothing pending) grants zero cells and
+	// must not clobber it either: a v2 worker between jobs still shows
+	// its batch depth, not a v1 worker's zero.
+	if resp, err := d.LeaseBatch(w1, 16, nil); err != nil || len(resp.Grants) != 0 {
+		t.Fatalf("idle poll = %+v (%v), want no grants", resp, err)
+	}
+	if ws := d.Workers(); ws[0].LastBatch != 2 {
+		t.Fatalf("LastBatch after idle poll = %d, want still 2", ws[0].LastBatch)
+	}
+}
+
+func TestLeaseBatchExpiryInsidePartiallyCompletedBatch(t *testing.T) {
+	d, fw := newTestDispatcher(t, Config{})
+	w1 := d.Register("crasher").WorkerID
+	w2 := d.Register("healthy").WorkerID
+	u1 := d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-1")
+	u2 := d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-2")
+	u3 := d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-3")
+
+	resp, err := d.LeaseBatch(w1, 3, nil)
+	if err != nil || len(resp.Grants) != 3 {
+		t.Fatalf("batch = %+v (%v), want 3 grants", resp, err)
+	}
+	// One cell of the batch completes; then the worker goes silent and
+	// every deadline passes. Only the two unfinished leases expire.
+	if _, err := d.LeaseBatch(w1, 0, []CompleteRequest{
+		{LeaseID: resp.Grants[0].LeaseID, JobID: "j1", CellID: "cell-1", Cell: report.Cell{ID: "cell-1"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fw.Advance(11 * time.Second)
+	d.Reap()
+	m := d.Metrics()
+	if m.LeasesExpired != 2 || m.LeaseRetries != 2 {
+		t.Fatalf("after expiry: %d expired / %d retried, want 2 / 2 (the completed cell's lease must not expire)", m.LeasesExpired, m.LeaseRetries)
+	}
+	if !resolved(u1) || resolved(u2) || resolved(u3) {
+		t.Fatalf("resolution = %v/%v/%v, want only cell-1 resolved", resolved(u1), resolved(u2), resolved(u3))
+	}
+
+	// The survivors requeue per-cell and another worker batch-leases
+	// them after backoff (w1 was reaped with the silence).
+	fw.Advance(2 * time.Second)
+	resp2, err := d.LeaseBatch(w2, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Grants) != 2 || resp2.Grants[0].CellID != "cell-2" || resp2.Grants[1].CellID != "cell-3" {
+		t.Fatalf("retry batch = %+v, want cell-2, cell-3", resp2.Grants)
+	}
+}
+
+func TestLeaseBatchStealsOneStragglerWhenNothingPending(t *testing.T) {
+	d, fw := newTestDispatcher(t, Config{})
+	w1 := d.Register("slow").WorkerID
+	w2 := d.Register("idle").WorkerID
+	d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-1")
+
+	if resp, err := d.LeaseBatch(w1, 4, nil); err != nil || len(resp.Grants) != 1 {
+		t.Fatalf("batch = %+v (%v), want the one pending cell", resp, err)
+	}
+	// Nothing pending and the straggler is too young: an empty batch.
+	resp, err := d.LeaseBatch(w2, 4, nil)
+	if err != nil || len(resp.Grants) != 0 {
+		t.Fatalf("batch before StealAge = %+v (%v), want empty", resp, err)
+	}
+	// Past StealAge the idle worker's batch degrades to one stolen copy.
+	fw.Advance(6 * time.Second)
+	d.Heartbeat(w1)
+	resp, err = d.LeaseBatch(w2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Grants) != 1 || !resp.Grants[0].Stolen || resp.Grants[0].CellID != "cell-1" {
+		t.Fatalf("batch past StealAge = %+v, want exactly one stolen copy of cell-1", resp.Grants)
+	}
+	if m := d.Metrics(); m.LeasesStolen != 1 {
+		t.Fatalf("LeasesStolen = %d, want 1", m.LeasesStolen)
+	}
+}
+
+func TestLeaseBatchUnknownWorkerSettlesCompletionsButErrors(t *testing.T) {
+	d, _ := newTestDispatcher(t, Config{})
+	w1 := d.Register("known").WorkerID
+	u := d.enqueue("j1", "t1", "dg", []byte(`{}`), "cell-1")
+	resp, err := d.LeaseBatch(w1, 1, nil)
+	if err != nil || len(resp.Grants) != 1 {
+		t.Fatalf("batch = %+v (%v)", resp, err)
+	}
+
+	// A forgotten worker's piggybacked completion still lands — finished
+	// work is never discarded — but the call errors so the worker
+	// re-registers. Its resend will be a harmless duplicate.
+	_, err = d.LeaseBatch("w999999", 4, []CompleteRequest{
+		{LeaseID: resp.Grants[0].LeaseID, JobID: "j1", CellID: "cell-1", Cell: report.Cell{ID: "cell-1"}},
+	})
+	if err == nil {
+		t.Fatal("LeaseBatch(unknown worker) succeeded, want error")
+	}
+	if !resolved(u) {
+		t.Fatal("completion from unknown worker was discarded")
+	}
+	if m := d.Metrics(); m.RemoteCompletions != 1 || m.PiggybackedCompletions != 1 {
+		t.Fatalf("metrics = %+v, want the completion settled", m)
+	}
+}

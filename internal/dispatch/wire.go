@@ -39,10 +39,14 @@ type Grant struct {
 	LeaseID string `json:"lease_id"`
 	JobID   string `json:"job_id"`
 	CellID  string `json:"cell_id"`
-	// SpecDigest keys the worker's parsed-spec cache; Spec is the full
-	// defaulted suite spec (small — the 8 MiB submission cap bounds it).
+	// SpecDigest keys the worker's compiled-plan cache. On the v1
+	// single-lease wire Spec carries the full defaulted suite spec
+	// (small — the 8 MiB submission cap bounds it) with every grant; v2
+	// batched grants omit it, and a worker whose plan cache misses the
+	// digest fetches the spec once per job via GET /api/v1/jobs/{id}/spec
+	// instead of re-receiving and re-parsing it per cell.
 	SpecDigest string          `json:"spec_digest"`
-	Spec       json.RawMessage `json:"spec"`
+	Spec       json.RawMessage `json:"spec,omitempty"`
 	// TTLMS is the lease's remaining validity at grant time.
 	TTLMS int64 `json:"ttl_ms"`
 	// Stolen marks a work-stealing duplicate of a straggler's lease —
@@ -81,6 +85,41 @@ type CompleteResponse struct {
 	Status CompleteStatus `json:"status"`
 }
 
+// LeaseBatchRequest is the v2 steady-state round trip: one request
+// both returns finished work and asks for more, so a fleet worker pays
+// one round trip per batch of cells instead of two per cell.
+//
+//	POST /api/v1/workers/{id}/lease:batch
+//
+// An old hub answers 404 (no such route, no JSON envelope); the worker
+// then falls back to the v1 single-lease wire for good — mirroring the
+// store's cells:batch fallback — so every worker/hub version pairing
+// keeps working.
+type LeaseBatchRequest struct {
+	// Max is how many new grants the worker wants (its free pipeline
+	// capacity). 0 is a pure completion flush: piggybacked results, no
+	// new work.
+	Max int `json:"max"`
+	// Completions are finished cells riding along with the poll. Each is
+	// settled independently with exactly the v1 /complete semantics
+	// (accepted / duplicate / orphan) — a batch is never all-or-nothing.
+	Completions []CompleteRequest `json:"completions,omitempty"`
+}
+
+// LeaseBatchResponse answers a lease:batch call.
+type LeaseBatchResponse struct {
+	// Grants are the newly leased cells, at most Max, in plan order —
+	// the dispatcher hands out contiguous runs of the pending plan when
+	// it can, so hub-side reassembly stays a cheap ordered merge. Each
+	// grant carries its own lease with its own deadline; expiry, steal
+	// and duplicate resolution stay per-cell.
+	Grants []Grant `json:"grants,omitempty"`
+	// Acks dispose of the request's Completions, index-aligned. Every
+	// status is final (duplicates and orphans are harmless), so a worker
+	// never needs to resend an acked completion.
+	Acks []CompleteStatus `json:"acks,omitempty"`
+}
+
 // WorkerInfo is the fleet-membership view `ptest client workers`
 // renders.
 type WorkerInfo struct {
@@ -95,6 +134,10 @@ type WorkerInfo struct {
 	// worker resolved over its registration's lifetime.
 	InFlight  int    `json:"in_flight"`
 	Completed uint64 `json:"completed"`
+	// LastBatch is how many cells the worker's most recent lease:batch
+	// call was granted — the live batch depth. Zero for a v1
+	// single-lease worker, which never calls the batched endpoint.
+	LastBatch int `json:"last_batch,omitempty"`
 }
 
 // Metrics is a snapshot of the dispatcher's counters — served under
@@ -110,6 +153,15 @@ type Metrics struct {
 	RemoteCompletions    uint64 `json:"remote_completions"`
 	DuplicateCompletions uint64 `json:"duplicate_completions"`
 	OrphanCompletions    uint64 `json:"orphan_completions"`
+	// LeaseBatchCalls counts lease:batch round trips that granted cells
+	// or settled completions (idle empty polls are not counted);
+	// LeaseBatchCells counts the cells those calls granted —
+	// cells/calls is the live batching factor the v2 wire achieves.
+	// PiggybackedCompletions counts completions that rode inside a
+	// lease:batch request instead of paying their own round trip.
+	LeaseBatchCalls        uint64 `json:"lease_batch_calls"`
+	LeaseBatchCells        uint64 `json:"lease_batch_cells"`
+	PiggybackedCompletions uint64 `json:"piggybacked_completions"`
 	// LocalCells counts cells the hub executed itself: zero live
 	// workers, a marshalling failure, or an exhausted attempt budget —
 	// the graceful-degradation paths.

@@ -1,11 +1,21 @@
 // Worker is the fleet side of the dispatch protocol: register with the
-// hub, heartbeat, poll for leased cells, execute them through the
-// deterministic suite runner, and report completions. Every failure
-// mode degrades instead of corrupting: a lost hub means the worker
-// finishes in-flight cells, retries their completions with backoff,
-// and re-registers when the hub answers again; an expired registration
+// hub, heartbeat, lease cells, execute them through the deterministic
+// suite runner, and report completions. Every failure mode degrades
+// instead of corrupting: a lost hub means the worker finishes
+// in-flight cells, retries their completions with backoff, and
+// re-registers when the hub answers again; an expired registration
 // (hub restart) is just a fresh Register; a completion the hub no
 // longer wants is acknowledged as an orphan and forgotten.
+//
+// Two wires, one protocol. The v1 wire is one lease POST per cell plus
+// one completion POST per cell. The v2 wire (the default) is a single
+// pump loop over POST lease:batch: each round trip delivers the
+// finished completions and refills the in-flight pipeline with up to
+// LeaseBatch digest-only grants; compiled plans are cached by spec
+// digest and filled via one GET /api/v1/jobs/{id}/spec per job. A hub
+// without lease:batch answers a plain-text 404 and the worker drops to
+// the v1 wire permanently — the same fallback shape as the store's
+// cells:batch — so any worker version works against any hub version.
 package dispatch
 
 import (
@@ -15,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
@@ -25,7 +36,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/dispatch/faultinject"
-	"repro/internal/report"
+	"repro/internal/lru"
 	"repro/internal/suite"
 )
 
@@ -50,6 +61,18 @@ type WorkerConfig struct {
 	// APIKey authenticates against a hub running with -auth-keys; sent
 	// as `Authorization: Bearer <key>`. Empty means anonymous.
 	APIKey string
+	// LeaseBatch sizes the v2 batched wire: the most cells one
+	// lease:batch round trip may grant, which is also the in-flight
+	// pipeline depth. 0 (the default) sizes it from execution capacity
+	// (2×Parallelism, so the pipeline stays full while a refill is in
+	// flight); < 0 forces the v1 single-lease wire.
+	LeaseBatch int
+	// CompleteLinger bounds how long a finished cell may wait for
+	// batch-mates before its completion is flushed (default 100ms;
+	// < 0 flushes every completion at the next pump turn).
+	CompleteLinger time.Duration
+	// PlanCacheSize caps the compiled-plan LRU, in specs (default 8).
+	PlanCacheSize int
 	// Clock abstracts sleeps and backoff for tests (default: system).
 	Clock clock.Wall
 	// Hooks inject faults for chaos tests; nil in production.
@@ -67,7 +90,8 @@ type Worker struct {
 
 	mu    sync.Mutex
 	reg   Registration
-	specs map[string]*specPlan // spec digest → parsed plan
+	plans *lru.Cache[*specPlan] // spec digest → compiled plan
+	fetch map[string]*specFetch // digest → in-flight spec fetch (single-flight)
 
 	killed atomic.Bool
 	killc  chan struct{}
@@ -82,6 +106,15 @@ type Worker struct {
 type specPlan struct {
 	spec  *suite.Spec
 	cells map[string]suite.Cell
+}
+
+// specFetch is one in-flight GET /api/v1/jobs/{id}/spec: concurrent
+// slots missing the same digest wait on done instead of each paying
+// the fetch.
+type specFetch struct {
+	done chan struct{}
+	p    *specPlan
+	err  error
 }
 
 // NewWorker validates the config and builds a worker. It does not
@@ -114,11 +147,21 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.LeaseBatch == 0 {
+		cfg.LeaseBatch = 2 * cfg.Parallelism
+	}
+	if cfg.CompleteLinger == 0 {
+		cfg.CompleteLinger = 100 * time.Millisecond
+	}
+	if cfg.PlanCacheSize <= 0 {
+		cfg.PlanCacheSize = 8
+	}
 	return &Worker{
 		cfg:   cfg,
 		base:  strings.TrimRight(cfg.HubURL, "/"),
 		hc:    cfg.HTTPClient,
-		specs: map[string]*specPlan{},
+		plans: lru.New[*specPlan](cfg.PlanCacheSize),
+		fetch: map[string]*specFetch{},
 		killc: make(chan struct{}),
 	}, nil
 }
@@ -139,12 +182,22 @@ func (w *Worker) Run(ctx context.Context) error {
 	go w.heartbeatLoop(loopCtx)
 
 	var wg sync.WaitGroup
-	for i := 0; i < w.cfg.Parallelism; i++ {
+	if w.cfg.LeaseBatch > 0 {
+		// v2: one pump goroutine owns the wire and feeds execution
+		// slots; it falls back to the v1 loops itself on an old hub.
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w.executorLoop(loopCtx)
+			w.pumpV2(loopCtx)
 		}()
+	} else {
+		for i := 0; i < w.cfg.Parallelism; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w.executorLoop(loopCtx)
+			}()
+		}
 	}
 
 	select {
@@ -209,14 +262,19 @@ func (w *Worker) deregister() {
 }
 
 // heartbeatLoop keeps the registration live at the hub-suggested
-// cadence, honoring the drop/delay fault hooks.
+// cadence, honoring the drop/delay fault hooks. Each interval is
+// jittered ±20% so a large fleet started together (or re-registered
+// together after a hub restart) spreads out instead of heartbeating
+// the hub in lockstep forever.
 func (w *Worker) heartbeatLoop(ctx context.Context) {
+	rnd := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
 		reg := w.registration()
 		interval := time.Duration(reg.HeartbeatMS) * time.Millisecond
 		if interval <= 0 {
 			interval = time.Second
 		}
+		interval = time.Duration(float64(interval) * (0.8 + 0.4*rnd.Float64()))
 		select {
 		case <-ctx.Done():
 			return
@@ -300,49 +358,108 @@ func (w *Worker) poll(ctx context.Context) (Grant, bool, error) {
 	return g, true, nil
 }
 
-// execute runs one leased cell and reports it, consulting the fault
-// hooks at the seams real failures strike.
+// execute runs one leased cell and reports it over the v1 wire.
 func (w *Worker) execute(ctx context.Context, g Grant) {
+	if comp := w.executeGrant(ctx, g); comp != nil {
+		w.complete(ctx, *comp)
+	}
+}
+
+// executeGrant runs one leased cell through the fault-hook seams and
+// returns its completion — nil when there is nothing to report (kill,
+// sever, unusable spec, failed execution; lease expiry recovers all of
+// them). Shared by the v1 executor loop and the v2 pump slots.
+func (w *Worker) executeGrant(ctx context.Context, g Grant) *CompleteRequest {
 	if w.cfg.Hooks.Kill(g.CellID) {
 		w.kill()
-		return
+		return nil
 	}
-	plan, err := w.plan(g)
+	plan, err := w.planFor(ctx, g)
 	if err != nil {
-		// An undecodable spec cannot be executed here; say so and let
-		// the lease expire into a retry or the hub's local fallback.
+		// An unusable spec cannot be executed here; say so and let the
+		// lease expire into a retry or the hub's local fallback.
 		w.cfg.Logf("dispatch worker %s: lease %s spec unusable: %v", w.cfg.Name, g.LeaseID, err)
-		return
+		return nil
 	}
 	cell, ok := plan.cells[g.CellID]
 	if !ok {
 		w.cfg.Logf("dispatch worker %s: lease %s names unknown cell %s", w.cfg.Name, g.LeaseID, g.CellID)
-		return
+		return nil
 	}
 	res, err := suite.ExecuteCell(plan.spec, cell)
 	if err != nil {
 		w.cfg.Logf("dispatch worker %s: cell %s failed: %v", w.cfg.Name, g.CellID, err)
-		return
+		return nil
 	}
 	if w.cfg.Hooks.Sever(g.CellID) {
-		return // the network ate the result; expiry recovers it
+		return nil // the network ate the result; expiry recovers it
 	}
 	if w.killed.Load() {
-		return // dead workers post nothing
+		return nil // dead workers post nothing
 	}
-	w.complete(ctx, g, res)
+	return &CompleteRequest{LeaseID: g.LeaseID, JobID: g.JobID, CellID: g.CellID, Cell: res}
 }
 
-// plan parses and caches the grant's spec.
-func (w *Worker) plan(g Grant) (*specPlan, error) {
+// planFor returns the grant's compiled plan: LRU hit by digest, else
+// compiled from the grant's inline spec (v1 wire), else fetched once
+// per job over GET /api/v1/jobs/{id}/spec (v2 digest-only grants) with
+// concurrent misses of one digest collapsed into a single fetch.
+func (w *Worker) planFor(ctx context.Context, g Grant) (*specPlan, error) {
 	w.mu.Lock()
-	if p, ok := w.specs[g.SpecDigest]; ok {
+	if p, ok := w.plans.Get(g.SpecDigest); ok {
 		w.mu.Unlock()
 		return p, nil
 	}
+	if len(g.Spec) > 0 {
+		w.mu.Unlock()
+		p, err := compilePlan(g.Spec)
+		if err != nil {
+			return nil, err
+		}
+		w.mu.Lock()
+		w.plans.Add(g.SpecDigest, p)
+		w.mu.Unlock()
+		return p, nil
+	}
+	if f, ok := w.fetch[g.SpecDigest]; ok {
+		w.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.p, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &specFetch{done: make(chan struct{})}
+	w.fetch[g.SpecDigest] = f
 	w.mu.Unlock()
 
-	spec, err := suite.Parse(bytes.NewReader(g.Spec))
+	var raw json.RawMessage
+	err := w.doJSON(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(g.JobID)+"/spec", nil, &raw)
+	var p *specPlan
+	if err == nil {
+		p, err = compilePlan(raw)
+	}
+	if err == nil && p.spec.Digest() != g.SpecDigest {
+		// The job's spec does not hash to the grant's digest — never
+		// poison the content-addressed cache with it.
+		p, err = nil, fmt.Errorf("dispatch: job %s spec digest %s != grant digest %s",
+			g.JobID, p.spec.Digest(), g.SpecDigest)
+	}
+	f.p, f.err = p, err
+	w.mu.Lock()
+	delete(w.fetch, g.SpecDigest)
+	if err == nil {
+		w.plans.Add(g.SpecDigest, p)
+	}
+	w.mu.Unlock()
+	close(f.done)
+	return p, err
+}
+
+// compilePlan parses one spec and indexes its expanded cells.
+func compilePlan(raw json.RawMessage) (*specPlan, error) {
+	spec, err := suite.Parse(bytes.NewReader(raw))
 	if err != nil {
 		return nil, err
 	}
@@ -350,18 +467,14 @@ func (w *Worker) plan(g Grant) (*specPlan, error) {
 	for _, c := range spec.Expand() {
 		p.cells[c.ID] = c
 	}
-	w.mu.Lock()
-	w.specs[g.SpecDigest] = p
-	w.mu.Unlock()
 	return p, nil
 }
 
-// complete posts the result, retrying transient failures so a briefly
-// absent hub doesn't discard finished work. Past the budget the result
-// is dropped — expiry reassigns the cell, and re-execution is
-// bit-identical, so only cycles are lost.
-func (w *Worker) complete(ctx context.Context, g Grant, cell report.Cell) {
-	req := CompleteRequest{LeaseID: g.LeaseID, JobID: g.JobID, CellID: g.CellID, Cell: cell}
+// complete posts one result over the v1 wire, retrying transient
+// failures so a briefly absent hub doesn't discard finished work. Past
+// the budget the result is dropped — expiry reassigns the cell, and
+// re-execution is bit-identical, so only cycles are lost.
+func (w *Worker) complete(ctx context.Context, req CompleteRequest) {
 	delay := 100 * time.Millisecond
 	for attempt := 0; attempt < 5; attempt++ {
 		reg := w.registration()
@@ -386,7 +499,7 @@ func (w *Worker) complete(ctx context.Context, g Grant, cell report.Cell) {
 			cancel()
 			return
 		}
-		w.cfg.Logf("dispatch worker %s: completion of %s failed (%v), retrying", w.cfg.Name, g.CellID, err)
+		w.cfg.Logf("dispatch worker %s: completion of %s failed (%v), retrying", w.cfg.Name, req.CellID, err)
 		select {
 		case <-ctx.Done():
 		case <-w.cfg.Clock.After(delay):
@@ -395,7 +508,234 @@ func (w *Worker) complete(ctx context.Context, g Grant, cell report.Cell) {
 			delay *= 2
 		}
 	}
-	w.cfg.Logf("dispatch worker %s: dropping completion of %s — hub will reassign", w.cfg.Name, g.CellID)
+	w.cfg.Logf("dispatch worker %s: dropping completion of %s — hub will reassign", w.cfg.Name, req.CellID)
+}
+
+// --- v2 batched pump --------------------------------------------------------
+
+// slotResult is one execution slot's answer for one grant: the
+// completion to piggyback, or nil when there is nothing to report.
+type slotResult struct {
+	comp *CompleteRequest
+}
+
+// slotLoop is one v2 execution slot: take a grant off the pipeline,
+// execute it, hand the result back to the pump. Slots never touch the
+// wire for dispatch traffic — the pump owns it.
+func (w *Worker) slotLoop(ctx context.Context, grants <-chan Grant, results chan<- slotResult) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.killc:
+			return
+		case g := <-grants:
+			// results is sized to the pipeline depth, so this send never
+			// blocks: at most depth grants are ever unresulted.
+			results <- slotResult{comp: w.executeGrant(ctx, g)}
+		}
+	}
+}
+
+// leaseBatch is one v2 round trip: pending completions out, up to max
+// digest-only grants back.
+func (w *Worker) leaseBatch(ctx context.Context, max int, comps []CompleteRequest) (LeaseBatchResponse, error) {
+	reg := w.registration()
+	var resp LeaseBatchResponse
+	err := w.doJSON(ctx, http.MethodPost,
+		workersPathPrefix+"/"+url.PathEscape(reg.WorkerID)+"/lease:batch",
+		LeaseBatchRequest{Max: max, Completions: comps}, &resp)
+	return resp, err
+}
+
+// pumpV2 owns the v2 wire: the only goroutine that calls lease:batch.
+// It keeps up to LeaseBatch grants in flight across the execution
+// slots, collects their completions, and spends round trips by three
+// rules — starving (nothing in flight, nothing pending) polls for a
+// full batch; a half-empty pipeline or an expired linger flushes
+// pending completions and refills in the same call; otherwise it
+// waits. Steady state is therefore ~2 round trips per LeaseBatch cells
+// instead of the v1 wire's 2 per cell, with CompleteLinger bounding
+// how stale a finished result may go unreported.
+//
+// On a hub without the route (plain-text 404, no error envelope) the
+// pump delivers anything pending over the v1 wire and degrades to the
+// v1 executor loops for the rest of its life.
+func (w *Worker) pumpV2(ctx context.Context) {
+	depth := w.cfg.LeaseBatch
+	slotCtx, stopSlots := context.WithCancel(ctx)
+	defer stopSlots()
+	grants := make(chan Grant, depth)
+	results := make(chan slotResult, depth)
+	var slots sync.WaitGroup
+	for i := 0; i < w.cfg.Parallelism; i++ {
+		slots.Add(1)
+		go func() {
+			defer slots.Done()
+			w.slotLoop(slotCtx, grants, results)
+		}()
+	}
+	defer slots.Wait()
+
+	outstanding := 0 // grants handed to the pipeline, result not yet back
+	var pending []CompleteRequest
+	var lingerC <-chan time.Time
+	lingerFired := false
+	backoff := w.cfg.PollInterval
+
+	for ctx.Err() == nil && !w.killed.Load() {
+		free := depth - outstanding
+		doCall, max := false, 0
+		switch {
+		case outstanding == 0 && len(pending) == 0:
+			doCall, max = true, depth // starving: ask for a full batch
+		case len(pending) > 0 && (lingerFired || outstanding == 0 || len(pending) >= (depth+1)/2):
+			doCall, max = true, free // flush, refilling in the same trip
+		}
+		if !doCall {
+			select {
+			case <-ctx.Done():
+			case <-w.killc:
+			case r := <-results:
+				outstanding--
+				if r.comp != nil {
+					if len(pending) == 0 && w.cfg.CompleteLinger > 0 {
+						lingerC = w.cfg.Clock.After(w.cfg.CompleteLinger)
+					}
+					if w.cfg.CompleteLinger < 0 {
+						lingerFired = true
+					}
+					pending = append(pending, *r.comp)
+				}
+			case <-lingerC:
+				lingerC, lingerFired = nil, true
+			}
+			continue
+		}
+
+		resp, err := w.leaseBatch(ctx, max, pending)
+		switch {
+		case isRouteMissing(err):
+			// An old hub: no lease:batch route. Deliver what we hold over
+			// the v1 wire and stay there for good.
+			w.cfg.Logf("dispatch worker %s: hub has no lease:batch (v1 hub); using single-lease wire", w.cfg.Name)
+			stopSlots()
+			slots.Wait()
+			pending = append(pending, w.reclaim(grants, results, &outstanding)...)
+			for _, c := range pending {
+				w.complete(ctx, c)
+			}
+			w.runV1(ctx)
+			return
+		case isUnknownWorker(err):
+			// Completions may have been settled before the hub rejected
+			// us; keep them pending — resending is harmless (duplicates).
+			if w.register(ctx) != nil {
+				return
+			}
+			continue
+		case err != nil:
+			if ctx.Err() != nil {
+				continue // shutdown, not a hub failure
+			}
+			w.cfg.Logf("dispatch worker %s: hub unreachable (%v), backing off", w.cfg.Name, err)
+			select {
+			case <-ctx.Done():
+			case <-w.killc:
+			case <-w.cfg.Clock.After(backoff):
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = w.cfg.PollInterval
+		for _, st := range resp.Acks {
+			if st == CompleteAccepted {
+				w.completedCount.Add(1)
+			}
+		}
+		// Every ack is final (duplicate and orphan included): drop them.
+		pending = pending[:0]
+		lingerC, lingerFired = nil, false
+		for _, g := range resp.Grants {
+			grants <- g
+			outstanding++
+		}
+		if len(resp.Grants) == 0 && outstanding == 0 {
+			// Fleet-wide idle: nothing leased anywhere. Re-poll lazily.
+			select {
+			case <-ctx.Done():
+			case <-w.killc:
+			case <-w.cfg.Clock.After(w.cfg.PollInterval):
+			}
+		}
+	}
+
+	if w.killed.Load() {
+		return // abrupt death posts nothing; expiry recovers the leases
+	}
+	// Job-end barrier: let the slots finish the cells they hold, then
+	// flush the stragglers on a detached context so finished work
+	// survives the worker's own exit.
+	stopSlots()
+	pending = append(pending, w.reclaim(grants, results, &outstanding)...)
+	if len(pending) == 0 {
+		return
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if resp, err := w.leaseBatch(dctx, 0, pending); err == nil {
+		for _, st := range resp.Acks {
+			if st == CompleteAccepted {
+				w.completedCount.Add(1)
+			}
+		}
+		return
+	}
+	for _, c := range pending {
+		w.complete(dctx, c)
+	}
+}
+
+// reclaim settles the pipeline after the slots were told to stop:
+// undelivered grants are abandoned (lease expiry recovers them) and
+// every outstanding result is collected. Returns the completions the
+// slots still held.
+func (w *Worker) reclaim(grants <-chan Grant, results <-chan slotResult, outstanding *int) []CompleteRequest {
+	var comps []CompleteRequest
+	deadline := w.cfg.Clock.After(5 * time.Second)
+	for *outstanding > 0 {
+		select {
+		case <-grants:
+			*outstanding = *outstanding - 1
+		case r := <-results:
+			*outstanding = *outstanding - 1
+			if r.comp != nil {
+				comps = append(comps, *r.comp)
+			}
+		case <-w.killc:
+			return nil
+		case <-deadline:
+			// A wedged cell: give up; its lease expires into a retry.
+			return comps
+		}
+	}
+	return comps
+}
+
+// runV1 is the permanent fallback body: the classic per-cell executor
+// loops, used when the hub predates the v2 wire.
+func (w *Worker) runV1(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := 0; i < w.cfg.Parallelism; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.executorLoop(ctx)
+		}()
+	}
+	wg.Wait()
 }
 
 // kill flips the worker into the dead state (fault injection only).
@@ -411,22 +751,35 @@ func (w *Worker) kill() {
 // errNoContent marks a 204 answer — "no work" on the lease endpoint.
 var errNoContent = errors.New("dispatch: no content")
 
-// httpStatusError carries the status code so callers can classify
-// unknown-worker answers.
+// httpStatusError carries the status code — and whether the body was
+// the hub's JSON error envelope — so callers can classify answers. The
+// distinction matters for 404: a handler's 404 (unknown worker, no
+// such job) arrives as an envelope, while a hub with no such route at
+// all answers ServeMux's plain text — which is how a v2 worker tells
+// "re-register" apart from "this hub predates the route".
 type httpStatusError struct {
-	code int
-	msg  string
+	code     int
+	envelope bool
+	msg      string
 }
 
 func (e *httpStatusError) Error() string {
 	return fmt.Sprintf("dispatch: hub answered %d: %s", e.code, e.msg)
 }
 
-// isUnknownWorker reports a 404 — the hub does not know this worker ID
-// (expired or hub restart); the cure is re-registration.
+// isUnknownWorker reports an enveloped 404 — the hub has the route but
+// does not know this worker ID (expired or hub restart); the cure is
+// re-registration.
 func isUnknownWorker(err error) bool {
 	var se *httpStatusError
-	return errors.As(err, &se) && se.code == http.StatusNotFound
+	return errors.As(err, &se) && se.code == http.StatusNotFound && se.envelope
+}
+
+// isRouteMissing reports a plain-text 404 — the hub has no such route
+// (an old hub); the cure is the version fallback, not re-registration.
+func isRouteMissing(err error) bool {
+	var se *httpStatusError
+	return errors.As(err, &se) && se.code == http.StatusNotFound && !se.envelope
 }
 
 // doJSON is one round trip: optional JSON body out, optional JSON body
@@ -463,14 +816,19 @@ func (w *Worker) doJSON(ctx context.Context, method, path string, body, out any)
 		return errNoContent
 	}
 	if resp.StatusCode >= 400 {
-		// The hub's error envelope: {"error":{"code","message",...}}.
+		// The hub's error envelope: {"error":{"code","message",...}}. A
+		// body that doesn't decode to it (ServeMux's plain-text 404) is
+		// flagged so 404 classification can tell route-missing apart
+		// from unknown-worker.
 		var e struct {
 			Error struct {
+				Code    string `json:"code"`
 				Message string `json:"message"`
 			} `json:"error"`
 		}
-		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
-		return &httpStatusError{code: resp.StatusCode, msg: e.Error.Message}
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
+		envelope := decErr == nil && (e.Error.Code != "" || e.Error.Message != "")
+		return &httpStatusError{code: resp.StatusCode, envelope: envelope, msg: e.Error.Message}
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

@@ -44,6 +44,7 @@ const (
 	TypeLeaseCompleted   = "lease.completed"
 	TypeLeaseDupResolved = "lease.dup-resolved"
 	TypeLeaseOrphan      = "lease.orphan"
+	TypeLeaseBatch       = "lease.batch"
 
 	TypeWorkerRegistered   = "worker.registered"
 	TypeWorkerDeregistered = "worker.deregistered"

@@ -1,0 +1,73 @@
+// Package lru is the one LRU implementation the repo shares: the
+// store's in-memory front (ahead of the segment log and the network)
+// and the dispatch worker's compiled-plan cache are both instances of
+// this generic cache. Deliberately minimal — string keys, a hard
+// capacity, newest-at-front eviction — and deliberately not
+// synchronized: every caller already owns a lock that covers the cache
+// together with the state it fronts, so building a second lock in here
+// would only hide ordering bugs.
+package lru
+
+import "container/list"
+
+// Cache maps string keys to values of type V with least-recently-used
+// eviction past a fixed capacity. Not safe for concurrent use.
+type Cache[V any] struct {
+	cap   int
+	order *list.List               // front = most recent
+	mem   map[string]*list.Element // key → entry
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New builds a cache holding at most capacity entries.
+func New[V any](capacity int) *Cache[V] {
+	return &Cache[V]{cap: capacity, order: list.New(), mem: map[string]*list.Element{}}
+}
+
+// Get returns the cached value and promotes it to most-recent.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	el, ok := c.mem[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry[V]).val, true
+}
+
+// Contains reports presence without promoting.
+func (c *Cache[V]) Contains(key string) bool {
+	_, ok := c.mem[key]
+	return ok
+}
+
+// Add inserts (or promotes) key and evicts past capacity. An existing
+// key keeps its stored value — the content-addressed callers never
+// re-add a different value under the same key.
+func (c *Cache[V]) Add(key string, val V) {
+	if el, ok := c.mem[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.mem[key] = c.order.PushFront(&entry[V]{key: key, val: val})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.mem, last.Value.(*entry[V]).key)
+	}
+}
+
+// Remove deletes key if present (GC discarding an expired entry).
+func (c *Cache[V]) Remove(key string) {
+	if el, ok := c.mem[key]; ok {
+		c.order.Remove(el)
+		delete(c.mem, key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int { return c.order.Len() }

@@ -1,0 +1,52 @@
+package lru
+
+import "testing"
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok { // promote a; b is now oldest
+		t.Fatal("a missing before eviction")
+	}
+	c.Add("c", 3)
+	if c.Contains("b") {
+		t.Fatal("b survived eviction, want least-recent evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d/%v after eviction, want 1", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %d/%v, want 3", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestReAddKeepsExistingValueAndPromotes(t *testing.T) {
+	c := New[string](2)
+	c.Add("k", "original")
+	c.Add("x", "other")
+	c.Add("k", "ignored") // promote, don't overwrite
+	c.Add("y", "newest")  // evicts x, not the promoted k
+	if v, ok := c.Get("k"); !ok || v != "original" {
+		t.Fatalf("k = %q/%v, want the original value kept", v, ok)
+	}
+	if c.Contains("x") {
+		t.Fatal("x survived, want it evicted as least-recent")
+	}
+}
+
+func TestRemoveAndMiss(t *testing.T) {
+	c := New[int](4)
+	c.Add("a", 1)
+	c.Remove("a")
+	c.Remove("never-there") // no-op
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("removed key still present")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after remove, want 0", c.Len())
+	}
+}

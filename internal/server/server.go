@@ -14,6 +14,7 @@
 //	DELETE /api/v1/jobs/{id}        cancel (queued: immediate; running: next cell)
 //	GET    /api/v1/jobs/{id}/report the finished report (?canonical=1)
 //	GET    /api/v1/jobs/{id}/events SSE: replay + follow `cell` events, final `done`
+//	GET    /api/v1/jobs/{id}/spec   the defaulted spec (a v2 worker's plan-cache fill)
 //	GET    /api/v1/cells/{key}      fetch one stored cell (the fleet cache read)
 //	PUT    /api/v1/cells/{key}      store one computed cell (the fleet cache write)
 //	POST   /api/v1/workers          register a fleet worker (see workers.go)
@@ -101,6 +102,13 @@ type metrics struct {
 	// round trip).
 	cellsWireGet, cellsWirePut          atomic.Uint64
 	cellsWireBatch, cellsWireBatchCells atomic.Uint64
+
+	// Wire traffic on the v2 dispatch endpoints: lease:batch requests
+	// and the cells they granted (the dispatch-plane twin of the cells
+	// batch pair above), plus once-per-job spec fetches by plan-cache
+	// misses.
+	leaseWireBatch, leaseWireBatchCells atomic.Uint64
+	specWireGet                         atomic.Uint64
 
 	// Per-tool cell accounting, fed from every finished report (fleet or
 	// local, events on or off): cells run and cells that found at least
@@ -207,6 +215,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /api/v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
 	s.mux.HandleFunc("POST /api/v1/workers/{id}/lease", s.handleWorkerLease)
 	s.mux.HandleFunc("POST /api/v1/workers/{id}/complete", s.handleWorkerComplete)
+	s.mux.HandleFunc("POST /api/v1/workers/{id}/lease:batch", s.handleWorkerLeaseBatch)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/spec", s.handleJobSpec)
 	s.mux.HandleFunc("GET /api/v1/events", s.handleFleetEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -4,12 +4,24 @@
 // workers` renders. The protocol shapes live in internal/dispatch;
 // this file only maps them onto routes and status codes:
 //
-//	POST   /api/v1/workers                 register → 201 Registration
-//	GET    /api/v1/workers                 fleet membership listing
-//	DELETE /api/v1/workers/{id}            graceful deregistration
-//	POST   /api/v1/workers/{id}/heartbeat  liveness → 204 | 404 (re-register)
-//	POST   /api/v1/workers/{id}/lease      acquire → 200 Grant | 204 no work | 404
-//	POST   /api/v1/workers/{id}/complete   report a cell → 200 CompleteResponse
+//	POST   /api/v1/workers                   register → 201 Registration
+//	GET    /api/v1/workers                   fleet membership listing
+//	DELETE /api/v1/workers/{id}              graceful deregistration
+//	POST   /api/v1/workers/{id}/heartbeat    liveness → 204 | 404 (re-register)
+//	POST   /api/v1/workers/{id}/lease        acquire → 200 Grant | 204 no work | 404
+//	POST   /api/v1/workers/{id}/complete     report a cell → 200 CompleteResponse
+//	POST   /api/v1/workers/{id}/lease:batch  v2 combined poll: piggybacked
+//	                                         completions in, up to Max
+//	                                         digest-only grants out
+//	GET    /api/v1/jobs/{id}/spec            the job's defaulted spec — the
+//	                                         plan-cache fill a v2 worker does
+//	                                         once per job instead of
+//	                                         re-receiving the spec per grant
+//
+// A v1 worker never calls the last two routes; a v2 worker against an
+// old hub sees a plain-text 404 (no JSON envelope) on lease:batch and
+// falls back to the v1 wire permanently — the same compatibility
+// pattern as the store's cells:batch.
 package server
 
 import (
@@ -83,4 +95,41 @@ func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	status := s.disp.Complete(r.PathValue("id"), req)
 	writeJSON(w, http.StatusOK, dispatch.CompleteResponse{Status: status})
+}
+
+// handleWorkerLeaseBatch is the v2 steady-state round trip: settle the
+// piggybacked completions (each with exactly handleWorkerComplete's
+// semantics), then grant up to Max cells in plan order, spec omitted.
+// The unknown-worker 404 carries the JSON error envelope; an old hub
+// without this route answers a plain-text 404 — that difference is how
+// a v2 worker tells "re-register" apart from "fall back to v1".
+func (s *Server) handleWorkerLeaseBatch(w http.ResponseWriter, r *http.Request) {
+	var req dispatch.LeaseBatchRequest
+	// Same bound as /complete: the batch carries report.Cells, so the
+	// store's record cap is the natural wire cap.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad lease batch body: %v", err)
+		return
+	}
+	resp, err := s.disp.LeaseBatch(r.PathValue("id"), req.Max, req.Completions)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.met.leaseWireBatch.Add(1)
+	s.met.leaseWireBatchCells.Add(uint64(len(resp.Grants)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobSpec serves a job's defaulted spec — the once-per-job fetch
+// a v2 worker's plan cache does on a digest miss, replacing the
+// per-grant spec payload of the v1 wire.
+func (s *Server) handleJobSpec(w http.ResponseWriter, r *http.Request) {
+	j, id := s.lookup(r)
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	s.met.specWireGet.Add(1)
+	writeJSON(w, http.StatusOK, j.spec)
 }

@@ -331,7 +331,7 @@ func (s *Store) compactLocked(p GCPolicy) (res CompactResult, err error) {
 	// Expired entries must leave the memory layer too, or the LRU would
 	// keep serving what the policy just reclaimed.
 	for _, key := range expired {
-		s.front.remove(key)
+		s.front.Remove(key)
 	}
 	for _, id := range newIDs {
 		f, err := os.Open(s.segPath(id))

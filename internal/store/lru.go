@@ -1,66 +1,17 @@
-// lruCache is the in-memory front both store implementations share:
-// the local Store keeps it ahead of the segment log, Remote ahead of
-// the network. Not safe for concurrent use — callers hold their own
-// lock, as the cache is always touched together with other state.
+// The in-memory front both store implementations share: the local
+// Store keeps it ahead of the segment log, Remote ahead of the
+// network. It is the shared generic internal/lru cache instantiated at
+// report.Cell — the same implementation the dispatch worker uses for
+// its compiled-plan cache. Not safe for concurrent use — callers hold
+// their own lock, as the cache is always touched together with other
+// state.
 package store
 
 import (
-	"container/list"
-
+	"repro/internal/lru"
 	"repro/internal/report"
 )
 
-type lruCache struct {
-	cap   int
-	order *list.List               // front = most recent
-	mem   map[string]*list.Element // key → entry
-}
+type lruCache = lru.Cache[report.Cell]
 
-type entry struct {
-	key  string
-	cell report.Cell
-}
-
-func newLRU(capacity int) *lruCache {
-	return &lruCache{cap: capacity, order: list.New(), mem: map[string]*list.Element{}}
-}
-
-// get returns the cached cell and promotes it to most-recent.
-func (c *lruCache) get(key string) (report.Cell, bool) {
-	el, ok := c.mem[key]
-	if !ok {
-		return report.Cell{}, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*entry).cell, true
-}
-
-// contains reports presence without promoting.
-func (c *lruCache) contains(key string) bool {
-	_, ok := c.mem[key]
-	return ok
-}
-
-// add inserts (or promotes) key and evicts past capacity.
-func (c *lruCache) add(key string, cell report.Cell) {
-	if el, ok := c.mem[key]; ok {
-		c.order.MoveToFront(el)
-		return
-	}
-	c.mem[key] = c.order.PushFront(&entry{key: key, cell: cell})
-	for c.order.Len() > c.cap {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.mem, last.Value.(*entry).key)
-	}
-}
-
-// remove deletes key if present (GC discarding an expired entry).
-func (c *lruCache) remove(key string) {
-	if el, ok := c.mem[key]; ok {
-		c.order.Remove(el)
-		delete(c.mem, key)
-	}
-}
-
-func (c *lruCache) len() int { return c.order.Len() }
+func newLRU(capacity int) *lruCache { return lru.New[report.Cell](capacity) }

@@ -229,7 +229,7 @@ func OpenRemote(cfg RemoteConfig) (*Remote, error) {
 // concurrent Gets for one key share a single HTTP request.
 func (r *Remote) Get(key string) (report.Cell, bool) {
 	r.mu.Lock()
-	if cell, ok := r.front.get(key); ok {
+	if cell, ok := r.front.Get(key); ok {
 		ev := r.events
 		r.mu.Unlock()
 		r.hits.Add(1)
@@ -255,7 +255,7 @@ func (r *Remote) Get(key string) (report.Cell, bool) {
 	r.mu.Lock()
 	delete(r.flights, key)
 	if f.ok {
-		r.front.add(key, f.cell)
+		r.front.Add(key, f.cell)
 	}
 	ev := r.events
 	r.mu.Unlock()
@@ -364,11 +364,11 @@ func (r *Remote) Put(key string, cell report.Cell) error {
 		r.mu.Unlock()
 		return fmt.Errorf("store: closed")
 	}
-	if r.front.contains(key) {
+	if r.front.Contains(key) {
 		r.mu.Unlock()
 		return nil
 	}
-	r.front.add(key, cell)
+	r.front.Add(key, cell)
 	r.mu.Unlock()
 	r.puts.Add(1)
 
@@ -398,11 +398,11 @@ func (r *Remote) PutBatch(entries []CellEntry) error {
 			errs = append(errs, fmt.Errorf("store: closed"))
 			break
 		}
-		if r.front.contains(e.Key) {
+		if r.front.Contains(e.Key) {
 			r.mu.Unlock()
 			continue
 		}
-		r.front.add(e.Key, e.Cell)
+		r.front.Add(e.Key, e.Cell)
 		r.mu.Unlock()
 		r.puts.Add(1)
 		body, err := json.Marshal(e.Cell)
@@ -648,7 +648,7 @@ func (r *Remote) putOnce(key string, body []byte) error {
 // zero — the remote's population is the serving daemon's to report.
 func (r *Remote) Stats() Stats {
 	r.mu.Lock()
-	mem := r.front.len()
+	mem := r.front.Len()
 	r.mu.Unlock()
 	return Stats{
 		Hits:       r.hits.Load(),

@@ -435,7 +435,7 @@ func (s *Store) Get(key string) (report.Cell, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.noteOpLocked()
-	if cell, ok := s.front.get(key); ok {
+	if cell, ok := s.front.Get(key); ok {
 		s.touchLocked(key)
 		s.hits.Add(1)
 		s.events.Emit(eventlog.Event{Type: eventlog.TypeStoreHit, Key: key, Detail: "mem"})
@@ -444,7 +444,7 @@ func (s *Store) Get(key string) (report.Cell, bool) {
 	if ref, ok := s.index[key]; ok {
 		cell, err := s.readLocked(ref)
 		if err == nil {
-			s.front.add(key, cell)
+			s.front.Add(key, cell)
 			s.touchLocked(key)
 			s.hits.Add(1)
 			s.events.Emit(eventlog.Event{Type: eventlog.TypeStoreHit, Key: key, Detail: "disk"})
@@ -494,7 +494,7 @@ func (s *Store) Put(key string, cell report.Cell) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
-	if s.front.contains(key) {
+	if s.front.Contains(key) {
 		return nil
 	}
 	_, onDisk := s.index[key]
@@ -504,7 +504,7 @@ func (s *Store) Put(key string, cell report.Cell) error {
 	// Always (re)insert into memory: if the key is indexed on disk but
 	// its record became unreadable, the LRU still serves the recomputed
 	// cell instead of forcing a re-execution on every future run.
-	s.front.add(key, cell)
+	s.front.Add(key, cell)
 	if s.dir == "" || onDisk {
 		return nil
 	}
@@ -538,14 +538,14 @@ func (s *Store) PutBatch(entries []CellEntry) error {
 		encodeErr error
 	)
 	for _, e := range entries {
-		if s.front.contains(e.Key) {
+		if s.front.Contains(e.Key) {
 			continue
 		}
 		_, onDisk := s.index[e.Key]
 		s.puts.Add(1)
 		s.noteOpLocked()
 		s.events.Emit(eventlog.Event{Type: eventlog.TypeStorePut, Key: e.Key, Detail: "batch"})
-		s.front.add(e.Key, e.Cell)
+		s.front.Add(e.Key, e.Cell)
 		if s.dir == "" || onDisk {
 			continue
 		}
@@ -706,7 +706,7 @@ func (s *Store) Stats() Stats {
 		Misses:      s.misses.Load(),
 		Puts:        s.puts.Load(),
 		Syncs:       s.syncs.Load(),
-		MemEntries:  s.front.len(),
+		MemEntries:  s.front.Len(),
 		DiskEntries: len(s.index),
 	}
 }
